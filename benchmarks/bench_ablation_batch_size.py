@@ -1,0 +1,39 @@
+"""Ablation A5: batch-size sensitivity.
+
+The paper applies 100K-update batches; this sweep varies the batch size and
+tracks CISGraph-O's speedup over Cold-Start.  Larger batches amortise CS's
+single recompute over more updates, so the incremental advantage shrinks —
+the crossover every streaming system's batching threshold trades against.
+"""
+
+from repro.bench.ablations import sweep_batch_size
+from repro.bench.datasets import dataset_specs
+from repro.bench.tables import format_dict_table
+
+
+def test_batch_size_sweep(benchmark, emit):
+    spec = dataset_specs()[0]
+    sizes = (100, 400, 1600)
+
+    points = benchmark.pedantic(
+        lambda: sweep_batch_size(
+            spec, "ppsp", batch_sizes=sizes, num_queries=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "batch": p.label,
+            "cisgraph_o_speedup_over_cs": f"{p.extra['speedup_over_cs']:.1f}x",
+        }
+        for p in points
+    ]
+    emit(
+        format_dict_table(
+            rows,
+            columns=["batch", "cisgraph_o_speedup_over_cs"],
+            title="Ablation A5 - batch size sweep (OR, PPSP)",
+        )
+    )
+    assert all(p.extra["speedup_over_cs"] > 0 for p in points)

@@ -1,0 +1,36 @@
+"""Ablation A8: DRAM channel count.
+
+Table I provisions 8x DDR4-3200; the sweep shows how sensitive the
+accelerator's drain time is to off-chip bandwidth.
+"""
+
+from repro.bench.ablations import sweep_dram_channels
+from repro.bench.tables import format_dict_table
+
+
+def test_dram_channel_sweep(benchmark, emit, workloads, query_pairs):
+    workload = workloads["OR"]
+    queries = query_pairs["OR"][:2]
+
+    points = benchmark.pedantic(
+        lambda: sweep_dram_channels(workload, "ppsp", queries),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "channels": p.label,
+            "response_us": f"{p.response_ns / 1000:.1f}",
+            "total_us": f"{p.total_ns / 1000:.1f}",
+        }
+        for p in points
+    ]
+    emit(
+        format_dict_table(
+            rows,
+            columns=["channels", "response_us", "total_us"],
+            title="Ablation A8 - DRAM channel count sweep (OR, PPSP)",
+        )
+    )
+    # more channels never slower
+    assert points[-1].total_ns <= points[0].total_ns

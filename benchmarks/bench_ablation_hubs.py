@@ -1,0 +1,39 @@
+"""Ablation A4: SGraph hub-vertex count.
+
+SGraph fixes 16 hubs; more hubs tighten the pruning bounds but multiply the
+per-batch maintenance cost — the trade-off behind the paper's observation
+that SGraph "spends much time on boundary maintaining".
+"""
+
+from repro.bench.ablations import sweep_hub_count
+from repro.bench.tables import format_dict_table
+
+
+def test_hub_sweep(benchmark, emit, workloads, query_pairs):
+    workload = workloads["OR"]
+    queries = query_pairs["OR"][:2]
+
+    points = benchmark.pedantic(
+        lambda: sweep_hub_count(
+            workload, "ppsp", queries, hub_counts=(4, 16, 64)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "hubs": p.label,
+            "response_ms": f"{p.response_ns / 1e6:.3f}",
+            "total_ms": f"{p.total_ns / 1e6:.3f}",
+        }
+        for p in points
+    ]
+    emit(
+        format_dict_table(
+            rows,
+            columns=["hubs", "response_ms", "total_ms"],
+            title="Ablation A4 - SGraph hub count sweep (OR, PPSP)",
+        )
+    )
+    # maintenance grows with hub count: 64 hubs cost more than 4
+    assert points[-1].response_ns > points[0].response_ns

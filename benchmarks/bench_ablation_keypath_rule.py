@@ -1,0 +1,42 @@
+"""Ablation A7: Algorithm 1's key-path rule vs the precise edge rule.
+
+Algorithm 1 line 12 marks a supplying deletion non-delayed when its tail
+``u`` lies on the global key path; the engine also supports the precise
+rule (the deleted edge must be a dependence edge of the path), which
+schedules strictly fewer deletions before the answer.  Both are exact; the
+sweep quantifies the scheduling difference.
+"""
+
+from repro.bench.ablations import keypath_rule_comparison
+from repro.bench.tables import format_dict_table
+
+
+def test_keypath_rule(benchmark, emit, workloads, query_pairs):
+    workload = workloads["OR"]
+    queries = query_pairs["OR"][:2]
+
+    points = benchmark.pedantic(
+        lambda: keypath_rule_comparison(workload, "ppsp", queries),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "rule": p.label,
+            "nondelayed_deletions": int(p.extra["nondelayed_deletions"]),
+            "response_us": f"{p.response_ns / 1000:.1f}",
+            "total_us": f"{p.total_ns / 1000:.1f}",
+        }
+        for p in points
+    ]
+    emit(
+        format_dict_table(
+            rows,
+            columns=["rule", "nondelayed_deletions", "response_us", "total_us"],
+            title="Ablation A7 - key-path membership rule (OR, PPSP)",
+        )
+    )
+    precise, paper = points
+    assert (
+        precise.extra["nondelayed_deletions"] <= paper.extra["nondelayed_deletions"]
+    ), "the precise rule must never mark more deletions non-delayed"

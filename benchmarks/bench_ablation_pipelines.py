@@ -1,0 +1,37 @@
+"""Ablation A1: accelerator pipeline / propagation-unit count.
+
+Table I fixes 4 pipelines; this sweep quantifies the sensitivity.  More
+pipelines speed up identification (one update per cycle per pipeline) and
+propagation until memory bandwidth dominates.
+"""
+
+from repro.bench.ablations import sweep_pipelines
+from repro.bench.tables import format_dict_table
+
+
+def test_pipeline_sweep(benchmark, emit, workloads, query_pairs):
+    workload = workloads["OR"]
+    queries = query_pairs["OR"][:2]
+
+    points = benchmark.pedantic(
+        lambda: sweep_pipelines(workload, "ppsp", queries),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "pipelines": p.label,
+            "response_us": f"{p.response_ns / 1000:.1f}",
+            "total_us": f"{p.total_ns / 1000:.1f}",
+        }
+        for p in points
+    ]
+    emit(
+        format_dict_table(
+            rows,
+            columns=["pipelines", "response_us", "total_us"],
+            title="Ablation A1 - pipeline count sweep (OR, PPSP)",
+        )
+    )
+    # identification throughput scales: 8 pipelines never slower than 1
+    assert points[-1].response_ns <= points[0].response_ns

@@ -1,0 +1,44 @@
+"""Ablation A3: preemptive scheduling vs FIFO drain.
+
+CISGraph answers as soon as no non-delayed valuable update remains; a FIFO
+buffer without the delayed class must drain everything first.  The gap is
+the response-time benefit of the paper's scheduling contribution.
+"""
+
+from repro.bench.ablations import scheduling_policy_comparison
+from repro.bench.tables import format_dict_table
+
+ALGORITHMS = ["ppsp", "ppwp"]
+
+
+def test_scheduling_policies(benchmark, emit, workloads, query_pairs):
+    workload = workloads["OR"]
+    queries = query_pairs["OR"][:2]
+
+    def run_all():
+        return {
+            alg: scheduling_policy_comparison(workload, alg, queries)
+            for alg in ALGORITHMS
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for alg, (priority, fifo) in results.items():
+        gain = fifo.response_ns / max(priority.response_ns, 1e-9)
+        rows.append(
+            {
+                "algorithm": alg,
+                "priority_us": f"{priority.response_ns / 1000:.1f}",
+                "fifo_drain_us": f"{fifo.response_ns / 1000:.1f}",
+                "response_gain": f"{gain:.2f}x",
+            }
+        )
+    emit(
+        format_dict_table(
+            rows,
+            columns=["algorithm", "priority_us", "fifo_drain_us", "response_gain"],
+            title="Ablation A3 - scheduling policy (OR)",
+        )
+    )
+    for alg, (priority, fifo) in results.items():
+        assert priority.response_ns <= fifo.response_ns

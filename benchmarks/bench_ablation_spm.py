@@ -1,0 +1,40 @@
+"""Ablation A2: SPM capacity sweep.
+
+Table I fixes a 32 MB eDRAM scratchpad; the sweep shows how the hit rate
+and response time degrade when state/edge working sets stop fitting.
+"""
+
+from repro.bench.ablations import sweep_spm_size
+from repro.bench.tables import format_dict_table
+
+
+def test_spm_sweep(benchmark, emit, workloads, query_pairs):
+    workload = workloads["OR"]
+    queries = query_pairs["OR"][:2]
+
+    points = benchmark.pedantic(
+        lambda: sweep_spm_size(
+            workload, "ppsp", queries, sizes_kb=(64, 256, 1024, 32768)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "spm": p.label,
+            "response_us": f"{p.response_ns / 1000:.1f}",
+            "total_us": f"{p.total_ns / 1000:.1f}",
+            "hit_rate": f"{100 * p.extra['spm_hit_rate']:.1f}%",
+        }
+        for p in points
+    ]
+    emit(
+        format_dict_table(
+            rows,
+            columns=["spm", "response_us", "total_us", "hit_rate"],
+            title="Ablation A2 - scratchpad capacity sweep (OR, PPSP)",
+        )
+    )
+    # larger SPM must not reduce the hit rate
+    hit_rates = [p.extra["spm_hit_rate"] for p in points]
+    assert hit_rates[-1] >= hit_rates[0] - 1e-9

@@ -1,0 +1,76 @@
+"""Microbenchmarks of the substrate kernels (pytest-benchmark).
+
+These are honest wall-clock measurements of the Python implementation —
+useful for tracking performance regressions of the reproduction itself, not
+paper numbers.
+"""
+
+import pytest
+
+from repro.algorithms import PPSP, dijkstra
+from repro.core.classification import classify_batch
+from repro.core.keypath import KeyPathTracker
+from repro.graph.csr import CSRGraph
+from repro.hw.config import DramConfig, SpmConfig
+from repro.hw.dram import DramModel
+from repro.hw.spm import ScratchpadMemory
+
+
+@pytest.fixture(scope="module")
+def or_workload(request):
+    from repro.bench.datasets import dataset_specs, make_workload
+
+    return make_workload(dataset_specs()[0], num_batches=1, seed=0)
+
+
+def test_dijkstra_full(benchmark, or_workload):
+    graph = or_workload.initial
+    benchmark.pedantic(
+        lambda: dijkstra(graph, PPSP(), 0), rounds=3, iterations=1
+    )
+
+
+def test_csr_build(benchmark, or_workload):
+    graph = or_workload.initial
+    benchmark.pedantic(
+        lambda: CSRGraph.from_dynamic(graph), rounds=3, iterations=1
+    )
+
+
+def test_classification_throughput(benchmark, or_workload):
+    """O(1)-per-update identification: the paper's headline overhead claim."""
+    graph = or_workload.initial
+    result = dijkstra(graph, PPSP(), 0)
+    keypath = KeyPathTracker(0, 1)
+    keypath.rebuild(result.parents)
+    batch = or_workload.replay.batch(0)
+
+    benchmark(
+        lambda: classify_batch(
+            PPSP(), result.states, result.parents, keypath, batch
+        )
+    )
+
+
+def test_spm_access_throughput(benchmark):
+    spm = ScratchpadMemory(SpmConfig(size_bytes=1024 * 1024), DramModel(DramConfig()))
+
+    def kernel():
+        now = 0
+        for i in range(2000):
+            now = spm.access((i * 8) % 65536, 8, now=now)
+        return now
+
+    benchmark(kernel)
+
+
+def test_dram_access_throughput(benchmark):
+    dram = DramModel(DramConfig())
+
+    def kernel():
+        now = 0
+        for i in range(2000):
+            now = dram.access((i * 4096) % (1 << 22), 64, now=now)
+        return now
+
+    benchmark(kernel)

@@ -1,0 +1,55 @@
+"""Supplementary: per-batch response-time timeline over a stream.
+
+Table IV aggregates response times over a stream; this view shows the
+per-batch behaviour behind the aggregate — CS pays the same full solve
+every batch, CISGraph's cost tracks how much of the batch was valuable.
+"""
+
+from repro.bench.charts import horizontal_bars
+from repro.bench.experiments import geometric_mean, run_response_timeline
+from repro.bench.tables import format_dict_table
+
+
+def test_response_timeline(benchmark, emit, workloads, query_pairs):
+    workload = workloads["OR"]
+    query = query_pairs["OR"][0]
+
+    timeline = benchmark.pedantic(
+        lambda: run_response_timeline(workload, "ppsp", query),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    num_batches = len(timeline.per_engine_ns["cs"])
+    for batch in range(num_batches):
+        row = {"batch": batch}
+        for engine, series in timeline.per_engine_ns.items():
+            row[engine] = f"{series[batch] / 1000:.1f}us"
+        rows.append(row)
+    engines = list(timeline.per_engine_ns)
+    emit(
+        format_dict_table(
+            rows,
+            columns=["batch"] + engines,
+            title=(
+                f"Response time per batch (OR, PPSP, {timeline.query}); "
+                "CS repays the full solve every batch"
+            ),
+        )
+    )
+    speedups = timeline.speedup_series("cisgraph")
+    emit(
+        horizontal_bars(
+            [(f"batch {i}", s) for i, s in enumerate(speedups)],
+            width=50,
+            value_format="{:.0f}x",
+            title=(
+                "CISGraph speedup over CS per batch "
+                f"(GMean {geometric_mean(speedups):.0f}x)"
+            ),
+        )
+    )
+    # every batch must answer (positive response time) and CS never wins
+    for engine, series in timeline.per_engine_ns.items():
+        assert all(v >= 0 for v in series)
+    assert all(s > 1.0 for s in speedups)

@@ -1,0 +1,37 @@
+"""Table III: dataset inventory (scaled stand-ins, see DESIGN.md).
+
+The benchmark measures snapshot construction (CSR build), the substrate
+cost every streaming batch pays in the accelerator.
+"""
+
+from repro.bench.datasets import dataset_specs, table3_rows
+from repro.bench.tables import format_dict_table
+from repro.graph.csr import CSRGraph
+
+
+def test_table3(benchmark, emit, workloads):
+    rows = table3_rows()
+    emit(
+        format_dict_table(
+            rows,
+            columns=["graph", "abbreviation", "vertices", "edges", "average_degree"],
+            title=(
+                "Table III - real-world graph datasets "
+                "(synthetic stand-ins at CISGRAPH_SCALE)"
+            ),
+        )
+    )
+    graph = workloads["OR"].initial
+    benchmark(lambda: CSRGraph.from_dynamic(graph))
+
+
+def test_workload_generation(benchmark):
+    """Streaming-protocol generation cost (50% load + batch sampling)."""
+    from repro.bench.datasets import make_workload
+
+    spec = dataset_specs()[0]
+    benchmark.pedantic(
+        lambda: make_workload(spec, num_batches=1, seed=1),
+        rounds=3,
+        iterations=1,
+    )

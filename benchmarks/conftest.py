@@ -1,0 +1,80 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark prints its reproduced table/figure to the terminal (outside
+pytest's capture) and appends it to ``results/benchmark_report.txt``.  Scale
+is controlled with ``CISGRAPH_SCALE`` (default ``small``), the number of
+query pairs with ``CISGRAPH_PAIRS`` (default 3; the paper uses 10 — set
+``CISGRAPH_PAIRS=10`` for the full protocol) and the number of batches with
+``CISGRAPH_BATCHES`` (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# make sure benchmarks import like tests do
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "results")
+
+
+def num_pairs() -> int:
+    return int(os.environ.get("CISGRAPH_PAIRS", "3"))
+
+
+def num_batches() -> int:
+    return int(os.environ.get("CISGRAPH_BATCHES", "1"))
+
+
+@pytest.fixture(scope="session")
+def report_path() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "benchmark_report.txt")
+    # fresh report per benchmark session
+    with open(path, "w") as handle:
+        handle.write(
+            f"CISGraph benchmark report (scale={os.environ.get('CISGRAPH_SCALE', 'small')}, "
+            f"pairs={num_pairs()}, batches={num_batches()})\n\n"
+        )
+    return path
+
+
+@pytest.fixture
+def emit(capsys, report_path):
+    """Print a reproduced table to the real terminal and the report file."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+        with open(report_path, "a") as handle:
+            handle.write(text + "\n\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """One workload per dataset, shared by every benchmark in the session."""
+    from repro.bench.datasets import dataset_specs, make_workload
+
+    return {
+        spec.abbreviation: make_workload(
+            spec, num_batches=num_batches(), seed=0
+        )
+        for spec in dataset_specs()
+    }
+
+
+@pytest.fixture(scope="session")
+def query_pairs(workloads):
+    """Per-dataset random query pairs (paper: 10 random pairs)."""
+    from repro.bench.datasets import pick_query_pairs
+
+    return {
+        abbrev: pick_query_pairs(w.initial, count=num_pairs(), seed=0)
+        for abbrev, w in workloads.items()
+    }

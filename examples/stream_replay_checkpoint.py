@@ -1,0 +1,78 @@
+"""Operational workflow: persist a stream, checkpoint, crash, resume.
+
+A deployment recipe built from the library's operational pieces:
+
+1. generate a streaming workload and save it to disk (the trace another
+   machine could replay);
+2. process half of the stream, checkpointing the engine's converged state;
+3. "crash", restore from the checkpoint (with convergence verification)
+   and finish the stream;
+4. cross-check the resumed engine against one that ran straight through,
+   and print stream diagnostics.
+
+Run:  python examples/stream_replay_checkpoint.py
+"""
+
+import os
+import tempfile
+
+from repro import CISGraphEngine, PairwiseQuery
+from repro.algorithms import get_algorithm
+from repro.bench.analysis import diagnose_stream, summarize
+from repro.bench.datasets import dataset_specs, make_workload, pick_query_pairs
+from repro.checkpoint import load_checkpoint, save_checkpoint
+from repro.graph.stream_io import load_stream_npz, save_stream_npz
+
+os.environ.setdefault("CISGRAPH_SCALE", "tiny")
+
+
+def main() -> None:
+    spec = dataset_specs()[0]
+    workload = make_workload(spec, num_batches=4, seed=7)
+    query = pick_query_pairs(workload.initial, count=1, seed=7)[0]
+    algorithm = get_algorithm("ppsp")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        stream_path = os.path.join(tmp, "stream.npz")
+        ckpt_path = os.path.join(tmp, "engine.npz")
+
+        # 1. persist the stream
+        save_stream_npz(stream_path, workload.replay)
+        replay = load_stream_npz(stream_path)
+        print(f"saved + reloaded stream: {replay.num_batches} batches")
+
+        # 2. process half, checkpoint
+        engine = CISGraphEngine(replay.initial_graph, algorithm, query)
+        engine.initialize()
+        steps = list(replay.batches())
+        for step in steps[:2]:
+            engine.on_batch(step.batch)
+        save_checkpoint(ckpt_path, engine)
+        print(f"checkpoint after batch 2: answer={engine.answer:g}")
+
+        # 3. crash + restore (verifies convergence) + finish
+        resumed = load_checkpoint(ckpt_path)
+        for step in steps[2:]:
+            resumed.on_batch(step.batch)
+
+        # 4. cross-check against a straight-through run
+        straight = CISGraphEngine(replay.initial_graph, algorithm, query)
+        straight.initialize()
+        for step in steps:
+            straight.on_batch(step.batch)
+        assert resumed.answer == straight.answer, "resume diverged!"
+        print(f"final answer (resumed == straight-through): {resumed.answer:g}")
+
+    diag = diagnose_stream(workload, "ppsp", query)
+    keypath = diag.keypath_summary()
+    print(
+        f"diagnostics over {len(diag.answers)} batches: "
+        f"answer stable in {100 * diag.answer_stability:.0f}% of batches, "
+        f"key path {keypath['min']:.0f}-{keypath['max']:.0f} hops, "
+        f"mean useless fraction "
+        f"{100 * sum(diag.useless_fractions) / len(diag.useless_fractions):.0f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

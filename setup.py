@@ -1,0 +1,32 @@
+"""Package metadata.
+
+Metadata lives here (rather than a ``[project]`` table) so that
+``pip install -e .`` uses the legacy editable path and works on offline
+environments whose setuptools predates PEP 660 editable wheels (the
+``wheel`` package is unavailable without network access).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CISGraph: contribution-driven pairwise streaming graph analytics "
+        "(DATE 2025 reproduction)"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    python_requires=">=3.9",
+    license="MIT",
+    keywords=(
+        "streaming graphs, pairwise query, accelerator, "
+        "cycle-accurate simulation, incremental computation"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.21"],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis", "scipy", "networkx"],
+    },
+)

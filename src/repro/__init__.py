@@ -1,0 +1,50 @@
+"""CISGraph reproduction: contribution-driven pairwise streaming graph analytics.
+
+This package reproduces *CISGraph: A Contribution-Driven Accelerator for
+Pairwise Streaming Graph Analytics* (DATE 2025).  It provides:
+
+* :mod:`repro.graph` — streaming-graph substrate (dynamic graphs, CSR
+  snapshots, update batches, synthetic dataset generators);
+* :mod:`repro.algorithms` — the five monotonic pairwise algorithms of the
+  paper (PPSP, PPWP, PPNP, Reach, Viterbi) behind one semiring-style
+  interface, plus reference solvers;
+* :mod:`repro.baselines` — Cold-Start, plain incremental, SGraph and PnP
+  software baselines;
+* :mod:`repro.core` — the paper's contribution: triangle-inequality update
+  classification, key-path tracking, priority scheduling, and the
+  CISGraph-O software engine;
+* :mod:`repro.hw` — a cycle-resolution discrete-event simulator of the
+  CISGraph accelerator (SPM, DDR4 memory, prefetch/identify/propagate
+  pipelines) and an analytic CPU cost model for the software baselines;
+* :mod:`repro.bench` — the experiment harness regenerating every table and
+  figure of the paper's evaluation.
+"""
+
+from repro.graph import (
+    CSRGraph,
+    DynamicGraph,
+    EdgeUpdate,
+    StreamingGraph,
+    UpdateBatch,
+    UpdateKind,
+)
+from repro.algorithms import get_algorithm, list_algorithms
+from repro.core import CISGraphEngine, UpdateClass, classify_batch
+from repro.query import PairwiseQuery
+
+__all__ = [
+    "CSRGraph",
+    "DynamicGraph",
+    "EdgeUpdate",
+    "StreamingGraph",
+    "UpdateBatch",
+    "UpdateKind",
+    "get_algorithm",
+    "list_algorithms",
+    "CISGraphEngine",
+    "UpdateClass",
+    "classify_batch",
+    "PairwiseQuery",
+]
+
+__version__ = "1.0.0"

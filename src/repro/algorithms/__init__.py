@@ -1,0 +1,37 @@
+"""The paper's five monotonic pairwise algorithms and reference solvers."""
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.algorithms.ppnp import PPNP
+from repro.algorithms.ppsp import PPSP
+from repro.algorithms.ppwp import PPWP
+from repro.algorithms.reach import Reach
+from repro.algorithms.registry import (
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+    table2_rows,
+)
+from repro.algorithms.solvers import (
+    SolveResult,
+    dijkstra,
+    recompute_vertex,
+    worklist_fixpoint,
+)
+from repro.algorithms.viterbi import Viterbi
+
+__all__ = [
+    "MonotonicAlgorithm",
+    "PPSP",
+    "PPWP",
+    "PPNP",
+    "Reach",
+    "Viterbi",
+    "get_algorithm",
+    "list_algorithms",
+    "register_algorithm",
+    "table2_rows",
+    "SolveResult",
+    "dijkstra",
+    "worklist_fixpoint",
+    "recompute_vertex",
+]

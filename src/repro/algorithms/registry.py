@@ -1,0 +1,78 @@
+"""Registry of the five monotonic algorithms evaluated in the paper."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.algorithms.hops import HopCount
+from repro.algorithms.ppnp import PPNP
+from repro.algorithms.ppsp import PPSP
+from repro.algorithms.ppwp import PPWP
+from repro.algorithms.reach import Reach
+from repro.algorithms.viterbi import Viterbi
+
+_FACTORIES: Dict[str, Callable[[], MonotonicAlgorithm]] = {
+    "ppsp": PPSP,
+    "ppwp": PPWP,
+    "ppnp": PPNP,
+    "viterbi": Viterbi,
+    "reach": Reach,
+    # extension beyond the paper's Table II (see repro.algorithms.hops)
+    "hops": HopCount,
+}
+
+
+def list_algorithms() -> List[str]:
+    """Names of the paper's five algorithms, in Table II order.
+
+    Extensions (``hops``, user registrations) resolve through
+    :func:`get_algorithm` but are not part of the paper's evaluation set.
+    """
+    return ["ppsp", "ppwp", "ppnp", "viterbi", "reach"]
+
+
+def get_algorithm(name: str) -> MonotonicAlgorithm:
+    """Instantiate an algorithm by name (case-insensitive).
+
+    Raises :class:`KeyError` with the available names for unknown inputs.
+    """
+    key = name.lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(list_algorithms())}"
+        ) from None
+    return factory()
+
+
+def register_algorithm(
+    name: str, factory: Callable[[], MonotonicAlgorithm]
+) -> None:
+    """Register a user-defined monotonic algorithm.
+
+    Downstream users can plug in any algorithm satisfying the
+    :class:`~repro.algorithms.base.MonotonicAlgorithm` contract; every
+    engine and the accelerator simulator will accept it.
+    """
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def table2_rows() -> List[Dict[str, str]]:
+    """Rows of the paper's Table II, generated from the registry."""
+    rows = []
+    for name in list_algorithms():
+        alg = get_algorithm(name)
+        rows.append(
+            {
+                "algorithm": alg.name.upper() if alg.name != "viterbi" else "Viterbi",
+                "plus": alg.plus_formula,
+                "times": alg.times_formula,
+                "description": alg.description,
+            }
+        )
+    return rows

@@ -1,0 +1,177 @@
+"""Reference solvers for the monotonic algorithms.
+
+Two independent full-computation solvers are provided:
+
+* :func:`dijkstra` — generalized best-first search.  Valid for every
+  algorithm behind :class:`~repro.algorithms.base.MonotonicAlgorithm`
+  because ``(+)`` is non-improving (a candidate is never better than the
+  state it extends), the same property that makes Dijkstra correct for
+  non-negative shortest paths.  Used by the Cold-Start baseline and for
+  converged state arrays.
+* :func:`worklist_fixpoint` — chaotic-iteration (Bellman-Ford style)
+  propagation to a fixpoint.  Slower, but structurally different, so the
+  tests can cross-check the two against each other.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.graph.dynamic import DynamicGraph
+from repro.metrics import OpCounts
+
+
+@dataclass
+class SolveResult:
+    """Converged states and dependence parents from a full computation.
+
+    ``parents[v]`` is the in-neighbor that supplied ``v``'s state (-1 for
+    the source and unreached vertices) — the dependence tree incremental
+    engines need for safe deletion repair.
+    """
+
+    states: List[float]
+    parents: List[int]
+    ops: OpCounts = field(default_factory=OpCounts)
+
+    def answer(self, destination: int) -> float:
+        return self.states[destination]
+
+
+def dijkstra(
+    graph: DynamicGraph,
+    algorithm: MonotonicAlgorithm,
+    source: int,
+    destination: Optional[int] = None,
+    early_exit: bool = False,
+) -> SolveResult:
+    """Generalized best-first full computation from ``source``.
+
+    With ``early_exit`` the search stops once ``destination`` is settled
+    (the pairwise shortcut available to a cold-start system); otherwise it
+    converges the whole reachable component.
+    """
+    n = graph.num_vertices
+    states = algorithm.initial_states(n, source)
+    parents = [-1] * n
+    settled = [False] * n
+    ops = OpCounts()
+
+    better = algorithm.is_better
+    propagate = algorithm.propagate
+    transform = algorithm.transform_weight
+
+    sign = 1.0 if algorithm.minimizing else -1.0
+    counter = itertools.count()
+    heap = [(sign * states[source], next(counter), source)]
+    ops.heap_ops += 1
+
+    while heap:
+        key, _, u = heapq.heappop(heap)
+        ops.heap_ops += 1
+        if settled[u]:
+            continue
+        settled[u] = True
+        if early_exit and u == destination:
+            break
+        du = states[u]
+        ops.state_reads += 1
+        for v, w in graph.out_neighbors(u):
+            ops.edges_scanned += 1
+            candidate = propagate(du, transform(w))
+            ops.relaxations += 1
+            ops.state_reads += 1
+            if better(candidate, states[v]):
+                states[v] = candidate
+                parents[v] = u
+                ops.state_writes += 1
+                heapq.heappush(heap, (sign * candidate, next(counter), v))
+                ops.heap_ops += 1
+                ops.activations += 1
+    return SolveResult(states=states, parents=parents, ops=ops)
+
+
+def worklist_fixpoint(
+    graph: DynamicGraph,
+    algorithm: MonotonicAlgorithm,
+    source: int,
+) -> SolveResult:
+    """Chaotic-iteration fixpoint solver (test oracle).
+
+    FIFO worklist propagation until no state changes.  Termination follows
+    from monotonicity: each vertex state only moves toward the extreme and
+    the set of attainable values along simple paths is finite.
+    """
+    from collections import deque
+
+    n = graph.num_vertices
+    states = algorithm.initial_states(n, source)
+    parents = [-1] * n
+    ops = OpCounts()
+
+    better = algorithm.is_better
+    propagate = algorithm.propagate
+    transform = algorithm.transform_weight
+
+    queue = deque([source])
+    in_queue = [False] * n
+    in_queue[source] = True
+    while queue:
+        u = queue.popleft()
+        in_queue[u] = False
+        du = states[u]
+        ops.state_reads += 1
+        for v, w in graph.out_neighbors(u):
+            ops.edges_scanned += 1
+            candidate = propagate(du, transform(w))
+            ops.relaxations += 1
+            if better(candidate, states[v]):
+                states[v] = candidate
+                parents[v] = u
+                ops.state_writes += 1
+                ops.activations += 1
+                if not in_queue[v]:
+                    in_queue[v] = True
+                    queue.append(v)
+    return SolveResult(states=states, parents=parents, ops=ops)
+
+
+def recompute_vertex(
+    graph: DynamicGraph,
+    algorithm: MonotonicAlgorithm,
+    states: List[float],
+    vertex: int,
+    source: int,
+    exclude=None,
+    ops: Optional[OpCounts] = None,
+) -> tuple:
+    """Best state for ``vertex`` derivable from its current in-neighbors.
+
+    Returns ``(state, parent)``.  ``exclude`` is an optional set/predicate
+    container of vertices whose states may not be used as suppliers (during
+    deletion repair, the reset subtree must not feed itself).  The source
+    always keeps its source state.
+    """
+    if vertex == source:
+        return algorithm.source_state(), -1
+    best = algorithm.identity()
+    parent = -1
+    better = algorithm.is_better
+    propagate = algorithm.propagate
+    transform = algorithm.transform_weight
+    for u, w in graph.in_neighbors(vertex):
+        if exclude is not None and u in exclude:
+            continue
+        if ops is not None:
+            ops.edges_scanned += 1
+            ops.relaxations += 1
+            ops.state_reads += 1
+        candidate = propagate(states[u], transform(w))
+        if better(candidate, best):
+            best = candidate
+            parent = u
+    return best, parent

@@ -1,0 +1,19 @@
+"""Software baselines the paper compares against."""
+
+from repro.baselines.coalescing import CoalescingEngine
+from repro.baselines.coldstart import ColdStartEngine
+from repro.baselines.hubs import HubIndex, select_hubs
+from repro.baselines.incremental import PlainIncrementalEngine, UpdateRecord
+from repro.baselines.sgraph import BoundPrunedEngine, PnPEngine, SGraphEngine
+
+__all__ = [
+    "CoalescingEngine",
+    "ColdStartEngine",
+    "HubIndex",
+    "select_hubs",
+    "PlainIncrementalEngine",
+    "UpdateRecord",
+    "BoundPrunedEngine",
+    "PnPEngine",
+    "SGraphEngine",
+]

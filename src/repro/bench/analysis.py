@@ -1,0 +1,122 @@
+"""Stream and workload diagnostics.
+
+Research tooling beyond the paper's printed evaluation: given a workload
+and a query, characterise *why* the contribution-aware workflow wins —
+per-batch classification timelines, propagation wave sizes, key-path
+stability, and the distribution of repair subtree sizes.  The statistics
+helpers are dependency-free (no scipy needed at runtime).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.registry import get_algorithm
+from repro.bench.datasets import StreamingWorkload
+from repro.core.engine import CISGraphEngine
+from repro.query import PairwiseQuery
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """min/median/mean/p90/max of a sample (empty-safe)."""
+    if not values:
+        return {"count": 0, "min": 0.0, "median": 0.0, "mean": 0.0, "p90": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def pick(fraction: float) -> float:
+        index = min(n - 1, int(fraction * (n - 1) + 0.5))
+        return float(ordered[index])
+
+    return {
+        "count": n,
+        "min": float(ordered[0]),
+        "median": pick(0.5),
+        "mean": sum(ordered) / n,
+        "p90": pick(0.9),
+        "max": float(ordered[-1]),
+    }
+
+
+def histogram(
+    values: Sequence[float], bins: Sequence[float]
+) -> List[Tuple[str, int]]:
+    """Counts per right-open bin; ``bins`` are ascending upper bounds.
+
+    A final overflow bin catches values beyond the last bound.
+    """
+    if list(bins) != sorted(bins):
+        raise ValueError("bins must be ascending")
+    counts = [0] * (len(bins) + 1)
+    for value in values:
+        placed = False
+        for i, bound in enumerate(bins):
+            if value < bound:
+                counts[i] += 1
+                placed = True
+                break
+        if not placed:
+            counts[-1] += 1
+    labels = []
+    previous = None
+    for bound in bins:
+        low = "0" if previous is None else f"{previous:g}"
+        labels.append(f"[{low}, {bound:g})")
+        previous = bound
+    labels.append(f">= {bins[-1]:g}" if bins else "all")
+    return list(zip(labels, counts))
+
+
+@dataclass
+class StreamDiagnostics:
+    """Per-stream behaviour of the contribution-aware workflow."""
+
+    query: PairwiseQuery
+    algorithm: str
+    answers: List[float] = field(default_factory=list)
+    answer_changes: int = 0
+    keypath_lengths: List[int] = field(default_factory=list)
+    useless_fractions: List[float] = field(default_factory=list)
+    addition_wave_sizes: List[int] = field(default_factory=list)
+    deletion_wave_sizes: List[int] = field(default_factory=list)
+
+    def keypath_summary(self) -> Dict[str, float]:
+        return summarize([float(x) for x in self.keypath_lengths])
+
+    def wave_summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            "additions": summarize([float(x) for x in self.addition_wave_sizes]),
+            "deletions": summarize([float(x) for x in self.deletion_wave_sizes]),
+        }
+
+    @property
+    def answer_stability(self) -> float:
+        """Fraction of batches that left the answer unchanged."""
+        total = len(self.answers)
+        return 1.0 - (self.answer_changes / total) if total else 1.0
+
+
+def diagnose_stream(
+    workload: StreamingWorkload,
+    algorithm_name: str,
+    query: PairwiseQuery,
+) -> StreamDiagnostics:
+    """Replay the stream through CISGraph-O, recording behaviour."""
+    algorithm = get_algorithm(algorithm_name)
+    engine = CISGraphEngine(workload.replay.initial_graph, algorithm, query)
+    engine.initialize()
+    diag = StreamDiagnostics(query=query, algorithm=algorithm_name)
+    previous = engine.answer
+    for step in workload.replay.batches():
+        result = engine.on_batch(step.batch)
+        diag.answers.append(result.answer)
+        if result.answer != previous:
+            diag.answer_changes += 1
+        previous = result.answer
+        diag.keypath_lengths.append(engine.keypath.length())
+        diag.useless_fractions.append(float(result.stats["useless_fraction"]))
+        diag.addition_wave_sizes.append(len(engine.last_activated_add))
+        diag.deletion_wave_sizes.append(len(engine.last_activated_del))
+    return diag

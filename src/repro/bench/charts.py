@@ -1,0 +1,88 @@
+"""ASCII chart rendering for the reproduced figures.
+
+The evaluation figures (2, 5a, 5b) are bar charts; since the environment is
+terminal-only, the harness renders them as horizontal ASCII bars so the
+benchmark output is visually comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: glyph used for bar fill
+_BAR = "#"
+
+
+def horizontal_bars(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: Optional[str] = None,
+    value_format: str = "{:.2f}",
+    max_value: Optional[float] = None,
+) -> str:
+    """Render labelled horizontal bars scaled to ``width`` characters.
+
+    ``items`` are ``(label, value)`` pairs; values must be non-negative.
+    ``max_value`` pins the scale (useful for normalised charts where 1.0
+    should span the full width).
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    values = [value for _, value in items]
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    scale = max_value if max_value is not None else max(values, default=0.0)
+    label_width = max((len(label) for label, _ in items), default=0)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        filled = 0 if scale <= 0 else round(width * min(value, scale) / scale)
+        bar = _BAR * filled
+        lines.append(
+            f"{label.rjust(label_width)} | {bar.ljust(width)} "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Sequence[Tuple[str, Dict[str, float]]],
+    series: Sequence[str],
+    width: int = 40,
+    title: Optional[str] = None,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render grouped bars (one sub-bar per series within each group).
+
+    Mirrors the paper's per-algorithm grouped figures: ``groups`` is a list
+    of ``(group_label, {series_name: value})``; all groups share one scale.
+    """
+    all_values = [
+        value for _, data in groups for value in data.values() if value >= 0
+    ]
+    if len(all_values) != sum(len(data) for _, data in groups):
+        raise ValueError("bar values must be non-negative")
+    scale = max(all_values, default=0.0)
+    label_width = max(
+        [len(f"{g} {s}") for g, _ in groups for s in series], default=0
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for group_label, data in groups:
+        for name in series:
+            if name not in data:
+                continue
+            value = data[name]
+            filled = 0 if scale <= 0 else round(width * value / scale)
+            label = f"{group_label} {name}".rjust(label_width)
+            lines.append(
+                f"{label} | {(_BAR * filled).ljust(width)} "
+                + value_format.format(value)
+            )
+        lines.append("")
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Evaluation datasets and the paper's streaming protocol.
+
+Table III evaluates Orkut (avg degree 16), LiveJournal (14) and UK-2002
+(14).  Those downloads are unavailable offline and too large for
+pure-Python engines, so the harness generates scaled stand-ins with matched
+structure (see DESIGN.md, substitutions): RMAT for the social graphs and a
+locality+preferential web model for UK.  Batch generation follows
+Section IV-A exactly: load 50% of the edges as the initial snapshot, model
+additions by drawing from the held-out half and deletions by sampling loaded
+edges, 50/50 additions/deletions per batch.
+
+Scale is controlled by the ``CISGRAPH_SCALE`` environment variable
+(``small`` default, ``medium``, ``large``); batch sizes scale accordingly so
+the update-to-graph ratio stays comparable to the paper's 100K-update
+batches on multi-million-edge graphs.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.algorithms.solvers import dijkstra
+from repro.graph import generators
+from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.streaming import StreamReplay
+from repro.query import PairwiseQuery
+
+Edge = Tuple[int, int, float]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One evaluation graph: generator plus paper-matched shape."""
+
+    name: str
+    abbreviation: str
+    num_vertices: int
+    num_edges: int
+    generator: str  # "rmat" | "web"
+    seed: int
+
+    @property
+    def average_degree(self) -> float:
+        return self.num_edges / self.num_vertices
+
+
+#: per-scale vertex budgets; edges follow the paper's average degrees
+_SCALES: Dict[str, int] = {"tiny": 1, "small": 4, "medium": 12, "large": 40}
+
+
+def current_scale() -> str:
+    """The active scale name (``CISGRAPH_SCALE`` env var, default small)."""
+    scale = os.environ.get("CISGRAPH_SCALE", "small").lower()
+    if scale not in _SCALES:
+        raise ValueError(
+            f"CISGRAPH_SCALE={scale!r} unknown; pick one of {sorted(_SCALES)}"
+        )
+    return scale
+
+
+def dataset_specs(scale: Optional[str] = None) -> List[DatasetSpec]:
+    """The three Table III stand-ins at the requested scale.
+
+    Relative sizes mirror the paper (UK largest, then LJ, then OR) and the
+    average degrees match Table III (16 / 14 / 14).
+    """
+    mult = _SCALES[scale or current_scale()]
+    base_or = 1500 * mult
+    base_lj = 2200 * mult
+    base_uk = 3600 * mult
+    return [
+        DatasetSpec("orkut-mini", "OR", base_or, base_or * 16, "rmat", seed=11),
+        DatasetSpec("livejournal-mini", "LJ", base_lj, base_lj * 14, "rmat", seed=22),
+        DatasetSpec("uk2002-mini", "UK", base_uk, base_uk * 14, "web", seed=33),
+    ]
+
+
+def dataset_by_abbreviation(abbrev: str, scale: Optional[str] = None) -> DatasetSpec:
+    """Look up a Table III stand-in by its OR/LJ/UK abbreviation."""
+    for spec in dataset_specs(scale):
+        if spec.abbreviation == abbrev.upper():
+            return spec
+    raise KeyError(f"no dataset with abbreviation {abbrev!r}")
+
+
+_EDGE_CACHE: Dict[DatasetSpec, List[Edge]] = {}
+
+
+def build_edges(spec: DatasetSpec) -> List[Edge]:
+    """Generate (and memoise) the dataset's edge list."""
+    cached = _EDGE_CACHE.get(spec)
+    if cached is not None:
+        return cached
+    if spec.generator == "rmat":
+        edges = generators.rmat(spec.num_vertices, spec.num_edges, seed=spec.seed)
+    elif spec.generator == "web":
+        edges = generators.web_graph(
+            spec.num_vertices, spec.num_edges, seed=spec.seed
+        )
+    else:
+        raise ValueError(f"unknown generator {spec.generator!r}")
+    _EDGE_CACHE[spec] = edges
+    return edges
+
+
+def external_dataset(
+    name: str,
+    path: str,
+    abbreviation: Optional[str] = None,
+) -> Tuple[DatasetSpec, List[Edge]]:
+    """Load a real edge-list dataset (SNAP/LAW text or npz dump).
+
+    Returns a :class:`DatasetSpec` (with its edges registered in the cache)
+    plus the edge list; pass the spec to :func:`make_workload` to run the
+    paper protocol on e.g. the real Orkut file when it is available.
+    """
+    from repro.graph import io as graph_io
+
+    if path.endswith(".npz"):
+        num_vertices, edges = graph_io.load_npz(path)
+    else:
+        edges = graph_io.load_edge_list(path)
+        num_vertices = graph_io.infer_num_vertices(edges)
+    spec = DatasetSpec(
+        name=name,
+        abbreviation=abbreviation or name[:2].upper(),
+        num_vertices=num_vertices,
+        num_edges=len(edges),
+        generator="external",
+        seed=0,
+    )
+    _EDGE_CACHE[spec] = edges
+    return spec, edges
+
+
+@dataclass
+class StreamingWorkload:
+    """Initial snapshot plus a deterministic update stream (Section IV-A)."""
+
+    spec: DatasetSpec
+    initial: DynamicGraph
+    replay: StreamReplay
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def make_workload(
+    spec: DatasetSpec,
+    num_batches: int = 1,
+    additions_per_batch: Optional[int] = None,
+    deletions_per_batch: Optional[int] = None,
+    seed: int = 0,
+) -> StreamingWorkload:
+    """Build the paper's streaming protocol for one dataset.
+
+    50% of the edges form the initial snapshot; additions are drawn (in a
+    fixed random order) from the held-out half, deletions are sampled from
+    the currently loaded edges.  Default batch sizes keep the same
+    updates-to-edges ratio as the paper's 50K+50K batches on Orkut
+    (~0.12% of edges each).
+    """
+    edges = build_edges(spec)
+    rng = random.Random(seed * 9176 + spec.seed)
+    shuffled = list(edges)
+    rng.shuffle(shuffled)
+    half = len(shuffled) // 2
+    loaded = shuffled[:half]
+    held_out = shuffled[half:]
+
+    if additions_per_batch is None:
+        additions_per_batch = max(50, int(0.0012 * len(edges)))
+    if deletions_per_batch is None:
+        deletions_per_batch = additions_per_batch
+
+    initial = DynamicGraph.from_edges(spec.num_vertices, loaded)
+
+    batches: List[UpdateBatch] = []
+    add_cursor = 0
+    alive = list(loaded)
+    for _ in range(num_batches):
+        batch = UpdateBatch()
+        take = min(additions_per_batch, len(held_out) - add_cursor)
+        for u, v, w in held_out[add_cursor : add_cursor + take]:
+            batch.append(EdgeUpdate(UpdateKind.ADD, u, v, w))
+        add_cursor += take
+        removed: List[Edge] = []
+        for _ in range(min(deletions_per_batch, len(alive))):
+            idx = rng.randrange(len(alive))
+            alive[idx], alive[-1] = alive[-1], alive[idx]
+            removed.append(alive.pop())
+        for u, v, w in removed:
+            batch.append(EdgeUpdate(UpdateKind.DELETE, u, v, w))
+        batches.append(batch)
+
+    return StreamingWorkload(
+        spec=spec, initial=initial, replay=StreamReplay(initial, batches)
+    )
+
+
+def pick_query_pairs(
+    graph: DynamicGraph,
+    count: int = 10,
+    seed: int = 0,
+    min_hops: int = 2,
+) -> List[PairwiseQuery]:
+    """Random distinct source/destination pairs, destination reachable.
+
+    The paper randomly selects 10 pairs per dataset; we additionally require
+    the destination to be reachable in the initial snapshot and at least
+    ``min_hops`` dependence hops away, so the queries exercise real
+    propagation rather than degenerate adjacent pairs.
+    """
+    from repro.algorithms.ppsp import PPSP
+
+    rng = random.Random(seed)
+    alg = PPSP()
+    pairs: List[PairwiseQuery] = []
+    attempts = 0
+    while len(pairs) < count and attempts < 50 * count:
+        attempts += 1
+        source = rng.randrange(graph.num_vertices)
+        result = dijkstra(graph, alg, source)
+        hop_counts: Dict[int, int] = {}
+        reachable = []
+        for v, state in enumerate(result.states):
+            if v != source and state != float("inf"):
+                hops = 0
+                x = v
+                while x != source and hops <= 64:
+                    x = result.parents[x]
+                    hops += 1
+                if hops >= min_hops:
+                    reachable.append(v)
+        if not reachable:
+            continue
+        destination = reachable[rng.randrange(len(reachable))]
+        query = PairwiseQuery(source, destination)
+        if query not in pairs:
+            pairs.append(query)
+    if len(pairs) < count:
+        raise RuntimeError(
+            f"could not find {count} reachable query pairs (got {len(pairs)})"
+        )
+    return pairs
+
+
+def table3_rows(scale: Optional[str] = None) -> List[Dict[str, object]]:
+    """Rows of the paper's Table III for the generated stand-ins."""
+    rows = []
+    for spec in dataset_specs(scale):
+        edges = build_edges(spec)
+        num_vertices = spec.num_vertices
+        rows.append(
+            {
+                "graph": spec.name,
+                "abbreviation": spec.abbreviation,
+                "vertices": num_vertices,
+                "edges": len(edges),
+                "average_degree": round(len(edges) / num_vertices, 1),
+            }
+        )
+    return rows

@@ -1,0 +1,120 @@
+"""The paper's published numbers, as data.
+
+Benchmarks and tests compare measured shapes against these constants; they
+are transcribed from the paper's Section IV (Table IV, Figures 2 and 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Table IV GMean speedups over Cold-Start, keyed by (algorithm, engine).
+TABLE4_GMEAN: Dict[Tuple[str, str], float] = {
+    ("ppsp", "sgraph"): 6.7,
+    ("ppsp", "cisgraph-o"): 17.4,
+    ("ppsp", "cisgraph"): 75.6,
+    ("ppwp", "sgraph"): 13.2,
+    ("ppwp", "cisgraph-o"): 96.7,
+    ("ppwp", "cisgraph"): 379.5,
+    ("ppnp", "sgraph"): 1.3,
+    ("ppnp", "cisgraph-o"): 14.5,
+    ("ppnp", "cisgraph"): 57.3,
+    ("viterbi", "sgraph"): 1.9,
+    ("viterbi", "cisgraph-o"): 6.2,
+    ("viterbi", "cisgraph"): 23.4,
+    ("reach", "sgraph"): 0.4,
+    ("reach", "cisgraph-o"): 8.4,
+    ("reach", "cisgraph"): 25.8,
+}
+
+#: Table IV per-dataset speedups, keyed by (algorithm, engine, dataset).
+TABLE4_CELLS: Dict[Tuple[str, str, str], float] = {
+    ("ppsp", "sgraph", "OR"): 7.7,
+    ("ppsp", "sgraph", "UK"): 13.7,
+    ("ppsp", "sgraph", "LJ"): 3.0,
+    ("ppsp", "cisgraph-o", "OR"): 9.7,
+    ("ppsp", "cisgraph-o", "UK"): 26.3,
+    ("ppsp", "cisgraph-o", "LJ"): 20.4,
+    ("ppsp", "cisgraph", "OR"): 18.7,
+    ("ppsp", "cisgraph", "UK"): 95.6,
+    ("ppsp", "cisgraph", "LJ"): 241.6,
+    ("ppwp", "sgraph", "OR"): 81.2,
+    ("ppwp", "sgraph", "UK"): 20.8,
+    ("ppwp", "sgraph", "LJ"): 1.4,
+    ("ppwp", "cisgraph-o", "OR"): 207.6,
+    ("ppwp", "cisgraph-o", "UK"): 69.5,
+    ("ppwp", "cisgraph-o", "LJ"): 62.8,
+    ("ppwp", "cisgraph", "OR"): 1073.0,
+    ("ppwp", "cisgraph", "UK"): 331.9,
+    ("ppwp", "cisgraph", "LJ"): 153.4,
+    ("ppnp", "sgraph", "OR"): 9.3,
+    ("ppnp", "sgraph", "UK"): 0.24,
+    ("ppnp", "sgraph", "LJ"): 0.9,
+    ("ppnp", "cisgraph-o", "OR"): 10.2,
+    ("ppnp", "cisgraph-o", "UK"): 18.3,
+    ("ppnp", "cisgraph-o", "LJ"): 16.2,
+    ("ppnp", "cisgraph", "OR"): 9.8,
+    ("ppnp", "cisgraph", "UK"): 87.9,
+    ("ppnp", "cisgraph", "LJ"): 218.0,
+    ("viterbi", "sgraph", "OR"): 2.7,
+    ("viterbi", "sgraph", "UK"): 2.0,
+    ("viterbi", "sgraph", "LJ"): 1.3,
+    ("viterbi", "cisgraph-o", "OR"): 1.7,
+    ("viterbi", "cisgraph-o", "UK"): 91.0,
+    ("viterbi", "cisgraph-o", "LJ"): 1.6,
+    ("viterbi", "cisgraph", "OR"): 2.5,
+    ("viterbi", "cisgraph", "UK"): 602.9,
+    ("viterbi", "cisgraph", "LJ"): 8.6,
+    ("reach", "sgraph", "OR"): 0.4,
+    ("reach", "sgraph", "UK"): 0.6,
+    ("reach", "sgraph", "LJ"): 0.4,
+    ("reach", "cisgraph-o", "OR"): 5.9,
+    ("reach", "cisgraph-o", "UK"): 9.4,
+    ("reach", "cisgraph-o", "LJ"): 10.7,
+    ("reach", "cisgraph", "OR"): 6.1,
+    ("reach", "cisgraph", "UK"): 44.2,
+    ("reach", "cisgraph", "LJ"): 63.7,
+}
+
+#: Figure 2 headline fractions (Orkut, 10 query pairs).
+FIG2_USELESS_UPDATES = 0.85
+FIG2_REDUNDANT_COMPUTATIONS = 0.87
+FIG2_WASTEFUL_TIME = 0.84
+
+#: Figure 5a: CISGraph's computations relative to CS (67% reduction).
+FIG5A_NORMALIZED_MEAN = 0.33
+
+#: Figure 5b: activated vertices, additions over deletions, average.
+FIG5B_ADD_OVER_DEL = 2.92
+
+#: headline claim of the abstract/conclusion.
+HEADLINE_SPEEDUP_OVER_SOTA = 25.0
+
+
+def paper_gmean(algorithm: str, engine: str) -> Optional[float]:
+    """Table IV GMean for an (algorithm, engine) pair, if published."""
+    return TABLE4_GMEAN.get((algorithm, engine))
+
+
+def check_ordering_shapes(
+    measured: Dict[Tuple[str, str], float],
+    algorithms: Sequence[str],
+) -> List[str]:
+    """Check the orderings the paper's analysis rests on.
+
+    Returns a list of violated-shape descriptions (empty = all held):
+    CISGraph-O must beat CS (speedup > 1) on every algorithm, and the
+    accelerator must not lose to its own software workflow.
+    """
+    violations = []
+    for algorithm in algorithms:
+        ciso = measured.get((algorithm, "cisgraph-o"))
+        cis = measured.get((algorithm, "cisgraph"))
+        if ciso is not None and ciso <= 1.0:
+            violations.append(f"{algorithm}: CISGraph-O did not beat CS ({ciso:.2f}x)")
+        if ciso is not None and cis is not None and cis < 0.9 * ciso:
+            violations.append(
+                f"{algorithm}: accelerator lost to CISGraph-O "
+                f"({cis:.2f}x < {ciso:.2f}x)"
+            )
+    return violations

@@ -1,0 +1,75 @@
+"""Plain-text table formatting for benchmark output.
+
+The harness prints every reproduced table/figure as an aligned ASCII table
+so ``pytest benchmarks/ --benchmark-only`` output can be compared directly
+against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_speedup(value: float) -> str:
+    """Render a speedup the way the paper does (``25.8x``, ``0.4x``)."""
+    if value != value:  # NaN
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}x"
+    if value >= 10:
+        return f"{value:.1f}x"
+    return f"{value:.2f}x"
+
+
+def format_fraction(value: float) -> str:
+    """Render a fraction as a percentage (``85%``)."""
+    return f"{100 * value:.0f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Align columns and draw a minimal box around the rows."""
+    materialized: List[List[str]] = [
+        [str(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(list(headers)))
+    out.append(separator)
+    for row in materialized:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def format_dict_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str],
+    title: Optional[str] = None,
+    formatters: Optional[Dict[str, object]] = None,
+) -> str:
+    """Format dict rows, applying per-column formatter callables."""
+    formatters = formatters or {}
+    rendered = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            fmt = formatters.get(col)
+            cells.append(fmt(value) if fmt and value != "" else str(value))
+        rendered.append(cells)
+    return format_table(columns, rendered, title=title)

@@ -1,0 +1,360 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``
+    Print the package inventory: algorithms, datasets, default hardware
+    configuration.
+``query``
+    Run one pairwise query through a chosen engine over a generated
+    streaming workload and print per-batch answers and work.
+``experiment``
+    Regenerate one of the paper's artifacts (``table2``, ``table3``,
+    ``fig2``, ``fig5a``, ``fig5b``, ``table4``) at the current scale.
+``validate``
+    Differential check: every engine against the reference solver on a
+    random stream (useful as a smoke test on new machines).
+``report``
+    Run the main experiments and render the measured-vs-paper markdown
+    report.
+``genstream``
+    Generate a streaming workload and save it to a file for replay.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.algorithms import list_algorithms, table2_rows
+from repro.bench.datasets import (
+    dataset_by_abbreviation,
+    dataset_specs,
+    make_workload,
+    pick_query_pairs,
+    table3_rows,
+)
+from repro.bench.tables import format_dict_table, format_fraction, format_speedup
+from repro.query import PairwiseQuery
+
+ENGINES = (
+    "cs",
+    "incremental",
+    "coalescing",
+    "sgraph",
+    "pnp",
+    "cisgraph-o",
+    "cisgraph",
+)
+
+
+def _engine_factory(name: str):
+    from repro.baselines import (
+        CoalescingEngine,
+        ColdStartEngine,
+        PlainIncrementalEngine,
+        PnPEngine,
+        SGraphEngine,
+    )
+    from repro.core.engine import CISGraphEngine
+    from repro.hw.accelerator import CISGraphAccelerator
+
+    return {
+        "cs": ColdStartEngine,
+        "incremental": PlainIncrementalEngine,
+        "coalescing": CoalescingEngine,
+        "sgraph": SGraphEngine,
+        "pnp": PnPEngine,
+        "cisgraph-o": CISGraphEngine,
+        "cisgraph": CISGraphAccelerator,
+    }[name]
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print the algorithm/dataset/hardware inventory."""
+    print(format_dict_table(
+        table2_rows(),
+        columns=["algorithm", "plus", "times", "description"],
+        title="Algorithms (Table II)",
+    ))
+    print()
+    print(format_dict_table(
+        table3_rows(),
+        columns=["graph", "abbreviation", "vertices", "edges", "average_degree"],
+        title="Datasets (Table III stand-ins at current CISGRAPH_SCALE)",
+    ))
+    print()
+    from repro.hw.config import AcceleratorConfig
+
+    config = AcceleratorConfig()
+    print("Accelerator (Table I):")
+    print(f"  pipelines:         {config.pipelines} @ {config.freq_ghz} GHz")
+    print(f"  propagation units: {config.propagate_units}")
+    print(f"  SPM:               {config.spm.size_bytes // (1024 * 1024)} MB, "
+          f"{config.spm.ways}-way, {config.spm.ports} ports")
+    print(f"  DRAM:              {config.dram.channels}x DDR4 channels")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Run one pairwise query through a chosen engine over a stream."""
+    from repro.algorithms import get_algorithm
+
+    spec = dataset_by_abbreviation(args.dataset)
+    workload = make_workload(spec, num_batches=args.batches, seed=args.seed)
+    if args.source is None or args.destination is None:
+        query = pick_query_pairs(workload.initial, count=1, seed=args.seed)[0]
+    else:
+        query = PairwiseQuery(args.source, args.destination)
+
+    factory = _engine_factory(args.engine)
+    engine = factory(
+        workload.replay.initial_graph, get_algorithm(args.algorithm), query
+    )
+    answer = engine.initialize()
+    print(f"{engine.name} on {spec.name}: {query} initial answer = {answer:g}")
+    for step in workload.replay.batches():
+        result = engine.on_batch(step.batch)
+        line = (
+            f"batch {step.snapshot_id}: answer={result.answer:g} "
+            f"relaxations={result.total_ops.relaxations}"
+        )
+        if "useless_fraction" in result.stats:
+            line += f" useless={100 * result.stats['useless_fraction']:.0f}%"
+        if "response_cycles" in result.stats:
+            line += f" response_cycles={int(result.stats['response_cycles'])}"
+        print(line)
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Regenerate one of the paper's artifacts."""
+    from repro.bench import experiments
+
+    name = args.name
+    if name == "table2":
+        print(format_dict_table(
+            table2_rows(),
+            columns=["algorithm", "plus", "times", "description"],
+            title="Table II",
+        ))
+        return 0
+    if name == "table3":
+        print(format_dict_table(
+            table3_rows(),
+            columns=["graph", "abbreviation", "vertices", "edges", "average_degree"],
+            title="Table III",
+        ))
+        return 0
+
+    spec = dataset_by_abbreviation(args.dataset)
+    workload = make_workload(spec, num_batches=args.batches, seed=args.seed)
+    queries = pick_query_pairs(workload.initial, count=args.pairs, seed=args.seed)
+
+    if name == "fig2":
+        result = experiments.run_fig2(workload, args.algorithm, queries)
+        print(f"Figure 2 on {spec.abbreviation} / {args.algorithm}:")
+        print(f"  useless updates (identification): "
+              f"{format_fraction(result.state_useless_fraction)}")
+        print(f"  useless updates (query truth):     "
+              f"{format_fraction(result.useless_update_fraction)}")
+        print(f"  redundant computations:            "
+              f"{format_fraction(result.redundant_computation_fraction)}")
+        print(f"  wasteful time:                     "
+              f"{format_fraction(result.wasteful_time_fraction)}")
+        return 0
+    if name == "fig5a":
+        result = experiments.run_fig5a(workload, args.algorithm, queries)
+        print(
+            f"Figure 5a on {spec.abbreviation} / {args.algorithm}: "
+            f"CS={result.cs_computations} CISGraph={result.cisgraph_computations} "
+            f"normalised={result.normalized:.4f}"
+        )
+        return 0
+    if name == "fig5b":
+        result = experiments.run_fig5b(workload, args.algorithm, queries)
+        print(
+            f"Figure 5b on {spec.abbreviation} / {args.algorithm}: "
+            f"additions activated {result.addition_activations}, deletions "
+            f"{result.deletion_activations} "
+            f"(add/del = {result.additions_over_deletions:.2f})"
+        )
+        return 0
+    if name == "table4":
+        algorithms = (
+            [args.algorithm] if args.algorithm != "all" else list_algorithms()
+        )
+        cells = [
+            experiments.run_speedup_experiment(workload, alg, queries)
+            for alg in algorithms
+        ]
+        rows = experiments.table4_gmean_rows(cells)
+        print(format_dict_table(
+            rows,
+            columns=["algorithm", "engine", spec.abbreviation, "gmean"],
+            formatters={spec.abbreviation: format_speedup, "gmean": format_speedup},
+            title=f"Table IV (dataset {spec.abbreviation}, {args.pairs} pairs)",
+        ))
+        return 0
+    print(f"unknown experiment {name!r}", file=sys.stderr)
+    return 2
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Differentially validate every engine against the reference."""
+    from repro.validate import validate_engines
+
+    report = validate_engines(
+        num_vertices=args.vertices,
+        num_edges=args.edges,
+        num_batches=args.batches,
+        seed=args.seed,
+        algorithms=None if args.algorithm == "all" else [args.algorithm],
+    )
+    for line in report.lines:
+        print(line)
+    if report.ok:
+        print(f"OK: {report.checks} checks passed")
+        return 0
+    print("FAILED", file=sys.stderr)
+    return 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the measured-vs-paper markdown report."""
+    from repro.bench.experiments import (
+        run_fig2,
+        run_fig5a,
+        run_fig5b,
+        run_speedup_experiment,
+    )
+    from repro.bench.reporting import render_report
+
+    algorithms = (
+        [args.algorithm] if args.algorithm != "all" else list_algorithms()
+    )
+    workloads = {}
+    queries = {}
+    for spec in dataset_specs():
+        workloads[spec.abbreviation] = make_workload(
+            spec, num_batches=args.batches, seed=args.seed
+        )
+        queries[spec.abbreviation] = pick_query_pairs(
+            workloads[spec.abbreviation].initial, count=args.pairs, seed=args.seed
+        )
+    cells = [
+        run_speedup_experiment(workloads[ab], alg, queries[ab])
+        for ab in workloads
+        for alg in algorithms
+    ]
+    fig2 = run_fig2(workloads["OR"], algorithms[0], queries["OR"])
+    fig5a = [run_fig5a(workloads["OR"], alg, queries["OR"]) for alg in algorithms]
+    fig5b = [
+        run_fig5b(workloads[ab], alg, queries[ab])
+        for ab in workloads
+        for alg in algorithms
+    ]
+    report = render_report(cells=cells, fig2=fig2, fig5a=fig5a, fig5b=fig5b)
+    if args.output == "-":
+        print(report)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_genstream(args: argparse.Namespace) -> int:
+    """Generate a streaming workload and persist it for replay."""
+    from repro.graph.stream_io import save_stream_npz, save_stream_text
+
+    spec = dataset_by_abbreviation(args.dataset)
+    workload = make_workload(spec, num_batches=args.batches, seed=args.seed)
+    if args.output.endswith(".npz"):
+        save_stream_npz(args.output, workload.replay)
+    else:
+        save_stream_text(args.output, workload.replay)
+    total = sum(len(workload.replay.batch(i)) for i in range(args.batches))
+    print(
+        f"wrote {spec.name} stream to {args.output}: "
+        f"{workload.initial.num_edges} initial edges, "
+        f"{args.batches} batches, {total} updates"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CISGraph reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package inventory").set_defaults(func=cmd_info)
+
+    query = sub.add_parser("query", help="run one pairwise query")
+    query.add_argument("--dataset", default="OR", help="OR, LJ or UK")
+    query.add_argument("--algorithm", default="ppsp", choices=list_algorithms() + ["hops"])
+    query.add_argument("--engine", default="cisgraph-o", choices=ENGINES)
+    query.add_argument("--source", type=int, default=None)
+    query.add_argument("--destination", type=int, default=None)
+    query.add_argument("--batches", type=int, default=2)
+    query.add_argument("--seed", type=int, default=0)
+    query.set_defaults(func=cmd_query)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument(
+        "name",
+        choices=["table2", "table3", "fig2", "fig5a", "fig5b", "table4"],
+    )
+    experiment.add_argument("--dataset", default="OR")
+    experiment.add_argument("--algorithm", default="ppsp")
+    experiment.add_argument("--pairs", type=int, default=3)
+    experiment.add_argument("--batches", type=int, default=1)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.set_defaults(func=cmd_experiment)
+
+    validate = sub.add_parser("validate", help="differential engine check")
+    validate.add_argument("--vertices", type=int, default=80)
+    validate.add_argument("--edges", type=int, default=500)
+    validate.add_argument("--batches", type=int, default=2)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--algorithm", default="all")
+    validate.set_defaults(func=cmd_validate)
+
+    report = sub.add_parser("report", help="render a markdown experiment report")
+    report.add_argument("--output", default="-", help="'-' prints to stdout")
+    report.add_argument("--algorithm", default="all")
+    report.add_argument("--pairs", type=int, default=2)
+    report.add_argument("--batches", type=int, default=1)
+    report.add_argument("--seed", type=int, default=0)
+    report.set_defaults(func=cmd_report)
+
+    genstream = sub.add_parser("genstream", help="generate and save a stream")
+    genstream.add_argument("output")
+    genstream.add_argument("--dataset", default="OR")
+    genstream.add_argument("--batches", type=int, default=2)
+    genstream.add_argument("--seed", type=int, default=0)
+    genstream.set_defaults(func=cmd_genstream)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

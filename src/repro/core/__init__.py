@@ -1,0 +1,29 @@
+"""The paper's contribution: contribution-aware pairwise streaming analytics."""
+
+from repro.core.classification import (
+    ClassifiedBatch,
+    KeyPathRule,
+    UpdateClass,
+    classify_addition,
+    classify_batch,
+    classify_deletion,
+)
+from repro.core.engine import CISGraphEngine
+from repro.core.keypath import KeyPathTracker
+from repro.core.multiquery import MultiBatchResult, MultiQueryEngine
+from repro.core.scheduler import ScheduledUpdate, UpdateScheduler
+
+__all__ = [
+    "ClassifiedBatch",
+    "KeyPathRule",
+    "UpdateClass",
+    "classify_addition",
+    "classify_batch",
+    "classify_deletion",
+    "CISGraphEngine",
+    "KeyPathTracker",
+    "MultiBatchResult",
+    "MultiQueryEngine",
+    "ScheduledUpdate",
+    "UpdateScheduler",
+]

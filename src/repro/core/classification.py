@@ -1,0 +1,158 @@
+"""Update classification (Algorithm 1 of the paper).
+
+Given the converged state array of the previous snapshot, every update in a
+batch is classified by the triangle-inequality test:
+
+* **addition** ``u --w--> v``: *valuable* iff ``(+)(state[u], w)`` is
+  strictly better than ``state[v]`` (it would improve ``v``); otherwise
+  *useless* and dropped.
+* **deletion** ``u --w--> v``: *valuable* iff ``(+)(state[u], w)`` equals
+  ``state[v]`` (the edge may be supplying ``v``'s state); valuable deletions
+  are *non-delayed* when they carry the current answer (their target sits on
+  the global key path) and *delayed* otherwise; non-valuable deletions are
+  dropped.
+
+Two key-path membership rules are provided.  ``paper`` follows Algorithm 1
+literally (test whether the tail ``u`` lies on the key path).  ``precise``
+tests whether the deleted edge is a dependence edge *of* the key path
+(``parents[v] == u`` and ``v`` on the chain), which marks strictly fewer
+deletions non-delayed while still covering every deletion the current answer
+depends on (see DESIGN.md section 5 for the argument).  Both are safe
+because the engine re-checks delayed updates against the key path before
+emitting the answer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.core.keypath import KeyPathTracker
+from repro.graph.batch import EdgeUpdate, UpdateBatch
+from repro.metrics import OpCounts
+
+
+class UpdateClass(enum.Enum):
+    """Contribution level of an update (Section III-A)."""
+
+    VALUABLE = "valuable"
+    DELAYED = "delayed"
+    USELESS = "useless"
+
+
+class KeyPathRule(enum.Enum):
+    """Which key-path membership test marks a deletion non-delayed."""
+
+    PAPER = "paper"  # tail vertex u on the key path (Algorithm 1 line 12)
+    PRECISE = "precise"  # the deleted edge is a key-path dependence edge
+
+
+@dataclass
+class ClassifiedBatch:
+    """Outcome of classifying one batch.
+
+    Updates in each bucket preserve their arrival order; the scheduler
+    consumes valuable additions first, then non-delayed deletions, then
+    delayed deletions (Section IV-A processes all valuable additions before
+    any deletion "for fairness").
+    """
+
+    valuable_additions: List[EdgeUpdate] = field(default_factory=list)
+    nondelayed_deletions: List[EdgeUpdate] = field(default_factory=list)
+    delayed_deletions: List[EdgeUpdate] = field(default_factory=list)
+    useless: List[EdgeUpdate] = field(default_factory=list)
+    ops: OpCounts = field(default_factory=OpCounts)
+
+    @property
+    def num_valuable(self) -> int:
+        return len(self.valuable_additions) + len(self.nondelayed_deletions)
+
+    @property
+    def num_delayed(self) -> int:
+        return len(self.delayed_deletions)
+
+    @property
+    def num_useless(self) -> int:
+        return len(self.useless)
+
+    def summary(self) -> dict:
+        total = self.num_valuable + self.num_delayed + self.num_useless
+        return {
+            "total": total,
+            "valuable_additions": len(self.valuable_additions),
+            "nondelayed_deletions": len(self.nondelayed_deletions),
+            "delayed_deletions": self.num_delayed,
+            "useless": self.num_useless,
+            "useless_fraction": (self.num_useless / total) if total else 0.0,
+        }
+
+
+def classify_addition(
+    algorithm: MonotonicAlgorithm,
+    states: Sequence[float],
+    update: EdgeUpdate,
+) -> UpdateClass:
+    """Algorithm 1 lines 3-9 for one addition."""
+    if algorithm.improves(states[update.u], update.weight, states[update.v]):
+        return UpdateClass.VALUABLE
+    return UpdateClass.USELESS
+
+
+def classify_deletion(
+    algorithm: MonotonicAlgorithm,
+    states: Sequence[float],
+    parents: Sequence[int],
+    keypath: KeyPathTracker,
+    update: EdgeUpdate,
+    rule: KeyPathRule = KeyPathRule.PRECISE,
+) -> UpdateClass:
+    """Algorithm 1 lines 10-20 for one deletion."""
+    if not algorithm.supplies(states[update.u], update.weight, states[update.v]):
+        return UpdateClass.USELESS
+    if rule is KeyPathRule.PAPER:
+        on_path = keypath.contains(update.u)
+    else:
+        on_path = keypath.edge_on_path(update.u, update.v, parents)
+    return UpdateClass.VALUABLE if on_path else UpdateClass.DELAYED
+
+
+def classify_batch(
+    algorithm: MonotonicAlgorithm,
+    states: Sequence[float],
+    parents: Sequence[int],
+    keypath: KeyPathTracker,
+    batch: UpdateBatch,
+    rule: KeyPathRule = KeyPathRule.PRECISE,
+) -> ClassifiedBatch:
+    """Classify a whole batch against a converged state array.
+
+    States must be the converged array of the previous snapshot (the
+    engine's invariant), otherwise the equality test of deletions is
+    meaningless.  Each check costs two state reads and one
+    classification-check operation, which is the total identification
+    overhead of the workflow — O(1) per update, no traversal.
+    """
+    result = ClassifiedBatch()
+    ops = result.ops
+    for update in batch:
+        ops.classification_checks += 1
+        ops.state_reads += 2
+        if update.is_addition:
+            cls = classify_addition(algorithm, states, update)
+            if cls is UpdateClass.VALUABLE:
+                result.valuable_additions.append(update)
+            else:
+                result.useless.append(update)
+        else:
+            cls = classify_deletion(
+                algorithm, states, parents, keypath, update, rule
+            )
+            if cls is UpdateClass.VALUABLE:
+                result.nondelayed_deletions.append(update)
+            elif cls is UpdateClass.DELAYED:
+                result.delayed_deletions.append(update)
+            else:
+                result.useless.append(update)
+    return result

@@ -1,0 +1,190 @@
+"""CISGraph-O: the contribution-aware software engine (Section III-A).
+
+The engine augments incremental computation with the paper's workflow:
+
+1. apply the batch's *net* topology effect to the snapshot;
+2. classify every update against the previous converged state array using
+   the triangle-inequality tests (Algorithm 1) — O(1) per update, no
+   traversal;
+3. process valuable additions (always monotone-safe), then non-delayed
+   valuable deletions preemptively, re-checking buffered delayed deletions
+   against the key path after every repair;
+4. emit the answer as soon as no non-delayed update remains — this closes
+   the *response* window;
+5. drain delayed deletions afterwards (*post* work), restoring the fully
+   converged state array the next batch's classification relies on.
+
+Useless updates are dropped in step 2 and never touch the propagation
+machinery — the paper's headline computation reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.core.classification import (
+    ClassifiedBatch,
+    KeyPathRule,
+    classify_batch,
+)
+from repro.core.keypath import KeyPathTracker
+from repro.core.scheduler import UpdateScheduler
+from repro.engine import PairwiseEngine
+from repro.graph.batch import EdgeUpdate, UpdateBatch, net_effects
+from repro.graph.dynamic import DynamicGraph
+from repro.incremental import IncrementalState
+from repro.metrics import BatchResult, OpCounts
+from repro.query import PairwiseQuery
+
+
+class CISGraphEngine(PairwiseEngine):
+    """Contribution-driven pairwise engine (CISGraph-O in the paper)."""
+
+    name = "cisgraph-o"
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        algorithm: MonotonicAlgorithm,
+        query: PairwiseQuery,
+        rule: KeyPathRule = KeyPathRule.PRECISE,
+    ) -> None:
+        super().__init__(graph, algorithm, query)
+        self.rule = rule
+        self.state = IncrementalState(graph, algorithm, query.source)
+        self.keypath = KeyPathTracker(query.source, query.destination)
+        #: classification summary of the last processed batch
+        self.last_classified: Optional[ClassifiedBatch] = None
+        #: vertices activated by additions / deletions in the last batch;
+        #: the ``_response`` variant counts only deletion activations that
+        #: happened before the answer was emitted (Figure 5b's metric)
+        self.last_activated_add: Set[int] = set()
+        self.last_activated_del: Set[int] = set()
+        self.last_activated_del_response: Set[int] = set()
+        #: answer observed when the response window closed (before drain)
+        self.last_response_answer: float = algorithm.identity()
+
+    # ------------------------------------------------------------------
+    def _do_initialize(self) -> None:
+        self.state.full_compute(self.init_ops)
+        self.keypath.rebuild(self.state.parents)
+
+    @property
+    def answer(self) -> float:
+        return self.state.states[self.query.destination]
+
+    # ------------------------------------------------------------------
+    def _do_batch(self, batch: UpdateBatch) -> BatchResult:
+        response = OpCounts()
+        post = OpCounts()
+        graph = self.graph
+
+        # 1. net topology effect, applied before any processing so that
+        #    propagation and repair always traverse the new snapshot.
+        effective = net_effects(
+            batch,
+            lambda u, v: graph.out_adj(u).get(v) if u < graph.num_vertices else None,
+        )
+        for upd in effective:
+            graph.apply_update(upd, missing_ok=False)
+
+        # 2. classification against the previous converged states.
+        classified = classify_batch(
+            self.algorithm,
+            self.state.states,
+            self.state.parents,
+            self.keypath,
+            effective,
+            rule=self.rule,
+        )
+        self.last_classified = classified
+        response += classified.ops
+
+        # 3a. valuable additions (the paper finishes all of them first).
+        activated_add: Set[int] = set()
+        for upd in classified.valuable_additions:
+            self.state.process_addition(
+                upd.u, upd.v, upd.weight, response, activated=activated_add
+            )
+            response.updates_processed += 1
+        self.keypath.rebuild(self.state.parents)
+
+        # 3b. deletion phase through the priority buffer.
+        scheduler = UpdateScheduler()
+        for upd in classified.nondelayed_deletions:
+            scheduler.push_valuable(upd)
+        scheduler.extend_delayed(classified.delayed_deletions)
+
+        activated_del: Set[int] = set()
+        activated_del_response: Set[int] = set()
+        while True:
+            while not scheduler.answer_ready:
+                item = scheduler.pop()
+                assert item is not None
+                self._process_deletion(
+                    item.update, response, activated_del_response
+                )
+                response.updates_processed += 1
+            # Repairs may have rerouted the key path through a deletion we
+            # originally delayed; promote and keep going until stable so the
+            # early answer is safe.
+            promoted = scheduler.promote_delayed(self._must_promote)
+            if promoted == 0:
+                break
+
+        # 4. the response window closes: the answer is final for this
+        #    snapshot (remaining delayed repairs cannot touch the key path).
+        self.last_response_answer = self.answer
+        activated_del |= activated_del_response
+
+        # 5. drain delayed deletions in the background (post work), restoring
+        #    full convergence for the next batch's classification.
+        for item in scheduler.drain():
+            self._process_deletion(item.update, post, activated_del)
+            post.updates_processed += 1
+        self.keypath.rebuild(self.state.parents)
+
+        self.last_activated_add = activated_add
+        self.last_activated_del = activated_del
+        self.last_activated_del_response = activated_del_response
+        summary = classified.summary()
+        summary["activated_by_additions"] = len(activated_add)
+        summary["activated_by_deletions"] = len(activated_del)
+        summary["activated_by_deletions_response"] = len(activated_del_response)
+        summary["keypath_hops"] = self.keypath.length()
+        return BatchResult(
+            answer=self.answer,
+            response_ops=response,
+            post_ops=post,
+            stats=summary,
+        )
+
+    # ------------------------------------------------------------------
+    def retarget(self, destination: int) -> float:
+        """Switch the query to a new destination (same source); returns
+        the new answer immediately.
+
+        The converged state array is keyed by the source only, so changing
+        the destination costs one key-path rebuild — the cheap direction of
+        pairwise re-querying.  (A new *source* requires a new engine.)
+        """
+        new_query = PairwiseQuery(self.query.source, destination)
+        new_query.validate(self.graph.num_vertices)
+        self.query = new_query
+        self.keypath = KeyPathTracker(new_query.source, destination)
+        self.keypath.rebuild(self.state.parents)
+        return self.answer
+
+    def _process_deletion(
+        self, upd: EdgeUpdate, ops: OpCounts, activated: Set[int]
+    ) -> None:
+        repaired = self.state.process_deletion(upd.u, upd.v, ops, activated=activated)
+        if repaired:
+            self.keypath.rebuild(self.state.parents)
+
+    def _must_promote(self, upd: EdgeUpdate) -> bool:
+        """Does a buffered delayed deletion now carry the answer?"""
+        if self.rule is KeyPathRule.PAPER:
+            return self.keypath.contains(upd.u)
+        return self.keypath.edge_on_path(upd.u, upd.v, self.state.parents)

@@ -1,0 +1,83 @@
+"""Global key path tracking.
+
+The *global key path* (Section III-A) is the witness path of the current
+answer: the dependence chain from the destination back to the source through
+each vertex's supplying parent.  CISGraph uses it to decide whether a
+valuable edge deletion must be processed before the answer can be emitted
+(non-delayed) or can wait (delayed).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+
+class KeyPathTracker:
+    """Maintains the dependence chain ``d -> parent[d] -> ... -> s``.
+
+    The tracker reads (never owns) the engine's parent array; call
+    :meth:`rebuild` after any repair or propagation wave that may have moved
+    parents.  Membership queries are O(1) against the last rebuilt chain.
+    """
+
+    def __init__(self, source: int, destination: int) -> None:
+        self.source = source
+        self.destination = destination
+        self._chain: List[int] = []
+        self._members: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def rebuild(self, parents: Sequence[int]) -> None:
+        """Recompute the chain by walking parents from the destination.
+
+        If the walk does not terminate at the source (destination unreached,
+        or a stale pointer), the chain is empty — no key path exists.  A
+        visited-set guards against accidental parent cycles, which would
+        indicate engine corruption rather than valid input.
+        """
+        chain: List[int] = []
+        seen: Set[int] = set()
+        vertex = self.destination
+        while vertex != -1 and vertex not in seen:
+            seen.add(vertex)
+            chain.append(vertex)
+            if vertex == self.source:
+                self._chain = chain
+                self._members = seen
+                return
+            vertex = parents[vertex]
+        # walked into -1 or a cycle: no valid witness path
+        self._chain = []
+        self._members = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def exists(self) -> bool:
+        """Whether a complete source-to-destination witness chain exists."""
+        return bool(self._chain)
+
+    def contains(self, vertex: int) -> bool:
+        """Is ``vertex`` on the global key path (paper's line-12 test)?"""
+        return vertex in self._members
+
+    def edge_on_path(self, u: int, v: int, parents: Sequence[int]) -> bool:
+        """Is ``u -> v`` a dependence edge of the key path?
+
+        Stricter than :meth:`contains`: the edge itself carries the answer.
+        Used by the engine's precise scheduling rule (see DESIGN.md).
+        """
+        return v in self._members and v != self.source and parents[v] == u
+
+    def vertices(self) -> List[int]:
+        """The chain ordered from source to destination (empty if none)."""
+        return list(reversed(self._chain))
+
+    def length(self) -> int:
+        """Number of edges on the key path (0 when no path exists)."""
+        return max(0, len(self._chain) - 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyPathTracker(s={self.source}, d={self.destination}, "
+            f"hops={self.length()}, exists={self.exists})"
+        )

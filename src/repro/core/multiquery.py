@@ -1,0 +1,238 @@
+"""Multi-query pairwise analytics (the paper's future work, Section III-A).
+
+The paper's engine serves a single query; this extension serves a set of
+pairwise queries over one evolving topology while sharing all shareable
+work.  Two structural facts make sharing natural:
+
+* the triangle-inequality tests (does this addition improve ``v``?  does
+  this deletion supply ``v``?) depend only on the *source*'s converged
+  state array — so queries sharing a source share classification,
+  propagation and repair entirely;
+* only the delayed/non-delayed split of valuable deletions depends on the
+  *destination* (its key path), so a source group keeps one key-path
+  tracker per destination and a deletion is non-delayed if it carries the
+  answer of *any* of them.
+
+Queries are grouped by source; each group maintains one
+:class:`~repro.incremental.IncrementalState`.  The per-batch workflow is
+the single-query workflow with group-level scheduling, including the
+delayed-promotion pass (run against every destination's key path) that
+keeps all early answers exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.core.classification import KeyPathRule
+from repro.core.keypath import KeyPathTracker
+from repro.core.scheduler import UpdateScheduler
+from repro.graph.batch import EdgeUpdate, UpdateBatch, net_effects
+from repro.graph.dynamic import DynamicGraph
+from repro.incremental import IncrementalState
+from repro.metrics import OpCounts
+from repro.query import PairwiseQuery
+
+
+@dataclass
+class MultiBatchResult:
+    """Per-batch outcome across all queries."""
+
+    answers: Dict[PairwiseQuery, float]
+    response_ops: OpCounts = field(default_factory=OpCounts)
+    post_ops: OpCounts = field(default_factory=OpCounts)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_ops(self) -> OpCounts:
+        return self.response_ops + self.post_ops
+
+
+class _SourceGroup:
+    """All queries sharing one source: one state array, many key paths."""
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        algorithm: MonotonicAlgorithm,
+        source: int,
+        destinations: Sequence[int],
+        rule: KeyPathRule,
+    ) -> None:
+        self.source = source
+        self.destinations = list(destinations)
+        self.rule = rule
+        self.state = IncrementalState(graph, algorithm, source)
+        self.keypaths = {
+            d: KeyPathTracker(source, d) for d in self.destinations
+        }
+        self.algorithm = algorithm
+
+    # ------------------------------------------------------------------
+    def initialize(self, ops: OpCounts) -> None:
+        self.state.full_compute(ops)
+        self._rebuild_keypaths()
+
+    def _rebuild_keypaths(self) -> None:
+        for tracker in self.keypaths.values():
+            tracker.rebuild(self.state.parents)
+
+    def answer(self, destination: int) -> float:
+        return self.state.states[destination]
+
+    # ------------------------------------------------------------------
+    def _deletion_urgent(self, upd: EdgeUpdate) -> bool:
+        """Does this deletion carry the current answer of any destination?"""
+        for tracker in self.keypaths.values():
+            if self.rule is KeyPathRule.PAPER:
+                if tracker.contains(upd.u):
+                    return True
+            elif tracker.edge_on_path(upd.u, upd.v, self.state.parents):
+                return True
+        return False
+
+    def process_batch(
+        self, effective: UpdateBatch, response: OpCounts, post: OpCounts
+    ) -> Dict[str, int]:
+        """Single-group contribution-aware processing of a net batch."""
+        alg = self.algorithm
+        states = self.state.states
+
+        valuable_adds: List[EdgeUpdate] = []
+        urgent: List[EdgeUpdate] = []
+        delayed: List[EdgeUpdate] = []
+        useless = 0
+        for upd in effective:
+            response.classification_checks += 1
+            response.state_reads += 2
+            if upd.is_addition:
+                if alg.improves(states[upd.u], upd.weight, states[upd.v]):
+                    valuable_adds.append(upd)
+                else:
+                    useless += 1
+            else:
+                if not alg.supplies(states[upd.u], upd.weight, states[upd.v]):
+                    useless += 1
+                elif self._deletion_urgent(upd):
+                    urgent.append(upd)
+                else:
+                    delayed.append(upd)
+
+        for upd in valuable_adds:
+            self.state.process_addition(upd.u, upd.v, upd.weight, response)
+            response.updates_processed += 1
+        self._rebuild_keypaths()
+
+        scheduler = UpdateScheduler()
+        for upd in urgent:
+            scheduler.push_valuable(upd)
+        scheduler.extend_delayed(delayed)
+        while True:
+            while not scheduler.answer_ready:
+                item = scheduler.pop()
+                assert item is not None
+                if self.state.process_deletion(
+                    item.update.u, item.update.v, response
+                ):
+                    self._rebuild_keypaths()
+                response.updates_processed += 1
+            if scheduler.promote_delayed(self._deletion_urgent) == 0:
+                break
+
+        # response window closes for every destination of this group
+        drained = 0
+        for item in scheduler.drain():
+            self.state.process_deletion(item.update.u, item.update.v, post)
+            post.updates_processed += 1
+            drained += 1
+        self._rebuild_keypaths()
+        return {
+            "valuable_additions": len(valuable_adds),
+            "nondelayed_deletions": len(urgent),
+            "delayed_deletions": len(delayed),
+            "useless": useless,
+        }
+
+
+class MultiQueryEngine:
+    """Contribution-aware engine serving many pairwise queries at once."""
+
+    name = "cisgraph-multi"
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        algorithm: MonotonicAlgorithm,
+        queries: Sequence[PairwiseQuery],
+        rule: KeyPathRule = KeyPathRule.PRECISE,
+    ) -> None:
+        if not queries:
+            raise ValueError("need at least one query")
+        seen = set()
+        for query in queries:
+            query.validate(graph.num_vertices)
+            if query in seen:
+                raise ValueError(f"duplicate query {query}")
+            seen.add(query)
+        self.graph = graph
+        self.algorithm = algorithm
+        self.queries = list(queries)
+        self.init_ops = OpCounts()
+        by_source: Dict[int, List[int]] = {}
+        for query in queries:
+            by_source.setdefault(query.source, []).append(query.destination)
+        self._groups = {
+            source: _SourceGroup(graph, algorithm, source, dests, rule)
+            for source, dests in by_source.items()
+        }
+        self._initialized = False
+
+    @property
+    def num_groups(self) -> int:
+        """Source groups actually maintained (the sharing factor)."""
+        return len(self._groups)
+
+    # ------------------------------------------------------------------
+    def initialize(self) -> Dict[PairwiseQuery, float]:
+        for group in self._groups.values():
+            group.initialize(self.init_ops)
+        self._initialized = True
+        return self.answers
+
+    @property
+    def answers(self) -> Dict[PairwiseQuery, float]:
+        return {
+            query: self._groups[query.source].answer(query.destination)
+            for query in self.queries
+        }
+
+    def on_batch(self, batch: UpdateBatch) -> MultiBatchResult:
+        if not self._initialized:
+            raise RuntimeError("initialize() must run before on_batch()")
+        response = OpCounts()
+        post = OpCounts()
+
+        effective = net_effects(
+            batch, lambda u, v: self.graph.out_adj(u).get(v)
+        )
+        for upd in effective:
+            self.graph.apply_update(upd, missing_ok=False)
+
+        stats: Dict[str, float] = {
+            "groups": float(len(self._groups)),
+            "queries": float(len(self.queries)),
+        }
+        totals: Dict[str, int] = {}
+        for group in self._groups.values():
+            group_stats = group.process_batch(effective, response, post)
+            for key, value in group_stats.items():
+                totals[key] = totals.get(key, 0) + value
+        stats.update({k: float(v) for k, v in totals.items()})
+        return MultiBatchResult(
+            answers=self.answers,
+            response_ops=response,
+            post_ops=post,
+            stats=stats,
+        )

@@ -1,0 +1,117 @@
+"""Priority scheduling of classified updates.
+
+Models the identification-and-scheduling output buffer of the accelerator
+(Section III-B): non-delayed valuable updates are inserted at the *front*
+of the buffer, valuable additions and delayed deletions are appended at the
+*back*, and the engine may emit the query answer as soon as no non-delayed
+update remains pending — delayed work drains afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, Optional, Tuple
+
+from repro.graph.batch import EdgeUpdate
+
+
+@dataclass(frozen=True)
+class ScheduledUpdate:
+    """An update tagged with its scheduling class."""
+
+    update: EdgeUpdate
+    delayed: bool
+
+
+class UpdateScheduler:
+    """Double-ended priority buffer for classified updates.
+
+    The buffer keeps a running count of pending non-delayed entries so that
+    :attr:`answer_ready` — "can the accelerator respond now?" — is O(1),
+    mirroring the hardware's converged-answer condition ("once no valuable
+    update exists in the output buffer").
+    """
+
+    def __init__(self) -> None:
+        self._buffer: Deque[ScheduledUpdate] = deque()
+        self._pending_valuable = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def pending_valuable(self) -> int:
+        return self._pending_valuable
+
+    @property
+    def answer_ready(self) -> bool:
+        """True when every remaining buffered update is delayed."""
+        return self._pending_valuable == 0
+
+    # ------------------------------------------------------------------
+    def push_valuable(self, update: EdgeUpdate) -> None:
+        """Insert a non-delayed valuable update at the front (preemptive)."""
+        self._buffer.appendleft(ScheduledUpdate(update, delayed=False))
+        self._pending_valuable += 1
+
+    def push_valuable_back(self, update: EdgeUpdate) -> None:
+        """Append a valuable update at the back (valuable additions)."""
+        self._buffer.append(ScheduledUpdate(update, delayed=False))
+        self._pending_valuable += 1
+
+    def push_delayed(self, update: EdgeUpdate) -> None:
+        """Append a delayed update at the back."""
+        self._buffer.append(ScheduledUpdate(update, delayed=True))
+
+    def extend_valuable_back(self, updates: Iterable[EdgeUpdate]) -> None:
+        for update in updates:
+            self.push_valuable_back(update)
+
+    def extend_delayed(self, updates: Iterable[EdgeUpdate]) -> None:
+        for update in updates:
+            self.push_delayed(update)
+
+    # ------------------------------------------------------------------
+    def pop(self) -> Optional[ScheduledUpdate]:
+        """Take the highest-priority pending update (None when empty)."""
+        if not self._buffer:
+            return None
+        item = self._buffer.popleft()
+        if not item.delayed:
+            self._pending_valuable -= 1
+        return item
+
+    def promote_delayed(self, predicate) -> int:
+        """Re-classify buffered delayed updates whose situation changed.
+
+        ``predicate(update) -> bool`` decides whether a delayed update must
+        now be treated as non-delayed (its deletion target moved onto the
+        key path after a repair).  Promoted updates move to the front.
+        Returns the number of promotions.
+        """
+        promoted = 0
+        keep: Deque[ScheduledUpdate] = deque()
+        while self._buffer:
+            item = self._buffer.popleft()
+            if item.delayed and predicate(item.update):
+                keep.appendleft(ScheduledUpdate(item.update, delayed=False))
+                self._pending_valuable += 1
+                promoted += 1
+            else:
+                keep.append(item)
+        self._buffer = keep
+        return promoted
+
+    def drain(self) -> Iterable[ScheduledUpdate]:
+        """Pop everything, in priority order."""
+        while self._buffer:
+            item = self.pop()
+            if item is not None:
+                yield item
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateScheduler(pending={len(self._buffer)}, "
+            f"valuable={self._pending_valuable})"
+        )

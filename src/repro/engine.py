@@ -1,0 +1,80 @@
+"""Common interface for pairwise streaming engines.
+
+Every system evaluated in the paper (Cold-Start, SGraph, CISGraph-O, the
+accelerator, plus our extra plain-incremental and PnP baselines) is driven
+through :class:`PairwiseEngine`: construct with an initial graph, an
+algorithm and a query; :meth:`initialize` performs the full computation on
+``G0`` (Figure 1a); :meth:`on_batch` consumes one update batch and returns a
+:class:`~repro.metrics.BatchResult` with the converged answer and the
+operation counts split into response work and post-answer work.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.graph.batch import UpdateBatch
+from repro.graph.dynamic import DynamicGraph
+from repro.metrics import BatchResult, OpCounts
+from repro.query import PairwiseQuery
+
+
+class PairwiseEngine(abc.ABC):
+    """Abstract pairwise streaming-analytics engine."""
+
+    #: identifier used in result tables ("cs", "sgraph", "cisgraph-o", ...)
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        algorithm: MonotonicAlgorithm,
+        query: PairwiseQuery,
+    ) -> None:
+        query.validate(graph.num_vertices)
+        self.graph = graph
+        self.algorithm = algorithm
+        self.query = query
+        self.init_ops = OpCounts()
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self) -> float:
+        """Full computation on the initial snapshot; returns the answer."""
+        self._do_initialize()
+        self._initialized = True
+        return self.answer
+
+    @abc.abstractmethod
+    def _do_initialize(self) -> None:
+        """Engine-specific full computation over ``self.graph``."""
+
+    def on_batch(self, batch: UpdateBatch) -> BatchResult:
+        """Apply one update batch and converge the query answer."""
+        if not self._initialized:
+            raise RuntimeError(f"{self.name}: initialize() must run before on_batch()")
+        return self._do_batch(batch)
+
+    @abc.abstractmethod
+    def _do_batch(self, batch: UpdateBatch) -> BatchResult:
+        """Engine-specific batch processing."""
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def answer(self) -> float:
+        """Current converged answer for the query."""
+
+    @property
+    def unreached_answer(self) -> float:
+        """The answer value meaning "destination unreachable"."""
+        return self.algorithm.identity()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.query}, alg={self.algorithm.name})"

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the CISGraph reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph (bad vertex id, missing edge, ...)."""
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge deletion referenced an edge that does not exist."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge {u} -> {v} does not exist")
+        self.u = u
+        self.v = v
+
+
+class VertexOutOfRangeError(GraphError):
+    """A vertex id fell outside ``[0, num_vertices)``."""
+
+    def __init__(self, vertex: int, num_vertices: int) -> None:
+        super().__init__(
+            f"vertex {vertex} out of range for graph with {num_vertices} vertices"
+        )
+        self.vertex = vertex
+        self.num_vertices = num_vertices
+
+
+class QueryError(ReproError):
+    """Invalid pairwise query (e.g. source == destination)."""
+
+
+class ConfigError(ReproError):
+    """Invalid hardware or experiment configuration."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency detected by the discrete-event simulator."""

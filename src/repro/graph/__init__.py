@@ -1,0 +1,19 @@
+"""Streaming-graph substrate: dynamic topology, CSR snapshots, batches."""
+
+from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind, add, delete
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.streaming import StreamingGraph, StreamReplay, StreamStep
+
+__all__ = [
+    "EdgeUpdate",
+    "UpdateBatch",
+    "UpdateKind",
+    "add",
+    "delete",
+    "CSRGraph",
+    "DynamicGraph",
+    "StreamingGraph",
+    "StreamReplay",
+    "StreamStep",
+]

@@ -1,0 +1,207 @@
+"""Mutable weighted digraph supporting streaming edge updates.
+
+:class:`DynamicGraph` is the in-memory topology every engine mutates as
+batches arrive.  It keeps both out- and in-adjacency because incremental
+deletion repair (KickStarter-style re-computation, Section II-A) must ask
+"which in-neighbors can still supply vertex ``v``'s state?".
+
+Adjacency is stored as one ``dict`` per vertex mapping neighbor id to edge
+weight.  Parallel edges are not modelled (matching CSR snapshots); adding an
+existing edge overwrites its weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import EdgeNotFoundError, VertexOutOfRangeError
+from repro.graph.batch import EdgeUpdate, UpdateBatch
+
+
+class DynamicGraph:
+    """A directed weighted graph with O(1) edge addition and deletion."""
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._out: List[Dict[int, float]] = [dict() for _ in range(num_vertices)]
+        self._in: List[Dict[int, float]] = [dict() for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[Tuple[int, int, float]],
+    ) -> "DynamicGraph":
+        """Build a graph from ``(u, v, weight)`` triples."""
+        graph = cls(num_vertices)
+        for u, v, w in edges:
+            graph.add_edge(u, v, w)
+        return graph
+
+    def copy(self) -> "DynamicGraph":
+        """Deep copy (adjacency dicts are duplicated)."""
+        clone = DynamicGraph(self.num_vertices)
+        clone._out = [dict(adj) for adj in self._out]
+        clone._in = [dict(adj) for adj in self._in]
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # size queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def out_degree(self, u: int) -> int:
+        self._check_vertex(u)
+        return len(self._out[u])
+
+    def in_degree(self, v: int) -> int:
+        self._check_vertex(v)
+        return len(self._in[v])
+
+    # ------------------------------------------------------------------
+    # vertex / edge mutation
+    # ------------------------------------------------------------------
+    def ensure_vertex(self, vertex: int) -> None:
+        """Grow the vertex set so that ``vertex`` is a valid id."""
+        if vertex < 0:
+            raise VertexOutOfRangeError(vertex, self.num_vertices)
+        while len(self._out) <= vertex:
+            self._out.append(dict())
+            self._in.append(dict())
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> bool:
+        """Insert (or re-weight) edge ``u -> v``.
+
+        Returns ``True`` when the edge is new, ``False`` when an existing
+        edge's weight was overwritten.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        is_new = v not in self._out[u]
+        self._out[u][v] = weight
+        self._in[v][u] = weight
+        if is_new:
+            self._num_edges += 1
+        return is_new
+
+    def remove_edge(self, u: int, v: int, missing_ok: bool = False) -> bool:
+        """Delete edge ``u -> v``.
+
+        Returns ``True`` when an edge was removed.  With ``missing_ok`` a
+        missing edge is ignored (streaming batches may delete an edge that a
+        preceding update in the same batch already removed); otherwise
+        :class:`EdgeNotFoundError` is raised.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._out[u]:
+            if missing_ok:
+                return False
+            raise EdgeNotFoundError(u, v)
+        del self._out[u][v]
+        del self._in[v][u]
+        self._num_edges -= 1
+        return True
+
+    def apply_update(self, update: EdgeUpdate, missing_ok: bool = True) -> bool:
+        """Apply one streaming update to the topology.
+
+        Returns ``True`` if the topology changed.
+        """
+        if update.is_addition:
+            return self.add_edge(update.u, update.v, update.weight)
+        return self.remove_edge(update.u, update.v, missing_ok=missing_ok)
+
+    def apply_batch(self, batch: UpdateBatch, missing_ok: bool = True) -> int:
+        """Apply a whole batch in order; returns the number of effective changes."""
+        changed = 0
+        for update in batch:
+            if self.apply_update(update, missing_ok=missing_ok):
+                changed += 1
+        return changed
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._out[u]
+
+    def edge_weight(self, u: int, v: int) -> float:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        try:
+            return self._out[u][v]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+
+    def out_neighbors(self, u: int) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(neighbor, weight)`` over out-edges of ``u``."""
+        self._check_vertex(u)
+        return iter(self._out[u].items())
+
+    def in_neighbors(self, v: int) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(neighbor, weight)`` over in-edges of ``v``."""
+        self._check_vertex(v)
+        return iter(self._in[v].items())
+
+    def out_adj(self, u: int) -> Dict[int, float]:
+        """Direct (read-only by convention) access to ``u``'s out-adjacency dict.
+
+        Exposed for hot loops in the engines; callers must not mutate it.
+        """
+        return self._out[u]
+
+    def in_adj(self, v: int) -> Dict[int, float]:
+        """Direct (read-only by convention) access to ``v``'s in-adjacency dict."""
+        return self._in[v]
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate all edges as ``(u, v, weight)``."""
+        for u, adj in enumerate(self._out):
+            for v, w in adj.items():
+                yield (u, v, w)
+
+    def degrees(self) -> List[int]:
+        """Out-degree of every vertex (used for hub selection)."""
+        return [len(adj) for adj in self._out]
+
+    def total_degrees(self) -> List[int]:
+        """Out-degree + in-degree of every vertex."""
+        return [len(out) + len(inn) for out, inn in zip(self._out, self._in)]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < len(self._out):
+            raise VertexOutOfRangeError(vertex, len(self._out))
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    def check_consistency(self) -> None:
+        """Verify the out/in adjacency mirrors agree (used by tests)."""
+        count = 0
+        for u, adj in enumerate(self._out):
+            for v, w in adj.items():
+                assert self._in[v].get(u) == w, f"in-adjacency missing {u}->{v}"
+                count += 1
+        in_count = sum(len(adj) for adj in self._in)
+        assert count == in_count == self._num_edges, "edge count drifted"

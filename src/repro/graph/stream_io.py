@@ -1,0 +1,151 @@
+"""Persisting update streams.
+
+Streams (initial snapshot + batches) can be saved and replayed so that
+experiments are reproducible across machines and so real dataset traces
+can be imported.  Two formats:
+
+* a human-readable text format::
+
+      # cisgraph-stream v1
+      # vertices 6
+      e 0 1 2.0            <- initial snapshot edges
+      ...
+      # batch 0
+      a 0 2 1.5            <- addition
+      d 0 1 2.0            <- deletion
+      # batch 1
+      ...
+
+* a compressed NumPy archive (``.npz``) for large streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.streaming import StreamReplay
+
+_HEADER = "# cisgraph-stream v1"
+
+
+def save_stream_text(path: str, replay: StreamReplay) -> None:
+    """Write a replayable stream in the text format."""
+    graph = replay.initial_graph
+    with open(path, "w") as handle:
+        handle.write(f"{_HEADER}\n")
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for u, v, w in graph.edges():
+            handle.write(f"e {u} {v} {w:g}\n")
+        for index in range(replay.num_batches):
+            handle.write(f"# batch {index}\n")
+            for upd in replay.batch(index):
+                tag = "a" if upd.is_addition else "d"
+                handle.write(f"{tag} {upd.u} {upd.v} {upd.weight:g}\n")
+
+
+def load_stream_text(path: str) -> StreamReplay:
+    """Read a stream written by :func:`save_stream_text`."""
+    num_vertices: Optional[int] = None
+    edges: List[Tuple[int, int, float]] = []
+    batches: List[UpdateBatch] = []
+    current: Optional[UpdateBatch] = None
+    with open(path, "r") as handle:
+        first = handle.readline().strip()
+        if first != _HEADER:
+            raise ValueError(f"{path}: not a cisgraph stream (header {first!r})")
+        for lineno, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("# vertices"):
+                num_vertices = int(line.split()[2])
+                continue
+            if line.startswith("# batch"):
+                current = UpdateBatch()
+                batches.append(current)
+                continue
+            if line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"{path}:{lineno}: malformed line {line!r}")
+            tag, u, v, w = parts[0], int(parts[1]), int(parts[2]), float(parts[3])
+            if tag == "e":
+                if current is not None:
+                    raise ValueError(
+                        f"{path}:{lineno}: snapshot edge after batches started"
+                    )
+                edges.append((u, v, w))
+            elif tag in ("a", "d"):
+                if current is None:
+                    raise ValueError(f"{path}:{lineno}: update before any batch")
+                kind = UpdateKind.ADD if tag == "a" else UpdateKind.DELETE
+                current.append(EdgeUpdate(kind, u, v, w))
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record {tag!r}")
+    if num_vertices is None:
+        raise ValueError(f"{path}: missing '# vertices' header")
+    initial = DynamicGraph.from_edges(num_vertices, edges)
+    return StreamReplay(initial, batches)
+
+
+def save_stream_npz(path: str, replay: StreamReplay) -> None:
+    """Write a stream as a compressed NumPy archive."""
+    graph = replay.initial_graph
+    edge_list = list(graph.edges())
+    arrays = {
+        "num_vertices": np.int64(graph.num_vertices),
+        "num_batches": np.int64(replay.num_batches),
+        "edges_src": np.array([e[0] for e in edge_list], dtype=np.int64),
+        "edges_dst": np.array([e[1] for e in edge_list], dtype=np.int64),
+        "edges_wgt": np.array([e[2] for e in edge_list], dtype=np.float64),
+    }
+    for index in range(replay.num_batches):
+        batch = replay.batch(index)
+        arrays[f"batch{index}_kind"] = np.array(
+            [1 if upd.is_addition else 0 for upd in batch], dtype=np.int8
+        )
+        arrays[f"batch{index}_u"] = np.array([upd.u for upd in batch], dtype=np.int64)
+        arrays[f"batch{index}_v"] = np.array([upd.v for upd in batch], dtype=np.int64)
+        arrays[f"batch{index}_w"] = np.array(
+            [upd.weight for upd in batch], dtype=np.float64
+        )
+    np.savez_compressed(path, **arrays)
+
+
+def load_stream_npz(path: str) -> StreamReplay:
+    """Read a stream written by :func:`save_stream_npz`."""
+    data = np.load(path)
+    num_vertices = int(data["num_vertices"])
+    edges = list(
+        zip(
+            data["edges_src"].tolist(),
+            data["edges_dst"].tolist(),
+            data["edges_wgt"].tolist(),
+        )
+    )
+    batches = []
+    for index in range(int(data["num_batches"])):
+        kinds = data[f"batch{index}_kind"]
+        us = data[f"batch{index}_u"]
+        vs = data[f"batch{index}_v"]
+        ws = data[f"batch{index}_w"]
+        batch = UpdateBatch()
+        for kind, u, v, w in zip(
+            kinds.tolist(), us.tolist(), vs.tolist(), ws.tolist()
+        ):
+            batch.append(
+                EdgeUpdate(
+                    UpdateKind.ADD if kind else UpdateKind.DELETE,
+                    int(u),
+                    int(v),
+                    float(w),
+                )
+            )
+        batches.append(batch)
+    initial = DynamicGraph.from_edges(num_vertices, edges)
+    return StreamReplay(initial, batches)

@@ -1,0 +1,118 @@
+"""Streaming graph driver: snapshots, batch buffering, and replay.
+
+Mirrors the workflow of Figure 1(a): an initial snapshot ``G0`` undergoes a
+full computation, then buffered updates are applied batch by batch, each
+producing the next snapshot.  :class:`StreamingGraph` owns the evolving
+topology; :class:`StreamReplay` feeds pre-generated batches to engines in
+order (used by the benchmark harness so every engine sees identical input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.graph.batch import EdgeUpdate, UpdateBatch
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+
+
+class StreamingGraph:
+    """A dynamic graph plus a buffer of not-yet-applied updates.
+
+    Updates are buffered with :meth:`ingest` until the batch threshold is
+    reached (the paper buffers 100K); :meth:`seal_batch` drains the buffer
+    into an :class:`UpdateBatch` and advances the snapshot counter once the
+    batch is applied via :meth:`apply`.
+    """
+
+    def __init__(
+        self,
+        initial: DynamicGraph,
+        batch_threshold: int = 100_000,
+    ) -> None:
+        if batch_threshold <= 0:
+            raise ValueError("batch_threshold must be positive")
+        self._graph = initial
+        self._pending: List[EdgeUpdate] = []
+        self._snapshot_id = 0
+        self.batch_threshold = batch_threshold
+
+    @property
+    def graph(self) -> DynamicGraph:
+        """The current topology (snapshot ``G_{snapshot_id}``)."""
+        return self._graph
+
+    @property
+    def snapshot_id(self) -> int:
+        return self._snapshot_id
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def ingest(self, update: EdgeUpdate) -> bool:
+        """Buffer one update; returns ``True`` when the threshold is reached."""
+        self._pending.append(update)
+        return len(self._pending) >= self.batch_threshold
+
+    def seal_batch(self) -> UpdateBatch:
+        """Drain the pending buffer into a batch (may be under-full)."""
+        batch = UpdateBatch(self._pending)
+        self._pending = []
+        return batch
+
+    def apply(self, batch: UpdateBatch) -> int:
+        """Apply a sealed batch to the topology, advancing the snapshot id."""
+        changed = self._graph.apply_batch(batch)
+        self._snapshot_id += 1
+        return changed
+
+    def snapshot_csr(self) -> CSRGraph:
+        """Immutable CSR view of the current snapshot."""
+        return CSRGraph.from_dynamic(self._graph)
+
+
+@dataclass
+class StreamStep:
+    """One step of a replay: the batch and the snapshot id it produces."""
+
+    snapshot_id: int
+    batch: UpdateBatch
+
+
+class StreamReplay:
+    """Deterministic replay of pre-generated batches over an initial graph.
+
+    The benchmark harness generates the stream once and replays it for every
+    engine, guaranteeing all systems process identical updates — the paper's
+    "for fairness" setup in Section IV-A.
+    """
+
+    def __init__(self, initial: DynamicGraph, batches: Sequence[UpdateBatch]) -> None:
+        self._initial = initial
+        self._batches = list(batches)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self._batches)
+
+    @property
+    def initial_graph(self) -> DynamicGraph:
+        """A private copy of the initial snapshot (callers may mutate it)."""
+        return self._initial.copy()
+
+    def batches(self) -> Iterator[StreamStep]:
+        """Iterate the stream as :class:`StreamStep` items."""
+        for i, batch in enumerate(self._batches):
+            yield StreamStep(snapshot_id=i + 1, batch=batch)
+
+    def batch(self, index: int) -> UpdateBatch:
+        return self._batches[index]
+
+    def final_graph(self) -> DynamicGraph:
+        """The topology after every batch has been applied."""
+        graph = self.initial_graph
+        for step in self.batches():
+            graph.apply_batch(step.batch)
+        return graph

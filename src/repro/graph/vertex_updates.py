@@ -1,0 +1,82 @@
+"""Vertex-level updates expressed as edge-update series.
+
+Section II-A: "we simulate graph updates as edge additions and deletions
+since vertex additions and deletions can be transformed into a series of
+edge updates."  These helpers perform that transformation so streams
+produced by vertex-churn workloads (user sign-ups/account removals in a
+social graph, road closures of whole intersections) can drive the same
+engines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind
+from repro.graph.dynamic import DynamicGraph
+
+
+def vertex_addition(
+    vertex: int,
+    out_edges: Iterable[Tuple[int, float]] = (),
+    in_edges: Iterable[Tuple[int, float]] = (),
+) -> List[EdgeUpdate]:
+    """Edge-update series attaching a new vertex to the graph.
+
+    ``out_edges`` are ``(neighbor, weight)`` pairs leaving the vertex,
+    ``in_edges`` arrive at it.  The vertex id must already be within the
+    engine's vertex universe (engines run on a fixed id space; grow the
+    graph with :meth:`DynamicGraph.ensure_vertex` before streaming).
+    """
+    updates = [
+        EdgeUpdate(UpdateKind.ADD, vertex, neighbor, weight)
+        for neighbor, weight in out_edges
+    ]
+    updates.extend(
+        EdgeUpdate(UpdateKind.ADD, neighbor, vertex, weight)
+        for neighbor, weight in in_edges
+    )
+    return updates
+
+
+def vertex_deletion(graph: DynamicGraph, vertex: int) -> List[EdgeUpdate]:
+    """Edge-update series detaching ``vertex`` from the current topology.
+
+    Emits one deletion per incident edge (both directions), in out-edges
+    then in-edges order.  The updates reference the *current* weights so
+    deletion classification sees the right values.
+    """
+    updates = [
+        EdgeUpdate(UpdateKind.DELETE, vertex, neighbor, weight)
+        for neighbor, weight in graph.out_neighbors(vertex)
+    ]
+    updates.extend(
+        EdgeUpdate(UpdateKind.DELETE, neighbor, vertex, weight)
+        for neighbor, weight in graph.in_neighbors(vertex)
+        if neighbor != vertex
+    )
+    return updates
+
+
+def batch_with_vertex_updates(
+    graph: DynamicGraph,
+    added_vertices: Iterable[Tuple[int, Iterable[Tuple[int, float]], Iterable[Tuple[int, float]]]] = (),
+    deleted_vertices: Iterable[int] = (),
+) -> UpdateBatch:
+    """Build one update batch from vertex-level churn.
+
+    ``added_vertices`` items are ``(vertex, out_edges, in_edges)``;
+    ``deleted_vertices`` are detached from the topology as it stands when
+    this function runs (deletions of the same vertex's edges are emitted
+    once even if two deleted vertices share an edge).
+    """
+    batch = UpdateBatch()
+    emitted = set()
+    for vertex in deleted_vertices:
+        for update in vertex_deletion(graph, vertex):
+            if update.edge not in emitted:
+                emitted.add(update.edge)
+                batch.append(update)
+    for vertex, out_edges, in_edges in added_vertices:
+        batch.extend(vertex_addition(vertex, out_edges, in_edges))
+    return batch

@@ -1,0 +1,472 @@
+"""Cycle-resolution simulator of the CISGraph accelerator (Section III-B).
+
+The simulator layers *timing* over the same functional workflow as
+:class:`~repro.core.engine.CISGraphEngine`:
+
+* **Identification**: the batch streams through ``pipelines`` identification
+  units (update ``u -> v`` goes to pipeline ``v mod P``, one update issued
+  per cycle per pipeline).  Each update's ``state[u]``/``state[v]`` are
+  fetched through the SPM by the state prefetcher before the one-cycle
+  triangle-inequality check.  Useless updates die here.
+* **Scheduling**: valuable updates enter the output buffer with the cycle at
+  which identification finished; non-delayed deletions take priority and
+  the answer is emitted once no non-delayed work remains.
+* **Propagation**: a pool of ``propagate_units`` pops ready work (activated
+  vertices are assigned by ``id mod Q``), fetches CSR edge lists with one
+  burst per vertex (neighbor prefetcher), relaxes one out-neighbor per
+  cycle, and appends activations to the global buffer.  Deletion repair
+  additionally walks the reverse CSR for re-derivation.
+
+The functional layer (state/parent arrays, classification, key-path
+promotion) is shared logic with the software engine, so the simulated
+answers are exact; the timing layer adds SPM/DRAM contention and unit
+occupancy, producing the response/total cycle counts used in Table IV.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.core.classification import ClassifiedBatch, KeyPathRule, classify_batch
+from repro.core.keypath import KeyPathTracker
+from repro.engine import PairwiseEngine
+from repro.graph.batch import EdgeUpdate, UpdateBatch, net_effects
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+from repro.hw.config import AcceleratorConfig
+from repro.hw.dram import DramModel, DramStats
+from repro.hw.layout import MemoryLayout
+from repro.hw.prefetcher import (
+    NeighborPrefetcher,
+    Prefetcher,
+    PrefetcherStats,
+    StatePrefetcher,
+)
+from repro.hw.sim import ReadyQueue, Resource
+from repro.hw.trace import TraceRecorder
+from repro.hw.spm import ScratchpadMemory, SpmStats
+from repro.metrics import BatchResult, OpCounts
+from repro.query import PairwiseQuery
+
+
+@dataclass
+class HwBatchStats:
+    """Per-batch accelerator telemetry."""
+
+    identify_cycles: int = 0
+    addition_phase_end: int = 0
+    response_cycles: int = 0
+    total_cycles: int = 0
+    relaxations: int = 0
+    activations: int = 0
+    repairs: int = 0
+    promoted: int = 0
+    buffer_peak: int = 0
+    spm: SpmStats = field(default_factory=SpmStats)
+    dram: DramStats = field(default_factory=DramStats)
+    state_prefetch: PrefetcherStats = field(default_factory=PrefetcherStats)
+    neighbor_prefetch: PrefetcherStats = field(default_factory=PrefetcherStats)
+    classification: Dict[str, float] = field(default_factory=dict)
+
+
+class CISGraphAccelerator(PairwiseEngine):
+    """Hardware CISGraph: contribution-aware workflow with timed pipelines."""
+
+    name = "cisgraph"
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        algorithm: MonotonicAlgorithm,
+        query: PairwiseQuery,
+        config: Optional[AcceleratorConfig] = None,
+        rule: KeyPathRule = KeyPathRule.PRECISE,
+        trace: bool = False,
+    ) -> None:
+        super().__init__(graph, algorithm, query)
+        self.config = config or AcceleratorConfig()
+        self.rule = rule
+        #: per-batch execution trace (None unless trace=True)
+        self.tracer: Optional[TraceRecorder] = TraceRecorder() if trace else None
+        self.states: List[float] = []
+        self.parents: List[int] = []
+        self.keypath = KeyPathTracker(query.source, query.destination)
+        self.last_stats: Optional[HwBatchStats] = None
+        # per-batch timing machinery, rebuilt at the top of _do_batch
+        self._layout: Optional[MemoryLayout] = None
+        self._spm: Optional[ScratchpadMemory] = None
+        self._dram: Optional[DramModel] = None
+        self._units: List[Resource] = []
+        self._id_state_pf: List[StatePrefetcher] = []
+        self._unit_state_pf: List[StatePrefetcher] = []
+        self._unit_nbr_pf: List[NeighborPrefetcher] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _do_initialize(self) -> None:
+        from repro.algorithms.solvers import dijkstra
+
+        result = dijkstra(self.graph, self.algorithm, self.query.source)
+        self.init_ops += result.ops
+        self.states = result.states
+        self.parents = result.parents
+        self.keypath.rebuild(self.parents)
+
+    @property
+    def answer(self) -> float:
+        return self.states[self.query.destination]
+
+    # ------------------------------------------------------------------
+    # batch processing
+    # ------------------------------------------------------------------
+    def _do_batch(self, batch: UpdateBatch) -> BatchResult:
+        stats = HwBatchStats()
+        if self.tracer is not None:
+            self.tracer.clear()
+
+        # -- snapshot generation: apply net topology effect, rebuild CSR.
+        effective = net_effects(
+            batch, lambda u, v: self.graph.out_adj(u).get(v)
+        )
+        for upd in effective:
+            self.graph.apply_update(upd, missing_ok=False)
+        csr = CSRGraph.from_dynamic(self.graph)
+        new_layout = MemoryLayout(csr, csr.reversed())
+        if self._spm is None or self._dram is None:
+            self._dram = DramModel(self.config.dram)
+            self._spm = ScratchpadMemory(self.config.spm, self._dram)
+        else:
+            # the state region keeps stable addresses across batches (SPM
+            # reuse, Section III-B); CSR regions are rebuilt, so their
+            # cached lines are stale and must be invalidated.
+            self._spm.invalidate_from(new_layout.indptr_base)
+            self._dram.reset_stats()
+            self._dram.reset_timing()
+            self._spm.reset_timing()
+            self._spm.stats = SpmStats()
+        self._layout = new_layout
+        self._units = [
+            Resource(f"propagate-unit-{i}")
+            for i in range(self.config.propagate_units)
+        ]
+        # decoupled prefetchers (Section III-B): one state prefetcher per
+        # identification pipeline, one state+neighbor pair per propagation
+        # unit (propagation reuses the prefetcher hardware).
+        self._id_state_pf = [
+            StatePrefetcher(self._spm, self._layout)
+            for _ in range(self.config.pipelines)
+        ]
+        self._unit_state_pf = [
+            StatePrefetcher(self._spm, self._layout)
+            for _ in range(self.config.propagate_units)
+        ]
+        self._unit_nbr_pf = [
+            NeighborPrefetcher(self._spm, self._layout)
+            for _ in range(self.config.propagate_units)
+        ]
+
+        # -- identification: stream the batch through the pipelines.
+        classified, ready_times, identify_end = self._identify(effective)
+        stats.identify_cycles = identify_end
+        stats.classification = classified.summary()
+
+        # -- valuable additions (finished before deletions start).
+        heap = ReadyQueue()
+        for upd in classified.valuable_additions:
+            self._push(heap, ready_times[id(upd)], "add", (upd.u, upd.v, upd.weight))
+        additions_end = self._run(heap, stats)
+        stats.addition_phase_end = additions_end
+        self.keypath.rebuild(self.parents)
+
+        # -- non-delayed deletions, preemptively; delayed buffered.
+        pending_delayed: List[EdgeUpdate] = list(classified.delayed_deletions)
+        for upd in classified.nondelayed_deletions:
+            ready = max(ready_times[id(upd)], additions_end)
+            self._push(heap, ready, "del", (upd.u, upd.v))
+        response_end = max(self._run(heap, stats), additions_end, identify_end)
+
+        # promotion loop: repairs may pull a delayed deletion onto the key
+        # path; the answer waits until no such deletion remains.
+        while True:
+            self.keypath.rebuild(self.parents)
+            promoted = [u for u in pending_delayed if self._must_promote(u)]
+            if not promoted:
+                break
+            stats.promoted += len(promoted)
+            promoted_ids = {id(u) for u in promoted}
+            pending_delayed = [
+                u for u in pending_delayed if id(u) not in promoted_ids
+            ]
+            for upd in promoted:
+                self._push(heap, max(ready_times[id(upd)], response_end), "del", (upd.u, upd.v))
+            response_end = max(self._run(heap, stats), response_end)
+
+        stats.response_cycles = response_end
+        response_answer = self.answer
+
+        # -- delayed deletions drain in the background.
+        for upd in pending_delayed:
+            self._push(heap, max(ready_times[id(upd)], response_end), "del", (upd.u, upd.v))
+        total_end = max(self._run(heap, stats), response_end)
+        stats.total_cycles = total_end
+        self.keypath.rebuild(self.parents)
+
+        assert self._spm is not None and self._dram is not None
+        stats.spm = self._spm.stats
+        stats.dram = self._dram.stats
+        for pf in self._id_state_pf + self._unit_state_pf:
+            stats.state_prefetch.requests += pf.stats.requests
+            stats.state_prefetch.bytes_requested += pf.stats.bytes_requested
+            stats.state_prefetch.stall_cycles += pf.stats.stall_cycles
+        for nf in self._unit_nbr_pf:
+            stats.neighbor_prefetch.requests += nf.stats.requests
+            stats.neighbor_prefetch.bytes_requested += nf.stats.bytes_requested
+            stats.neighbor_prefetch.stall_cycles += nf.stats.stall_cycles
+        self.last_stats = stats
+
+        result_stats = dict(stats.classification)
+        result_stats.update(
+            response_cycles=stats.response_cycles,
+            total_cycles=stats.total_cycles,
+            identify_cycles=stats.identify_cycles,
+            relaxations=stats.relaxations,
+            activations=stats.activations,
+            repairs=stats.repairs,
+            promoted=stats.promoted,
+            buffer_peak=stats.buffer_peak,
+            spm_hit_rate=stats.spm.hit_rate,
+            dram_row_hit_rate=stats.dram.row_hit_rate,
+            response_answer=response_answer,
+        )
+        response_ops = OpCounts(
+            relaxations=stats.relaxations,
+            activations=stats.activations,
+            classification_checks=len(effective),
+        )
+        return BatchResult(
+            answer=self.answer, response_ops=response_ops, stats=result_stats
+        )
+
+    # ------------------------------------------------------------------
+    # identification phase
+    # ------------------------------------------------------------------
+    def _identify(
+        self, batch: UpdateBatch
+    ) -> Tuple[ClassifiedBatch, Dict[int, int], int]:
+        """Stream all updates through the identification pipelines.
+
+        Returns the functional classification, a map from update identity to
+        the cycle its identification completed, and the cycle the whole
+        phase drained.
+        """
+        assert self._spm is not None and self._layout is not None
+        cfg = self.config
+        classified = classify_batch(
+            self.algorithm, self.states, self.parents, self.keypath, batch,
+            rule=self.rule,
+        )
+        pipe_free = [0] * cfg.pipelines
+        ready: Dict[int, int] = {}
+        phase_end = 0
+        for upd in batch:
+            pipe = upd.v % cfg.pipelines
+            issue = pipe_free[pipe]
+            pipe_free[pipe] = issue + 1  # one update per cycle per pipeline
+            done_u = self._id_state_pf[pipe].fetch_state(upd.u, now=issue)
+            done_v = self._id_state_pf[pipe].fetch_state(upd.v, now=issue)
+            done = max(done_u, done_v) + cfg.identify_latency
+            if self.tracer is not None:
+                self.tracer.record(issue, "identify", pipe, "issue", upd.v)
+            ready[id(upd)] = done
+            if done > phase_end:
+                phase_end = done
+        return classified, ready, phase_end
+
+    # ------------------------------------------------------------------
+    # propagation engine
+    # ------------------------------------------------------------------
+    def _push(self, heap: ReadyQueue, ready: int, kind: str, payload: tuple) -> None:
+        heap.push(ready, (kind, payload))
+
+    def _unit_index(self, item: Tuple[str, tuple]) -> int:
+        kind, payload = item
+        vertex = payload[1] if kind != "vertex" else payload[0]
+        return vertex % self.config.propagate_units
+
+    def _run(self, heap: ReadyQueue, stats: HwBatchStats) -> int:
+        """Drain the work queue; returns the completion cycle of the drain.
+
+        Items execute in near-chronological start order: an item whose
+        propagation unit is busy past another item's readiness is re-keyed
+        at its actual start time (see :meth:`ReadyQueue.pop_or_requeue`),
+        so shared-memory contention is resolved fairly.
+        """
+        last_done = 0
+        while heap:
+            if len(heap) > stats.buffer_peak:
+                stats.buffer_peak = len(heap)
+            popped = heap.pop_or_requeue(
+                lambda item: self._units[self._unit_index(item)].next_free
+            )
+            if popped is None:
+                continue
+            start, (kind, payload) = popped
+            unit = self._unit_index((kind, payload))
+            if kind == "add":
+                done = self._exec_addition(heap, unit, start, payload, stats)
+            elif kind == "del":
+                done = self._exec_deletion(heap, unit, start, payload, stats)
+            else:
+                done = self._exec_vertex(heap, unit, start, payload[0], stats)
+            if done > last_done:
+                last_done = done
+        return last_done
+
+    def _exec_addition(
+        self, heap: ReadyQueue, unit: int, start: int, payload: tuple, stats: HwBatchStats
+    ) -> int:
+        """Relax a valuable added edge; activate its target on improvement."""
+        u, v, weight = payload
+        alg = self.algorithm
+        assert self._spm is not None
+        if self.tracer is not None:
+            self.tracer.record(start, "addition", unit, "start", v)
+        # operand states were prefetched at identification; re-read u (it may
+        # have improved since) and apply one relaxation.
+        t = self._unit_state_pf[unit].fetch_state(u, now=start)
+        t += self.config.compute_latency
+        stats.relaxations += 1
+        candidate = alg.propagate(self.states[u], alg.transform_weight(weight))
+        self._units[unit].occupy_until(t)
+        if alg.is_better(candidate, self.states[v]):
+            self.states[v] = candidate
+            self.parents[v] = u
+            stats.activations += 1
+            t = self._unit_state_pf[unit].fetch_state(v, now=t, write=True)
+            self._push(heap, t, "vertex", (v,))
+        return t
+
+    def _exec_vertex(
+        self, heap: ReadyQueue, unit: int, start: int, v: int, stats: HwBatchStats
+    ) -> int:
+        """Broadcast vertex ``v``'s state to its out-neighbors.
+
+        One indptr access sizes the request, one burst fetches the packed
+        edge list, then one neighbor is relaxed per cycle (Section III-B's
+        two-step propagate: compute candidate, select against previous).
+        """
+        alg = self.algorithm
+        assert self._spm is not None and self._layout is not None
+        if self.tracer is not None:
+            self.tracer.record(start, "vertex", unit, "start", v)
+        t = self._unit_nbr_pf[unit].fetch_edge_list(v, now=start)
+        dv = self.states[v]
+        better = alg.is_better
+        propagate = alg.propagate
+        transform = alg.transform_weight
+        done = t
+        issue = t
+        for x, w in self.graph.out_adj(v).items():
+            issue += self.config.compute_latency
+            stats.relaxations += 1
+            candidate = propagate(dv, transform(w))
+            read_done = self._unit_state_pf[unit].fetch_state(x, now=issue)
+            if better(candidate, self.states[x]):
+                self.states[x] = candidate
+                self.parents[x] = v
+                stats.activations += 1
+                write_done = self._unit_state_pf[unit].fetch_state(
+                    x, now=read_done, write=True
+                )
+                self._push(heap, write_done, "vertex", (x,))
+                if self.tracer is not None:
+                    self.tracer.record(write_done, "vertex", unit, "activate", x)
+                read_done = write_done
+            if read_done > done:
+                done = read_done
+        self._units[unit].occupy_until(issue)
+        return done
+
+    def _exec_deletion(
+        self, heap: ReadyQueue, unit: int, start: int, payload: tuple, stats: HwBatchStats
+    ) -> int:
+        """Repair after a valuable deletion (KickStarter-style, timed).
+
+        Tags the dependence subtree by walking forward edge lists, resets
+        members, re-derives each from its reverse edge list, and seeds
+        propagation.  A deletion whose target is supplied by another edge is
+        a one-cycle no-op (the witness is intact).
+        """
+        u, v = payload
+        alg = self.algorithm
+        assert self._spm is not None and self._layout is not None
+        if self.tracer is not None:
+            self.tracer.record(start, "deletion", unit, "start", v)
+        if self.parents[v] != u:
+            self._units[unit].occupy_until(start + 1)
+            return start + 1
+        stats.repairs += 1
+        if self.tracer is not None:
+            self.tracer.record(start, "deletion", unit, "repair", v)
+        identity = alg.identity()
+
+        # tagging walk over forward edge lists
+        t = start
+        subtree: Set[int] = {v}
+        frontier: Deque[int] = deque([v])
+        while frontier:
+            x = frontier.popleft()
+            t = self._unit_nbr_pf[unit].fetch_edge_list(x, now=t)
+            for y in self.graph.out_adj(x):
+                t += 1  # parent comparison, one per scanned edge
+                if y not in subtree and self.parents[y] == x:
+                    subtree.add(y)
+                    frontier.append(y)
+
+        # reset
+        for x in subtree:
+            self.states[x] = identity
+            self.parents[x] = -1
+            t = self._unit_state_pf[unit].fetch_state(x, now=t, write=True)
+
+        # re-derive from reverse edge lists
+        better = alg.is_better
+        propagate = alg.propagate
+        transform = alg.transform_weight
+        source = self.query.source
+        for x in subtree:
+            if x == source:
+                self.states[x] = alg.source_state()
+                self._push(heap, t, "vertex", (x,))
+                continue
+            t = self._unit_nbr_pf[unit].fetch_edge_list(x, now=t, reverse=True)
+            best = identity
+            parent = -1
+            for y, w in self.graph.in_adj(x).items():
+                t += self.config.compute_latency
+                stats.relaxations += 1
+                candidate = propagate(self.states[y], transform(w))
+                if better(candidate, best):
+                    best = candidate
+                    parent = y
+            if better(best, identity):
+                self.states[x] = best
+                self.parents[x] = parent
+                stats.activations += 1
+                t = self._unit_state_pf[unit].fetch_state(x, now=t, write=True)
+                self._push(heap, t, "vertex", (x,))
+        self._units[unit].occupy_until(t)
+        return t
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _must_promote(self, upd: EdgeUpdate) -> bool:
+        if self.rule is KeyPathRule.PAPER:
+            return self.keypath.contains(upd.u)
+        return self.keypath.edge_on_path(upd.u, upd.v, self.parents)

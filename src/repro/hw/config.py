@@ -1,0 +1,130 @@
+"""Hardware configuration (Table I of the paper).
+
+All timing in this package is expressed in *core cycles* of the accelerator
+clock (1 GHz in the paper, so one cycle is one nanosecond), which keeps the
+discrete-event arithmetic in integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Off-chip memory: 8x DDR4-3200 channels, 12 GB/s effective each.
+
+    Latency parameters follow DDR4-3200 CL22 (tCL = tRCD = tRP = 13.75 ns),
+    rounded to integer core cycles.  ``burst_cycles`` is the per-64B-line
+    channel-bus occupancy implied by Table I's 12 GB/s effective bandwidth
+    per channel (64 B / 12 GBps = 5.33 ns).
+    """
+
+    channels: int = 8
+    banks_per_channel: int = 16
+    row_bytes: int = 8192
+    line_bytes: int = 64
+    tCL: int = 14
+    tRCD: int = 14
+    tRP: int = 14
+    burst_cycles: int = 6
+    #: periodic refresh: every tREFI cycles each channel stalls for tRFC.
+    #: Disabled by default (DRAMSim3-style studies usually toggle it).
+    refresh_enabled: bool = False
+    tREFI: int = 7800
+    tRFC: int = 350
+    #: detailed DDR4 constraints (bank groups, tFAW, write turnaround).
+    #: Off by default: the base model already enforces the bandwidth and
+    #: row-buffer behaviour the evaluation depends on.
+    detailed_timing: bool = False
+    bank_groups: int = 4
+    tCCD_S: int = 2  # column-to-column, different bank group
+    tCCD_L: int = 4  # column-to-column, same bank group
+    tFAW: int = 21  # four-activation window
+    tWTR: int = 7  # write-to-read turnaround
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.banks_per_channel <= 0:
+            raise ConfigError("DRAM needs at least one channel and bank")
+        if self.row_bytes % self.line_bytes:
+            raise ConfigError("row_bytes must be a multiple of line_bytes")
+        if self.refresh_enabled and not 0 < self.tRFC < self.tREFI:
+            raise ConfigError("need 0 < tRFC < tREFI for refresh modelling")
+        if self.detailed_timing:
+            if self.bank_groups <= 0 or self.banks_per_channel % self.bank_groups:
+                raise ConfigError("bank_groups must divide banks_per_channel")
+            if self.tCCD_L < self.tCCD_S:
+                raise ConfigError("tCCD_L must be >= tCCD_S")
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Cycles from issue to first data for an open-row access."""
+        return self.tCL
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Cycles from issue to first data when a new row must be opened."""
+        return self.tRP + self.tRCD + self.tCL
+
+
+@dataclass(frozen=True)
+class SpmConfig:
+    """On-chip scratchpad: 32 MB eDRAM organised as a cache (Table I).
+
+    0.8 ns access at 2 GHz lands inside one 1 GHz core cycle, hence
+    ``hit_latency = 1``.
+    """
+
+    size_bytes: int = 32 * 1024 * 1024
+    line_bytes: int = 64
+    ways: int = 8
+    hit_latency: int = 1
+    #: concurrent line accesses per cycle (bank/port parallelism)
+    ports: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ConfigError("SPM size must divide evenly into sets")
+        if self.ports <= 0:
+            raise ConfigError("SPM needs at least one access port")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Top-level CISGraph accelerator parameters.
+
+    ``pipelines`` matches Table I's "4x CISGraph Pipelines"; each pipeline
+    owns a prefetcher pair and an identification unit.  ``propagate_units``
+    is the pool of propagation modules the paper adds "to offset the speed
+    gap between identification and propagation"; activated vertices are
+    distributed over them by vertex id.
+    """
+
+    pipelines: int = 4
+    propagate_units: int = 4
+    freq_ghz: float = 1.0
+    identify_latency: int = 1
+    compute_latency: int = 1
+    output_buffer_capacity: int = 4096
+    spm: SpmConfig = field(default_factory=SpmConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+
+    def __post_init__(self) -> None:
+        if self.pipelines <= 0 or self.propagate_units <= 0:
+            raise ConfigError("need at least one pipeline and propagation unit")
+        if self.freq_ghz <= 0:
+            raise ConfigError("frequency must be positive")
+        if self.output_buffer_capacity <= 0:
+            raise ConfigError("output buffer must hold at least one entry")
+
+    def cycles_to_ns(self, cycles: int) -> float:
+        return cycles / self.freq_ghz
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        return cycles / (self.freq_ghz * 1e9)

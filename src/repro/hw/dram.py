@@ -1,0 +1,231 @@
+"""Event-driven DDR4 channel/bank/row-buffer timing model.
+
+A deliberately DRAMSim3-shaped model at transaction granularity: requests
+are split into 64 B lines; each line is routed by address to a channel and
+bank, pays a row-buffer hit or miss latency (open-page policy), and then
+occupies the channel data bus for ``burst_cycles`` — the serialization that
+enforces Table I's 12 GB/s effective bandwidth per channel.  Bank and bus
+availability are tracked as monotone timelines, so overlapping requests
+contend realistically while the model stays fast enough to run inside the
+Python accelerator simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.hw.config import DramConfig
+
+
+@dataclass
+class DramStats:
+    """Aggregate DRAM activity counters."""
+
+    reads: int = 0
+    writes: int = 0
+    lines: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    bytes_transferred: int = 0
+    busy_cycles: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class _Bank:
+    """One DRAM bank: open row plus a ready-time cursor."""
+
+    __slots__ = ("open_row", "ready")
+
+    def __init__(self) -> None:
+        self.open_row = -1
+        self.ready = 0
+
+
+class DramModel:
+    """Multi-channel DDR4 with open-page row buffers.
+
+    :meth:`access` returns the cycle at which the *last* byte of the request
+    arrives (reads) or is accepted (writes).  Requests may span several
+    lines (edge-list bursts); consecutive lines of one request hit the same
+    row with high probability, matching the CSR streaming pattern the
+    accelerator relies on.
+
+    With ``config.detailed_timing`` three further DDR4 constraints apply:
+    column-to-column spacing per bank group (tCCD_L same group, tCCD_S
+    across groups), the four-activation window (tFAW per channel), and
+    write-to-read turnaround (tWTR per channel).
+    """
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self._banks: List[List[_Bank]] = [
+            [_Bank() for _ in range(config.banks_per_channel)]
+            for _ in range(config.channels)
+        ]
+        self._bus_free: List[int] = [0] * config.channels
+        # detailed-timing state
+        self._group_col_free: List[List[int]] = [
+            [0] * max(1, config.bank_groups) for _ in range(config.channels)
+        ]
+        self._activations: List[List[int]] = [[] for _ in range(config.channels)]
+        self._last_write_end: List[int] = [0] * config.channels
+        self.stats = DramStats()
+
+    # ------------------------------------------------------------------
+    # address mapping
+    # ------------------------------------------------------------------
+    def map_line(self, line_addr: int) -> Tuple[int, int, int]:
+        """(channel, bank, row) for a line address.
+
+        Channel interleaving at line granularity spreads sequential streams
+        over all channels; rows are contiguous within a (channel, bank).
+        """
+        cfg = self.config
+        channel = line_addr % cfg.channels
+        per_channel = line_addr // cfg.channels
+        lines_per_row = cfg.row_bytes // cfg.line_bytes
+        row_global = per_channel // lines_per_row
+        bank = row_global % cfg.banks_per_channel
+        row = row_global // cfg.banks_per_channel
+        return channel, bank, row
+
+    # ------------------------------------------------------------------
+    def access(self, address: int, length: int, now: int, write: bool = False) -> int:
+        """Service a request of ``length`` bytes starting at ``address``.
+
+        Returns the completion cycle.  ``now`` is the issue cycle; the model
+        never completes before ``now``.
+        """
+        if length <= 0:
+            return now
+        cfg = self.config
+        first_line = address // cfg.line_bytes
+        last_line = (address + length - 1) // cfg.line_bytes
+        completion = now
+        for line in range(first_line, last_line + 1):
+            channel, bank_idx, row = self.map_line(line)
+            bank = self._banks[channel][bank_idx]
+
+            issue = self._after_refresh(max(now, bank.ready))
+            if cfg.detailed_timing:
+                issue = self._apply_detailed_constraints(
+                    channel, bank_idx, issue, write
+                )
+            if bank.open_row == row:
+                latency = cfg.row_hit_latency
+                self.stats.row_hits += 1
+            else:
+                latency = cfg.row_miss_latency
+                self.stats.row_misses += 1
+                bank.open_row = row
+                if cfg.detailed_timing:
+                    issue = self._apply_faw(channel, issue)
+            data_start = max(issue + latency, self._bus_free[channel])
+            data_end = data_start + cfg.burst_cycles
+            self._bus_free[channel] = data_end
+            bank.ready = data_end
+            if cfg.detailed_timing:
+                group = bank_idx % cfg.bank_groups
+                spacing = cfg.tCCD_L  # charged on the issuing group
+                self._group_col_free[channel][group] = issue + spacing
+                if write:
+                    self._last_write_end[channel] = data_end
+            self.stats.busy_cycles += cfg.burst_cycles
+            self.stats.lines += 1
+            self.stats.bytes_transferred += cfg.line_bytes
+            if data_end > completion:
+                completion = data_end
+        if write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return completion
+
+    # ------------------------------------------------------------------
+    def _apply_detailed_constraints(
+        self, channel: int, bank_idx: int, issue: int, write: bool
+    ) -> int:
+        """Column spacing (tCCD) and write-to-read turnaround (tWTR)."""
+        cfg = self.config
+        group = bank_idx % cfg.bank_groups
+        # same-group spacing was recorded at tCCD_L; a different group only
+        # needs tCCD_S, modelled as allowing issue tCCD_L - tCCD_S earlier.
+        col_free = self._group_col_free[channel][group]
+        if issue < col_free:
+            issue = col_free
+        other_free = max(
+            (
+                free
+                for g, free in enumerate(self._group_col_free[channel])
+                if g != group
+            ),
+            default=0,
+        )
+        cross = other_free - (cfg.tCCD_L - cfg.tCCD_S)
+        if issue < cross:
+            issue = cross
+        if not write and self._last_write_end[channel]:
+            turnaround = self._last_write_end[channel] + cfg.tWTR
+            if issue < turnaround:
+                issue = turnaround
+        return issue
+
+    def _apply_faw(self, channel: int, issue: int) -> int:
+        """At most four row activations per channel per tFAW window."""
+        cfg = self.config
+        window = self._activations[channel]
+        # retain only activations still inside the window
+        window[:] = [t for t in window if t > issue - cfg.tFAW]
+        if len(window) >= 4:
+            issue = max(issue, window[0] + cfg.tFAW)
+            window[:] = [t for t in window if t > issue - cfg.tFAW]
+        window.append(issue)
+        return issue
+
+    def _after_refresh(self, cycle: int) -> int:
+        """Push a cycle out of any refresh blackout window.
+
+        With refresh enabled every channel stalls for ``tRFC`` cycles at the
+        start of each ``tREFI`` period (all-bank refresh, rank-synchronous —
+        the conservative DRAMSim3 default).
+        """
+        cfg = self.config
+        if not cfg.refresh_enabled:
+            return cycle
+        position = cycle % cfg.tREFI
+        if position < cfg.tRFC:
+            return cycle + (cfg.tRFC - position)
+        return cycle
+
+    def reset_stats(self) -> None:
+        self.stats = DramStats()
+
+    def reset_timing(self) -> None:
+        """Rewind all availability cursors to cycle zero.
+
+        Used between simulated batches: each batch restarts its cycle
+        count, but persistent structural state (open rows) carries over.
+        """
+        for channel in self._banks:
+            for bank in channel:
+                bank.ready = 0
+        self._bus_free = [0] * self.config.channels
+        self._group_col_free = [
+            [0] * max(1, self.config.bank_groups)
+            for _ in range(self.config.channels)
+        ]
+        self._activations = [[] for _ in range(self.config.channels)]
+        self._last_write_end = [0] * self.config.channels
+
+    def check_invariants(self) -> None:
+        """Bus timelines must be monotone and non-negative (tests)."""
+        for free in self._bus_free:
+            assert free >= 0
+        for channel in self._banks:
+            for bank in channel:
+                assert bank.ready >= 0

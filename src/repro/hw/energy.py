@@ -1,0 +1,104 @@
+"""Accelerator energy model (extension beyond the paper's evaluation).
+
+The paper evaluates response time only; any DATE-style accelerator study
+also wants energy.  This model assigns CACTI-flavoured per-event energies
+to the telemetry the simulator already collects (SPM accesses, DRAM line
+transfers and activations, ALU relaxations) plus a static/leakage component
+proportional to the busy window, and reports a per-batch breakdown.
+
+Default constants are order-of-magnitude figures for the Table I
+configuration (32 MB eDRAM at 22 nm-ish, DDR4 interface energy): good for
+*relative* comparisons (ablations, scheduling policies), not for absolute
+silicon claims — the same scope CACTI itself has in architecture papers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.accelerator import HwBatchStats
+from repro.hw.config import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Per-event energies (picojoules) and static power (milliwatts)."""
+
+    spm_access_pj: float = 25.0  # 32MB eDRAM bank access
+    spm_writeback_pj: float = 30.0
+    dram_line_pj: float = 2500.0  # 64B over DDR4: ~40 pJ/bit interface+core
+    dram_activate_pj: float = 1500.0  # row activation on a miss
+    relaxation_pj: float = 3.0  # fp compare+add datapath
+    identification_pj: float = 4.0  # two compares + buffer write
+    static_mw: float = 250.0  # leakage + clocking for the whole chip
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy per component for one batch, in nanojoules."""
+
+    spm_nj: float
+    dram_nj: float
+    compute_nj: float
+    static_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.spm_nj + self.dram_nj + self.compute_nj + self.static_nj
+
+    def fraction(self, component: str) -> float:
+        value = getattr(self, f"{component}_nj")
+        total = self.total_nj
+        return value / total if total else 0.0
+
+
+class EnergyModel:
+    """Convert accelerator batch telemetry into an energy breakdown."""
+
+    def __init__(
+        self,
+        config: EnergyConfig = EnergyConfig(),
+        accel_config: AcceleratorConfig = AcceleratorConfig(),
+    ) -> None:
+        self.config = config
+        self.accel_config = accel_config
+
+    def batch_energy(self, stats: HwBatchStats) -> EnergyBreakdown:
+        """Energy of one processed batch from its telemetry."""
+        cfg = self.config
+        spm_nj = (
+            stats.spm.accesses * cfg.spm_access_pj
+            + stats.spm.writebacks * cfg.spm_writeback_pj
+        ) / 1000.0
+        dram_nj = (
+            stats.dram.lines * cfg.dram_line_pj
+            + stats.dram.row_misses * cfg.dram_activate_pj
+        ) / 1000.0
+        identifications = sum(
+            stats.classification.get(key, 0)
+            for key in (
+                "valuable_additions",
+                "nondelayed_deletions",
+                "delayed_deletions",
+                "useless",
+            )
+        )
+        compute_nj = (
+            stats.relaxations * cfg.relaxation_pj
+            + identifications * cfg.identification_pj
+        ) / 1000.0
+        seconds = self.accel_config.cycles_to_seconds(stats.total_cycles)
+        static_nj = cfg.static_mw * 1e-3 * seconds * 1e9
+        return EnergyBreakdown(
+            spm_nj=spm_nj,
+            dram_nj=dram_nj,
+            compute_nj=compute_nj,
+            static_nj=static_nj,
+        )
+
+    def average_power_mw(self, stats: HwBatchStats) -> float:
+        """Mean power over the batch's busy window (milliwatts)."""
+        seconds = self.accel_config.cycles_to_seconds(stats.total_cycles)
+        if seconds <= 0:
+            return 0.0
+        return self.batch_energy(stats).total_nj * 1e-9 / seconds * 1e3

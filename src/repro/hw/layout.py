@@ -1,0 +1,94 @@
+"""Physical memory layout of the graph data structures.
+
+The accelerator addresses four regions in off-chip memory (Section III-B):
+the per-vertex state array, the CSR index (``indptr``), the packed forward
+edge lists (4 B neighbor id + 4 B weight per edge, contiguous per vertex)
+and the packed reverse edge lists used by deletion repair.  The layout
+object translates logical accesses ("state of vertex 17", "edge list of
+vertex 4") into byte addresses and lengths for the SPM/DRAM models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.csr import CSRGraph
+
+#: alignment of region bases; a DRAM row so regions never share a row
+_REGION_ALIGN = 8192
+
+
+def _align(value: int, alignment: int = _REGION_ALIGN) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class Span:
+    """A contiguous byte range in memory."""
+
+    address: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.address + self.length
+
+
+class MemoryLayout:
+    """Byte addresses of state, CSR and reverse-CSR regions for a snapshot."""
+
+    STATE_BYTES = CSRGraph.STATE_BYTES
+    INDPTR_BYTES = CSRGraph.INDPTR_BYTES
+    EDGE_RECORD_BYTES = CSRGraph.INDEX_BYTES + CSRGraph.WEIGHT_BYTES
+
+    def __init__(self, csr: CSRGraph, reverse_csr: CSRGraph) -> None:
+        if csr.num_vertices != reverse_csr.num_vertices:
+            raise ValueError("forward and reverse CSR disagree on vertex count")
+        self.csr = csr
+        self.reverse_csr = reverse_csr
+        n = csr.num_vertices
+        self.state_base = 0
+        self.indptr_base = _align(self.state_base + n * self.STATE_BYTES)
+        self.edges_base = _align(self.indptr_base + (n + 1) * self.INDPTR_BYTES)
+        self.rev_indptr_base = _align(
+            self.edges_base + csr.num_edges * self.EDGE_RECORD_BYTES
+        )
+        self.rev_edges_base = _align(
+            self.rev_indptr_base + (n + 1) * self.INDPTR_BYTES
+        )
+        self.total_bytes = _align(
+            self.rev_edges_base + reverse_csr.num_edges * self.EDGE_RECORD_BYTES
+        )
+
+    # ------------------------------------------------------------------
+    def state_span(self, vertex: int) -> Span:
+        """Byte range of ``state[vertex]``."""
+        return Span(self.state_base + vertex * self.STATE_BYTES, self.STATE_BYTES)
+
+    def indptr_span(self, vertex: int) -> Span:
+        """Byte range of ``indptr[vertex]`` and ``indptr[vertex+1]``.
+
+        Both offsets are needed to size the edge-list request; they are
+        adjacent, so a single 16-byte access covers them.
+        """
+        return Span(
+            self.indptr_base + vertex * self.INDPTR_BYTES, 2 * self.INDPTR_BYTES
+        )
+
+    def edge_list_span(self, vertex: int) -> Span:
+        """Byte range of ``vertex``'s packed forward edge list."""
+        start = int(self.csr.indptr[vertex]) * self.EDGE_RECORD_BYTES
+        length = self.csr.out_degree(vertex) * self.EDGE_RECORD_BYTES
+        return Span(self.edges_base + start, length)
+
+    def rev_indptr_span(self, vertex: int) -> Span:
+        return Span(
+            self.rev_indptr_base + vertex * self.INDPTR_BYTES,
+            2 * self.INDPTR_BYTES,
+        )
+
+    def rev_edge_list_span(self, vertex: int) -> Span:
+        """Byte range of ``vertex``'s packed reverse (in-) edge list."""
+        start = int(self.reverse_csr.indptr[vertex]) * self.EDGE_RECORD_BYTES
+        length = self.reverse_csr.out_degree(vertex) * self.EDGE_RECORD_BYTES
+        return Span(self.rev_edges_base + start, length)

@@ -1,0 +1,136 @@
+"""Decoupled state / neighbor prefetchers (Section III-B, Prefetching).
+
+The paper separates two fetch engines per pipeline because their access
+patterns differ:
+
+* the **neighbor prefetcher** issues one coarse request per vertex — CSR
+  stores a vertex's neighbor ids and weights contiguously, so a single
+  base+length burst moves the whole edge list into the SPM;
+* the **state prefetcher** issues fine-grained random requests driven by
+  the neighbor ids coming out of the neighbor prefetcher.
+
+Both are modelled with a bounded number of outstanding requests
+(MSHR-style): a fetch beyond the limit waits for the oldest in flight to
+retire.  The accelerator uses them to time identification operand fetches
+and propagation edge-list/state streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.hw.layout import MemoryLayout, Span
+from repro.hw.spm import ScratchpadMemory
+
+
+@dataclass
+class PrefetcherStats:
+    """Issue/occupancy counters for one prefetcher."""
+
+    requests: int = 0
+    bytes_requested: int = 0
+    stall_cycles: int = 0  # cycles spent waiting for a free MSHR
+
+
+class Prefetcher:
+    """Bounded-outstanding-request fetch engine in front of the SPM."""
+
+    def __init__(
+        self,
+        spm: ScratchpadMemory,
+        max_outstanding: int = 8,
+        name: str = "prefetcher",
+    ) -> None:
+        if max_outstanding <= 0:
+            raise ConfigError(f"{name}: need at least one outstanding slot")
+        self.spm = spm
+        self.max_outstanding = max_outstanding
+        self.name = name
+        self._inflight: List[int] = []  # completion cycles (min-heap)
+        self.stats = PrefetcherStats()
+
+    # ------------------------------------------------------------------
+    def fetch(self, address: int, length: int, now: int, write: bool = False) -> int:
+        """Issue a fetch at ``now``; returns the data-ready cycle.
+
+        If all outstanding slots are busy, issue stalls until the oldest
+        in-flight request completes.
+        """
+        if length <= 0:
+            return now
+        issue = now
+        while len(self._inflight) >= self.max_outstanding:
+            oldest = heapq.heappop(self._inflight)
+            if oldest > issue:
+                self.stats.stall_cycles += oldest - issue
+                issue = oldest
+        done = self.spm.access(address, length, now=issue, write=write)
+        heapq.heappush(self._inflight, done)
+        self.stats.requests += 1
+        self.stats.bytes_requested += length
+        return done
+
+    def fetch_span(self, span: Span, now: int, write: bool = False) -> int:
+        return self.fetch(span.address, span.length, now, write=write)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._inflight)
+
+    def drain(self, now: int) -> int:
+        """Cycle at which every in-flight request has retired."""
+        latest = now
+        while self._inflight:
+            completion = heapq.heappop(self._inflight)
+            if completion > latest:
+                latest = completion
+        return latest
+
+    def reset(self) -> None:
+        self._inflight.clear()
+        self.stats = PrefetcherStats()
+
+
+class StatePrefetcher(Prefetcher):
+    """Fine-grained per-vertex state fetches."""
+
+    def __init__(
+        self,
+        spm: ScratchpadMemory,
+        layout: MemoryLayout,
+        max_outstanding: int = 8,
+    ) -> None:
+        super().__init__(spm, max_outstanding, name="state-prefetcher")
+        self.layout = layout
+
+    def fetch_state(self, vertex: int, now: int, write: bool = False) -> int:
+        return self.fetch_span(self.layout.state_span(vertex), now, write=write)
+
+
+class NeighborPrefetcher(Prefetcher):
+    """Coarse per-vertex edge-list bursts (forward or reverse CSR)."""
+
+    def __init__(
+        self,
+        spm: ScratchpadMemory,
+        layout: MemoryLayout,
+        max_outstanding: int = 4,
+    ) -> None:
+        super().__init__(spm, max_outstanding, name="neighbor-prefetcher")
+        self.layout = layout
+
+    def fetch_edge_list(self, vertex: int, now: int, reverse: bool = False) -> int:
+        """Fetch indptr then the packed edge list; returns data-ready cycle."""
+        if reverse:
+            index_span = self.layout.rev_indptr_span(vertex)
+            list_span = self.layout.rev_edge_list_span(vertex)
+        else:
+            index_span = self.layout.indptr_span(vertex)
+            list_span = self.layout.edge_list_span(vertex)
+        t = self.fetch_span(index_span, now)
+        if list_span.length:
+            t = self.fetch_span(list_span, t)
+        return t

@@ -1,0 +1,164 @@
+"""Scratchpad memory model (32 MB eDRAM organised as a cache).
+
+Section III-B: "SPM is organized as cache to enable evictions".  The model
+is a set-associative, write-back, LRU cache in front of the DRAM model.
+Hits complete in one core cycle (0.8 ns eDRAM at 2 GHz, Table I); misses
+fetch the line from DRAM, evicting — and writing back when dirty — the LRU
+way.  Sets are allocated lazily, so simulating a 32 MB SPM does not
+materialise half a million empty lines.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.hw.config import SpmConfig
+from repro.hw.dram import DramModel
+
+
+@dataclass
+class SpmStats:
+    """Hit/miss/writeback counters."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class ScratchpadMemory:
+    """Set-associative write-back cache over :class:`DramModel`."""
+
+    def __init__(self, config: SpmConfig, dram: DramModel) -> None:
+        self.config = config
+        self.dram = dram
+        # set index -> OrderedDict[line_addr -> dirty]; LRU at front
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        # availability of each access port (bank-parallelism limit)
+        self._port_free = [0] * config.ports
+        self.stats = SpmStats()
+
+    # ------------------------------------------------------------------
+    def access(self, address: int, length: int, now: int, write: bool = False) -> int:
+        """Access ``length`` bytes at ``address``; returns completion cycle.
+
+        Multi-line accesses (edge-list reads staged through the SPM) pay one
+        lookup per line; misses are serviced by DRAM and fill the cache.
+        """
+        if length <= 0:
+            return now
+        cfg = self.config
+        first_line = address // cfg.line_bytes
+        last_line = (address + length - 1) // cfg.line_bytes
+        completion = now
+        for line in range(first_line, last_line + 1):
+            done = self._access_line(line, now, write)
+            if done > completion:
+                completion = done
+        return completion
+
+    def _acquire_port(self, now: int) -> int:
+        """Earliest cycle a free access port is available from ``now``."""
+        index = min(range(len(self._port_free)), key=self._port_free.__getitem__)
+        start = max(now, self._port_free[index])
+        self._port_free[index] = start + 1
+        return start
+
+    def _access_line(self, line: int, now: int, write: bool) -> int:
+        cfg = self.config
+        now = self._acquire_port(now)
+        set_index = line % cfg.num_sets
+        ways = self._sets.get(set_index)
+        if ways is None:
+            ways = OrderedDict()
+            self._sets[set_index] = ways
+
+        if line in ways:
+            self.stats.hits += 1
+            ways.move_to_end(line)
+            if write:
+                ways[line] = True
+            return now + cfg.hit_latency
+
+        self.stats.misses += 1
+        fill_done = self.dram.access(
+            line * cfg.line_bytes, cfg.line_bytes, now, write=False
+        )
+        if len(ways) >= cfg.ways:
+            victim, dirty = ways.popitem(last=False)
+            if dirty:
+                self.stats.writebacks += 1
+                # Write-back traffic occupies DRAM but is off the critical
+                # path of the fill (posted write).
+                self.dram.access(
+                    victim * cfg.line_bytes, cfg.line_bytes, now, write=True
+                )
+        ways[line] = bool(write)
+        return fill_done + cfg.hit_latency
+
+    # ------------------------------------------------------------------
+    def flush(self, now: int) -> int:
+        """Write every dirty line back to DRAM; returns completion cycle."""
+        completion = now
+        for ways in self._sets.values():
+            for line, dirty in ways.items():
+                if dirty:
+                    self.stats.writebacks += 1
+                    done = self.dram.access(
+                        line * self.config.line_bytes,
+                        self.config.line_bytes,
+                        now,
+                        write=True,
+                    )
+                    if done > completion:
+                        completion = done
+            for line in list(ways):
+                ways[line] = False
+        return completion
+
+    def invalidate_from(self, address: int) -> int:
+        """Drop every cached line at or above ``address``.
+
+        Used between batches: the state region keeps stable addresses (and
+        stays resident — the paper's SPM "reuse opportunity"), while CSR
+        regions are rebuilt for the new snapshot and their stale lines must
+        go.  Returns the number of invalidated lines; CSR lines are
+        read-only so no write-back traffic is generated.
+        """
+        boundary = address // self.config.line_bytes
+        dropped = 0
+        for ways in self._sets.values():
+            stale = [line for line in ways if line >= boundary]
+            for line in stale:
+                del ways[line]
+                dropped += 1
+        return dropped
+
+    def reset_timing(self) -> None:
+        """Rewind port cursors to cycle zero (between simulated batches)."""
+        self._port_free = [0] * self.config.ports
+
+    def reset(self) -> None:
+        """Drop all cached lines and counters (between experiments)."""
+        self._sets.clear()
+        self._port_free = [0] * self.config.ports
+        self.stats = SpmStats()
+
+    def occupancy_lines(self) -> int:
+        """Number of resident lines (tests assert capacity bounds)."""
+        return sum(len(ways) for ways in self._sets.values())
+
+    def check_invariants(self) -> None:
+        for set_index, ways in self._sets.items():
+            assert len(ways) <= self.config.ways, "set over-subscribed"
+            for line in ways:
+                assert line % self.config.num_sets == set_index, "line in wrong set"

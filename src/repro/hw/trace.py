@@ -1,0 +1,143 @@
+"""Execution tracing for the accelerator simulator.
+
+A :class:`TraceRecorder` captures one record per simulated action —
+identification issue, propagation start, relaxation, activation, repair —
+with its cycle and unit.  Traces make timing behaviour inspectable
+(pipeline overlap, unit balance) and let tests assert scheduling
+invariants that aggregate counters cannot express.
+
+Tracing is off by default (it allocates one record per event); enable it
+per accelerator with ``CISGraphAccelerator(..., trace=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One simulated action."""
+
+    cycle: int
+    phase: str  # identify | addition | deletion | vertex
+    unit: int  # pipeline or propagation-unit index
+    action: str  # issue | start | relax | activate | repair | done
+    vertex: int  # primary vertex (edge head for updates)
+
+    def __str__(self) -> str:
+        return (
+            f"@{self.cycle:>8} {self.phase:<9} u{self.unit:<2} "
+            f"{self.action:<9} v{self.vertex}"
+        )
+
+
+class TraceRecorder:
+    """Append-only event log with query helpers."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._records: List[TraceRecord] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def record(
+        self, cycle: int, phase: str, unit: int, action: str, vertex: int
+    ) -> None:
+        if len(self._records) >= self.capacity:
+            self.dropped += 1
+            return
+        self._records.append(TraceRecord(cycle, phase, unit, action, vertex))
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        phase: Optional[str] = None,
+        action: Optional[str] = None,
+        unit: Optional[int] = None,
+    ) -> List[TraceRecord]:
+        """Filtered view of the log."""
+        out = []
+        for record in self._records:
+            if phase is not None and record.phase != phase:
+                continue
+            if action is not None and record.action != action:
+                continue
+            if unit is not None and record.unit != unit:
+                continue
+            out.append(record)
+        return out
+
+    def per_unit_counts(self) -> Dict[int, int]:
+        """Events per unit (load-balance view)."""
+        counts: Dict[int, int] = {}
+        for record in self._records:
+            counts[record.unit] = counts.get(record.unit, 0) + 1
+        return counts
+
+    def busy_window(self) -> Tuple[int, int]:
+        """(first, last) cycle with any activity (0, 0 when empty)."""
+        if not self._records:
+            return (0, 0)
+        cycles = [r.cycle for r in self._records]
+        return (min(cycles), max(cycles))
+
+    def check_per_unit_monotone(self, action: str = "start") -> None:
+        """Assert each unit's ``action`` records appear in cycle order."""
+        last: Dict[int, int] = {}
+        for record in self._records:
+            if record.action != action:
+                continue
+            previous = last.get(record.unit)
+            assert previous is None or record.cycle >= previous, (
+                f"unit {record.unit}: {action} at {record.cycle} after {previous}"
+            )
+            last[record.unit] = record.cycle
+
+    def gantt(self, width: int = 72, phase: Optional[str] = None) -> str:
+        """ASCII per-unit activity timeline.
+
+        Each row is one unit; columns are equal slices of the busy window;
+        a cell is marked when the unit recorded any event in that slice —
+        a quick visual check of pipeline overlap and load balance.
+        """
+        records = self.records(phase=phase)
+        if not records:
+            return "(no trace records)"
+        lo = min(r.cycle for r in records)
+        hi = max(r.cycle for r in records)
+        span = max(1, hi - lo)
+        units = sorted({r.unit for r in records})
+        grid = {unit: [" "] * width for unit in units}
+        for record in records:
+            column = min(width - 1, (record.cycle - lo) * width // span)
+            grid[record.unit][column] = "#"
+        lines = [f"cycles {lo}..{hi}" + (f" ({phase})" if phase else "")]
+        for unit in units:
+            lines.append(f"u{unit:<3}|" + "".join(grid[unit]) + "|")
+        return "\n".join(lines)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable log (first ``limit`` records)."""
+        rows = self._records if limit is None else self._records[:limit]
+        body = "\n".join(str(record) for record in rows)
+        suffix = ""
+        remaining = len(self._records) - len(rows)
+        if remaining > 0:
+            suffix = f"\n... {remaining} more records"
+        if self.dropped:
+            suffix += f"\n... {self.dropped} records dropped (capacity)"
+        return body + suffix

@@ -1,0 +1,315 @@
+"""Incremental propagation machinery shared by every incremental engine.
+
+:class:`IncrementalState` owns the per-query converged state array and the
+dependence tree (``parents[v]`` = in-neighbor that supplied ``v``'s state)
+over a mutable :class:`~repro.graph.dynamic.DynamicGraph`.  It implements
+the three primitives of incremental monotonic computation:
+
+* :meth:`process_addition` — relax a new edge and, if it improves the
+  target, broadcast the improvement along the topology (Figure 1a);
+* :meth:`process_deletion` — KickStarter-style safe repair: when the
+  deleted edge supplied its target's state, tag the dependence subtree,
+  reset it, re-derive each member from surviving in-neighbors and
+  re-converge (this avoids the Figure 1b unrecoverable-approximation trap);
+* :meth:`propagate` — monotone worklist propagation from seed vertices,
+  with an optional pruning hook used by the bound-based baselines.
+
+All primitives are instrumented with :class:`~repro.metrics.OpCounts`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterable, List, Optional, Sequence, Set
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.algorithms.solvers import dijkstra
+from repro.graph.dynamic import DynamicGraph
+from repro.metrics import OpCounts
+
+#: ``prune(vertex, state) -> bool`` — return True to suppress broadcasting
+#: the (already written) new state of ``vertex``.
+PruneHook = Callable[[int, float], bool]
+
+
+class IncrementalState:
+    """Converged one-source state array plus dependence tree."""
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        algorithm: MonotonicAlgorithm,
+        source: int,
+    ) -> None:
+        self.graph = graph
+        self.algorithm = algorithm
+        self.source = source
+        self.states: List[float] = algorithm.initial_states(
+            graph.num_vertices, source
+        )
+        self.parents: List[int] = [-1] * graph.num_vertices
+        #: vertices whose new state was written but not broadcast (pruned)
+        self.suppressed: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # full computation
+    # ------------------------------------------------------------------
+    def full_compute(self, ops: Optional[OpCounts] = None) -> None:
+        """Converge from scratch (initial snapshot, Figure 1a)."""
+        result = dijkstra(self.graph, self.algorithm, self.source)
+        self.states = result.states
+        self.parents = result.parents
+        self.suppressed.clear()
+        if ops is not None:
+            ops += result.ops
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def propagate(
+        self,
+        seeds: Iterable[int],
+        ops: OpCounts,
+        prune: Optional[PruneHook] = None,
+        activated: Optional[Set[int]] = None,
+    ) -> int:
+        """Monotone worklist propagation from ``seeds`` to a fixpoint.
+
+        Seeds must already hold their new states.  Returns the number of
+        vertex activations (state writes downstream of the seeds).  With a
+        ``prune`` hook, vertices whose broadcast is suppressed are recorded
+        in :attr:`suppressed` so a later :meth:`flush_suppressed` can finish
+        convergence.
+        """
+        alg = self.algorithm
+        better = alg.is_better
+        propagate_op = alg.propagate
+        transform = alg.transform_weight
+        states = self.states
+        parents = self.parents
+
+        queue: Deque[int] = deque()
+        for seed in seeds:
+            if prune is not None and prune(seed, states[seed]):
+                ops.bound_checks += 1
+                self.suppressed.add(seed)
+                continue
+            if prune is not None:
+                ops.bound_checks += 1
+            queue.append(seed)
+
+        changes = 0
+        while queue:
+            u = queue.popleft()
+            du = states[u]
+            ops.state_reads += 1
+            for v, w in self.graph.out_adj(u).items():
+                ops.edges_scanned += 1
+                ops.relaxations += 1
+                ops.state_reads += 1
+                candidate = propagate_op(du, transform(w))
+                if better(candidate, states[v]):
+                    states[v] = candidate
+                    parents[v] = u
+                    ops.state_writes += 1
+                    ops.activations += 1
+                    changes += 1
+                    if activated is not None:
+                        activated.add(v)
+                    self.suppressed.discard(v)
+                    if prune is not None:
+                        ops.bound_checks += 1
+                        if prune(v, candidate):
+                            self.suppressed.add(v)
+                            continue
+                    queue.append(v)
+        return changes
+
+    def flush_suppressed(
+        self, ops: OpCounts, activated: Optional[Set[int]] = None
+    ) -> int:
+        """Broadcast every suppressed vertex (unpruned) to full convergence."""
+        if not self.suppressed:
+            return 0
+        seeds = list(self.suppressed)
+        self.suppressed.clear()
+        return self.propagate(seeds, ops, prune=None, activated=activated)
+
+    # ------------------------------------------------------------------
+    # additions
+    # ------------------------------------------------------------------
+    def process_addition(
+        self,
+        u: int,
+        v: int,
+        weight: float,
+        ops: OpCounts,
+        prune: Optional[PruneHook] = None,
+        activated: Optional[Set[int]] = None,
+    ) -> bool:
+        """Relax the (already inserted) edge ``u -> v`` and propagate.
+
+        Returns ``True`` when the edge improved ``v``.  Additions are always
+        monotone-safe (Section II-A): they constrict results or leave them
+        unchanged.
+        """
+        alg = self.algorithm
+        ops.relaxations += 1
+        ops.state_reads += 2
+        candidate = alg.propagate(self.states[u], alg.transform_weight(weight))
+        if not alg.is_better(candidate, self.states[v]):
+            return False
+        self.states[v] = candidate
+        self.parents[v] = u
+        ops.state_writes += 1
+        ops.activations += 1
+        if activated is not None:
+            activated.add(v)
+        self.propagate([v], ops, prune=prune, activated=activated)
+        return True
+
+    def process_reweight(
+        self,
+        u: int,
+        v: int,
+        new_weight: float,
+        ops: OpCounts,
+        prune: Optional[PruneHook] = None,
+        activated: Optional[Set[int]] = None,
+    ) -> bool:
+        """Handle an in-place weight change of edge ``u -> v``.
+
+        The topology must already carry the new weight.  A weight increase
+        on the supplying edge requires a deletion-style repair (the repair's
+        re-derivation sees the new weight, so it also covers decreases);
+        otherwise a plain relaxation with the new weight suffices.
+        """
+        if self.process_deletion(u, v, ops, prune=prune, activated=activated):
+            return True
+        return self.process_addition(
+            u, v, new_weight, ops, prune=prune, activated=activated
+        )
+
+    # ------------------------------------------------------------------
+    # deletions
+    # ------------------------------------------------------------------
+    def process_deletion(
+        self,
+        u: int,
+        v: int,
+        ops: OpCounts,
+        prune: Optional[PruneHook] = None,
+        activated: Optional[Set[int]] = None,
+        policy: str = "supplier",
+    ) -> bool:
+        """Repair after deleting edge ``u -> v`` (edge already removed).
+
+        Two tagging policies model the design space of Section II-A:
+
+        * ``"supplier"`` (KickStarter-like, the default): if ``v``'s state
+          was not supplied by this edge (``parents[v] != u``) nothing needs
+          to happen — the witness path is intact.  Otherwise the dependence
+          subtree of ``v`` is tagged, reset to the identity, every member is
+          re-derived from surviving in-neighbors, and the result is
+          re-converged.
+        * ``"reachable"`` (GraphFly-like): every deletion triggers a forward
+          traversal from ``v`` that tags and resets all reached vertices —
+          the expensive conservative scheme whose overhead motivates the
+          paper's contribution-aware workflow (Figure 2).
+
+        Returns ``True`` when a repair ran.
+        """
+        if policy not in ("supplier", "reachable"):
+            raise ValueError(f"unknown deletion policy {policy!r}")
+        ops.tag_ops += 1  # the did-this-edge-supply-its-target check
+        if policy == "supplier" and self.parents[v] != u:
+            return False
+
+        alg = self.algorithm
+        states = self.states
+        parents = self.parents
+        identity = alg.identity()
+
+        # Tag the repair set.  Supplier policy follows only dependence
+        # (parent) edges; reachable policy follows every topology edge out
+        # of a currently-reached vertex, as conservative prior systems do.
+        follow_all = policy == "reachable"
+        subtree: Set[int] = {v}
+        frontier: Deque[int] = deque([v])
+        while frontier:
+            x = frontier.popleft()
+            for y in self.graph.out_adj(x):
+                ops.tag_ops += 1
+                if y in subtree:
+                    continue
+                if follow_all:
+                    ops.state_reads += 1
+                    tagged = alg.is_reached(states[y])
+                else:
+                    tagged = parents[y] == x
+                if tagged:
+                    subtree.add(y)
+                    frontier.append(y)
+
+        # Reset, then re-derive each member from in-neighbors.  Reset states
+        # equal the identity, which can never supply (monotonicity), so
+        # in-subtree suppliers are naturally ignored.
+        for x in subtree:
+            states[x] = identity
+            parents[x] = -1
+            ops.state_writes += 1
+        if self.source in subtree:
+            # the source never loses its own state
+            states[self.source] = alg.source_state()
+            parents[self.source] = -1
+
+        better = alg.is_better
+        propagate_op = alg.propagate
+        transform = alg.transform_weight
+        seeds: List[int] = []
+        for x in subtree:
+            if x == self.source:
+                seeds.append(x)
+                continue
+            best = identity
+            parent = -1
+            for y, w in self.graph.in_adj(x).items():
+                ops.edges_scanned += 1
+                ops.relaxations += 1
+                ops.state_reads += 1
+                candidate = propagate_op(states[y], transform(w))
+                if better(candidate, best):
+                    best = candidate
+                    parent = y
+            if better(best, identity):
+                states[x] = best
+                parents[x] = parent
+                ops.state_writes += 1
+                ops.activations += 1
+                if activated is not None:
+                    activated.add(x)
+                seeds.append(x)
+
+        self.propagate(seeds, ops, prune=prune, activated=activated)
+        return True
+
+    # ------------------------------------------------------------------
+    # invariants (used by tests)
+    # ------------------------------------------------------------------
+    def check_converged(self) -> None:
+        """Assert the state array is a fixpoint and parents witness it."""
+        alg = self.algorithm
+        reference = dijkstra(self.graph, alg, self.source)
+        for v, (got, want) in enumerate(zip(self.states, reference.states)):
+            assert got == want, f"vertex {v}: state {got} != converged {want}"
+        for v, parent in enumerate(self.parents):
+            if parent == -1:
+                continue
+            assert self.graph.has_edge(parent, v), f"parent edge {parent}->{v} missing"
+            candidate = alg.propagate(
+                self.states[parent],
+                alg.transform_weight(self.graph.edge_weight(parent, v)),
+            )
+            assert candidate == self.states[v], (
+                f"vertex {v}: parent {parent} does not witness state"
+            )

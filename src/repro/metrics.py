@@ -1,0 +1,86 @@
+"""Operation-count metrics shared by every engine.
+
+The paper evaluates *computations* (Figure 5a), *activated vertices*
+(Figure 5b) and *processing time* (Table IV).  Software engines in this
+reproduction are instrumented with :class:`OpCounts`; the analytic CPU cost
+model (:mod:`repro.hw.cpu_model`) converts counts into simulated time so
+that baseline comparisons measure algorithmic work rather than Python
+interpreter overhead (see DESIGN.md, substitution list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass
+class OpCounts:
+    """Counters for the basic operations of pairwise streaming analytics.
+
+    ``relaxations`` is the paper's "computations" metric: one application of
+    the algorithm's ``(+)``/``(x)`` pair to an edge.
+    """
+
+    relaxations: int = 0
+    state_reads: int = 0
+    state_writes: int = 0
+    edges_scanned: int = 0
+    heap_ops: int = 0
+    classification_checks: int = 0
+    tag_ops: int = 0
+    hub_relaxations: int = 0
+    bound_checks: int = 0
+    updates_processed: int = 0
+    activations: int = 0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        merged = OpCounts()
+        for f in fields(OpCounts):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def __iadd__(self, other: "OpCounts") -> "OpCounts":
+        for f in fields(OpCounts):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def copy(self) -> "OpCounts":
+        return OpCounts(**self.as_dict())
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(OpCounts)}
+
+    def total_compute(self) -> int:
+        """All ALU-style work: relaxations plus bookkeeping checks."""
+        return (
+            self.relaxations
+            + self.classification_checks
+            + self.tag_ops
+            + self.hub_relaxations
+            + self.bound_checks
+        )
+
+    def __bool__(self) -> bool:
+        return any(getattr(self, f.name) for f in fields(OpCounts))
+
+
+@dataclass
+class BatchResult:
+    """Outcome of processing one update batch with one engine.
+
+    ``response_ops`` covers the work needed before the engine can answer the
+    pairwise query for the new snapshot (the paper's *response time*
+    numerator); ``post_ops`` covers the remaining drain work (e.g. delayed
+    deletions processed after the answer).  ``answer`` is the converged query
+    result on the new snapshot.
+    """
+
+    answer: float
+    response_ops: OpCounts = field(default_factory=OpCounts)
+    post_ops: OpCounts = field(default_factory=OpCounts)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_ops(self) -> OpCounts:
+        return self.response_ops + self.post_ops

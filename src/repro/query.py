@@ -1,0 +1,39 @@
+"""Pairwise query descriptor shared by every engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class PairwiseQuery:
+    """A point-to-point query ``Q(source -> destination)``.
+
+    The paper evaluates queries between a pair of *distinct* vertices; the
+    constructor enforces that invariant.
+    """
+
+    source: int
+    destination: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise QueryError(
+                f"pairwise query requires distinct vertices, got {self.source} twice"
+            )
+        if self.source < 0 or self.destination < 0:
+            raise QueryError(
+                f"vertex ids must be non-negative, got ({self.source}, {self.destination})"
+            )
+
+    def __str__(self) -> str:
+        return f"Q({self.source} -> {self.destination})"
+
+    def validate(self, num_vertices: int) -> None:
+        """Raise :class:`QueryError` unless both endpoints fit the graph."""
+        if self.source >= num_vertices or self.destination >= num_vertices:
+            raise QueryError(
+                f"{self} references vertices outside a {num_vertices}-vertex graph"
+            )

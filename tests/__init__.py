@@ -1,0 +1,2 @@
+"""Test package (needed so `from tests.conftest import ...` resolves
+under a bare ``pytest`` invocation as well as ``python -m pytest``)."""

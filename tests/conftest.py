@@ -1,0 +1,113 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm, list_algorithms
+from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind
+from repro.graph.dynamic import DynamicGraph
+from repro.graph import generators
+
+ALL_ALGORITHMS = list_algorithms()
+
+
+@pytest.fixture(params=ALL_ALGORITHMS)
+def algorithm(request):
+    """Every registered monotonic algorithm, one at a time."""
+    return get_algorithm(request.param)
+
+
+@pytest.fixture
+def diamond_graph() -> DynamicGraph:
+    """A 6-vertex graph with two s->d routes of different quality.
+
+    Layout (weights in parentheses)::
+
+        0 -(1)-> 1 -(1)-> 3
+        0 -(4)-> 2 -(4)-> 3
+        3 -(2)-> 4        5 isolated
+    """
+    return DynamicGraph.from_edges(
+        6,
+        [
+            (0, 1, 1.0),
+            (1, 3, 1.0),
+            (0, 2, 4.0),
+            (2, 3, 4.0),
+            (3, 4, 2.0),
+        ],
+    )
+
+
+def random_graph(
+    num_vertices: int, num_edges: int, seed: int = 0
+) -> DynamicGraph:
+    """Random simple weighted digraph for differential tests."""
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            edges.add((u, v))
+    return DynamicGraph.from_edges(
+        num_vertices,
+        [(u, v, float(rng.randint(1, 16))) for u, v in edges],
+    )
+
+
+def random_batch(
+    graph: DynamicGraph,
+    num_additions: int,
+    num_deletions: int,
+    seed: int = 0,
+    reweight_fraction: float = 0.2,
+) -> UpdateBatch:
+    """Additions (some re-weighting existing edges) plus deletions.
+
+    ``reweight_fraction`` of the additions target an already-present edge
+    with a fresh weight, exercising the in-place re-weight path that pure
+    absent-edge batches would miss.
+    """
+    rng = random.Random(seed)
+    batch = UpdateBatch()
+    existing = list(graph.edges())
+    present = {(u, v) for u, v, _ in existing}
+    added = set()
+    num_reweights = int(num_additions * reweight_fraction)
+    if existing:
+        for u, v, _ in rng.sample(existing, min(num_reweights, len(existing))):
+            batch.append(
+                EdgeUpdate(UpdateKind.ADD, u, v, float(rng.randint(1, 16)))
+            )
+    while len(added) < num_additions - num_reweights:
+        u = rng.randrange(graph.num_vertices)
+        v = rng.randrange(graph.num_vertices)
+        if u == v or (u, v) in present or (u, v) in added:
+            continue
+        added.add((u, v))
+        batch.append(EdgeUpdate(UpdateKind.ADD, u, v, float(rng.randint(1, 16))))
+    for u, v, w in rng.sample(existing, min(num_deletions, len(existing))):
+        batch.append(EdgeUpdate(UpdateKind.DELETE, u, v, w))
+    return batch
+
+
+def reachable_destination(graph: DynamicGraph, source: int) -> int:
+    """Some vertex reachable from ``source`` (breadth-first), or -1."""
+    from collections import deque
+
+    seen = {source}
+    queue = deque([source])
+    last = -1
+    while queue:
+        u = queue.popleft()
+        for v, _ in graph.out_neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                last = v
+                queue.append(v)
+    return last

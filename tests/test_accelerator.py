@@ -1,0 +1,138 @@
+"""Tests for the CISGraph accelerator simulator."""
+
+import pytest
+
+from repro.algorithms import PPSP, dijkstra, get_algorithm
+from repro.core.engine import CISGraphEngine
+from repro.graph.batch import UpdateBatch, add, delete
+from repro.graph.dynamic import DynamicGraph
+from repro.hw.accelerator import CISGraphAccelerator
+from repro.hw.config import AcceleratorConfig, SpmConfig
+from repro.query import PairwiseQuery
+from tests.conftest import random_batch, random_graph
+
+
+def make_accel(graph, query=PairwiseQuery(0, 4), algorithm=None, **kwargs):
+    accel = CISGraphAccelerator(graph, algorithm or PPSP(), query, **kwargs)
+    accel.initialize()
+    return accel
+
+
+class TestFunctionalEquivalence:
+    """The timing layer must never change what is computed."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_states_match_reference(self, algorithm, seed):
+        g = random_graph(60, 350, seed=seed)
+        query = PairwiseQuery(seed % 60, (seed * 13 + 7) % 60)
+        if query.source == query.destination:
+            return
+        accel = make_accel(g.copy(), query, algorithm)
+        reference_graph = g.copy()
+        for b in range(2):
+            batch = random_batch(reference_graph, 20, 20, seed=seed * 5 + b)
+            reference_graph.apply_batch(batch)
+            result = accel.on_batch(batch)
+            reference = dijkstra(reference_graph, algorithm, query.source)
+            assert result.answer == reference.states[query.destination]
+            assert accel.states == reference.states
+
+    def test_matches_software_engine_answers(self, diamond_graph):
+        batch = UpdateBatch([add(0, 4, 1.0), delete(1, 3, 1.0)])
+        accel = make_accel(diamond_graph.copy())
+        sw = CISGraphEngine(diamond_graph.copy(), PPSP(), PairwiseQuery(0, 4))
+        sw.initialize()
+        assert accel.on_batch(batch).answer == sw.on_batch(batch).answer
+
+
+class TestTimingInvariants:
+    def test_response_not_after_total(self, diamond_graph):
+        accel = make_accel(diamond_graph)
+        result = accel.on_batch(
+            UpdateBatch([add(0, 4, 1.0), delete(0, 2, 4.0)])
+        )
+        assert result.stats["response_cycles"] <= result.stats["total_cycles"]
+
+    def test_identification_cost_scales_with_batch(self, diamond_graph):
+        accel = make_accel(diamond_graph.copy())
+        small = accel.on_batch(UpdateBatch([add(0, 4, 99.0)]))
+        big_batch = UpdateBatch(
+            [add(0, 4, float(99 + i)) for i in range(1)]
+            + [add(2, 4, 99.0), add(1, 2, 99.0), add(0, 3, 99.0)]
+        )
+        accel2 = make_accel(diamond_graph.copy())
+        big = accel2.on_batch(big_batch)
+        assert big.stats["identify_cycles"] >= small.stats["identify_cycles"]
+
+    def test_useless_batch_has_no_propagation(self, diamond_graph):
+        accel = make_accel(diamond_graph)
+        result = accel.on_batch(UpdateBatch([add(0, 4, 99.0)]))
+        assert result.stats["relaxations"] == 0
+        assert result.stats["useless"] == 1
+
+    def test_delayed_deletion_after_response(self, diamond_graph):
+        accel = make_accel(diamond_graph)
+        result = accel.on_batch(UpdateBatch([delete(0, 2, 4.0)]))
+        # the repair happens, but only after the response window
+        assert result.stats["response_cycles"] < result.stats["total_cycles"]
+        assert result.stats["repairs"] == 1
+
+    def test_empty_batch(self, diamond_graph):
+        accel = make_accel(diamond_graph)
+        result = accel.on_batch(UpdateBatch())
+        assert result.stats["total_cycles"] == 0
+        assert result.answer == 4.0
+
+    def test_stats_exposed(self, diamond_graph):
+        accel = make_accel(diamond_graph)
+        accel.on_batch(UpdateBatch([add(0, 4, 1.0)]))
+        assert accel.last_stats is not None
+        assert accel.last_stats.spm.accesses > 0
+        assert accel.last_stats.dram.lines > 0
+
+
+class TestPromotion:
+    def test_delayed_promotion_keeps_answer_correct(self):
+        """Same adversarial case as the software engine test."""
+        g = DynamicGraph.from_edges(
+            5,
+            [
+                (0, 1, 1.0),
+                (1, 3, 1.0),
+                (0, 2, 1.0),
+                (2, 3, 2.0),
+                (0, 4, 5.0),
+                (4, 2, 5.0),
+            ],
+        )
+        accel = make_accel(g, PairwiseQuery(0, 3))
+        result = accel.on_batch(
+            UpdateBatch([delete(1, 3, 1.0), delete(0, 2, 1.0)])
+        )
+        assert result.answer == 12.0
+        assert result.stats["response_answer"] == 12.0
+        assert accel.last_stats.promoted == 1
+
+
+class TestConfigSensitivity:
+    def _run(self, config):
+        g = random_graph(80, 600, seed=21)
+        accel = make_accel(g.copy(), PairwiseQuery(0, 40), config=config)
+        batch = random_batch(g, 60, 60, seed=22)
+        return accel.on_batch(batch)
+
+    def test_more_pipelines_not_slower_identification(self):
+        one = self._run(AcceleratorConfig(pipelines=1, propagate_units=1))
+        four = self._run(AcceleratorConfig(pipelines=4, propagate_units=4))
+        assert four.stats["identify_cycles"] <= one.stats["identify_cycles"]
+
+    def test_answers_independent_of_config(self):
+        a = self._run(AcceleratorConfig(pipelines=1, propagate_units=1))
+        b = self._run(AcceleratorConfig(pipelines=8, propagate_units=8))
+        assert a.answer == b.answer
+
+    def test_tiny_spm_still_correct(self):
+        cfg = AcceleratorConfig(spm=SpmConfig(size_bytes=64 * 1024))
+        result = self._run(cfg)
+        default = self._run(AcceleratorConfig())
+        assert result.answer == default.answer

@@ -1,0 +1,136 @@
+"""Deeper accelerator behaviour tests: distribution, memory paths, rules."""
+
+import pytest
+
+from repro.algorithms import PPSP
+from repro.core.classification import KeyPathRule
+from repro.graph.batch import UpdateBatch, add, delete
+from repro.graph.dynamic import DynamicGraph
+from repro.hw.accelerator import CISGraphAccelerator
+from repro.hw.config import AcceleratorConfig, DramConfig, SpmConfig
+from repro.query import PairwiseQuery
+from tests.conftest import random_batch, random_graph
+
+
+def make_accel(graph, query=PairwiseQuery(0, 4), **kwargs):
+    accel = CISGraphAccelerator(graph, PPSP(), query, **kwargs)
+    accel.initialize()
+    return accel
+
+
+class TestPipelineDistribution:
+    def test_identification_uses_all_pipelines(self, diamond_graph):
+        """Updates hitting different (v mod P) classes overlap; updates
+        hitting one class serialise."""
+        # all updates target vertex 4 -> same pipeline
+        same = UpdateBatch([add(i, 4, 99.0) for i in range(4) if i != 4])
+        # updates target 1, 2, 3, 4 -> four pipelines
+        spread = UpdateBatch(
+            [add(0, 1, 99.0), add(0, 2, 99.0), add(0, 3, 99.0), add(0, 4, 99.0)]
+        )
+        a = make_accel(diamond_graph.copy())
+        r_same = a.on_batch(same)
+        b = make_accel(diamond_graph.copy())
+        r_spread = b.on_batch(spread)
+        assert (
+            r_spread.stats["identify_cycles"] <= r_same.stats["identify_cycles"]
+        )
+
+
+class TestMemorySystem:
+    def test_tiny_spm_causes_writebacks(self):
+        g = random_graph(300, 2500, seed=51)
+        config = AcceleratorConfig(
+            spm=SpmConfig(size_bytes=8 * 1024, ways=2, ports=2)
+        )
+        accel = make_accel(g.copy(), PairwiseQuery(0, 100), config=config)
+        accel.on_batch(random_batch(g, 150, 150, seed=52))
+        assert accel.last_stats is not None
+        assert accel.last_stats.spm.misses > 0
+        # deletions mark dirty lines; a tiny SPM must evict some of them
+        assert accel.last_stats.spm.writebacks > 0
+
+    def test_dram_traffic_accounted(self, diamond_graph):
+        accel = make_accel(diamond_graph)
+        accel.on_batch(UpdateBatch([add(0, 4, 1.0)]))
+        stats = accel.last_stats
+        assert stats is not None
+        assert stats.dram.bytes_transferred == stats.dram.lines * 64
+
+    def test_refresh_slows_batch(self):
+        g = random_graph(200, 1500, seed=61)
+        batch = random_batch(g, 100, 100, seed=62)
+        plain = make_accel(g.copy(), PairwiseQuery(0, 100))
+        r_plain = plain.on_batch(batch)
+        refresh_cfg = AcceleratorConfig(
+            dram=DramConfig(refresh_enabled=True, tREFI=2000, tRFC=300)
+        )
+        refreshing = make_accel(
+            g.copy(), PairwiseQuery(0, 100), config=refresh_cfg
+        )
+        r_refresh = refreshing.on_batch(batch)
+        assert r_refresh.answer == r_plain.answer
+        assert (
+            r_refresh.stats["total_cycles"] >= r_plain.stats["total_cycles"]
+        )
+
+
+class TestRules:
+    def test_paper_rule_also_correct(self):
+        g = random_graph(60, 400, seed=71)
+        batch = random_batch(g, 30, 30, seed=72)
+        precise = make_accel(g.copy(), PairwiseQuery(0, 30), rule=KeyPathRule.PRECISE)
+        paper = make_accel(g.copy(), PairwiseQuery(0, 30), rule=KeyPathRule.PAPER)
+        assert precise.on_batch(batch).answer == paper.on_batch(batch).answer
+
+    def test_paper_rule_marks_more_nondelayed(self, diamond_graph):
+        """The tail-membership test is a superset of the edge test."""
+        batch = UpdateBatch([delete(0, 2, 4.0)])
+        precise = make_accel(diamond_graph.copy(), rule=KeyPathRule.PRECISE)
+        rp = precise.on_batch(batch)
+        paper = make_accel(diamond_graph.copy(), rule=KeyPathRule.PAPER)
+        rq = paper.on_batch(batch)
+        assert rp.stats["delayed_deletions"] == 1
+        assert rq.stats["nondelayed_deletions"] == 1
+
+
+class TestStatsConsistency:
+    def test_classification_counts_sum(self, diamond_graph):
+        accel = make_accel(diamond_graph)
+        batch = UpdateBatch(
+            [add(0, 4, 1.0), add(0, 4, 99.0), delete(0, 2, 4.0), delete(2, 3, 4.0)]
+        )
+        result = accel.on_batch(batch)
+        total = (
+            result.stats["valuable_additions"]
+            + result.stats["nondelayed_deletions"]
+            + result.stats["delayed_deletions"]
+            + result.stats["useless"]
+        )
+        # net_effects merges the two (0,4) additions into one
+        assert total == result.stats["total"] == 3
+
+    def test_phase_ordering(self, diamond_graph):
+        accel = make_accel(diamond_graph)
+        accel.on_batch(UpdateBatch([add(0, 4, 1.0), delete(0, 2, 4.0)]))
+        stats = accel.last_stats
+        assert stats is not None
+        assert stats.addition_phase_end <= stats.response_cycles
+        assert stats.response_cycles <= stats.total_cycles
+
+    def test_buffer_peak_reported(self):
+        g = random_graph(100, 800, seed=81)
+        accel = make_accel(g.copy(), PairwiseQuery(0, 50))
+        result = accel.on_batch(random_batch(g, 60, 60, seed=82))
+        assert result.stats["buffer_peak"] >= 0
+        assert (
+            result.stats["buffer_peak"]
+            <= accel.config.output_buffer_capacity
+            or result.stats["buffer_peak"] > 0
+        )
+
+    def test_multi_batch_accumulates_graph_state(self, diamond_graph):
+        accel = make_accel(diamond_graph)
+        accel.on_batch(UpdateBatch([add(0, 4, 3.0)]))
+        result = accel.on_batch(UpdateBatch([delete(0, 4, 3.0)]))
+        assert result.answer == 4.0

@@ -1,0 +1,195 @@
+"""Semiring-property tests for the five monotonic algorithms (Table II)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    PPNP,
+    PPSP,
+    PPWP,
+    Reach,
+    Viterbi,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+    table2_rows,
+)
+
+
+class TestRegistry:
+    def test_lists_paper_order(self):
+        assert list_algorithms() == ["ppsp", "ppwp", "ppnp", "viterbi", "reach"]
+
+    def test_get_case_insensitive(self):
+        assert get_algorithm("PPSP").name == "ppsp"
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="ppwp"):
+            get_algorithm("nope")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_algorithm("ppsp", PPSP)
+
+    def test_register_custom(self):
+        class Custom(PPSP):
+            name = "custom-sp"
+
+        register_algorithm("custom-sp-test", Custom)
+        assert get_algorithm("custom-sp-test").name == "custom-sp"
+
+    def test_table2_rows_complete(self):
+        rows = table2_rows()
+        assert len(rows) == 5
+        assert all(row["plus"] and row["times"] for row in rows)
+
+
+class TestSharedProperties:
+    """Invariants every monotonic algorithm must satisfy."""
+
+    WEIGHTS = [1.0, 2.0, 7.5, 64.0]
+
+    def test_source_beats_identity(self, algorithm):
+        assert algorithm.is_better(
+            algorithm.source_state(), algorithm.identity()
+        )
+
+    def test_identity_never_better_than_itself(self, algorithm):
+        ident = algorithm.identity()
+        assert not algorithm.is_better(ident, ident)
+
+    def test_propagate_never_improves(self, algorithm):
+        """The (+) operator must be non-improving (Dijkstra validity)."""
+        states = [algorithm.source_state(), algorithm.identity()]
+        # plus a mid-range state produced by one hop
+        states.append(
+            algorithm.propagate(
+                algorithm.source_state(), algorithm.transform_weight(3.0)
+            )
+        )
+        for state in states:
+            for w in self.WEIGHTS:
+                candidate = algorithm.propagate(
+                    state, algorithm.transform_weight(w)
+                )
+                assert not algorithm.is_better(candidate, state), (
+                    f"{algorithm.name}: propagate({state}, {w}) = {candidate} "
+                    "improved on the input state"
+                )
+
+    def test_combine_selects_better(self, algorithm):
+        a = algorithm.source_state()
+        b = algorithm.identity()
+        assert algorithm.combine(a, b) == a
+        assert algorithm.combine(b, a) == a
+
+    def test_propagate_from_identity_stays_unreached(self, algorithm):
+        ident = algorithm.identity()
+        for w in self.WEIGHTS:
+            candidate = algorithm.propagate(
+                ident, algorithm.transform_weight(w)
+            )
+            assert not algorithm.is_better(candidate, ident)
+
+    def test_improves_strict(self, algorithm):
+        s = algorithm.source_state()
+        one_hop = algorithm.propagate(s, algorithm.transform_weight(2.0))
+        assert algorithm.improves(s, 2.0, algorithm.identity())
+        assert not algorithm.improves(s, 2.0, one_hop)  # equal, not strict
+
+    def test_supplies_detects_equality(self, algorithm):
+        s = algorithm.source_state()
+        one_hop = algorithm.propagate(s, algorithm.transform_weight(2.0))
+        assert algorithm.supplies(s, 2.0, one_hop)
+
+    def test_initial_states(self, algorithm):
+        states = algorithm.initial_states(4, source=2)
+        assert states[2] == algorithm.source_state()
+        assert all(states[v] == algorithm.identity() for v in (0, 1, 3))
+
+    def test_is_reached(self, algorithm):
+        assert algorithm.is_reached(algorithm.source_state())
+        assert not algorithm.is_reached(algorithm.identity())
+
+
+class TestPPSP:
+    def test_semantics(self):
+        alg = PPSP()
+        assert alg.propagate(3.0, 2.0) == 5.0
+        assert alg.combine(4.0, 5.0) == 4.0
+        assert alg.identity() == math.inf
+        assert alg.minimizing
+
+    def test_table2_formula(self):
+        assert "u.state + w" in PPSP.plus_formula
+        assert "MIN" in PPSP.times_formula
+
+
+class TestPPWP:
+    def test_semantics(self):
+        alg = PPWP()
+        # width of a path is its narrowest edge; wider is better
+        assert alg.propagate(5.0, 3.0) == 3.0
+        assert alg.propagate(2.0, 9.0) == 2.0
+        assert alg.combine(4.0, 2.0) == 4.0
+        assert alg.source_state() == math.inf
+
+    def test_bottleneck_chain(self):
+        alg = PPWP()
+        state = alg.source_state()
+        for w in (10.0, 4.0, 7.0):
+            state = alg.propagate(state, w)
+        assert state == 4.0
+
+
+class TestPPNP:
+    def test_semantics(self):
+        alg = PPNP()
+        # narrowest path minimises the largest edge
+        assert alg.propagate(3.0, 5.0) == 5.0
+        assert alg.propagate(6.0, 2.0) == 6.0
+        assert alg.combine(4.0, 6.0) == 4.0
+
+    def test_minimax_chain(self):
+        alg = PPNP()
+        state = alg.source_state()
+        for w in (1.0, 8.0, 3.0):
+            state = alg.propagate(state, w)
+        assert state == 8.0
+
+
+class TestViterbi:
+    def test_weight_transform_is_probability(self):
+        alg = Viterbi(max_weight=64)
+        for raw in (1.0, 32.0, 64.0):
+            p = alg.transform_weight(raw)
+            assert 0.0 < p < 1.0
+
+    def test_transform_clamps_oversized_weights(self):
+        alg = Viterbi(max_weight=4)
+        assert alg.transform_weight(100.0) == 1.0
+
+    def test_path_probability_product(self):
+        alg = Viterbi(max_weight=9)
+        state = alg.source_state()
+        state = alg.propagate(state, alg.transform_weight(5.0))
+        state = alg.propagate(state, alg.transform_weight(5.0))
+        assert state == pytest.approx(0.25)
+
+    def test_invalid_max_weight(self):
+        with pytest.raises(ValueError):
+            Viterbi(max_weight=0)
+
+
+class TestReach:
+    def test_ignores_weight(self):
+        alg = Reach()
+        assert alg.propagate(1.0, 99.0) == 1.0
+        assert alg.propagate(0.0, 1.0) == 0.0
+
+    def test_binary_states(self):
+        alg = Reach()
+        assert alg.source_state() == 1.0
+        assert alg.identity() == 0.0
+        assert alg.combine(1.0, 0.0) == 1.0

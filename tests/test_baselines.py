@@ -1,0 +1,206 @@
+"""Tests for the software baselines (CS, plain incremental, SGraph, PnP)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import PPSP, dijkstra, get_algorithm
+from repro.baselines import (
+    ColdStartEngine,
+    HubIndex,
+    PlainIncrementalEngine,
+    PnPEngine,
+    SGraphEngine,
+    select_hubs,
+)
+from repro.graph.batch import UpdateBatch, add, delete
+from repro.graph.dynamic import DynamicGraph
+from repro.query import PairwiseQuery
+from tests.conftest import random_batch, random_graph
+
+
+class TestColdStart:
+    def test_answers_track_snapshots(self, diamond_graph):
+        engine = ColdStartEngine(diamond_graph, PPSP(), PairwiseQuery(0, 4))
+        engine.initialize()
+        assert engine.answer == 4.0
+        result = engine.on_batch(UpdateBatch([add(0, 4, 1.0)]))
+        assert result.answer == 1.0
+        result = engine.on_batch(UpdateBatch([delete(0, 4, 1.0)]))
+        assert result.answer == 4.0
+
+    def test_full_recompute_cost_every_batch(self, diamond_graph):
+        engine = ColdStartEngine(diamond_graph, PPSP(), PairwiseQuery(0, 4))
+        engine.initialize()
+        r1 = engine.on_batch(UpdateBatch())
+        r2 = engine.on_batch(UpdateBatch())
+        # identical snapshots -> identical full-computation cost
+        assert r1.response_ops.relaxations == r2.response_ops.relaxations
+        assert r1.response_ops.relaxations > 0
+
+    def test_early_exit_variant(self):
+        g = random_graph(100, 600, seed=1)
+        q = PairwiseQuery(0, 1)
+        full = ColdStartEngine(g.copy(), PPSP(), q)
+        early = ColdStartEngine(g.copy(), PPSP(), q, early_exit=True)
+        full.initialize()
+        early.initialize()
+        rf = full.on_batch(UpdateBatch())
+        re = early.on_batch(UpdateBatch())
+        assert rf.answer == re.answer
+        assert re.response_ops.relaxations <= rf.response_ops.relaxations
+
+
+class TestPlainIncremental:
+    def test_matches_reference_over_batches(self, diamond_graph):
+        engine = PlainIncrementalEngine(
+            diamond_graph.copy(), PPSP(), PairwiseQuery(0, 4)
+        )
+        engine.initialize()
+        batch = UpdateBatch([add(0, 3, 1.0), delete(1, 3, 1.0)])
+        result = engine.on_batch(batch)
+        reference_graph = diamond_graph.copy()
+        reference_graph.apply_batch(batch)
+        assert result.answer == dijkstra(reference_graph, PPSP(), 0).states[4]
+
+    def test_per_update_attribution(self, diamond_graph):
+        engine = PlainIncrementalEngine(
+            diamond_graph, PPSP(), PairwiseQuery(0, 4), record_updates=True
+        )
+        engine.initialize()
+        batch = UpdateBatch(
+            [
+                add(0, 4, 1.0),   # changes the destination: contributes
+                add(0, 2, 90.0),  # no state change anywhere: useless
+            ]
+        )
+        result = engine.on_batch(batch)
+        records = engine.last_records
+        assert len(records) == 2
+        assert records[0].contributed
+        assert not records[1].contributed
+        assert result.stats["useless_updates"] == 1
+
+    def test_duplicate_deletion_is_cheap(self, diamond_graph):
+        engine = PlainIncrementalEngine(
+            diamond_graph, PPSP(), PairwiseQuery(0, 4), record_updates=True
+        )
+        engine.initialize()
+        batch = UpdateBatch([delete(3, 4, 2.0), delete(3, 4, 2.0)])
+        engine.on_batch(batch)
+        first, second = engine.last_records
+        assert first.ops.relaxations >= 0
+        # the second deletion found no edge: no propagation work at all
+        assert second.ops.relaxations == 0
+
+
+class TestHubIndex:
+    def test_select_hubs_by_degree(self):
+        g = DynamicGraph.from_edges(
+            5, [(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (1, 2, 1.0)]
+        )
+        hubs = select_hubs(g, 2)
+        assert hubs[0] == 0  # degree 3
+        assert len(hubs) == 2
+
+    def test_select_hubs_invalid_count(self, diamond_graph):
+        with pytest.raises(ValueError):
+            select_hubs(diamond_graph, 0)
+
+    def test_hub_states_converged_after_batches(self, diamond_graph):
+        index = HubIndex(diamond_graph, PPSP(), num_hubs=2)
+        batch = UpdateBatch([add(0, 4, 1.0), delete(1, 3, 1.0)])
+        index.process_batch(1, batch)
+        final = diamond_graph.copy()
+        final.apply_batch(batch)
+        for hub in index.hubs:
+            reference = dijkstra(final, PPSP(), hub)
+            for v in range(final.num_vertices):
+                assert index.hub_state(hub, v) == reference.states[v]
+
+    def test_process_batch_idempotent(self, diamond_graph):
+        index = HubIndex(diamond_graph, PPSP(), num_hubs=2)
+        batch = UpdateBatch([add(0, 4, 1.0)])
+        ops_a = index.process_batch(1, batch)
+        ops_b = index.process_batch(1, batch)
+        assert ops_a.as_dict() == ops_b.as_dict()
+
+    def test_out_of_order_batch_rejected(self, diamond_graph):
+        index = HubIndex(diamond_graph, PPSP(), num_hubs=2)
+        index.process_batch(1, UpdateBatch())
+        with pytest.raises(ValueError):
+            index.process_batch(3, UpdateBatch())
+
+    def test_ppsp_lower_bound_is_sound(self):
+        g = random_graph(80, 500, seed=3)
+        index = HubIndex(g, PPSP(), num_hubs=4)
+        reference = dijkstra(g, PPSP(), 0)
+        # for every reachable v, bound(v, d) <= true dist(v, d)
+        d = 7
+        dist_to_d = {}
+        for v in range(80):
+            r = dijkstra(g, PPSP(), v, destination=d, early_exit=True)
+            dist_to_d[v] = r.states[d]
+        for v in range(80):
+            bound = index.ppsp_lower_bound(v, d)
+            assert bound <= dist_to_d[v] + 1e-9, (
+                f"bound {bound} exceeds true distance {dist_to_d[v]} for {v}->{d}"
+            )
+
+
+class TestBoundPrunedEngines:
+    @pytest.mark.parametrize("engine_cls", [SGraphEngine, PnPEngine])
+    def test_answers_correct_with_pruning(self, engine_cls, algorithm):
+        g = random_graph(60, 350, seed=2)
+        query = PairwiseQuery(0, 30)
+        engine = engine_cls(g.copy(), algorithm, query)
+        engine.initialize()
+        reference_graph = g.copy()
+        for b in range(3):
+            batch = random_batch(reference_graph, 20, 20, seed=b)
+            reference_graph.apply_batch(batch)
+            result = engine.on_batch(batch)
+            reference = dijkstra(reference_graph, algorithm, 0)
+            assert result.answer == reference.states[30]
+
+    def test_state_converged_at_batch_boundaries(self):
+        g = random_graph(60, 350, seed=5)
+        engine = SGraphEngine(g.copy(), PPSP(), PairwiseQuery(0, 30), num_hubs=4)
+        engine.initialize()
+        reference_graph = g.copy()
+        batch = random_batch(reference_graph, 30, 30, seed=9)
+        reference_graph.apply_batch(batch)
+        engine.on_batch(batch)
+        # post-work (suppressed flush) must leave a fully converged array
+        engine.state.check_converged()
+
+    def test_sgraph_charges_hub_maintenance(self, diamond_graph):
+        engine = SGraphEngine(
+            diamond_graph, PPSP(), PairwiseQuery(0, 4), num_hubs=2
+        )
+        engine.initialize()
+        result = engine.on_batch(UpdateBatch([add(0, 4, 1.0)]))
+        assert result.response_ops.hub_relaxations > 0
+
+    def test_pnp_has_no_hub_cost(self, diamond_graph):
+        engine = PnPEngine(diamond_graph, PPSP(), PairwiseQuery(0, 4))
+        engine.initialize()
+        result = engine.on_batch(UpdateBatch([add(0, 4, 1.0)]))
+        assert result.response_ops.hub_relaxations == 0
+
+    def test_pruning_reduces_work_vs_plain(self):
+        """On a far-from-destination addition wave, upper-bound pruning
+        must touch no more edges than blind propagation."""
+        g = random_graph(120, 800, seed=11)
+        query = PairwiseQuery(0, 1)
+        batch = random_batch(g, 40, 0, seed=12)
+        plain = PlainIncrementalEngine(g.copy(), PPSP(), query)
+        pnp = PnPEngine(g.copy(), PPSP(), query)
+        plain.initialize()
+        pnp.initialize()
+        rp = plain.on_batch(batch)
+        rq = pnp.on_batch(batch)
+        assert rq.answer == rp.answer
+        assert (
+            rq.response_ops.edges_scanned <= rp.response_ops.edges_scanned
+        )

@@ -1,0 +1,77 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.charts import grouped_bars, horizontal_bars
+
+
+class TestHorizontalBars:
+    def test_scaling(self):
+        text = horizontal_bars([("a", 1.0), ("b", 0.5)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title(self):
+        text = horizontal_bars([("a", 1.0)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_labels_aligned(self):
+        text = horizontal_bars([("long-label", 1.0), ("x", 2.0)])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_pinned_scale(self):
+        text = horizontal_bars([("a", 0.5)], width=10, max_value=1.0)
+        assert text.count("#") == 5
+
+    def test_value_clamped_to_scale(self):
+        text = horizontal_bars([("a", 5.0)], width=10, max_value=1.0)
+        assert text.count("#") == 10
+
+    def test_zero_values(self):
+        text = horizontal_bars([("a", 0.0), ("b", 0.0)], width=10)
+        assert "#" not in text
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            horizontal_bars([("a", -1.0)])
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            horizontal_bars([("a", 1.0)], width=0)
+
+    def test_value_format(self):
+        text = horizontal_bars([("a", 0.123)], value_format="{:.0%}")
+        assert "12%" in text
+
+    def test_empty(self):
+        assert horizontal_bars([]) == ""
+
+
+class TestGroupedBars:
+    def test_groups_and_series(self):
+        text = grouped_bars(
+            [("OR", {"cs": 1.0, "cis": 0.3}), ("LJ", {"cs": 0.8, "cis": 0.2})],
+            series=["cs", "cis"],
+            width=10,
+        )
+        lines = [l for l in text.splitlines() if l]
+        assert len(lines) == 4
+        assert lines[0].count("#") == 10  # global max
+
+    def test_missing_series_skipped(self):
+        text = grouped_bars(
+            [("OR", {"cs": 1.0})], series=["cs", "cis"], width=10
+        )
+        assert len([l for l in text.splitlines() if l]) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bars([("OR", {"cs": -1.0})], series=["cs"])
+
+    def test_blank_line_between_groups(self):
+        text = grouped_bars(
+            [("A", {"s": 1.0}), ("B", {"s": 0.5})], series=["s"]
+        )
+        assert "" in text.splitlines()

@@ -1,0 +1,208 @@
+"""Tests for Algorithm 1 (update classification)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import PPSP, dijkstra, get_algorithm
+from repro.core.classification import (
+    KeyPathRule,
+    UpdateClass,
+    classify_addition,
+    classify_batch,
+    classify_deletion,
+)
+from repro.core.keypath import KeyPathTracker
+from repro.graph.batch import UpdateBatch, add, delete
+from repro.graph.dynamic import DynamicGraph
+
+
+def converged(graph, source, destination, algorithm=None):
+    algorithm = algorithm or PPSP()
+    result = dijkstra(graph, algorithm, source)
+    keypath = KeyPathTracker(source, destination)
+    keypath.rebuild(result.parents)
+    return result.states, result.parents, keypath
+
+
+class TestAdditionClassification:
+    def test_improving_addition_is_valuable(self, diamond_graph):
+        states, _, _ = converged(diamond_graph, 0, 4)
+        # direct shortcut 0 -> 4 with weight 1 beats the current 4.0
+        assert (
+            classify_addition(PPSP(), states, add(0, 4, 1.0))
+            is UpdateClass.VALUABLE
+        )
+
+    def test_non_improving_addition_is_useless(self, diamond_graph):
+        states, _, _ = converged(diamond_graph, 0, 4)
+        assert (
+            classify_addition(PPSP(), states, add(0, 4, 9.0))
+            is UpdateClass.USELESS
+        )
+
+    def test_tie_is_useless(self, diamond_graph):
+        states, _, _ = converged(diamond_graph, 0, 4)
+        # 0 -> 3 with weight 2 equals the existing distance 2: no change
+        assert (
+            classify_addition(PPSP(), states, add(0, 3, 2.0))
+            is UpdateClass.USELESS
+        )
+
+    def test_addition_from_unreached_tail_is_useless(self, diamond_graph):
+        states, _, _ = converged(diamond_graph, 0, 4)
+        # vertex 5 is unreached; an edge out of it cannot supply anything
+        assert (
+            classify_addition(PPSP(), states, add(5, 4, 1.0))
+            is UpdateClass.USELESS
+        )
+
+
+class TestDeletionClassification:
+    def test_keypath_supplier_is_valuable(self, diamond_graph):
+        states, parents, keypath = converged(diamond_graph, 0, 4)
+        for rule in KeyPathRule:
+            assert (
+                classify_deletion(
+                    PPSP(), states, parents, keypath, delete(1, 3, 1.0), rule
+                )
+                is UpdateClass.VALUABLE
+            )
+
+    def test_offpath_supplier_is_delayed(self, diamond_graph):
+        states, parents, keypath = converged(diamond_graph, 0, 4)
+        # 0 -> 2 supplies vertex 2 (0 + 4 == 4) but 2 is off the key path
+        assert (
+            classify_deletion(
+                PPSP(), states, parents, keypath, delete(0, 2, 4.0),
+                KeyPathRule.PRECISE,
+            )
+            is UpdateClass.DELAYED
+        )
+
+    def test_non_supplier_is_useless(self, diamond_graph):
+        states, parents, keypath = converged(diamond_graph, 0, 4)
+        # 2 -> 3: 4 + 4 != 2, vertex 3 is supplied through vertex 1
+        assert (
+            classify_deletion(
+                PPSP(), states, parents, keypath, delete(2, 3, 4.0),
+                KeyPathRule.PRECISE,
+            )
+            is UpdateClass.USELESS
+        )
+
+    def test_paper_rule_promotes_by_tail_membership(self, diamond_graph):
+        """Algorithm 1 line 12 tests the *tail*; a supplying deletion whose
+        tail sits on the key path is non-delayed even if the edge itself is
+        not a key-path edge."""
+        states, parents, keypath = converged(diamond_graph, 0, 4)
+        # craft: 0 is on the key path, 0 -> 2 supplies vertex 2 (off-path)
+        upd = delete(0, 2, 4.0)
+        assert (
+            classify_deletion(PPSP(), states, parents, keypath, upd, KeyPathRule.PAPER)
+            is UpdateClass.VALUABLE
+        )
+        assert (
+            classify_deletion(
+                PPSP(), states, parents, keypath, upd, KeyPathRule.PRECISE
+            )
+            is UpdateClass.DELAYED
+        )
+
+
+class TestBatchClassification:
+    def test_buckets_and_ops(self, diamond_graph):
+        states, parents, keypath = converged(diamond_graph, 0, 4)
+        batch = UpdateBatch(
+            [
+                add(0, 4, 1.0),     # valuable addition
+                add(0, 4, 99.0),    # useless addition
+                delete(1, 3, 1.0),  # non-delayed deletion (key path)
+                delete(0, 2, 4.0),  # delayed deletion (supplies off-path)
+                delete(2, 3, 4.0),  # useless deletion
+            ]
+        )
+        result = classify_batch(
+            PPSP(), states, parents, keypath, batch, KeyPathRule.PRECISE
+        )
+        assert [u.edge for u in result.valuable_additions] == [(0, 4)]
+        assert [u.edge for u in result.nondelayed_deletions] == [(1, 3)]
+        assert [u.edge for u in result.delayed_deletions] == [(0, 2)]
+        assert len(result.useless) == 2
+        assert result.ops.classification_checks == 5
+        assert result.ops.state_reads == 10
+
+    def test_summary_fractions(self, diamond_graph):
+        states, parents, keypath = converged(diamond_graph, 0, 4)
+        batch = UpdateBatch([add(0, 4, 99.0), add(0, 4, 1.0)])
+        summary = classify_batch(
+            PPSP(), states, parents, keypath, batch
+        ).summary()
+        assert summary["total"] == 2
+        assert summary["useless"] == 1
+        assert summary["useless_fraction"] == 0.5
+
+    def test_counts_properties(self, diamond_graph):
+        states, parents, keypath = converged(diamond_graph, 0, 4)
+        batch = UpdateBatch([delete(1, 3, 1.0), delete(0, 2, 4.0)])
+        result = classify_batch(
+            PPSP(), states, parents, keypath, batch, KeyPathRule.PRECISE
+        )
+        assert result.num_valuable == 1
+        assert result.num_delayed == 1
+        assert result.num_useless == 0
+
+    def test_every_algorithm_classifies(self, diamond_graph, algorithm):
+        """Classification must be well-defined for all five algorithms."""
+        states, parents, keypath = converged(
+            diamond_graph, 0, 4, algorithm=algorithm
+        )
+        batch = UpdateBatch([add(0, 4, 1.0), delete(0, 1, 1.0)])
+        result = classify_batch(algorithm, states, parents, keypath, batch)
+        total = result.num_valuable + result.num_delayed + result.num_useless
+        assert total == 2
+
+
+class TestPaperFigure3:
+    """The worked example of Figure 3.
+
+    Initial: direct edge v0 -> v5 of weight 5 (the answer), plus v0 -> v2
+    (1) and v1 -> v4 (1).  Addition v0 -> v1 improves v1 (so Algorithm 1
+    keeps it — the *classifier* works on v's state) but never reaches v5;
+    addition v2 -> v5 (1) is valuable and drops the answer from 5 to 2.
+    """
+
+    def graph(self):
+        return DynamicGraph.from_edges(
+            6, [(0, 5, 5.0), (0, 2, 1.0), (1, 4, 1.0)]
+        )
+
+    def test_initial_answer(self):
+        states, _, _ = converged(self.graph(), 0, 5)
+        assert states[5] == 5.0
+
+    def test_shortcut_addition_is_valuable(self):
+        states, _, _ = converged(self.graph(), 0, 5)
+        assert (
+            classify_addition(PPSP(), states, add(2, 5, 1.0))
+            is UpdateClass.VALUABLE
+        )
+
+    def test_dead_end_addition_still_passes_local_test(self):
+        """v0 -> v1 changes v1's state, so the O(1) classifier keeps it;
+        the ground-truth attribution (Figure 2 machinery) is what marks it
+        useless for the query.  Both behaviours are intentional."""
+        states, _, _ = converged(self.graph(), 0, 5)
+        assert (
+            classify_addition(PPSP(), states, add(0, 1, 1.0))
+            is UpdateClass.VALUABLE
+        )
+
+    def test_answer_after_batch(self):
+        from repro.core.engine import CISGraphEngine
+        from repro.query import PairwiseQuery
+
+        engine = CISGraphEngine(self.graph(), PPSP(), PairwiseQuery(0, 5))
+        engine.initialize()
+        result = engine.on_batch(UpdateBatch([add(0, 1, 1.0), add(2, 5, 1.0)]))
+        assert result.answer == 2.0

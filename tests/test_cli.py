@@ -1,0 +1,176 @@
+"""Tests for the command-line interface and the validator."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.validate import validate_engines
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("CISGRAPH_SCALE", "tiny")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig9"])
+
+
+class TestInfo:
+    def test_prints_inventory(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PPSP" in out
+        assert "orkut-mini" in out
+        assert "pipelines" in out
+
+
+class TestQuery:
+    def test_auto_query(self, capsys):
+        assert main(["query", "--batches", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "initial answer" in out
+        assert "batch 1" in out
+
+    def test_explicit_pair_and_engine(self, capsys):
+        code = main(
+            [
+                "query",
+                "--engine",
+                "cs",
+                "--source",
+                "0",
+                "--destination",
+                "5",
+                "--batches",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "cs on orkut-mini" in capsys.readouterr().out
+
+    def test_accelerator_engine(self, capsys):
+        assert main(["query", "--engine", "cisgraph", "--batches", "1"]) == 0
+        assert "response_cycles" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "MIN(T, v.state)" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "uk2002-mini" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["experiment", "fig2", "--pairs", "1"]) == 0
+        assert "useless updates" in capsys.readouterr().out
+
+    def test_fig5a(self, capsys):
+        assert main(["experiment", "fig5a", "--pairs", "1"]) == 0
+        assert "normalised" in capsys.readouterr().out
+
+    def test_fig5b(self, capsys):
+        assert main(["experiment", "fig5b", "--pairs", "1"]) == 0
+        assert "add/del" in capsys.readouterr().out
+
+    def test_table4_single_algorithm(self, capsys):
+        assert main(
+            ["experiment", "table4", "--pairs", "1", "--algorithm", "reach"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cisgraph-o" in out
+
+
+class TestReport:
+    def test_stdout(self, capsys):
+        code = main(["report", "--pairs", "1", "--algorithm", "ppsp"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# CISGraph reproduction report" in out
+        assert "Table IV" in out
+
+    def test_file_output(self, tmp_path, capsys):
+        path = str(tmp_path / "report.md")
+        code = main(
+            ["report", "--pairs", "1", "--algorithm", "reach", "--output", path]
+        )
+        assert code == 0
+        with open(path) as handle:
+            assert "Figure 5(b)" in handle.read()
+
+
+class TestGenstream:
+    def test_text_output(self, tmp_path, capsys):
+        path = str(tmp_path / "stream.txt")
+        assert main(["genstream", path, "--batches", "1"]) == 0
+        assert os.path.exists(path)
+        from repro.graph.stream_io import load_stream_text
+
+        replay = load_stream_text(path)
+        assert replay.num_batches == 1
+
+    def test_npz_output(self, tmp_path):
+        path = str(tmp_path / "stream.npz")
+        assert main(["genstream", path, "--batches", "2"]) == 0
+        from repro.graph.stream_io import load_stream_npz
+
+        assert load_stream_npz(path).num_batches == 2
+
+
+class TestValidate:
+    def test_validator_passes(self):
+        report = validate_engines(
+            num_vertices=40, num_edges=200, num_batches=1, seed=3,
+            algorithms=["ppsp"],
+        )
+        assert report.ok
+        assert report.checks == 7  # seven engines, one batch
+
+    def test_cli_validate(self, capsys):
+        code = main(
+            [
+                "validate",
+                "--vertices",
+                "40",
+                "--edges",
+                "200",
+                "--batches",
+                "1",
+                "--algorithm",
+                "reach",
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validator_detects_corruption(self, monkeypatch):
+        """Failure injection: a corrupted engine must be caught."""
+        from repro.core import engine as engine_module
+
+        original = engine_module.CISGraphEngine._do_batch
+
+        def corrupted(self, batch):
+            result = original(self, batch)
+            result.answer = -123.0
+            return result
+
+        monkeypatch.setattr(engine_module.CISGraphEngine, "_do_batch", corrupted)
+        report = validate_engines(
+            num_vertices=40, num_edges=200, num_batches=1, seed=3,
+            algorithms=["ppsp"],
+        )
+        assert not report.ok
+        assert any("cisgraph-o" in line for line in report.lines)

@@ -1,0 +1,102 @@
+"""Tests specific to the coalescing (TDGraph/JetStream-style) baseline."""
+
+import math
+
+import pytest
+
+from repro.algorithms import PPSP, dijkstra, get_algorithm
+from repro.baselines import CoalescingEngine, PlainIncrementalEngine
+from repro.graph.batch import UpdateBatch, add, delete
+from repro.graph.dynamic import DynamicGraph
+from repro.query import PairwiseQuery
+from tests.conftest import random_batch, random_graph
+
+
+def make_engine(graph, query=PairwiseQuery(0, 4), algorithm=None):
+    engine = CoalescingEngine(graph, algorithm or PPSP(), query)
+    engine.initialize()
+    return engine
+
+
+class TestBasics:
+    def test_single_addition(self, diamond_graph):
+        engine = make_engine(diamond_graph)
+        assert engine.on_batch(UpdateBatch([add(0, 4, 1.0)])).answer == 1.0
+
+    def test_single_deletion(self, diamond_graph):
+        engine = make_engine(diamond_graph)
+        assert engine.on_batch(UpdateBatch([delete(1, 3, 1.0)])).answer == 10.0
+
+    def test_mixed_batch(self, diamond_graph):
+        engine = make_engine(diamond_graph)
+        batch = UpdateBatch([add(0, 3, 1.0), delete(3, 4, 2.0)])
+        assert engine.on_batch(batch).answer == math.inf
+        engine.state.check_converged()
+
+    def test_stats_expose_coalescing(self, diamond_graph):
+        engine = make_engine(diamond_graph)
+        batch = UpdateBatch([delete(1, 3, 1.0), delete(0, 2, 4.0)])
+        result = engine.on_batch(batch)
+        assert result.stats["tagged"] >= 2
+        assert result.stats["coalesced_seeds"] >= 0
+        engine.state.check_converged()
+
+
+class TestCoalescingBenefit:
+    def test_shared_wave_does_less_work_than_per_update(self):
+        """Many additions pointing into one region coalesce into one wave."""
+        g = DynamicGraph.from_edges(
+            20, [(i, i + 1, 1.0) for i in range(19)]
+        )
+        # several new shortcuts to vertex 10: the plain engine propagates a
+        # wave after each, the coalescing engine only once at the end
+        batch = UpdateBatch(
+            [add(0, 10, float(5 - i)) for i in range(3)]  # 5, 4, 3
+        )
+        plain = PlainIncrementalEngine(g.copy(), PPSP(), PairwiseQuery(0, 19))
+        coal = CoalescingEngine(g.copy(), PPSP(), PairwiseQuery(0, 19))
+        plain.initialize()
+        coal.initialize()
+        rp = plain.on_batch(batch)
+        rc = coal.on_batch(batch)
+        assert rc.answer == rp.answer == 12.0
+        assert (
+            rc.response_ops.relaxations < rp.response_ops.relaxations
+        ), "coalescing must merge the overlapping waves"
+
+    def test_overlapping_deletion_subtrees_tagged_once(self):
+        """Two supplier deletions with nested subtrees reset jointly."""
+        g = DynamicGraph.from_edges(
+            6,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (0, 4, 9.0),
+                (4, 3, 9.0),
+                (0, 5, 1.0),
+            ],
+        )
+        engine = make_engine(g, PairwiseQuery(0, 3))
+        assert engine.answer == 3.0
+        batch = UpdateBatch([delete(0, 1, 1.0), delete(1, 2, 1.0)])
+        result = engine.on_batch(batch)
+        assert result.answer == 18.0  # via 0 -> 4 -> 3
+        # tagged set covers the union {1, 2, 3} exactly once
+        assert result.stats["tagged"] == 3
+        engine.state.check_converged()
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_reference(self, algorithm, seed):
+        g = random_graph(60, 350, seed=seed + 80)
+        engine = make_engine(g.copy(), PairwiseQuery(1, 30), algorithm)
+        reference_graph = g.copy()
+        for b in range(3):
+            batch = random_batch(reference_graph, 25, 25, seed=seed * 3 + b)
+            reference_graph.apply_batch(batch)
+            result = engine.on_batch(batch)
+            want = dijkstra(reference_graph, algorithm, 1).states[30]
+            assert result.answer == want
+        engine.state.check_converged()

@@ -1,0 +1,91 @@
+"""Tests for the analytic CPU cost model."""
+
+import pytest
+
+from repro.hw.cpu_model import CpuConfig, CpuCostModel, MemoryProfile
+from repro.metrics import OpCounts
+
+
+SMALL = MemoryProfile(num_vertices=1_000, num_edges=10_000)
+HUGE = MemoryProfile(num_vertices=50_000_000, num_edges=500_000_000)
+
+
+class TestRandomAccessLatency:
+    def test_tiny_working_set_is_l1(self):
+        model = CpuCostModel()
+        lat = model.random_access_latency_ns(1024)
+        assert lat == pytest.approx(model.config.l1_latency_ns)
+
+    def test_huge_working_set_approaches_dram(self):
+        model = CpuCostModel()
+        lat = model.random_access_latency_ns(100 * 1024 * 1024 * 1024)
+        assert lat > 0.9 * model.config.dram_latency_ns
+
+    def test_monotone_in_working_set(self):
+        model = CpuCostModel()
+        sizes = [2**k for k in range(10, 38, 2)]
+        lats = [model.random_access_latency_ns(s) for s in sizes]
+        assert all(a <= b + 1e-12 for a, b in zip(lats, lats[1:]))
+
+
+class TestTime:
+    def test_zero_ops_zero_time(self):
+        model = CpuCostModel()
+        assert model.time_ns(OpCounts(), SMALL) == 0.0
+
+    def test_more_ops_more_time(self):
+        model = CpuCostModel()
+        few = OpCounts(relaxations=10, state_reads=10)
+        many = OpCounts(relaxations=1000, state_reads=1000)
+        assert model.time_ns(many, SMALL) > model.time_ns(few, SMALL)
+
+    def test_bigger_graph_costs_more_per_access(self):
+        model = CpuCostModel()
+        ops = OpCounts(state_reads=1000)
+        assert model.time_ns(ops, HUGE) > model.time_ns(ops, SMALL)
+
+    def test_all_op_kinds_charged(self):
+        model = CpuCostModel()
+        base = model.time_ns(OpCounts(), SMALL)
+        for field in (
+            "relaxations",
+            "state_reads",
+            "state_writes",
+            "edges_scanned",
+            "heap_ops",
+            "classification_checks",
+            "tag_ops",
+            "bound_checks",
+        ):
+            ops = OpCounts(**{field: 1000})
+            assert model.time_ns(ops, SMALL) > base, f"{field} not charged"
+
+    def test_hub_relaxations_not_double_charged(self):
+        """Hub maintenance is already counted as relaxations; the dedicated
+        counter exists for reporting only."""
+        model = CpuCostModel()
+        with_hub = OpCounts(relaxations=100, hub_relaxations=100)
+        without = OpCounts(relaxations=100)
+        assert model.time_ns(with_hub, SMALL) == model.time_ns(without, SMALL)
+
+    def test_seconds_conversion(self):
+        model = CpuCostModel()
+        ops = OpCounts(relaxations=1000)
+        assert model.time_seconds(ops, SMALL) == pytest.approx(
+            model.time_ns(ops, SMALL) * 1e-9
+        )
+
+    def test_custom_config(self):
+        slow = CpuCostModel(CpuConfig(freq_ghz=1.0))
+        fast = CpuCostModel(CpuConfig(freq_ghz=4.0))
+        ops = OpCounts(relaxations=10_000)
+        assert slow.time_ns(ops, SMALL) > fast.time_ns(ops, SMALL)
+
+
+class TestStreamingCost:
+    def test_resident_vs_streaming(self):
+        model = CpuCostModel()
+        resident = model.streaming_edge_cost_ns(SMALL)
+        streaming = model.streaming_edge_cost_ns(HUGE)
+        assert resident > 0
+        assert streaming > 0

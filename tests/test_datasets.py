@@ -1,0 +1,172 @@
+"""Tests for the evaluation datasets and the paper's streaming protocol."""
+
+import os
+
+import pytest
+
+from repro.bench.datasets import (
+    current_scale,
+    dataset_by_abbreviation,
+    dataset_specs,
+    make_workload,
+    pick_query_pairs,
+    table3_rows,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("CISGRAPH_SCALE", "tiny")
+
+
+class TestSpecs:
+    def test_three_datasets(self):
+        specs = dataset_specs()
+        assert [s.abbreviation for s in specs] == ["OR", "LJ", "UK"]
+
+    def test_average_degrees_match_table3(self):
+        degrees = {s.abbreviation: s.average_degree for s in dataset_specs()}
+        assert degrees["OR"] == 16
+        assert degrees["LJ"] == 14
+        assert degrees["UK"] == 14
+
+    def test_relative_sizes_match_paper(self):
+        specs = {s.abbreviation: s for s in dataset_specs()}
+        assert specs["UK"].num_vertices > specs["LJ"].num_vertices
+        assert specs["LJ"].num_vertices > specs["OR"].num_vertices
+
+    def test_by_abbreviation(self):
+        assert dataset_by_abbreviation("or").name == "orkut-mini"
+        with pytest.raises(KeyError):
+            dataset_by_abbreviation("XX")
+
+    def test_scale_env_validation(self, monkeypatch):
+        monkeypatch.setenv("CISGRAPH_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_scales_ordered(self, monkeypatch):
+        monkeypatch.setenv("CISGRAPH_SCALE", "small")
+        small = dataset_specs()[0].num_vertices
+        monkeypatch.setenv("CISGRAPH_SCALE", "medium")
+        medium = dataset_specs()[0].num_vertices
+        assert medium > small
+
+
+class TestWorkload:
+    def test_protocol_half_load(self):
+        spec = dataset_specs()[0]
+        workload = make_workload(spec, num_batches=2, seed=1)
+        total = len(__import__("repro.bench.datasets", fromlist=["build_edges"]).build_edges(spec))
+        assert workload.initial.num_edges == total // 2
+
+    def test_batches_half_add_half_delete(self):
+        spec = dataset_specs()[0]
+        workload = make_workload(
+            spec, num_batches=2, additions_per_batch=40, deletions_per_batch=40
+        )
+        for step in workload.replay.batches():
+            assert step.batch.num_additions == 40
+            assert step.batch.num_deletions == 40
+
+    def test_additions_come_from_held_out(self):
+        spec = dataset_specs()[0]
+        workload = make_workload(spec, num_batches=1, additions_per_batch=50)
+        batch = workload.replay.batch(0)
+        for upd in batch.additions:
+            assert not workload.initial.has_edge(upd.u, upd.v)
+
+    def test_deletions_come_from_loaded(self):
+        spec = dataset_specs()[0]
+        workload = make_workload(spec, num_batches=1, deletions_per_batch=50)
+        batch = workload.replay.batch(0)
+        for upd in batch.deletions:
+            assert workload.initial.has_edge(upd.u, upd.v)
+
+    def test_no_repeated_deletion_across_batches(self):
+        spec = dataset_specs()[0]
+        workload = make_workload(
+            spec, num_batches=3, additions_per_batch=10, deletions_per_batch=30
+        )
+        seen = set()
+        for step in workload.replay.batches():
+            for upd in step.batch.deletions:
+                assert upd.edge not in seen
+                seen.add(upd.edge)
+
+    def test_deterministic(self):
+        spec = dataset_specs()[0]
+        a = make_workload(spec, num_batches=1, seed=5)
+        b = make_workload(spec, num_batches=1, seed=5)
+        assert [u.edge for u in a.replay.batch(0)] == [
+            u.edge for u in b.replay.batch(0)
+        ]
+
+    def test_seed_changes_stream(self):
+        spec = dataset_specs()[0]
+        a = make_workload(spec, num_batches=1, seed=5)
+        b = make_workload(spec, num_batches=1, seed=6)
+        assert [u.edge for u in a.replay.batch(0)] != [
+            u.edge for u in b.replay.batch(0)
+        ]
+
+
+class TestQueryPairs:
+    def test_reachable_and_distinct(self):
+        spec = dataset_specs()[0]
+        workload = make_workload(spec, num_batches=1)
+        pairs = pick_query_pairs(workload.initial, count=5, seed=3)
+        assert len(pairs) == 5
+        assert len(set(pairs)) == 5
+        from repro.algorithms import PPSP, dijkstra
+
+        for q in pairs:
+            result = dijkstra(workload.initial, PPSP(), q.source)
+            assert result.states[q.destination] < float("inf")
+
+    def test_deterministic(self):
+        spec = dataset_specs()[0]
+        workload = make_workload(spec, num_batches=1)
+        assert pick_query_pairs(workload.initial, 3, seed=1) == pick_query_pairs(
+            workload.initial, 3, seed=1
+        )
+
+
+class TestExternalDataset:
+    def test_text_roundtrip(self, tmp_path):
+        from repro.bench.datasets import external_dataset, make_workload
+        from repro.graph import io as graph_io
+
+        path = str(tmp_path / "mini.txt")
+        edges = [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0), (3, 0, 5.0)]
+        graph_io.save_edge_list(path, edges)
+        spec, loaded = external_dataset("mini-graph", path)
+        assert loaded == edges
+        assert spec.num_vertices == 4
+        assert spec.generator == "external"
+        # the paper protocol runs on it unchanged
+        workload = make_workload(
+            spec, num_batches=1, additions_per_batch=1, deletions_per_batch=1
+        )
+        assert workload.initial.num_edges == 2  # 50% load
+
+    def test_npz_roundtrip(self, tmp_path):
+        from repro.bench.datasets import external_dataset
+        from repro.graph import io as graph_io
+
+        path = str(tmp_path / "mini.npz")
+        edges = [(0, 1, 2.0), (1, 2, 3.0)]
+        graph_io.save_npz(path, 3, edges)
+        spec, loaded = external_dataset("mini", path, abbreviation="MN")
+        assert spec.abbreviation == "MN"
+        assert loaded == edges
+
+
+class TestTable3:
+    def test_rows(self):
+        rows = table3_rows()
+        assert len(rows) == 3
+        for row in rows:
+            assert row["vertices"] > 0
+            assert row["edges"] > 0
+            assert 10 <= row["average_degree"] <= 17

@@ -1,0 +1,82 @@
+"""Anti-rot checks: documentation references must point at real code."""
+
+import importlib
+import os
+import re
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/architecture.md",
+    "docs/hardware.md",
+    "docs/usage.md",
+    "docs/paper_mapping.md",
+]
+
+_MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
+_PATH_RE = re.compile(
+    r"`((?:src|tests|benchmarks|examples|tools|docs)/[\w\./-]+\.(?:py|md))"
+)
+
+
+def _read(path):
+    with open(os.path.join(ROOT, path)) as handle:
+        return handle.read()
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_doc_exists(doc):
+    assert os.path.exists(os.path.join(ROOT, doc)), f"missing {doc}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_referenced_modules_import(doc):
+    """Every `repro.x.y` mentioned in the docs must import (or be an
+    attribute of an importable module)."""
+    text = _read(doc)
+    for reference in sorted(set(_MODULE_RE.findall(text))):
+        parts = reference.split(".")
+        imported = None
+        for cut in range(len(parts), 0, -1):
+            try:
+                imported = importlib.import_module(".".join(parts[:cut]))
+                remainder = parts[cut:]
+                break
+            except ImportError:
+                continue
+        assert imported is not None, f"{doc}: cannot import {reference}"
+        obj = imported
+        for attribute in remainder:
+            assert hasattr(obj, attribute), (
+                f"{doc}: {reference} — {attribute} missing on {obj}"
+            )
+            obj = getattr(obj, attribute)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_referenced_paths_exist(doc):
+    text = _read(doc)
+    for path in sorted(set(_PATH_RE.findall(text))):
+        assert os.path.exists(os.path.join(ROOT, path)), f"{doc}: missing {path}"
+
+
+def test_benchmark_files_all_documented_in_design():
+    """Every benchmark module appears in DESIGN.md's experiment index."""
+    design = _read("DESIGN.md")
+    bench_dir = os.path.join(ROOT, "benchmarks")
+    for name in sorted(os.listdir(bench_dir)):
+        if name.startswith("bench_") and name.endswith(".py"):
+            assert name in design, f"benchmarks/{name} missing from DESIGN.md"
+
+
+def test_examples_all_listed_in_readme():
+    readme = _read("README.md")
+    examples_dir = os.path.join(ROOT, "examples")
+    for name in sorted(os.listdir(examples_dir)):
+        if name.endswith(".py"):
+            assert name in readme, f"examples/{name} missing from README.md"

@@ -1,0 +1,116 @@
+"""Tests for the DDR4 timing model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.config import DramConfig
+from repro.hw.dram import DramModel
+
+
+def make_model(**kwargs):
+    return DramModel(DramConfig(**kwargs))
+
+
+class TestConfig:
+    def test_defaults_match_table1(self):
+        cfg = DramConfig()
+        assert cfg.channels == 8
+        assert cfg.row_hit_latency == 14
+        assert cfg.row_miss_latency == 42
+
+    def test_invalid_channels(self):
+        with pytest.raises(ConfigError):
+            DramConfig(channels=0)
+
+    def test_row_must_hold_lines(self):
+        with pytest.raises(ConfigError):
+            DramConfig(row_bytes=100, line_bytes=64)
+
+
+class TestAddressMapping:
+    def test_line_interleaves_channels(self):
+        model = make_model(channels=4)
+        channels = [model.map_line(i)[0] for i in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_row_for_consecutive_lines_in_channel(self):
+        model = make_model(channels=1)
+        ch0, bank0, row0 = model.map_line(0)
+        ch1, bank1, row1 = model.map_line(1)
+        assert (bank0, row0) == (bank1, row1)
+
+
+class TestTiming:
+    def test_first_access_is_row_miss(self):
+        model = make_model()
+        done = model.access(0, 64, now=0)
+        cfg = model.config
+        assert done == cfg.row_miss_latency + cfg.burst_cycles
+        assert model.stats.row_misses == 1
+        assert model.stats.row_hits == 0
+
+    def test_second_access_same_row_hits(self):
+        model = make_model()
+        first = model.access(0, 64, now=0)
+        done = model.access(0, 64, now=first)
+        assert model.stats.row_hits == 1
+        assert done == first + model.config.row_hit_latency + model.config.burst_cycles
+
+    def test_row_conflict_pays_miss(self):
+        model = make_model(channels=1, banks_per_channel=1)
+        cfg = model.config
+        model.access(0, 64, now=0)
+        # a different row in the same bank
+        far = cfg.row_bytes
+        model.access(far, 64, now=1000)
+        assert model.stats.row_misses == 2
+
+    def test_never_completes_before_issue(self):
+        model = make_model()
+        done = model.access(0, 64, now=500)
+        assert done >= 500
+
+    def test_bus_serialisation_caps_bandwidth(self):
+        """Back-to-back lines on one channel must queue on the data bus."""
+        model = make_model(channels=1)
+        cfg = model.config
+        n = 32
+        done = model.access(0, n * cfg.line_bytes, now=0)
+        # at least one burst slot per line
+        assert done >= n * cfg.burst_cycles
+
+    def test_multi_channel_parallelism(self):
+        """The same burst spread over 8 channels finishes much earlier."""
+        single = make_model(channels=1)
+        octa = make_model(channels=8)
+        nbytes = 64 * 64
+        t1 = single.access(0, nbytes, now=0)
+        t8 = octa.access(0, nbytes, now=0)
+        assert t8 < t1
+
+    def test_zero_length_is_free(self):
+        model = make_model()
+        assert model.access(0, 0, now=7) == 7
+
+    def test_stats_accumulate(self):
+        model = make_model()
+        model.access(0, 256, now=0)
+        assert model.stats.lines == 4
+        assert model.stats.bytes_transferred == 256
+        assert model.stats.reads == 1
+        model.access(0, 64, now=0, write=True)
+        assert model.stats.writes == 1
+        model.check_invariants()
+
+    def test_reset_stats(self):
+        model = make_model()
+        model.access(0, 64, now=0)
+        model.reset_stats()
+        assert model.stats.lines == 0
+
+    def test_row_hit_rate_property(self):
+        model = make_model()
+        assert model.stats.row_hit_rate == 0.0
+        model.access(0, 64, now=0)
+        model.access(0, 64, now=100)
+        assert 0.0 < model.stats.row_hit_rate < 1.0

@@ -1,0 +1,93 @@
+"""Tests for the detailed DDR4 timing constraints."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.config import DramConfig
+from repro.hw.dram import DramModel
+
+
+def detailed(**kwargs):
+    defaults = dict(channels=1, detailed_timing=True)
+    defaults.update(kwargs)
+    return DramModel(DramConfig(**defaults))
+
+
+class TestConfig:
+    def test_bank_groups_must_divide(self):
+        with pytest.raises(ConfigError):
+            DramConfig(detailed_timing=True, banks_per_channel=10, bank_groups=4)
+
+    def test_ccd_ordering(self):
+        with pytest.raises(ConfigError):
+            DramConfig(detailed_timing=True, tCCD_S=8, tCCD_L=2)
+
+    def test_defaults_valid(self):
+        DramConfig(detailed_timing=True)  # no raise
+
+
+class TestColumnSpacing:
+    def test_same_group_back_to_back_spaced(self):
+        model = detailed(banks_per_channel=4, bank_groups=4)
+        # two accesses landing on the same bank/group, same row
+        model.access(0, 64, now=0)
+        first_issue_free = model._group_col_free[0][0]
+        assert first_issue_free >= model.config.tCCD_L
+
+    def test_write_to_read_turnaround(self):
+        model = detailed()
+        done_w = model.access(0, 64, now=0, write=True)
+        # a read right behind a write must wait tWTR past the write end
+        done_r = model.access(0, 64, now=done_w)
+        plain = DramModel(DramConfig(channels=1))
+        plain_w = plain.access(0, 64, now=0, write=True)
+        plain_r = plain.access(0, 64, now=plain_w)
+        assert done_r >= plain_r
+
+    def test_detailed_never_faster_than_base(self):
+        base = DramModel(DramConfig(channels=1))
+        deep = detailed()
+        t_base = t_deep = 0
+        for i in range(50):
+            addr = (i * 4096) % (1 << 20)
+            t_base = base.access(addr, 64, now=t_base)
+            t_deep = deep.access(addr, 64, now=t_deep)
+        assert t_deep >= t_base
+
+
+class TestFaw:
+    def test_activation_burst_throttled(self):
+        """More than four row activations inside tFAW must stall."""
+        cfg = DramConfig(
+            channels=1,
+            banks_per_channel=16,
+            detailed_timing=True,
+            tFAW=200,
+        )
+        model = DramModel(cfg)
+        # hit five different rows (different banks) at the same instant
+        row_stride = cfg.row_bytes * cfg.banks_per_channel
+        issues = []
+        for i in range(5):
+            model.access(i * cfg.row_bytes, 64, now=0)
+            issues.append(model._activations[0][-1])
+        assert issues[4] >= issues[0] + cfg.tFAW
+
+    def test_window_expires(self):
+        cfg = DramConfig(
+            channels=1, banks_per_channel=16, detailed_timing=True, tFAW=50
+        )
+        model = DramModel(cfg)
+        for i in range(4):
+            model.access(i * cfg.row_bytes, 64, now=0)
+        # far in the future the window is clear: no throttle
+        model.access(5 * cfg.row_bytes, 64, now=10_000)
+        assert model._activations[0][-1] >= 10_000
+        assert model._activations[0][-1] < 10_000 + cfg.tFAW
+
+    def test_reset_timing_clears_detailed_state(self):
+        model = detailed()
+        model.access(0, 64, now=0, write=True)
+        model.reset_timing()
+        assert model._last_write_end == [0]
+        assert model._activations == [[]]

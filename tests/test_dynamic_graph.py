@@ -1,0 +1,129 @@
+"""Unit tests for the mutable streaming topology."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, VertexOutOfRangeError
+from repro.graph.batch import UpdateBatch, add, delete
+from repro.graph.dynamic import DynamicGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = DynamicGraph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicGraph(-1)
+
+    def test_from_edges(self):
+        g = DynamicGraph.from_edges(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        assert g.num_edges == 2
+        assert g.edge_weight(0, 1) == 2.0
+
+    def test_copy_is_deep(self):
+        g = DynamicGraph.from_edges(3, [(0, 1, 2.0)])
+        clone = g.copy()
+        clone.add_edge(1, 2, 1.0)
+        assert g.num_edges == 1
+        assert clone.num_edges == 2
+        clone.check_consistency()
+        g.check_consistency()
+
+
+class TestMutation:
+    def test_add_edge_new(self):
+        g = DynamicGraph(3)
+        assert g.add_edge(0, 1, 2.0) is True
+        assert g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_add_edge_overwrites_weight(self):
+        g = DynamicGraph(3)
+        g.add_edge(0, 1, 2.0)
+        assert g.add_edge(0, 1, 5.0) is False
+        assert g.edge_weight(0, 1) == 5.0
+        assert g.num_edges == 1
+
+    def test_remove_edge(self):
+        g = DynamicGraph.from_edges(3, [(0, 1, 2.0)])
+        assert g.remove_edge(0, 1) is True
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 0
+
+    def test_remove_missing_edge_raises(self):
+        g = DynamicGraph(3)
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(0, 1)
+
+    def test_remove_missing_edge_ok_flag(self):
+        g = DynamicGraph(3)
+        assert g.remove_edge(0, 1, missing_ok=True) is False
+
+    def test_vertex_bounds_checked(self):
+        g = DynamicGraph(3)
+        with pytest.raises(VertexOutOfRangeError):
+            g.add_edge(0, 7)
+        with pytest.raises(VertexOutOfRangeError):
+            g.out_degree(-1)
+
+    def test_ensure_vertex_grows(self):
+        g = DynamicGraph(2)
+        g.ensure_vertex(5)
+        assert g.num_vertices == 6
+        g.add_edge(5, 0, 1.0)
+        g.check_consistency()
+
+    def test_apply_update_roundtrip(self):
+        g = DynamicGraph(3)
+        assert g.apply_update(add(0, 1, 2.0)) is True
+        assert g.apply_update(delete(0, 1, 2.0)) is True
+        assert g.apply_update(delete(0, 1, 2.0)) is False  # missing_ok default
+        assert g.num_edges == 0
+
+    def test_apply_batch_counts_changes(self):
+        g = DynamicGraph(4)
+        batch = UpdateBatch([add(0, 1), add(0, 1), add(1, 2), delete(3, 2)])
+        # second add overwrites (no change), delete of absent edge ignored
+        assert g.apply_batch(batch) == 2
+        g.check_consistency()
+
+
+class TestTraversal:
+    def test_in_out_neighbors_mirror(self):
+        g = DynamicGraph.from_edges(4, [(0, 1, 2.0), (2, 1, 3.0), (1, 3, 4.0)])
+        assert dict(g.in_neighbors(1)) == {0: 2.0, 2: 3.0}
+        assert dict(g.out_neighbors(1)) == {3: 4.0}
+        assert g.in_degree(1) == 2
+        assert g.out_degree(1) == 1
+
+    def test_edges_iterates_all(self):
+        edges = [(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]
+        g = DynamicGraph.from_edges(3, edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+    def test_edge_weight_missing_raises(self):
+        g = DynamicGraph(2)
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_weight(0, 1)
+
+    def test_degrees(self):
+        g = DynamicGraph.from_edges(3, [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)])
+        assert g.degrees() == [2, 1, 0]
+        assert g.total_degrees() == [2, 2, 2]
+
+    def test_consistency_after_mixed_mutation(self):
+        g = DynamicGraph(10)
+        import random
+
+        rng = random.Random(7)
+        for _ in range(300):
+            u, v = rng.randrange(10), rng.randrange(10)
+            if u == v:
+                continue
+            if g.has_edge(u, v) and rng.random() < 0.5:
+                g.remove_edge(u, v)
+            else:
+                g.add_edge(u, v, float(rng.randint(1, 9)))
+        g.check_consistency()

@@ -1,0 +1,136 @@
+"""Tests for the accelerator energy model and new memory-system knobs."""
+
+import pytest
+
+from repro.algorithms import PPSP
+from repro.errors import ConfigError
+from repro.graph.batch import UpdateBatch, add, delete
+from repro.hw.accelerator import CISGraphAccelerator, HwBatchStats
+from repro.hw.config import AcceleratorConfig, DramConfig, SpmConfig
+from repro.hw.dram import DramModel
+from repro.hw.energy import EnergyBreakdown, EnergyConfig, EnergyModel
+from repro.hw.spm import ScratchpadMemory
+from repro.query import PairwiseQuery
+from tests.conftest import random_batch, random_graph
+
+
+def run_one_batch(**config_kwargs):
+    g = random_graph(80, 500, seed=31)
+    accel = CISGraphAccelerator(
+        g.copy(),
+        PPSP(),
+        PairwiseQuery(0, 40),
+        config=AcceleratorConfig(**config_kwargs),
+    )
+    accel.initialize()
+    accel.on_batch(random_batch(g, 40, 40, seed=32))
+    assert accel.last_stats is not None
+    return accel.last_stats
+
+
+class TestEnergyModel:
+    def test_breakdown_components_positive(self):
+        stats = run_one_batch()
+        breakdown = EnergyModel().batch_energy(stats)
+        assert breakdown.spm_nj > 0
+        assert breakdown.dram_nj > 0
+        assert breakdown.compute_nj > 0
+        assert breakdown.static_nj > 0
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.spm_nj
+            + breakdown.dram_nj
+            + breakdown.compute_nj
+            + breakdown.static_nj
+        )
+
+    def test_fractions_sum_to_one(self):
+        stats = run_one_batch()
+        breakdown = EnergyModel().batch_energy(stats)
+        total = sum(
+            breakdown.fraction(c) for c in ("spm", "dram", "compute", "static")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_empty_batch_zero_dynamic_energy(self):
+        breakdown = EnergyModel().batch_energy(HwBatchStats())
+        assert breakdown.total_nj == 0.0
+        assert EnergyModel().average_power_mw(HwBatchStats()) == 0.0
+
+    def test_power_reasonable(self):
+        stats = run_one_batch()
+        power = EnergyModel().average_power_mw(stats)
+        assert 0 < power < 1e6  # sanity: sub-kilowatt
+
+    def test_custom_constants_scale(self):
+        stats = run_one_batch()
+        cheap = EnergyModel(EnergyConfig(dram_line_pj=1.0, dram_activate_pj=1.0))
+        expensive = EnergyModel(
+            EnergyConfig(dram_line_pj=10000.0, dram_activate_pj=10000.0)
+        )
+        assert (
+            expensive.batch_energy(stats).dram_nj
+            > cheap.batch_energy(stats).dram_nj
+        )
+
+
+class TestDramRefresh:
+    def test_blackout_delays_access(self):
+        cfg = DramConfig(refresh_enabled=True, tREFI=1000, tRFC=100)
+        model = DramModel(cfg)
+        done = model.access(0, 64, now=0)
+        # issue pushed past the refresh window at the period start
+        assert done >= 100 + cfg.row_miss_latency + cfg.burst_cycles
+
+    def test_outside_blackout_unaffected(self):
+        with_refresh = DramModel(
+            DramConfig(refresh_enabled=True, tREFI=1000, tRFC=100)
+        )
+        without = DramModel(DramConfig())
+        assert with_refresh.access(0, 64, now=500) == without.access(0, 64, now=500)
+
+    def test_invalid_refresh_config(self):
+        with pytest.raises(ConfigError):
+            DramConfig(refresh_enabled=True, tREFI=100, tRFC=100)
+
+    def test_refresh_slows_streams(self):
+        plain = DramModel(DramConfig(channels=1))
+        refreshing = DramModel(
+            DramConfig(channels=1, refresh_enabled=True, tREFI=500, tRFC=100)
+        )
+        n = 100
+        t_plain = t_ref = 0
+        for i in range(n):
+            t_plain = plain.access(i * 64, 64, now=t_plain)
+            t_ref = refreshing.access(i * 64, 64, now=t_ref)
+        assert t_ref > t_plain
+
+
+class TestSpmPorts:
+    def test_port_contention_serialises(self):
+        """More concurrent line touches than ports must serialise."""
+        cfg = SpmConfig(size_bytes=64 * 1024, ports=1)
+        spm = ScratchpadMemory(cfg, DramModel(DramConfig()))
+        # warm two lines
+        spm.access(0, 8, now=0)
+        spm.access(64, 8, now=1000)
+        # both hit, issued the same cycle: with 1 port the second waits
+        done = spm.access(0, 128, now=2000)
+        assert done >= 2000 + 2  # two port slots + hit latency
+
+    def test_many_ports_parallel_hits(self):
+        cfg = SpmConfig(size_bytes=64 * 1024, ports=8)
+        spm = ScratchpadMemory(cfg, DramModel(DramConfig()))
+        spm.access(0, 256, now=0)  # warm 4 lines
+        done = spm.access(0, 256, now=1000)
+        assert done == 1000 + cfg.hit_latency
+
+    def test_invalid_ports(self):
+        with pytest.raises(ConfigError):
+            SpmConfig(ports=0)
+
+    def test_reset_clears_ports(self):
+        cfg = SpmConfig(size_bytes=64 * 1024, ports=1)
+        spm = ScratchpadMemory(cfg, DramModel(DramConfig()))
+        spm.access(0, 512, now=0)
+        spm.reset()
+        assert spm._port_free == [0]

@@ -1,0 +1,114 @@
+"""Differential tests: every engine must agree with the reference solver.
+
+This is the repository's central correctness gate: Cold-Start, plain
+incremental, SGraph, PnP, CISGraph-O and the accelerator all process the
+same random streams over all five algorithms; after every batch each engine
+must report exactly the converged answer on the new snapshot.
+"""
+
+import pytest
+
+from repro.algorithms import dijkstra, get_algorithm
+from repro.baselines import (
+    CoalescingEngine,
+    ColdStartEngine,
+    PlainIncrementalEngine,
+    PnPEngine,
+    SGraphEngine,
+)
+from repro.core.engine import CISGraphEngine
+from repro.hw.accelerator import CISGraphAccelerator
+from repro.hw.config import AcceleratorConfig, SpmConfig
+from repro.query import PairwiseQuery
+from tests.conftest import random_batch, random_graph
+
+ENGINE_FACTORIES = [
+    ColdStartEngine,
+    PlainIncrementalEngine,
+    CoalescingEngine,
+    lambda g, a, q: SGraphEngine(g, a, q, num_hubs=4),
+    PnPEngine,
+    CISGraphEngine,
+    lambda g, a, q: CISGraphAccelerator(
+        g, a, q, config=AcceleratorConfig(spm=SpmConfig(size_bytes=1024 * 1024))
+    ),
+]
+ENGINE_IDS = [
+    "cs",
+    "incremental",
+    "coalescing",
+    "sgraph",
+    "pnp",
+    "cisgraph-o",
+    "cisgraph-hw",
+]
+
+
+@pytest.mark.parametrize("factory", ENGINE_FACTORIES, ids=ENGINE_IDS)
+@pytest.mark.parametrize("seed", range(3))
+def test_engine_agrees_with_reference(factory, algorithm, seed):
+    g = random_graph(70, 420, seed=seed)
+    source = (seed * 17) % 70
+    dest = (seed * 31 + 11) % 70
+    if dest == source:
+        dest = (dest + 1) % 70
+    query = PairwiseQuery(source, dest)
+
+    engine = factory(g.copy(), algorithm, query)
+    init_answer = engine.initialize()
+    assert init_answer == dijkstra(g, algorithm, source).states[dest]
+
+    reference_graph = g.copy()
+    for b in range(3):
+        batch = random_batch(reference_graph, 25, 25, seed=seed * 100 + b)
+        reference_graph.apply_batch(batch)
+        result = engine.on_batch(batch)
+        want = dijkstra(reference_graph, algorithm, source).states[dest]
+        assert result.answer == want, (
+            f"{engine.name} batch {b}: got {result.answer}, want {want}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_deletion_heavy_stream(algorithm, seed):
+    """Deletion-dominated batches stress the monotonic repair path."""
+    g = random_graph(50, 400, seed=seed + 40)
+    query = PairwiseQuery(0, 25)
+    engines = [
+        CISGraphEngine(g.copy(), algorithm, query),
+        SGraphEngine(g.copy(), algorithm, query, num_hubs=4),
+        CISGraphAccelerator(g.copy(), algorithm, query),
+    ]
+    for engine in engines:
+        engine.initialize()
+    reference_graph = g.copy()
+    for b in range(3):
+        batch = random_batch(reference_graph, 5, 45, seed=seed * 9 + b)
+        reference_graph.apply_batch(batch)
+        want = None
+        for engine in engines:
+            result = engine.on_batch(batch)
+            if want is None:
+                want = dijkstra(reference_graph, algorithm, 0).states[25]
+            assert result.answer == want, f"{engine.name} diverged on batch {b}"
+
+
+def test_addition_only_stream(algorithm):
+    """Pure-growth streams (the KineoGraph case) across all engines."""
+    g = random_graph(40, 150, seed=77)
+    query = PairwiseQuery(1, 20)
+    engines = [
+        ColdStartEngine(g.copy(), algorithm, query),
+        PlainIncrementalEngine(g.copy(), algorithm, query),
+        CISGraphEngine(g.copy(), algorithm, query),
+        CISGraphAccelerator(g.copy(), algorithm, query),
+    ]
+    for engine in engines:
+        engine.initialize()
+    reference_graph = g.copy()
+    for b in range(3):
+        batch = random_batch(reference_graph, 30, 0, seed=80 + b)
+        reference_graph.apply_batch(batch)
+        want = dijkstra(reference_graph, algorithm, 1).states[20]
+        for engine in engines:
+            assert engine.on_batch(batch).answer == want

@@ -1,0 +1,57 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the fast examples run under pytest (the larger ones are exercised by
+hand / CI nightly); each must exit cleanly and print its headline output.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+
+def run_example(name: str, capsys) -> str:
+    path = os.path.join(EXAMPLES_DIR, name)
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_paper_example_fig3(capsys):
+    out = run_example("paper_example_fig3.py", capsys)
+    assert "Q(0 -> 5) = 2" in out
+    assert "is useless" in out
+    assert "is valuable" in out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "initial answer" in out
+    assert "useless" in out
+
+
+def test_examples_all_present():
+    names = sorted(os.listdir(EXAMPLES_DIR))
+    expected = {
+        "quickstart.py",
+        "navigation.py",
+        "social_reachability.py",
+        "accelerator_simulation.py",
+        "paper_example_fig3.py",
+        "multi_query.py",
+    }
+    assert expected.issubset(set(names))
+
+
+def test_examples_have_docstrings_and_main():
+    for name in os.listdir(EXAMPLES_DIR):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(EXAMPLES_DIR, name)) as handle:
+            source = handle.read()
+        assert source.lstrip().startswith('"""'), f"{name} missing docstring"
+        assert '__name__ == "__main__"' in source, f"{name} missing main guard"

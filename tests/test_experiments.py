@@ -1,0 +1,228 @@
+"""Integration tests for the experiment harness (tiny scale)."""
+
+import pytest
+
+from repro.bench.ablations import (
+    keypath_rule_comparison,
+    scheduling_policy_comparison,
+    sweep_batch_size,
+    sweep_dram_channels,
+    sweep_hub_count,
+    sweep_pipelines,
+    sweep_spm_size,
+)
+from repro.bench.datasets import dataset_specs, make_workload, pick_query_pairs
+from repro.bench.experiments import (
+    geometric_mean,
+    run_fig2,
+    run_fig5a,
+    run_fig5b,
+    run_speedup_experiment,
+    table4_gmean_rows,
+)
+from repro.bench.tables import (
+    format_dict_table,
+    format_fraction,
+    format_speedup,
+    format_table,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("CISGRAPH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    import os
+
+    os.environ["CISGRAPH_SCALE"] = "tiny"
+    spec = dataset_specs("tiny")[0]
+    return make_workload(spec, num_batches=1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def queries(workload):
+    return pick_query_pairs(workload.initial, count=2, seed=0)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([0.0, 2.0, 8.0]) == pytest.approx(4.0)
+
+
+class TestSpeedupExperiment:
+    def test_cell_engines_and_agreement(self, workload, queries):
+        cell = run_speedup_experiment(
+            workload,
+            "ppsp",
+            queries,
+            engines=("sgraph", "cisgraph-o", "cisgraph"),
+        )
+        assert set(cell.speedups) == {"sgraph", "cisgraph-o", "cisgraph"}
+        assert all(v > 0 for v in cell.speedups.values())
+
+    def test_cisgraph_o_beats_cs(self, workload, queries):
+        """The headline shape: the contribution-aware workflow must beat
+        cold-start recomputation."""
+        cell = run_speedup_experiment(
+            workload, "ppsp", queries, engines=("cisgraph-o",)
+        )
+        assert cell.speedups["cisgraph-o"] > 1.0
+
+    def test_gmean_rows(self, workload, queries):
+        cell = run_speedup_experiment(
+            workload, "reach", queries, engines=("cisgraph-o",)
+        )
+        rows = table4_gmean_rows([cell])
+        assert rows[0]["algorithm"] == "reach"
+        assert rows[0]["gmean"] == pytest.approx(
+            cell.speedups["cisgraph-o"]
+        )
+
+
+class TestFig2:
+    def test_majority_of_updates_useless(self, workload, queries):
+        """The paper's motivation: most updates never touch the answer."""
+        result = run_fig2(workload, "ppsp", queries)
+        assert result.useless_update_fraction > 0.5
+        assert 0.0 <= result.redundant_computation_fraction <= 1.0
+        assert 0.0 <= result.wasteful_time_fraction <= 1.0
+
+    def test_fractions_consistent(self, workload, queries):
+        result = run_fig2(workload, "ppsp", queries)
+        assert result.dataset == workload.spec.abbreviation
+        assert result.algorithm == "ppsp"
+
+
+class TestFig5a:
+    def test_cisgraph_reduces_computations(self, workload, queries):
+        result = run_fig5a(workload, "ppsp", queries)
+        assert result.cisgraph_computations < result.cs_computations
+        assert result.normalized < 1.0
+
+
+class TestFig5b:
+    def test_activation_counts(self, workload, queries):
+        result = run_fig5b(workload, "ppsp", queries)
+        assert result.addition_activations >= 0
+        assert result.deletion_activations >= 0
+        assert result.additions_over_deletions >= 0.0
+
+
+class TestRunAccelerator:
+    def test_extras_and_times(self, workload, queries):
+        from repro.bench.experiments import run_accelerator
+
+        run = run_accelerator(workload, "ppsp", queries[0])
+        assert run.engine == "cisgraph"
+        assert 0.0 <= run.extra["spm_hit_rate"] <= 1.0
+        assert run.extra["batches"] == workload.replay.num_batches
+        assert 0 <= run.response_ns <= run.total_ns
+        assert len(run.answers) == workload.replay.num_batches
+
+
+class TestResponseTimeline:
+    def test_series_and_speedups(self, workload, queries):
+        from repro.bench.experiments import run_response_timeline
+
+        timeline = run_response_timeline(
+            workload, "ppsp", queries[0], engines=("cs", "cisgraph-o")
+        )
+        assert len(timeline.per_engine_ns["cs"]) == workload.replay.num_batches
+        series = timeline.speedup_series("cisgraph-o")
+        assert all(s > 0 for s in series)
+
+    def test_unknown_engine_rejected(self, workload, queries):
+        from repro.bench.experiments import run_response_timeline
+
+        with pytest.raises(KeyError):
+            run_response_timeline(
+                workload, "ppsp", queries[0], engines=("warp-drive",)
+            )
+
+
+class TestAblations:
+    def test_pipeline_sweep(self, workload, queries):
+        points = sweep_pipelines(
+            workload, "ppsp", queries[:1], pipeline_counts=(1, 4)
+        )
+        assert len(points) == 2
+        assert all(p.response_ns > 0 for p in points)
+
+    def test_spm_sweep(self, workload, queries):
+        points = sweep_spm_size(workload, "ppsp", queries[:1], sizes_kb=(64, 1024))
+        assert len(points) == 2
+        assert all(0.0 <= p.extra["spm_hit_rate"] <= 1.0 for p in points)
+
+    def test_scheduling_comparison(self, workload, queries):
+        points = scheduling_policy_comparison(workload, "ppsp", queries[:1])
+        priority, fifo = points
+        assert priority.response_ns <= fifo.response_ns
+
+    def test_hub_sweep(self, workload, queries):
+        points = sweep_hub_count(
+            workload, "ppsp", queries[:1], hub_counts=(2, 4)
+        )
+        assert len(points) == 2
+        # more hubs -> more maintenance ops -> never cheaper total
+        assert points[1].total_ns >= points[0].total_ns * 0.5
+
+    def test_batch_size_sweep(self):
+        spec = dataset_specs("tiny")[0]
+        points = sweep_batch_size(
+            spec, "ppsp", batch_sizes=(20, 100), num_queries=2
+        )
+        assert len(points) == 2
+        assert all(p.extra["speedup_over_cs"] > 0 for p in points)
+
+    def test_dram_channel_sweep(self, workload, queries):
+        points = sweep_dram_channels(
+            workload, "ppsp", queries[:1], channel_counts=(1, 8)
+        )
+        assert len(points) == 2
+        assert points[1].total_ns <= points[0].total_ns
+
+    def test_keypath_rule_comparison(self, workload, queries):
+        precise, paper = keypath_rule_comparison(workload, "ppsp", queries[:1])
+        assert precise.label == "precise"
+        assert paper.label == "paper"
+        assert (
+            precise.extra["nondelayed_deletions"]
+            <= paper.extra["nondelayed_deletions"]
+        )
+
+
+class TestTables:
+    def test_format_speedup(self):
+        assert format_speedup(256.4) == "256x"
+        assert format_speedup(25.84) == "25.8x"
+        assert format_speedup(0.43) == "0.43x"
+        assert format_speedup(float("nan")) == "-"
+
+    def test_format_fraction(self):
+        assert format_fraction(0.853) == "85%"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # box is rectangular
+
+    def test_format_dict_table(self):
+        text = format_dict_table(
+            [{"a": 1.0, "b": 2}],
+            columns=["a", "b"],
+            formatters={"a": format_speedup},
+        )
+        assert "1.00x" in text

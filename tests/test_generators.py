@@ -1,0 +1,139 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+
+
+def _check_simple(edges, num_vertices):
+    seen = set()
+    for u, v, w in edges:
+        assert 0 <= u < num_vertices
+        assert 0 <= v < num_vertices
+        assert u != v, "self loop"
+        assert (u, v) not in seen, "duplicate edge"
+        assert w > 0
+        seen.add((u, v))
+
+
+class TestRmat:
+    def test_shape_and_simplicity(self):
+        edges = generators.rmat(256, 2000, seed=1)
+        assert len(edges) == 2000
+        _check_simple(edges, 256)
+
+    def test_deterministic(self):
+        assert generators.rmat(128, 500, seed=5) == generators.rmat(128, 500, seed=5)
+
+    def test_seed_changes_output(self):
+        assert generators.rmat(128, 500, seed=1) != generators.rmat(128, 500, seed=2)
+
+    def test_degree_skew(self):
+        """RMAT must produce heavy-tailed degrees (social-graph shape)."""
+        edges = generators.rmat(512, 5000, seed=3)
+        degrees = np.zeros(512)
+        for u, _, _ in edges:
+            degrees[u] += 1
+        top = np.sort(degrees)[-26:].sum()  # top 5% of vertices
+        assert top / degrees.sum() > 0.20, "expected skewed out-degrees"
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            generators.rmat(64, 100, a=0.9, b=0.9, c=0.9)
+
+    def test_invalid_vertex_count(self):
+        with pytest.raises(ValueError):
+            generators.rmat(0, 10)
+
+    def test_weights_in_range(self):
+        edges = generators.rmat(64, 300, seed=1, max_weight=8)
+        assert all(1 <= w <= 8 for _, _, w in edges)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        edges = generators.erdos_renyi(100, 800, seed=1)
+        assert len(edges) == 800
+        _check_simple(edges, 100)
+
+    def test_too_dense_rejected(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi(3, 100)
+
+    def test_deterministic(self):
+        a = generators.erdos_renyi(64, 200, seed=9)
+        assert a == generators.erdos_renyi(64, 200, seed=9)
+
+
+class TestWebGraph:
+    def test_shape(self):
+        edges = generators.web_graph(256, 2000, seed=2)
+        assert len(edges) == 2000
+        _check_simple(edges, 256)
+
+    def test_locality(self):
+        """Most destinations should sit near their source id."""
+        edges = generators.web_graph(1024, 5000, locality=0.8, seed=4)
+        window = max(4, 1024 // 64)
+        near = sum(
+            1
+            for u, v, _ in edges
+            if min(abs(u - v), 1024 - abs(u - v)) <= window
+        )
+        assert near / len(edges) > 0.5
+
+    def test_invalid_locality(self):
+        with pytest.raises(ValueError):
+            generators.web_graph(64, 100, locality=1.5)
+
+
+class TestGrid:
+    def test_bidirectional_edge_count(self):
+        edges = generators.grid(3, 4, bidirectional=True, seed=0)
+        # horizontal: 3*3, vertical: 2*4, doubled
+        assert len(edges) == 2 * (3 * 3 + 2 * 4)
+        _check_simple(edges, 12)
+
+    def test_directed_edge_count(self):
+        edges = generators.grid(3, 4, bidirectional=False, seed=0)
+        assert len(edges) == 3 * 3 + 2 * 4
+
+    def test_reverse_edges_share_weight(self):
+        edges = generators.grid(2, 2, bidirectional=True, seed=1)
+        weights = {(u, v): w for u, v, w in edges}
+        for (u, v), w in weights.items():
+            assert weights[(v, u)] == w
+
+
+class TestSmallWorld:
+    def test_shape(self):
+        edges = generators.small_world(100, neighbors=4, seed=1)
+        _check_simple(edges, 100)
+        # near 4 out-edges per vertex (rewiring drops a few duplicates)
+        assert 350 <= len(edges) <= 400
+
+    def test_no_rewire_is_ring(self):
+        edges = generators.small_world(10, neighbors=2, rewire_probability=0.0)
+        targets = {(u, v) for u, v, _ in edges}
+        for u in range(10):
+            assert (u, (u + 1) % 10) in targets
+            assert (u, (u + 2) % 10) in targets
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generators.small_world(10, neighbors=0)
+        with pytest.raises(ValueError):
+            generators.small_world(10, neighbors=10)
+        with pytest.raises(ValueError):
+            generators.small_world(10, rewire_probability=2.0)
+
+    def test_deterministic(self):
+        a = generators.small_world(50, seed=3)
+        assert a == generators.small_world(50, seed=3)
+
+
+class TestPathGraph:
+    def test_path(self):
+        edges = generators.path_graph(3, weight=2.0)
+        assert edges == [(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0)]

@@ -1,0 +1,78 @@
+"""Cross-cutting integration tests."""
+
+import pytest
+
+from repro.bench.datasets import dataset_specs, make_workload, pick_query_pairs
+from repro.bench.experiments import run_speedup_experiment
+from repro.core.classification import KeyPathRule
+from repro.core.multiquery import MultiQueryEngine
+from repro.hw.accelerator import CISGraphAccelerator
+from repro.algorithms import PPSP, dijkstra
+from repro.query import PairwiseQuery
+from repro.validate import validate_engines
+from tests.conftest import random_batch, random_graph
+
+
+def test_validate_all_algorithms():
+    """The shipped validator must pass for every algorithm and engine."""
+    report = validate_engines(
+        num_vertices=50, num_edges=280, num_batches=1, batch_size=30, seed=1
+    )
+    assert report.ok, "\n".join(report.lines)
+    # 7 engines x 5 algorithms x 1 batch
+    assert report.checks == 35
+
+
+def test_speedup_experiment_with_all_engines(monkeypatch):
+    """Every optional engine row of the harness runs and wins or loses
+    plausibly (all answers already cross-checked inside)."""
+    monkeypatch.setenv("CISGRAPH_SCALE", "tiny")
+    spec = dataset_specs("tiny")[0]
+    workload = make_workload(spec, num_batches=1, seed=2)
+    queries = pick_query_pairs(workload.initial, count=2, seed=2)
+    cell = run_speedup_experiment(
+        workload,
+        "ppsp",
+        queries,
+        engines=("incremental", "coalescing", "sgraph", "pnp", "cisgraph-o"),
+    )
+    assert set(cell.speedups) == {
+        "incremental",
+        "coalescing",
+        "sgraph",
+        "pnp",
+        "cisgraph-o",
+    }
+    # classification-free incremental engines should not beat CISGraph-O by
+    # much; CISGraph-O must beat CS
+    assert cell.speedups["cisgraph-o"] > 1.0
+    for engine in ("incremental", "coalescing", "pnp"):
+        assert cell.speedups[engine] > 0
+
+
+def test_multiquery_paper_rule():
+    g = random_graph(50, 300, seed=17)
+    queries = [PairwiseQuery(0, 20), PairwiseQuery(0, 30)]
+    engine = MultiQueryEngine(g.copy(), PPSP(), queries, rule=KeyPathRule.PAPER)
+    engine.initialize()
+    reference_graph = g.copy()
+    batch = random_batch(reference_graph, 20, 20, seed=18)
+    reference_graph.apply_batch(batch)
+    result = engine.on_batch(batch)
+    reference = dijkstra(reference_graph, PPSP(), 0)
+    for query in queries:
+        assert result.answers[query] == reference.states[query.destination]
+
+
+def test_accelerator_prefetcher_telemetry():
+    g = random_graph(80, 500, seed=23)
+    accel = CISGraphAccelerator(g.copy(), PPSP(), PairwiseQuery(0, 40))
+    accel.initialize()
+    accel.on_batch(random_batch(g, 40, 40, seed=24))
+    stats = accel.last_stats
+    assert stats is not None
+    # identification alone fetches two states per update
+    assert stats.state_prefetch.requests >= 80
+    assert stats.state_prefetch.bytes_requested >= 8 * 80
+    assert stats.neighbor_prefetch.requests > 0
+    assert stats.state_prefetch.stall_cycles >= 0

@@ -1,0 +1,69 @@
+"""Tests for global key path tracking."""
+
+from repro.algorithms import PPSP, dijkstra
+from repro.core.keypath import KeyPathTracker
+from repro.graph.dynamic import DynamicGraph
+
+
+def tracker_for(graph, source, destination):
+    result = dijkstra(graph, PPSP(), source)
+    tracker = KeyPathTracker(source, destination)
+    tracker.rebuild(result.parents)
+    return tracker, result
+
+
+class TestKeyPath:
+    def test_chain_on_diamond(self, diamond_graph):
+        tracker, _ = tracker_for(diamond_graph, 0, 4)
+        assert tracker.exists
+        assert tracker.vertices() == [0, 1, 3, 4]
+        assert tracker.length() == 3
+
+    def test_contains_members_only(self, diamond_graph):
+        tracker, _ = tracker_for(diamond_graph, 0, 4)
+        for v in (0, 1, 3, 4):
+            assert tracker.contains(v)
+        assert not tracker.contains(2)
+        assert not tracker.contains(5)
+
+    def test_edge_on_path(self, diamond_graph):
+        tracker, result = tracker_for(diamond_graph, 0, 4)
+        parents = result.parents
+        assert tracker.edge_on_path(0, 1, parents)
+        assert tracker.edge_on_path(1, 3, parents)
+        assert tracker.edge_on_path(3, 4, parents)
+        assert not tracker.edge_on_path(0, 2, parents)
+        assert not tracker.edge_on_path(2, 3, parents)
+        # reversed direction is not a dependence edge
+        assert not tracker.edge_on_path(1, 0, parents)
+
+    def test_unreachable_destination(self, diamond_graph):
+        tracker, _ = tracker_for(diamond_graph, 0, 5)
+        assert not tracker.exists
+        assert tracker.vertices() == []
+        assert tracker.length() == 0
+        assert not tracker.contains(0)
+
+    def test_rebuild_after_parent_change(self, diamond_graph):
+        tracker, result = tracker_for(diamond_graph, 0, 3)
+        assert tracker.vertices() == [0, 1, 3]
+        parents = list(result.parents)
+        parents[3] = 2
+        parents[2] = 0
+        tracker.rebuild(parents)
+        assert tracker.vertices() == [0, 2, 3]
+
+    def test_cycle_in_parents_yields_no_path(self):
+        tracker = KeyPathTracker(0, 3)
+        # corrupt parents: 3 -> 2 -> 3 cycle
+        tracker.rebuild([-1, -1, 3, 2])
+        assert not tracker.exists
+
+    def test_walk_into_unparented_vertex(self):
+        tracker = KeyPathTracker(0, 2)
+        tracker.rebuild([-1, -1, 1])  # 2 -> 1 -> -1, never reaches 0
+        assert not tracker.exists
+
+    def test_repr_smoke(self, diamond_graph):
+        tracker, _ = tracker_for(diamond_graph, 0, 4)
+        assert "hops=3" in repr(tracker)

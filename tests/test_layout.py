@@ -1,0 +1,71 @@
+"""Tests for the physical memory layout."""
+
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.hw.layout import MemoryLayout, Span
+
+EDGES = [(0, 1, 2.0), (0, 2, 3.0), (1, 2, 4.0), (3, 0, 5.0)]
+
+
+def make_layout(num_vertices=4, edges=EDGES):
+    csr = CSRGraph.from_edges(num_vertices, edges)
+    return MemoryLayout(csr, csr.reversed())
+
+
+class TestRegions:
+    def test_regions_do_not_overlap(self):
+        layout = make_layout()
+        n = 4
+        regions = [
+            (layout.state_base, n * layout.STATE_BYTES),
+            (layout.indptr_base, (n + 1) * layout.INDPTR_BYTES),
+            (layout.edges_base, len(EDGES) * layout.EDGE_RECORD_BYTES),
+            (layout.rev_indptr_base, (n + 1) * layout.INDPTR_BYTES),
+            (layout.rev_edges_base, len(EDGES) * layout.EDGE_RECORD_BYTES),
+        ]
+        regions.sort()
+        for (a_start, a_len), (b_start, _) in zip(regions, regions[1:]):
+            assert a_start + a_len <= b_start
+
+    def test_total_bytes_covers_everything(self):
+        layout = make_layout()
+        assert layout.total_bytes >= layout.rev_edges_base
+
+    def test_mismatched_csr_rejected(self):
+        fwd = CSRGraph.from_edges(4, EDGES)
+        rev = CSRGraph.from_edges(5, [(u, v, w) for v, u, w in EDGES])
+        with pytest.raises(ValueError):
+            MemoryLayout(fwd, rev)
+
+
+class TestSpans:
+    def test_state_span(self):
+        layout = make_layout()
+        span = layout.state_span(3)
+        assert span.address == 3 * 8
+        assert span.length == 8
+        assert span.end == 32
+
+    def test_indptr_span_covers_two_entries(self):
+        layout = make_layout()
+        span = layout.indptr_span(1)
+        assert span.length == 16
+
+    def test_edge_list_spans_are_contiguous(self):
+        layout = make_layout()
+        s0 = layout.edge_list_span(0)
+        s1 = layout.edge_list_span(1)
+        assert s0.length == 2 * layout.EDGE_RECORD_BYTES
+        assert s1.address == s0.end
+
+    def test_zero_degree_vertex(self):
+        layout = make_layout()
+        span = layout.edge_list_span(2)
+        assert span.length == 0
+
+    def test_reverse_spans(self):
+        layout = make_layout()
+        # vertex 2 has two in-edges (from 0 and 1)
+        span = layout.rev_edge_list_span(2)
+        assert span.length == 2 * layout.EDGE_RECORD_BYTES

@@ -1,0 +1,91 @@
+"""Tests for the public package surface and shared engine plumbing."""
+
+import math
+
+import pytest
+
+import repro
+from repro import errors
+from repro.algorithms import PPSP
+from repro.baselines import ColdStartEngine
+from repro.graph.batch import UpdateBatch, add
+from repro.graph.dynamic import DynamicGraph
+from repro.query import PairwiseQuery
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_core_types_exported(self):
+        for name in (
+            "CSRGraph",
+            "DynamicGraph",
+            "EdgeUpdate",
+            "StreamingGraph",
+            "UpdateBatch",
+            "UpdateKind",
+            "get_algorithm",
+            "list_algorithms",
+            "CISGraphEngine",
+            "UpdateClass",
+            "classify_batch",
+            "PairwiseQuery",
+        ):
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_all_matches_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.GraphError,
+            errors.EdgeNotFoundError,
+            errors.VertexOutOfRangeError,
+            errors.QueryError,
+            errors.ConfigError,
+            errors.SimulationError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_edge_not_found_carries_endpoints(self):
+        err = errors.EdgeNotFoundError(3, 7)
+        assert err.u == 3
+        assert err.v == 7
+        assert "3 -> 7" in str(err)
+
+    def test_vertex_out_of_range_message(self):
+        err = errors.VertexOutOfRangeError(12, 10)
+        assert "12" in str(err)
+        assert err.num_vertices == 10
+
+
+class TestEngineBase:
+    def graph(self):
+        return DynamicGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+
+    def test_query_validated_at_construction(self):
+        with pytest.raises(errors.QueryError):
+            ColdStartEngine(self.graph(), PPSP(), PairwiseQuery(0, 99))
+
+    def test_unreached_answer_is_identity(self):
+        engine = ColdStartEngine(self.graph(), PPSP(), PairwiseQuery(0, 2))
+        assert engine.unreached_answer == math.inf
+
+    def test_initialize_returns_answer(self):
+        engine = ColdStartEngine(self.graph(), PPSP(), PairwiseQuery(0, 2))
+        assert engine.initialize() == 2.0
+
+    def test_repr_mentions_query_and_algorithm(self):
+        engine = ColdStartEngine(self.graph(), PPSP(), PairwiseQuery(0, 2))
+        text = repr(engine)
+        assert "Q(0 -> 2)" in text
+        assert "ppsp" in text
+
+    def test_init_ops_populated(self):
+        engine = ColdStartEngine(self.graph(), PPSP(), PairwiseQuery(0, 2))
+        engine.initialize()
+        assert engine.init_ops.relaxations > 0

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on the core data structures and
+engines.
+
+These generate arbitrary graphs, update streams and access patterns and
+check the invariants the whole system rests on:
+
+* monotone engines converge to exactly the reference fixpoint;
+* the CISGraph workflow (classification + scheduling + repair) is
+  answer-equivalent to cold recomputation on every snapshot;
+* net-effect batch reduction preserves final topology;
+* the SPM never exceeds capacity and timing never runs backwards.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import dijkstra, get_algorithm, list_algorithms
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.core.engine import CISGraphEngine
+from repro.graph.batch import (
+    EdgeUpdate,
+    UpdateBatch,
+    UpdateKind,
+    net_effects,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+from repro.hw.config import DramConfig, SpmConfig
+from repro.hw.dram import DramModel
+from repro.hw.spm import ScratchpadMemory
+from repro.incremental import IncrementalState
+from repro.metrics import OpCounts
+from repro.query import PairwiseQuery
+
+N_VERTICES = 12
+
+edge_strategy = st.tuples(
+    st.integers(0, N_VERTICES - 1),
+    st.integers(0, N_VERTICES - 1),
+    st.integers(1, 9),
+).filter(lambda e: e[0] != e[1])
+
+graph_strategy = st.lists(edge_strategy, max_size=40).map(
+    lambda edges: DynamicGraph.from_edges(
+        N_VERTICES, [(u, v, float(w)) for u, v, w in dict(
+            ((u, v), (u, v, w)) for u, v, w in edges
+        ).values()]
+    )
+)
+
+update_strategy = st.tuples(
+    st.sampled_from(["add", "delete"]),
+    st.integers(0, N_VERTICES - 1),
+    st.integers(0, N_VERTICES - 1),
+    st.integers(1, 9),
+).filter(lambda u: u[1] != u[2])
+
+batch_strategy = st.lists(update_strategy, max_size=25).map(
+    lambda items: UpdateBatch(
+        [
+            EdgeUpdate(UpdateKind(kind), u, v, float(w))
+            for kind, u, v, w in items
+        ]
+    )
+)
+
+algorithm_strategy = st.sampled_from(list_algorithms()).map(get_algorithm)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    graph=graph_strategy,
+    batch=batch_strategy,
+    algorithm=algorithm_strategy,
+    source=st.integers(0, N_VERTICES - 1),
+)
+def test_incremental_state_matches_reference(graph, batch, algorithm, source):
+    """Sequential incremental processing converges to the true fixpoint."""
+    state = IncrementalState(graph, algorithm, source)
+    state.full_compute()
+    for upd in batch:
+        if upd.is_addition:
+            old_weight = graph.out_adj(upd.u).get(upd.v)
+            graph.add_edge(upd.u, upd.v, upd.weight)
+            if old_weight is None:
+                state.process_addition(upd.u, upd.v, upd.weight, OpCounts())
+            elif old_weight != upd.weight:
+                state.process_reweight(upd.u, upd.v, upd.weight, OpCounts())
+        else:
+            if graph.remove_edge(upd.u, upd.v, missing_ok=True):
+                state.process_deletion(upd.u, upd.v, OpCounts())
+    reference = dijkstra(graph, algorithm, source)
+    assert state.states == reference.states
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    graph=graph_strategy,
+    batch=batch_strategy,
+    algorithm=algorithm_strategy,
+    source=st.integers(0, N_VERTICES - 1),
+    dest=st.integers(0, N_VERTICES - 1),
+)
+def test_cisgraph_engine_answer_equals_reference(
+    graph, batch, algorithm, source, dest
+):
+    """The full contribution-aware workflow is answer-exact on any stream."""
+    if source == dest:
+        dest = (dest + 1) % N_VERTICES
+    engine = CISGraphEngine(graph.copy(), algorithm, PairwiseQuery(source, dest))
+    engine.initialize()
+    result = engine.on_batch(batch)
+    final = graph.copy()
+    final.apply_batch(batch)
+    reference = dijkstra(final, algorithm, source)
+    assert result.answer == reference.states[dest]
+    assert engine.state.states == reference.states
+    # the early (response-window) answer must already be final
+    assert engine.last_response_answer == result.answer
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    graph=graph_strategy,
+    batches=st.lists(batch_strategy, min_size=1, max_size=3),
+    source=st.integers(0, N_VERTICES - 1),
+    dest=st.integers(0, N_VERTICES - 1),
+)
+def test_keypath_witnesses_the_answer(graph, batches, source, dest):
+    """Whenever the destination is reachable, the tracked key path is a
+    real path in the topology whose PPSP weight sum equals the answer."""
+    from repro.algorithms.ppsp import PPSP
+
+    if source == dest:
+        dest = (dest + 1) % N_VERTICES
+    engine = CISGraphEngine(graph, PPSP(), PairwiseQuery(source, dest))
+    engine.initialize()
+    for batch in batches:
+        engine.on_batch(batch)
+        answer = engine.answer
+        if answer == math.inf:
+            assert not engine.keypath.exists
+            continue
+        chain = engine.keypath.vertices()
+        assert chain[0] == source
+        assert chain[-1] == dest
+        total = 0.0
+        for u, v in zip(chain, chain[1:]):
+            assert engine.graph.has_edge(u, v), f"key path uses missing {u}->{v}"
+            total += engine.graph.edge_weight(u, v)
+        assert total == answer
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=graph_strategy, batch=batch_strategy)
+def test_net_effects_preserves_topology(graph, batch):
+    sequential = graph.copy()
+    sequential.apply_batch(batch)
+    reduced_graph = graph.copy()
+    reduced = net_effects(batch, lambda u, v: graph.out_adj(u).get(v))
+    reduced_graph.apply_batch(reduced, missing_ok=False)
+    assert sorted(sequential.edges()) == sorted(reduced_graph.edges())
+    # and the reduction never repeats an edge operation kind
+    per_edge = {}
+    for upd in reduced:
+        per_edge.setdefault(upd.edge, []).append(upd.kind)
+    for kinds in per_edge.values():
+        assert len(kinds) <= 2
+        if len(kinds) == 2:
+            assert kinds == [UpdateKind.DELETE, UpdateKind.ADD]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    accesses=st.lists(
+        st.tuples(
+            st.integers(0, 4095),  # address
+            st.integers(1, 96),  # length
+            st.booleans(),  # write
+        ),
+        max_size=60,
+    )
+)
+def test_spm_invariants(accesses):
+    """Capacity bounds hold and time never decreases along a request chain."""
+    spm = ScratchpadMemory(
+        SpmConfig(size_bytes=1024, ways=2, line_bytes=64),
+        DramModel(DramConfig(channels=2)),
+    )
+    now = 0
+    for address, length, write in accesses:
+        done = spm.access(address, length, now=now, write=write)
+        assert done >= now
+        now = done
+        spm.check_invariants()
+    assert spm.occupancy_lines() <= 16
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    requests=st.lists(
+        st.tuples(st.integers(0, 1 << 20), st.integers(1, 512)),
+        max_size=50,
+    )
+)
+def test_dram_completion_monotone_per_chain(requests):
+    dram = DramModel(DramConfig())
+    now = 0
+    for address, length in requests:
+        done = dram.access(address, length, now=now)
+        assert done >= now
+        now = done
+    dram.check_invariants()
+    assert dram.stats.bytes_transferred == dram.stats.lines * 64
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=graph_strategy)
+def test_csr_roundtrip(graph):
+    csr = CSRGraph.from_dynamic(graph)
+    assert sorted(csr.edges()) == sorted(graph.edges())
+    rev = csr.reversed()
+    assert sorted(rev.edges()) == sorted((v, u, w) for u, v, w in graph.edges())
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    algorithm=algorithm_strategy,
+    state_weight_pairs=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(1, 9)), min_size=1, max_size=6
+    ),
+)
+def test_propagation_chain_never_improves(algorithm, state_weight_pairs):
+    """Chained (+) applications are monotonically non-improving."""
+    state = algorithm.source_state()
+    for _, weight in state_weight_pairs:
+        nxt = algorithm.propagate(state, algorithm.transform_weight(float(weight)))
+        assert not algorithm.is_better(nxt, state)
+        state = nxt

@@ -1,0 +1,130 @@
+"""Additional property-based tests: scheduler, multi-query, stream I/O."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import dijkstra, get_algorithm, list_algorithms
+from repro.core.multiquery import MultiQueryEngine
+from repro.core.scheduler import UpdateScheduler
+from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream_io import load_stream_text, save_stream_text
+from repro.graph.streaming import StreamReplay
+from repro.query import PairwiseQuery
+from tests.test_properties import (
+    N_VERTICES,
+    algorithm_strategy,
+    batch_strategy,
+    graph_strategy,
+)
+
+# scheduler op stream: (op, delayed) pairs
+scheduler_ops = st.lists(
+    st.sampled_from(["front", "back", "delayed", "pop"]), max_size=40
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=scheduler_ops)
+def test_scheduler_invariants(ops):
+    """pending_valuable always equals the number of buffered non-delayed
+    items, and answer_ready holds exactly when it is zero."""
+    sched = UpdateScheduler()
+    shadow = []  # list of bools: True == delayed
+    upd = EdgeUpdate(UpdateKind.ADD, 0, 1, 1.0)
+    for op in ops:
+        if op == "front":
+            sched.push_valuable(upd)
+            shadow.insert(0, False)
+        elif op == "back":
+            sched.push_valuable_back(upd)
+            shadow.append(False)
+        elif op == "delayed":
+            sched.push_delayed(upd)
+            shadow.append(True)
+        else:
+            item = sched.pop()
+            if shadow:
+                expected = shadow.pop(0)
+                assert item is not None
+                assert item.delayed == expected
+            else:
+                assert item is None
+        assert len(sched) == len(shadow)
+        assert sched.pending_valuable == sum(1 for d in shadow if not d)
+        assert sched.answer_ready == (sched.pending_valuable == 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    graph=graph_strategy,
+    batch=batch_strategy,
+    algorithm=algorithm_strategy,
+    sources=st.lists(st.integers(0, N_VERTICES - 1), min_size=1, max_size=2, unique=True),
+    dests=st.lists(st.integers(0, N_VERTICES - 1), min_size=1, max_size=3, unique=True),
+)
+def test_multiquery_answers_match_reference(graph, batch, algorithm, sources, dests):
+    queries = []
+    for s in sources:
+        for d in dests:
+            if s != d:
+                queries.append(PairwiseQuery(s, d))
+    if not queries:
+        return
+    engine = MultiQueryEngine(graph.copy(), algorithm, queries)
+    engine.initialize()
+    result = engine.on_batch(batch)
+    final = graph.copy()
+    final.apply_batch(batch)
+    for query in queries:
+        want = dijkstra(final, algorithm, query.source).states[query.destination]
+        assert result.answers[query] == want
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    graph=graph_strategy,
+    batch=batch_strategy,
+    algorithm=algorithm_strategy,
+    source=st.integers(0, N_VERTICES - 1),
+    dest=st.integers(0, N_VERTICES - 1),
+)
+def test_accelerator_matches_reference_and_timing_sane(
+    graph, batch, algorithm, source, dest
+):
+    """The timed simulator is answer-exact and its clocks are consistent."""
+    from repro.hw.accelerator import CISGraphAccelerator
+
+    if source == dest:
+        dest = (dest + 1) % N_VERTICES
+    accel = CISGraphAccelerator(
+        graph.copy(), algorithm, PairwiseQuery(source, dest)
+    )
+    accel.initialize()
+    result = accel.on_batch(batch)
+    final = graph.copy()
+    final.apply_batch(batch)
+    reference = dijkstra(final, algorithm, source)
+    assert result.answer == reference.states[dest]
+    assert accel.states == reference.states
+    stats = accel.last_stats
+    assert stats is not None
+    assert 0 <= stats.identify_cycles
+    assert stats.addition_phase_end <= stats.response_cycles
+    assert stats.response_cycles <= stats.total_cycles
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=graph_strategy, batches=st.lists(batch_strategy, max_size=3))
+def test_stream_text_roundtrip(graph, batches, tmp_path_factory):
+    replay = StreamReplay(graph, batches)
+    path = str(tmp_path_factory.mktemp("streams") / "s.txt")
+    save_stream_text(path, replay)
+    loaded = load_stream_text(path)
+    assert sorted(loaded.initial_graph.edges()) == sorted(graph.edges())
+    assert loaded.num_batches == len(batches)
+    for i, batch in enumerate(batches):
+        got = [(u.kind, u.edge, u.weight) for u in loaded.batch(i)]
+        want = [(u.kind, u.edge, u.weight) for u in batch]
+        assert got == want

@@ -1,0 +1,80 @@
+"""Tests for the priority update scheduler (output buffer model)."""
+
+from repro.core.scheduler import UpdateScheduler
+from repro.graph.batch import add, delete
+
+
+class TestScheduler:
+    def test_empty_is_answer_ready(self):
+        sched = UpdateScheduler()
+        assert sched.answer_ready
+        assert sched.pop() is None
+        assert len(sched) == 0
+
+    def test_valuable_front_priority(self):
+        sched = UpdateScheduler()
+        sched.push_valuable_back(add(0, 1))
+        sched.push_valuable(delete(2, 3))  # preemptive: jumps the queue
+        first = sched.pop()
+        assert first.update.edge == (2, 3)
+        assert not first.delayed
+
+    def test_delayed_does_not_block_answer(self):
+        sched = UpdateScheduler()
+        sched.push_delayed(delete(0, 1))
+        sched.push_delayed(delete(1, 2))
+        assert sched.answer_ready
+        assert len(sched) == 2
+
+    def test_valuable_blocks_answer_until_popped(self):
+        sched = UpdateScheduler()
+        sched.push_valuable(delete(0, 1))
+        sched.push_delayed(delete(1, 2))
+        assert not sched.answer_ready
+        assert sched.pending_valuable == 1
+        item = sched.pop()
+        assert not item.delayed
+        assert sched.answer_ready
+
+    def test_extend_helpers(self):
+        sched = UpdateScheduler()
+        sched.extend_valuable_back([add(0, 1), add(1, 2)])
+        sched.extend_delayed([delete(2, 3)])
+        assert sched.pending_valuable == 2
+        assert len(sched) == 3
+
+    def test_pop_order_valuables_then_delayed(self):
+        sched = UpdateScheduler()
+        sched.extend_valuable_back([add(0, 1), add(1, 2)])
+        sched.extend_delayed([delete(2, 3)])
+        sched.push_valuable(delete(9, 8))
+        order = [item.update.edge for item in sched.drain()]
+        assert order[0] == (9, 8)  # preemptive front insert
+        assert order[1:3] == [(0, 1), (1, 2)]
+        assert order[3] == (2, 3)
+
+    def test_promote_delayed(self):
+        sched = UpdateScheduler()
+        sched.push_delayed(delete(0, 1))
+        sched.push_delayed(delete(5, 6))
+        promoted = sched.promote_delayed(lambda upd: upd.u == 5)
+        assert promoted == 1
+        assert not sched.answer_ready
+        first = sched.pop()
+        assert first.update.edge == (5, 6)
+        assert not first.delayed
+        assert sched.answer_ready  # only the (0,1) delayed remains
+
+    def test_promote_none(self):
+        sched = UpdateScheduler()
+        sched.push_delayed(delete(0, 1))
+        assert sched.promote_delayed(lambda upd: False) == 0
+        assert sched.answer_ready
+
+    def test_drain_empties(self):
+        sched = UpdateScheduler()
+        sched.push_valuable_back(add(0, 1))
+        sched.push_delayed(delete(1, 2))
+        list(sched.drain())
+        assert len(sched) == 0
+        assert sched.answer_ready

@@ -1,0 +1,155 @@
+"""Tests for the reference solvers (generalized Dijkstra and fixpoint)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import PPSP, PPWP, dijkstra, get_algorithm, worklist_fixpoint
+from repro.algorithms.solvers import recompute_vertex
+from repro.graph.dynamic import DynamicGraph
+from tests.conftest import random_graph
+
+
+class TestDijkstraBasics:
+    def test_shortest_path_diamond(self, diamond_graph):
+        result = dijkstra(diamond_graph, PPSP(), source=0)
+        assert result.states[3] == 2.0  # via 0->1->3
+        assert result.states[4] == 4.0
+        assert result.states[5] == math.inf
+
+    def test_parents_form_witness_tree(self, diamond_graph):
+        result = dijkstra(diamond_graph, PPSP(), source=0)
+        assert result.parents[3] == 1
+        assert result.parents[1] == 0
+        assert result.parents[0] == -1
+        assert result.parents[5] == -1
+
+    def test_widest_path(self, diamond_graph):
+        result = dijkstra(diamond_graph, PPWP(), source=0)
+        # 0->2->3 has width min(4,4)=4; 0->1->3 has width 1
+        assert result.states[3] == 4.0
+        assert result.parents[3] == 2
+
+    def test_source_state(self, diamond_graph, algorithm):
+        result = dijkstra(diamond_graph, algorithm, source=0)
+        assert result.states[0] == algorithm.source_state()
+
+    def test_early_exit_settles_destination(self, diamond_graph):
+        full = dijkstra(diamond_graph, PPSP(), source=0)
+        early = dijkstra(
+            diamond_graph, PPSP(), source=0, destination=3, early_exit=True
+        )
+        assert early.states[3] == full.states[3]
+
+    def test_early_exit_does_less_work(self):
+        g = random_graph(200, 1500, seed=4)
+        full = dijkstra(g, PPSP(), source=0)
+        # pick a near destination: direct out-neighbor
+        dest = next(iter(g.out_adj(0)))
+        early = dijkstra(g, PPSP(), source=0, destination=dest, early_exit=True)
+        assert early.ops.relaxations < full.ops.relaxations
+
+    def test_ops_counted(self, diamond_graph):
+        result = dijkstra(diamond_graph, PPSP(), source=0)
+        assert result.ops.relaxations == 5  # one per reachable edge
+        assert result.ops.heap_ops > 0
+
+    def test_answer_helper(self, diamond_graph):
+        result = dijkstra(diamond_graph, PPSP(), source=0)
+        assert result.answer(4) == result.states[4]
+
+
+class TestCrossCheck:
+    """Dijkstra and chaotic fixpoint must agree on every algorithm."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, algorithm, seed):
+        g = random_graph(60, 300, seed=seed)
+        a = dijkstra(g, algorithm, source=seed % 60)
+        b = worklist_fixpoint(g, algorithm, source=seed % 60)
+        assert a.states == b.states
+
+    def test_disconnected(self, algorithm):
+        g = DynamicGraph.from_edges(4, [(0, 1, 1.0)])
+        a = dijkstra(g, algorithm, source=0)
+        b = worklist_fixpoint(g, algorithm, source=0)
+        assert a.states == b.states
+        assert a.states[2] == algorithm.identity()
+
+    def test_cycle(self, algorithm):
+        g = DynamicGraph.from_edges(
+            3, [(0, 1, 2.0), (1, 2, 2.0), (2, 0, 2.0)]
+        )
+        a = dijkstra(g, algorithm, source=0)
+        b = worklist_fixpoint(g, algorithm, source=0)
+        assert a.states == b.states
+
+
+class TestPaperFigure1b:
+    """The monotonic deletion trap of Figure 1(b).
+
+    Two routes from v0 to v4: the short one through v3 (cost 5) and the long
+    one through v1, v2 (cost 9).  After deleting v0->v3 the correct answer
+    becomes 9 — naive state reuse would stay stuck at 5.
+    """
+
+    def graph(self):
+        return DynamicGraph.from_edges(
+            5,
+            [
+                (0, 3, 1.0),
+                (3, 4, 4.0),
+                (0, 1, 2.0),
+                (1, 2, 3.0),
+                (2, 4, 4.0),
+            ],
+        )
+
+    def test_before_deletion(self):
+        result = dijkstra(self.graph(), PPSP(), source=0)
+        assert result.states[4] == 5.0
+
+    def test_after_deletion(self):
+        g = self.graph()
+        g.remove_edge(0, 3)
+        result = dijkstra(g, PPSP(), source=0)
+        assert result.states[3] == math.inf
+        assert result.states[4] == 9.0
+
+
+class TestRecomputeVertex:
+    def test_picks_best_in_neighbor(self, diamond_graph):
+        alg = PPSP()
+        result = dijkstra(diamond_graph, alg, source=0)
+        state, parent = recompute_vertex(
+            diamond_graph, alg, result.states, vertex=3, source=0
+        )
+        assert state == 2.0
+        assert parent == 1
+
+    def test_exclude_set(self, diamond_graph):
+        alg = PPSP()
+        result = dijkstra(diamond_graph, alg, source=0)
+        state, parent = recompute_vertex(
+            diamond_graph, alg, result.states, vertex=3, source=0, exclude={1}
+        )
+        assert state == 8.0  # forced through vertex 2
+        assert parent == 2
+
+    def test_source_keeps_source_state(self, diamond_graph):
+        alg = PPSP()
+        result = dijkstra(diamond_graph, alg, source=0)
+        state, parent = recompute_vertex(
+            diamond_graph, alg, result.states, vertex=0, source=0
+        )
+        assert state == 0.0
+        assert parent == -1
+
+    def test_unreachable_returns_identity(self, diamond_graph):
+        alg = PPSP()
+        result = dijkstra(diamond_graph, alg, source=0)
+        state, parent = recompute_vertex(
+            diamond_graph, alg, result.states, vertex=5, source=0
+        )
+        assert state == math.inf
+        assert parent == -1

@@ -1,0 +1,151 @@
+"""Tests for the scratchpad (cache-organised eDRAM) model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.config import DramConfig, SpmConfig
+from repro.hw.dram import DramModel
+from repro.hw.spm import ScratchpadMemory
+
+
+def make_spm(size_bytes=4096, ways=2, line_bytes=64):
+    cfg = SpmConfig(size_bytes=size_bytes, ways=ways, line_bytes=line_bytes)
+    dram = DramModel(DramConfig())
+    return ScratchpadMemory(cfg, dram), dram
+
+
+class TestConfig:
+    def test_num_sets(self):
+        cfg = SpmConfig(size_bytes=4096, ways=2, line_bytes=64)
+        assert cfg.num_sets == 32
+
+    def test_size_must_divide(self):
+        with pytest.raises(ConfigError):
+            SpmConfig(size_bytes=1000, ways=3, line_bytes=64)
+
+    def test_default_is_32mb(self):
+        assert SpmConfig().size_bytes == 32 * 1024 * 1024
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        spm, _ = make_spm()
+        t1 = spm.access(0, 8, now=0)
+        assert spm.stats.misses == 1
+        t2 = spm.access(0, 8, now=t1)
+        assert spm.stats.hits == 1
+        assert t2 == t1 + spm.config.hit_latency
+
+    def test_hit_is_single_cycle(self):
+        spm, _ = make_spm()
+        spm.access(0, 8, now=0)
+        done = spm.access(0, 8, now=100)
+        assert done == 100 + 1
+
+    def test_same_line_shares_fill(self):
+        spm, _ = make_spm()
+        spm.access(0, 8, now=0)
+        spm.access(56, 8, now=200)  # same 64B line
+        assert spm.stats.misses == 1
+        assert spm.stats.hits == 1
+
+    def test_multi_line_access(self):
+        spm, _ = make_spm()
+        spm.access(0, 256, now=0)
+        assert spm.stats.misses == 4
+
+    def test_zero_length_free(self):
+        spm, _ = make_spm()
+        assert spm.access(0, 0, now=3) == 3
+        assert spm.stats.accesses == 0
+
+
+class TestEviction:
+    def test_lru_eviction(self):
+        spm, _ = make_spm(size_bytes=128, ways=1, line_bytes=64)  # 2 sets
+        # lines 0 and 2 map to set 0; line 0 gets evicted by line 2
+        spm.access(0 * 64, 8, now=0)
+        spm.access(2 * 64, 8, now=100)
+        spm.access(0 * 64, 8, now=200)
+        assert spm.stats.misses == 3  # all missed
+        spm.check_invariants()
+
+    def test_capacity_bounded(self):
+        spm, _ = make_spm(size_bytes=1024, ways=2, line_bytes=64)  # 16 lines
+        for i in range(100):
+            spm.access(i * 64, 8, now=i * 10)
+        assert spm.occupancy_lines() <= 16
+        spm.check_invariants()
+
+    def test_dirty_eviction_writes_back(self):
+        spm, dram = make_spm(size_bytes=128, ways=1, line_bytes=64)
+        spm.access(0, 8, now=0, write=True)
+        spm.access(2 * 64, 8, now=100)  # evicts dirty line 0
+        assert spm.stats.writebacks == 1
+        assert dram.stats.writes >= 1
+
+    def test_clean_eviction_no_writeback(self):
+        spm, _ = make_spm(size_bytes=128, ways=1, line_bytes=64)
+        spm.access(0, 8, now=0)
+        spm.access(2 * 64, 8, now=100)
+        assert spm.stats.writebacks == 0
+
+
+class TestWriteSemantics:
+    def test_write_hit_marks_dirty(self):
+        spm, dram = make_spm()
+        spm.access(0, 8, now=0)
+        spm.access(0, 8, now=10, write=True)
+        done = spm.flush(now=100)
+        assert spm.stats.writebacks == 1
+        assert done >= 100
+
+    def test_flush_clears_dirty_bits(self):
+        spm, _ = make_spm()
+        spm.access(0, 8, now=0, write=True)
+        spm.flush(now=10)
+        before = spm.stats.writebacks
+        spm.flush(now=20)
+        assert spm.stats.writebacks == before
+
+    def test_reset(self):
+        spm, _ = make_spm()
+        spm.access(0, 8, now=0)
+        spm.reset()
+        assert spm.occupancy_lines() == 0
+        assert spm.stats.accesses == 0
+
+    def test_hit_rate(self):
+        spm, _ = make_spm()
+        assert spm.stats.hit_rate == 0.0
+        spm.access(0, 8, now=0)
+        spm.access(0, 8, now=5)
+        assert spm.stats.hit_rate == 0.5
+
+
+class TestInvalidation:
+    def test_invalidate_from_drops_upper_region(self):
+        spm, _ = make_spm(size_bytes=4096, ways=2)
+        spm.access(0, 8, now=0)  # line 0: below the boundary
+        spm.access(1024, 8, now=10)  # line 16: above
+        dropped = spm.invalidate_from(1024)
+        assert dropped == 1
+        assert spm.occupancy_lines() == 1
+        # below-boundary line still hits, above misses again
+        spm.access(0, 8, now=20)
+        spm.access(1024, 8, now=30)
+        assert spm.stats.hits == 1
+        assert spm.stats.misses == 3
+
+    def test_invalidate_everything(self):
+        spm, _ = make_spm()
+        spm.access(0, 256, now=0)
+        assert spm.invalidate_from(0) == 4
+        assert spm.occupancy_lines() == 0
+
+    def test_reset_timing_keeps_contents(self):
+        spm, _ = make_spm(ways=2)
+        spm.access(0, 8, now=0)
+        spm.reset_timing()
+        spm.access(0, 8, now=0)
+        assert spm.stats.hits == 1

@@ -1,0 +1,132 @@
+"""Tests for stream persistence plus the hop-count extension algorithm."""
+
+import math
+
+import pytest
+
+from repro.algorithms import dijkstra, get_algorithm
+from repro.core.engine import CISGraphEngine
+from repro.graph.batch import UpdateBatch, add, delete
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream_io import (
+    load_stream_npz,
+    load_stream_text,
+    save_stream_npz,
+    save_stream_text,
+)
+from repro.graph.streaming import StreamReplay
+from repro.query import PairwiseQuery
+from tests.conftest import random_batch, random_graph
+
+
+def sample_replay():
+    graph = random_graph(20, 60, seed=2)
+    batches = [
+        random_batch(graph, 5, 5, seed=3),
+        UpdateBatch([add(0, 19, 4.0), delete(*next(graph.edges())[:2], 1.0)]),
+    ]
+    return StreamReplay(graph, batches)
+
+
+def assert_replays_equal(a: StreamReplay, b: StreamReplay):
+    assert sorted(a.initial_graph.edges()) == sorted(b.initial_graph.edges())
+    assert a.num_batches == b.num_batches
+    for i in range(a.num_batches):
+        got = [(u.kind, u.edge, u.weight) for u in b.batch(i)]
+        want = [(u.kind, u.edge, u.weight) for u in a.batch(i)]
+        assert got == want
+
+
+class TestTextFormat:
+    def test_roundtrip(self, tmp_path):
+        replay = sample_replay()
+        path = str(tmp_path / "stream.txt")
+        save_stream_text(path, replay)
+        assert_replays_equal(replay, load_stream_text(path))
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as handle:
+            handle.write("something else\n")
+        with pytest.raises(ValueError, match="not a cisgraph stream"):
+            load_stream_text(path)
+
+    def test_rejects_update_before_batch(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as handle:
+            handle.write("# cisgraph-stream v1\n# vertices 3\na 0 1 1\n")
+        with pytest.raises(ValueError, match="before any batch"):
+            load_stream_text(path)
+
+    def test_rejects_missing_vertices(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as handle:
+            handle.write("# cisgraph-stream v1\n")
+        with pytest.raises(ValueError, match="vertices"):
+            load_stream_text(path)
+
+    def test_rejects_malformed_record(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as handle:
+            handle.write("# cisgraph-stream v1\n# vertices 3\ne 0 1\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_stream_text(path)
+
+    def test_empty_stream(self, tmp_path):
+        path = str(tmp_path / "empty.txt")
+        save_stream_text(path, StreamReplay(DynamicGraph(4), []))
+        replay = load_stream_text(path)
+        assert replay.num_batches == 0
+        assert replay.initial_graph.num_vertices == 4
+
+
+class TestNpzFormat:
+    def test_roundtrip(self, tmp_path):
+        replay = sample_replay()
+        path = str(tmp_path / "stream.npz")
+        save_stream_npz(path, replay)
+        assert_replays_equal(replay, load_stream_npz(path))
+
+    def test_loaded_stream_drives_engine(self, tmp_path):
+        replay = sample_replay()
+        path = str(tmp_path / "stream.npz")
+        save_stream_npz(path, replay)
+        loaded = load_stream_npz(path)
+        engine = CISGraphEngine(
+            loaded.initial_graph, get_algorithm("ppsp"), PairwiseQuery(0, 10)
+        )
+        engine.initialize()
+        final = loaded.final_graph()
+        for step in loaded.batches():
+            result = engine.on_batch(step.batch)
+        assert result.answer == dijkstra(final, get_algorithm("ppsp"), 0).states[10]
+
+
+class TestHopCountExtension:
+    def test_registered(self):
+        alg = get_algorithm("hops")
+        assert alg.name == "hops"
+
+    def test_not_in_paper_list(self):
+        from repro.algorithms import list_algorithms
+
+        assert "hops" not in list_algorithms()
+
+    def test_counts_hops(self, diamond_graph):
+        alg = get_algorithm("hops")
+        result = dijkstra(diamond_graph, alg, 0)
+        assert result.states[3] == 2.0
+        assert result.states[4] == 3.0
+        assert result.states[5] == math.inf
+
+    def test_works_with_cisgraph_engine(self):
+        g = random_graph(40, 200, seed=8)
+        engine = CISGraphEngine(g.copy(), get_algorithm("hops"), PairwiseQuery(0, 20))
+        engine.initialize()
+        reference_graph = g.copy()
+        batch = random_batch(reference_graph, 15, 15, seed=9)
+        reference_graph.apply_batch(batch)
+        result = engine.on_batch(batch)
+        want = dijkstra(reference_graph, get_algorithm("hops"), 0).states[20]
+        assert result.answer == want
+        engine.state.check_converged()

@@ -1,0 +1,135 @@
+"""Tests for the accelerator execution trace."""
+
+import pytest
+
+from repro.algorithms import PPSP
+from repro.graph.batch import UpdateBatch, add, delete
+from repro.hw.accelerator import CISGraphAccelerator
+from repro.hw.trace import TraceRecord, TraceRecorder
+from repro.query import PairwiseQuery
+from tests.conftest import random_batch, random_graph
+
+
+class TestRecorder:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_record_and_filter(self):
+        tr = TraceRecorder()
+        tr.record(1, "identify", 0, "issue", 5)
+        tr.record(2, "vertex", 1, "start", 6)
+        tr.record(3, "vertex", 1, "activate", 7)
+        assert len(tr) == 3
+        assert len(tr.records(phase="vertex")) == 2
+        assert len(tr.records(action="issue")) == 1
+        assert len(tr.records(unit=1)) == 2
+        assert tr.records(phase="vertex", action="start")[0].vertex == 6
+
+    def test_capacity_drops(self):
+        tr = TraceRecorder(capacity=2)
+        for i in range(5):
+            tr.record(i, "vertex", 0, "start", i)
+        assert len(tr) == 2
+        assert tr.dropped == 3
+        assert "dropped" in tr.dump()
+
+    def test_busy_window(self):
+        tr = TraceRecorder()
+        assert tr.busy_window() == (0, 0)
+        tr.record(10, "vertex", 0, "start", 1)
+        tr.record(4, "vertex", 1, "start", 2)
+        assert tr.busy_window() == (4, 10)
+
+    def test_per_unit_counts(self):
+        tr = TraceRecorder()
+        tr.record(0, "vertex", 0, "start", 1)
+        tr.record(1, "vertex", 0, "start", 2)
+        tr.record(2, "vertex", 3, "start", 3)
+        assert tr.per_unit_counts() == {0: 2, 3: 1}
+
+    def test_monotone_check_detects_violation(self):
+        tr = TraceRecorder()
+        tr.record(5, "vertex", 0, "start", 1)
+        tr.record(3, "vertex", 0, "start", 2)
+        with pytest.raises(AssertionError):
+            tr.check_per_unit_monotone()
+
+    def test_dump_limit(self):
+        tr = TraceRecorder()
+        for i in range(5):
+            tr.record(i, "vertex", 0, "start", i)
+        text = tr.dump(limit=2)
+        assert "3 more records" in text
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.record(0, "vertex", 0, "start", 1)
+        tr.clear()
+        assert len(tr) == 0
+
+    def test_gantt_empty(self):
+        assert "no trace records" in TraceRecorder().gantt()
+
+    def test_gantt_rows_and_marks(self):
+        tr = TraceRecorder()
+        tr.record(0, "vertex", 0, "start", 1)
+        tr.record(100, "vertex", 1, "start", 2)
+        text = tr.gantt(width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("cycles 0..100")
+        assert lines[1].startswith("u0")
+        assert lines[2].startswith("u1")
+        assert lines[1].count("#") == 1
+        # the two marks land at opposite ends of the window
+        assert lines[1].index("#") < lines[2].index("#")
+
+    def test_gantt_phase_filter(self):
+        tr = TraceRecorder()
+        tr.record(0, "identify", 0, "issue", 1)
+        tr.record(5, "vertex", 1, "start", 2)
+        text = tr.gantt(width=8, phase="identify")
+        assert "u1" not in text
+
+
+class TestAcceleratorTracing:
+    def test_disabled_by_default(self, diamond_graph):
+        accel = CISGraphAccelerator(diamond_graph, PPSP(), PairwiseQuery(0, 4))
+        accel.initialize()
+        accel.on_batch(UpdateBatch([add(0, 4, 1.0)]))
+        assert accel.tracer is None
+
+    def test_trace_contents(self, diamond_graph):
+        accel = CISGraphAccelerator(
+            diamond_graph, PPSP(), PairwiseQuery(0, 4), trace=True
+        )
+        accel.initialize()
+        accel.on_batch(UpdateBatch([add(0, 4, 1.0), delete(1, 3, 1.0)]))
+        tracer = accel.tracer
+        assert tracer is not None
+        assert len(tracer.records(phase="identify")) == 2
+        assert len(tracer.records(phase="addition", action="start")) == 1
+        assert len(tracer.records(phase="deletion", action="repair")) == 1
+        tracer.check_per_unit_monotone()
+
+    def test_trace_cleared_between_batches(self, diamond_graph):
+        accel = CISGraphAccelerator(
+            diamond_graph, PPSP(), PairwiseQuery(0, 4), trace=True
+        )
+        accel.initialize()
+        accel.on_batch(UpdateBatch([add(0, 4, 1.0)]))
+        first = len(accel.tracer)
+        accel.on_batch(UpdateBatch([add(2, 4, 99.0)]))
+        assert len(accel.tracer) <= first + 1  # only identification this time
+
+    def test_scheduling_invariant_on_random_stream(self):
+        g = random_graph(60, 400, seed=33)
+        accel = CISGraphAccelerator(
+            g.copy(), PPSP(), PairwiseQuery(0, 30), trace=True
+        )
+        accel.initialize()
+        accel.on_batch(random_batch(g, 30, 30, seed=34))
+        assert accel.tracer is not None
+        accel.tracer.check_per_unit_monotone(action="start")
+        # identification issues are monotone per pipeline too
+        accel.tracer.check_per_unit_monotone(action="issue")

@@ -1,0 +1,85 @@
+"""Tests for vertex-level update transformation."""
+
+import math
+
+import pytest
+
+from repro.algorithms import PPSP, dijkstra
+from repro.core.engine import CISGraphEngine
+from repro.graph.batch import UpdateBatch
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.vertex_updates import (
+    batch_with_vertex_updates,
+    vertex_addition,
+    vertex_deletion,
+)
+from repro.query import PairwiseQuery
+
+
+class TestVertexAddition:
+    def test_out_and_in_edges(self):
+        updates = vertex_addition(5, out_edges=[(1, 2.0)], in_edges=[(0, 3.0)])
+        assert [(u.edge, u.weight) for u in updates] == [
+            ((5, 1), 2.0),
+            ((0, 5), 3.0),
+        ]
+        assert all(u.is_addition for u in updates)
+
+    def test_isolated_vertex_is_empty_series(self):
+        assert vertex_addition(7) == []
+
+
+class TestVertexDeletion:
+    def test_detaches_both_directions(self, diamond_graph):
+        updates = vertex_deletion(diamond_graph, 3)
+        edges = {u.edge for u in updates}
+        assert edges == {(3, 4), (1, 3), (2, 3)}
+        assert all(u.is_deletion for u in updates)
+
+    def test_weights_match_topology(self, diamond_graph):
+        updates = vertex_deletion(diamond_graph, 3)
+        for u in updates:
+            assert u.weight == diamond_graph.edge_weight(*u.edge)
+
+    def test_isolated_vertex(self, diamond_graph):
+        assert vertex_deletion(diamond_graph, 5) == []
+
+
+class TestBatchBuilder:
+    def test_deduplicates_shared_edges(self):
+        g = DynamicGraph.from_edges(3, [(0, 1, 1.0), (1, 0, 1.0)])
+        batch = batch_with_vertex_updates(g, deleted_vertices=[0, 1])
+        edges = [u.edge for u in batch]
+        assert sorted(edges) == [(0, 1), (1, 0)]
+
+    def test_engine_round_trip(self, diamond_graph):
+        """Deleting a vertex then re-attaching it through vertex updates
+        keeps every engine answer-exact."""
+        engine = CISGraphEngine(
+            diamond_graph.copy(), PPSP(), PairwiseQuery(0, 4)
+        )
+        engine.initialize()
+
+        # detach vertex 3 (the key-path relay): destination unreachable
+        batch = batch_with_vertex_updates(
+            diamond_graph, deleted_vertices=[3]
+        )
+        result = engine.on_batch(batch)
+        assert result.answer == math.inf
+
+        # re-attach it with the same edges
+        batch2 = UpdateBatch(
+            vertex_addition(3, out_edges=[(4, 2.0)], in_edges=[(1, 1.0), (2, 4.0)])
+        )
+        result = engine.on_batch(batch2)
+        assert result.answer == 4.0
+        engine.state.check_converged()
+
+    def test_grow_universe_then_attach(self):
+        g = DynamicGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        g.ensure_vertex(3)
+        engine = CISGraphEngine(g, PPSP(), PairwiseQuery(0, 3))
+        engine.initialize()
+        assert engine.answer == math.inf
+        batch = UpdateBatch(vertex_addition(3, in_edges=[(2, 5.0)]))
+        assert engine.on_batch(batch).answer == 7.0

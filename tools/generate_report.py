@@ -1,0 +1,67 @@
+"""Regenerate the markdown experiment report.
+
+Runs the main experiments at the current ``CISGRAPH_SCALE`` and writes
+``results/report.md``.  Usage::
+
+    CISGRAPH_SCALE=small CISGRAPH_PAIRS=3 python tools/generate_report.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def main() -> int:
+    from repro.bench.datasets import dataset_specs, make_workload, pick_query_pairs
+    from repro.bench.experiments import (
+        run_fig2,
+        run_fig5a,
+        run_fig5b,
+        run_speedup_experiment,
+    )
+    from repro.bench.reporting import render_report
+
+    pairs = int(os.environ.get("CISGRAPH_PAIRS", "3"))
+    batches = int(os.environ.get("CISGRAPH_BATCHES", "1"))
+    algorithms = ["ppsp", "ppwp", "ppnp", "viterbi", "reach"]
+
+    workloads = {}
+    queries = {}
+    for spec in dataset_specs():
+        workloads[spec.abbreviation] = make_workload(
+            spec, num_batches=batches, seed=0
+        )
+        queries[spec.abbreviation] = pick_query_pairs(
+            workloads[spec.abbreviation].initial, count=pairs, seed=0
+        )
+
+    print("running Table IV ...", flush=True)
+    cells = [
+        run_speedup_experiment(workloads[ab], alg, queries[ab])
+        for ab in workloads
+        for alg in algorithms
+    ]
+    print("running Figure 2 ...", flush=True)
+    fig2 = run_fig2(workloads["OR"], "ppsp", queries["OR"])
+    print("running Figure 5a ...", flush=True)
+    fig5a = [run_fig5a(workloads["OR"], alg, queries["OR"]) for alg in algorithms]
+    print("running Figure 5b ...", flush=True)
+    fig5b = [
+        run_fig5b(workloads[ab], alg, queries[ab])
+        for ab in workloads
+        for alg in algorithms
+    ]
+
+    report = render_report(cells=cells, fig2=fig2, fig5a=fig5a, fig5b=fig5b)
+    out_dir = os.path.join(os.path.dirname(__file__), "..", "results")
+    os.makedirs(out_dir, exist_ok=True)
+    out_path = os.path.join(out_dir, "report.md")
+    with open(out_path, "w") as handle:
+        handle.write(report)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Install the minimal `wheel` shim into the active site-packages.
+
+Offline environments without the `wheel` distribution cannot run
+``pip install -e .`` (pip refuses the legacy editable path when `wheel` is
+missing and the PEP 517 path needs network access for build isolation).
+Running this script once makes plain ``pip install -e .`` work.
+
+Usage::
+
+    python tools/install_wheel_shim.py
+"""
+
+import os
+import shutil
+import site
+import sys
+
+
+def main() -> int:
+    if "wheel" in sys.modules or _find_existing():
+        print("wheel already importable; nothing to do")
+        return 0
+    target_root = site.getsitepackages()[0]
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "wheel_shim", "wheel")
+    dst = os.path.join(target_root, "wheel")
+    shutil.copytree(src, dst)
+    dist_info = os.path.join(target_root, "wheel-0.38.0.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as handle:
+        handle.write(
+            "Metadata-Version: 2.1\nName: wheel\nVersion: 0.38.0\n"
+            "Summary: offline shim so pip legacy editable installs work\n"
+        )
+    with open(os.path.join(dist_info, "RECORD"), "w") as handle:
+        handle.write("")
+    with open(os.path.join(dist_info, "INSTALLER"), "w") as handle:
+        handle.write("tools/install_wheel_shim.py\n")
+    print(f"installed wheel shim into {target_root}")
+    return 0
+
+
+def _find_existing() -> bool:
+    try:
+        import importlib.util
+
+        return importlib.util.find_spec("wheel") is not None
+    except Exception:
+        return False
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

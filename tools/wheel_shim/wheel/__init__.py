@@ -1,0 +1,13 @@
+"""Minimal offline stand-in for the `wheel` distribution.
+
+This environment has no network access and no `wheel` package.  pip only
+falls back to the (fully functional) legacy ``setup.py develop`` code path
+for ``pip install -e .`` when both ``setuptools`` and ``wheel`` are
+importable; otherwise it insists on PEP 517 build isolation, which needs to
+download build dependencies.  This shim exists purely to satisfy that
+import check — the legacy editable install never calls into it.
+
+Installed by ``tools/install_wheel_shim.py`` (see README, Installation).
+"""
+
+__version__ = "0.38.0"
