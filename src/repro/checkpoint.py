@@ -5,10 +5,18 @@ state so a restart resumes from the last snapshot instead of replaying the
 whole stream.  A checkpoint captures the topology, the per-query state
 array and dependence parents; restoring rebuilds a ready-to-go engine and
 verifies internal consistency.
+
+Format v2 additionally records the *stream position* — the snapshot id the
+state corresponds to and the write-ahead-log sequence it covers — so
+:class:`repro.resilience.recovery.RecoveryManager` can restore a checkpoint
+and replay only the WAL tail.  v1 checkpoints (no position) still load, with
+the position defaulting to snapshot 0.
 """
 
 from __future__ import annotations
 
+import zipfile
+from dataclasses import dataclass
 from typing import Optional, Type
 
 import numpy as np
@@ -25,11 +33,34 @@ class CheckpointError(ReproError):
     """A checkpoint could not be written or restored."""
 
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_checkpoint(path: str, engine: CISGraphEngine) -> None:
-    """Write a CISGraph-O engine's full state to ``path`` (npz)."""
+@dataclass
+class CheckpointInfo:
+    """Stream-position metadata of a checkpoint (without restoring it)."""
+
+    version: int
+    algorithm: str
+    snapshot_id: int
+    wal_sequence: int
+    num_vertices: int
+    num_edges: int
+
+
+def save_checkpoint(
+    path: str,
+    engine: CISGraphEngine,
+    snapshot_id: int = 0,
+    wal_sequence: int = 0,
+) -> None:
+    """Write a CISGraph-O engine's full state to ``path`` (npz).
+
+    ``snapshot_id`` is the stream snapshot the state corresponds to and
+    ``wal_sequence`` the last WAL record sequence covered by the state;
+    standalone callers (no WAL) can leave both at 0.
+    """
     graph = engine.graph
     edges = list(graph.edges())
     np.savez_compressed(
@@ -39,12 +70,66 @@ def save_checkpoint(path: str, engine: CISGraphEngine) -> None:
         source=np.int64(engine.query.source),
         destination=np.int64(engine.query.destination),
         num_vertices=np.int64(graph.num_vertices),
+        snapshot_id=np.int64(snapshot_id),
+        wal_sequence=np.int64(wal_sequence),
         edges_src=np.array([e[0] for e in edges], dtype=np.int64),
         edges_dst=np.array([e[1] for e in edges], dtype=np.int64),
         edges_wgt=np.array([e[2] for e in edges], dtype=np.float64),
         states=np.array(engine.state.states, dtype=np.float64),
         parents=np.array(engine.state.parents, dtype=np.int64),
     )
+
+
+def _open_archive(path: str):
+    """``np.load`` with typed errors for missing/corrupt archives."""
+    try:
+        data = np.load(path)
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"checkpoint {path!r} does not exist") from exc
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint {path!r} is corrupt: {exc}") from exc
+    if not isinstance(data, np.lib.npyio.NpzFile):
+        raise CheckpointError(f"checkpoint {path!r} is not an npz archive")
+    return data
+
+
+def _check_version(path: str, data) -> int:
+    try:
+        version = int(data["version"])
+    except KeyError as exc:
+        raise CheckpointError(f"checkpoint {path!r} has no version field") from exc
+    if version not in _SUPPORTED_VERSIONS:
+        raise CheckpointError(
+            f"checkpoint {path!r} has format v{version}, "
+            f"expected one of {_SUPPORTED_VERSIONS}"
+        )
+    return version
+
+
+def _position(data, version: int) -> tuple:
+    if version < 2:
+        return 0, 0
+    return int(data["snapshot_id"]), int(data["wal_sequence"])
+
+
+def checkpoint_info(path: str) -> CheckpointInfo:
+    """Read a checkpoint's metadata without rebuilding the engine."""
+    with _open_archive(path) as data:
+        try:
+            version = _check_version(path, data)
+            snapshot_id, wal_sequence = _position(data, version)
+            return CheckpointInfo(
+                version=version,
+                algorithm=str(data["algorithm"]),
+                snapshot_id=snapshot_id,
+                wal_sequence=wal_sequence,
+                num_vertices=int(data["num_vertices"]),
+                num_edges=len(data["edges_src"]),
+            )
+        except KeyError as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} is missing field {exc}"
+            ) from exc
 
 
 def load_checkpoint(
@@ -59,34 +144,33 @@ def load_checkpoint(
     checkpoint raises :class:`CheckpointError` instead of silently serving
     wrong answers.
     """
-    try:
-        data = np.load(path)
-    except Exception as exc:  # pragma: no cover - I/O environment specific
-        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
-    version = int(data["version"])
-    if version != _FORMAT_VERSION:
-        raise CheckpointError(
-            f"checkpoint {path!r} has format v{version}, expected v{_FORMAT_VERSION}"
-        )
-    algorithm = algorithm or get_algorithm(str(data["algorithm"]))
-    if algorithm.name != str(data["algorithm"]):
-        raise CheckpointError(
-            f"checkpoint was taken with {data['algorithm']!r}, "
-            f"got algorithm {algorithm.name!r}"
-        )
-    num_vertices = int(data["num_vertices"])
-    graph = DynamicGraph.from_edges(
-        num_vertices,
-        zip(
-            data["edges_src"].tolist(),
-            data["edges_dst"].tolist(),
-            data["edges_wgt"].tolist(),
-        ),
-    )
-    query = PairwiseQuery(int(data["source"]), int(data["destination"]))
-    engine = CISGraphEngine(graph, algorithm, query)
-    engine.state.states = data["states"].tolist()
-    engine.state.parents = data["parents"].tolist()
+    with _open_archive(path) as data:
+        version = _check_version(path, data)
+        try:
+            stored_algorithm = str(data["algorithm"])
+            algorithm = algorithm or get_algorithm(stored_algorithm)
+            if algorithm.name != stored_algorithm:
+                raise CheckpointError(
+                    f"checkpoint was taken with {stored_algorithm!r}, "
+                    f"got algorithm {algorithm.name!r}"
+                )
+            num_vertices = int(data["num_vertices"])
+            graph = DynamicGraph.from_edges(
+                num_vertices,
+                zip(
+                    data["edges_src"].tolist(),
+                    data["edges_dst"].tolist(),
+                    data["edges_wgt"].tolist(),
+                ),
+            )
+            query = PairwiseQuery(int(data["source"]), int(data["destination"]))
+            engine = CISGraphEngine(graph, algorithm, query)
+            engine.state.states = data["states"].tolist()
+            engine.state.parents = data["parents"].tolist()
+        except KeyError as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} is missing field {exc}"
+            ) from exc
     engine.keypath.rebuild(engine.state.parents)
     engine._initialized = True
 

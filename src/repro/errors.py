@@ -39,3 +39,42 @@ class ConfigError(ReproError):
 
 class SimulationError(ReproError):
     """Internal inconsistency detected by the discrete-event simulator."""
+
+
+class StreamFormatError(ReproError):
+    """A persisted stream or archive is unreadable or malformed."""
+
+
+class MalformedUpdateError(ReproError):
+    """A raw streaming record failed ingestion validation.
+
+    ``reason`` is a short machine-stable tag (``"bad-kind"``,
+    ``"vertex-out-of-range"``, ``"bad-weight"``, ``"absent-edge"``, ...)
+    used as the dead-letter counter key.
+    """
+
+    def __init__(self, record, reason: str) -> None:
+        super().__init__(f"malformed update {record!r}: {reason}")
+        self.record = record
+        self.reason = reason
+
+
+class WalError(ReproError):
+    """The write-ahead log could not be written or replayed."""
+
+
+class WalCorruptionError(WalError):
+    """A WAL record failed its integrity check under the strict policy."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a consistent engine."""
+
+
+class RetryExhaustedError(ReproError):
+    """A flaky operation kept failing after the bounded retry budget."""
+
+    def __init__(self, attempts: int, last: Exception) -> None:
+        super().__init__(f"gave up after {attempts} attempts: {last}")
+        self.attempts = attempts
+        self.last = last

@@ -21,10 +21,12 @@ can be imported.  Two formats:
 
 from __future__ import annotations
 
+import zipfile
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import StreamFormatError
 from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.streaming import StreamReplay
@@ -33,18 +35,24 @@ _HEADER = "# cisgraph-stream v1"
 
 
 def save_stream_text(path: str, replay: StreamReplay) -> None:
-    """Write a replayable stream in the text format."""
+    """Write a replayable stream in the text format.
+
+    Weights are written with ``repr`` (shortest string that round-trips the
+    float exactly), so save → load → save is byte-for-byte idempotent; the
+    old ``{w:g}`` formatting truncated to 6 significant digits and silently
+    perturbed weights on every cycle.
+    """
     graph = replay.initial_graph
     with open(path, "w") as handle:
         handle.write(f"{_HEADER}\n")
         handle.write(f"# vertices {graph.num_vertices}\n")
         for u, v, w in graph.edges():
-            handle.write(f"e {u} {v} {w:g}\n")
+            handle.write(f"e {u} {v} {w!r}\n")
         for index in range(replay.num_batches):
             handle.write(f"# batch {index}\n")
             for upd in replay.batch(index):
                 tag = "a" if upd.is_addition else "d"
-                handle.write(f"{tag} {upd.u} {upd.v} {upd.weight:g}\n")
+                handle.write(f"{tag} {upd.u} {upd.v} {upd.weight!r}\n")
 
 
 def load_stream_text(path: str) -> StreamReplay:
@@ -118,34 +126,54 @@ def save_stream_npz(path: str, replay: StreamReplay) -> None:
 
 
 def load_stream_npz(path: str) -> StreamReplay:
-    """Read a stream written by :func:`save_stream_npz`."""
-    data = np.load(path)
-    num_vertices = int(data["num_vertices"])
-    edges = list(
-        zip(
-            data["edges_src"].tolist(),
-            data["edges_dst"].tolist(),
-            data["edges_wgt"].tolist(),
-        )
-    )
-    batches = []
-    for index in range(int(data["num_batches"])):
-        kinds = data[f"batch{index}_kind"]
-        us = data[f"batch{index}_u"]
-        vs = data[f"batch{index}_v"]
-        ws = data[f"batch{index}_w"]
-        batch = UpdateBatch()
-        for kind, u, v, w in zip(
-            kinds.tolist(), us.tolist(), vs.tolist(), ws.tolist()
-        ):
-            batch.append(
-                EdgeUpdate(
-                    UpdateKind.ADD if kind else UpdateKind.DELETE,
-                    int(u),
-                    int(v),
-                    float(w),
+    """Read a stream written by :func:`save_stream_npz`.
+
+    The archive handle is closed before returning (``np.load`` keeps the
+    underlying zip file open until the ``NpzFile`` is closed — the old code
+    leaked it), and corrupt or truncated archives raise a typed
+    :class:`~repro.errors.StreamFormatError` instead of a raw
+    ``zipfile.BadZipFile``/``KeyError``.
+    """
+    try:
+        data = np.load(path)
+    except FileNotFoundError as exc:
+        raise StreamFormatError(f"stream {path!r} does not exist") from exc
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise StreamFormatError(f"stream {path!r} is corrupt: {exc}") from exc
+    if not isinstance(data, np.lib.npyio.NpzFile):
+        raise StreamFormatError(f"stream {path!r} is not an npz archive")
+    with data:
+        try:
+            num_vertices = int(data["num_vertices"])
+            edges = list(
+                zip(
+                    data["edges_src"].tolist(),
+                    data["edges_dst"].tolist(),
+                    data["edges_wgt"].tolist(),
                 )
             )
-        batches.append(batch)
+            batches = []
+            for index in range(int(data["num_batches"])):
+                kinds = data[f"batch{index}_kind"]
+                us = data[f"batch{index}_u"]
+                vs = data[f"batch{index}_v"]
+                ws = data[f"batch{index}_w"]
+                batch = UpdateBatch()
+                for kind, u, v, w in zip(
+                    kinds.tolist(), us.tolist(), vs.tolist(), ws.tolist()
+                ):
+                    batch.append(
+                        EdgeUpdate(
+                            UpdateKind.ADD if kind else UpdateKind.DELETE,
+                            int(u),
+                            int(v),
+                            float(w),
+                        )
+                    )
+                batches.append(batch)
+        except (KeyError, zipfile.BadZipFile) as exc:
+            raise StreamFormatError(
+                f"stream {path!r} is missing or corrupt at field {exc}"
+            ) from exc
     initial = DynamicGraph.from_edges(num_vertices, edges)
     return StreamReplay(initial, batches)

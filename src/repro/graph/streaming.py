@@ -9,9 +9,11 @@ order (used by the benchmark harness so every engine sees identical input).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.errors import VertexOutOfRangeError
 from repro.graph.batch import EdgeUpdate, UpdateBatch
 from repro.graph.csr import CSRGraph
 from repro.graph.dynamic import DynamicGraph
@@ -51,8 +53,25 @@ class StreamingGraph:
     def pending_count(self) -> int:
         return len(self._pending)
 
-    def ingest(self, update: EdgeUpdate) -> bool:
-        """Buffer one update; returns ``True`` when the threshold is reached."""
+    def ingest(self, update: EdgeUpdate, validate: bool = True) -> bool:
+        """Buffer one update; returns ``True`` when the threshold is reached.
+
+        By default the update is validated at the ingestion boundary: vertex
+        ids must fit the current topology
+        (:class:`~repro.errors.VertexOutOfRangeError`) and the weight must be
+        finite — so a bad update fails here, with a clear error, rather than
+        deep inside a later ``apply_batch``.  Callers that have already
+        validated (e.g. :class:`repro.resilience.deadletter.IngestGuard`)
+        pass ``validate=False``.
+        """
+        if validate:
+            n = self._graph.num_vertices
+            if update.u >= n:
+                raise VertexOutOfRangeError(update.u, n)
+            if update.v >= n:
+                raise VertexOutOfRangeError(update.v, n)
+            if not math.isfinite(update.weight):
+                raise ValueError(f"non-finite weight in update {update}")
         self._pending.append(update)
         return len(self._pending) >= self.batch_threshold
 
@@ -67,6 +86,18 @@ class StreamingGraph:
         changed = self._graph.apply_batch(batch)
         self._snapshot_id += 1
         return changed
+
+    def commit_external(self) -> int:
+        """Advance the snapshot id for a batch applied *by an engine*.
+
+        Engines own topology application (they apply the batch's net effect
+        themselves, see :meth:`repro.core.engine.CISGraphEngine._do_batch`),
+        so a pipeline sharing one :class:`DynamicGraph` between the stream
+        and the engine must advance the counter without re-applying the
+        updates.  Returns the new snapshot id.
+        """
+        self._snapshot_id += 1
+        return self._snapshot_id
 
     def snapshot_csr(self) -> CSRGraph:
         """Immutable CSR view of the current snapshot."""

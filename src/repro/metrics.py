@@ -66,6 +66,45 @@ class OpCounts:
 
 
 @dataclass
+class ResilienceCounters:
+    """Operational counters of the fault-tolerance layer.
+
+    Incremented by :mod:`repro.resilience` (WAL, recovery, dead-letter
+    quarantine, differential guard) and exposed for dashboards and tests:
+    a production deployment alarms on ``quarantined``/``guard_divergences``
+    rather than discovering bad input or silent corruption from a crash.
+    """
+
+    wal_records_appended: int = 0
+    wal_records_replayed: int = 0
+    wal_torn_tails: int = 0
+    wal_corrupt_records: int = 0
+    checkpoints_written: int = 0
+    recoveries: int = 0
+    batches_replayed: int = 0
+    batches_skipped: int = 0
+    quarantined: int = 0
+    skipped_updates: int = 0
+    retries: int = 0
+    retry_giveups: int = 0
+    guard_checks: int = 0
+    guard_divergences: int = 0
+    guard_fallbacks: int = 0
+
+    def __add__(self, other: "ResilienceCounters") -> "ResilienceCounters":
+        merged = ResilienceCounters()
+        for f in fields(ResilienceCounters):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(ResilienceCounters)}
+
+    def __bool__(self) -> bool:
+        return any(getattr(self, f.name) for f in fields(ResilienceCounters))
+
+
+@dataclass
 class BatchResult:
     """Outcome of processing one update batch with one engine.
 

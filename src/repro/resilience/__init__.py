@@ -1,0 +1,50 @@
+"""Fault-tolerant streaming: durability, quarantine, graceful degradation.
+
+The resilience layer wraps the CISGraph engine for production operation
+(see ``docs/resilience.md``):
+
+* :mod:`repro.resilience.wal` — checksummed, segment-rotated write-ahead
+  log of sealed update batches; replay tolerates torn tails;
+* :mod:`repro.resilience.recovery` — checkpoint + WAL-tail crash recovery;
+* :mod:`repro.resilience.deadletter` — ingestion validation policies
+  (``strict`` / ``skip`` / ``quarantine``), dead-letter queue, bounded
+  retry-with-backoff for flaky sources;
+* :mod:`repro.resilience.guard` — periodic differential cross-check
+  against a cold-start recompute, with automatic fallback on divergence;
+* :mod:`repro.resilience.faults` — deterministic crash/corruption
+  injection so all of the above is provably exercised;
+* :mod:`repro.resilience.pipeline` — :class:`ResilientPipeline`, the
+  end-to-end assembly.
+"""
+
+from repro.resilience.deadletter import (
+    DeadLetter,
+    DeadLetterQueue,
+    IngestGuard,
+    retry_with_backoff,
+)
+from repro.resilience.faults import CrashPoint, FlakySource, SimulatedCrash
+from repro.resilience.guard import DifferentialGuard, GuardReport
+from repro.resilience.pipeline import ResilientPipeline
+from repro.resilience.recovery import RecoveryManager, RecoveryResult
+from repro.resilience.wal import WalRecord, WalStats, WriteAheadLog, replay, verify
+
+__all__ = [
+    "DeadLetter",
+    "DeadLetterQueue",
+    "IngestGuard",
+    "retry_with_backoff",
+    "CrashPoint",
+    "FlakySource",
+    "SimulatedCrash",
+    "DifferentialGuard",
+    "GuardReport",
+    "ResilientPipeline",
+    "RecoveryManager",
+    "RecoveryResult",
+    "WalRecord",
+    "WalStats",
+    "WriteAheadLog",
+    "replay",
+    "verify",
+]

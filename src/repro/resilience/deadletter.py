@@ -1,0 +1,261 @@
+"""Ingestion guard: validation policies, dead-letter quarantine, retries.
+
+Raw streaming records arrive from outside the trust boundary — a dataset
+trace, a message bus, a user-facing API — so a production pipeline must not
+let one malformed record kill the run (the pre-resilience behaviour: any
+bad update raised deep inside ``apply_batch``).  :class:`IngestGuard`
+validates each record *before* it reaches :class:`~repro.graph.streaming.StreamingGraph`
+and applies one of three policies:
+
+``strict``
+    raise :class:`~repro.errors.MalformedUpdateError` (development /
+    trusted-source mode — fail fast at the boundary);
+``skip``
+    drop the record, counting it by reason;
+``quarantine``
+    drop the record *and* keep it in a bounded :class:`DeadLetterQueue`
+    for offline inspection and replay.
+
+:func:`retry_with_backoff` is the companion for *transient* source
+failures: bounded attempts with exponential backoff (the sleep function is
+injected so tests are deterministic and instant).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar, Union
+
+from repro.errors import MalformedUpdateError, RetryExhaustedError
+from repro.graph.batch import EdgeUpdate, UpdateKind
+from repro.graph.streaming import StreamingGraph
+
+#: a raw, not-yet-trusted record: ``(kind, u, v, weight)`` with
+#: ``kind`` in ``{"add", "a", "delete", "d"}`` — or an already-built
+#: :class:`EdgeUpdate` (which still undergoes range/topology checks).
+RawRecord = Union[Tuple[object, object, object, object], EdgeUpdate]
+
+POLICIES = ("strict", "skip", "quarantine")
+
+_KINDS = {
+    "add": UpdateKind.ADD,
+    "a": UpdateKind.ADD,
+    "delete": UpdateKind.DELETE,
+    "d": UpdateKind.DELETE,
+    UpdateKind.ADD: UpdateKind.ADD,
+    UpdateKind.DELETE: UpdateKind.DELETE,
+}
+
+
+@dataclass
+class DeadLetter:
+    """One quarantined record and why it was rejected."""
+
+    record: object
+    reason: str
+    position: int  # 0-based index in the arrival order
+
+
+class DeadLetterQueue:
+    """Bounded FIFO of rejected records with per-reason counters.
+
+    The counters survive even when old letters are evicted (``max_letters``
+    bounds memory on a hostile stream, not observability).
+    """
+
+    def __init__(self, max_letters: int = 10_000) -> None:
+        if max_letters <= 0:
+            raise ValueError("max_letters must be positive")
+        self.max_letters = max_letters
+        self._letters: List[DeadLetter] = []
+        self.counts: Counter = Counter()
+        self.total = 0
+        self.evicted = 0
+
+    def put(self, record: object, reason: str, position: int) -> DeadLetter:
+        letter = DeadLetter(record=record, reason=reason, position=position)
+        self._letters.append(letter)
+        if len(self._letters) > self.max_letters:
+            self._letters.pop(0)
+            self.evicted += 1
+        self.counts[reason] += 1
+        self.total += 1
+        return letter
+
+    def __len__(self) -> int:
+        return len(self._letters)
+
+    def __iter__(self):
+        return iter(self._letters)
+
+    def letters(self, reason: Optional[str] = None) -> List[DeadLetter]:
+        if reason is None:
+            return list(self._letters)
+        return [l for l in self._letters if l.reason == reason]
+
+    def summary(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+
+def coerce_record(record: RawRecord) -> EdgeUpdate:
+    """Parse a raw record into an :class:`EdgeUpdate` or raise with a reason.
+
+    Distinguishes *shape* problems (``bad-kind``, ``bad-vertex``,
+    ``bad-weight``, ``self-loop``) so the dead-letter counters say what is
+    wrong with a source, not just that something is.
+    """
+    if isinstance(record, EdgeUpdate):
+        return record
+    try:
+        kind_raw, u_raw, v_raw, w_raw = record  # type: ignore[misc]
+    except (TypeError, ValueError):
+        raise MalformedUpdateError(record, "bad-shape") from None
+    kind = _KINDS.get(kind_raw)
+    if kind is None:
+        raise MalformedUpdateError(record, "bad-kind")
+    try:
+        u = int(u_raw)
+        v = int(v_raw)
+    except (TypeError, ValueError):
+        raise MalformedUpdateError(record, "bad-vertex") from None
+    if u < 0 or v < 0:
+        raise MalformedUpdateError(record, "bad-vertex")
+    if u == v:
+        raise MalformedUpdateError(record, "self-loop")
+    try:
+        w = float(w_raw)
+    except (TypeError, ValueError):
+        raise MalformedUpdateError(record, "bad-weight") from None
+    if math.isnan(w) or math.isinf(w) or w <= 0:
+        raise MalformedUpdateError(record, "bad-weight")
+    return EdgeUpdate(kind, u, v, w)
+
+
+class IngestGuard:
+    """Validate raw records and feed the survivors into a streaming graph.
+
+    Beyond shape checks (:func:`coerce_record`) the guard enforces the
+    topology contract at the ingestion boundary: vertex ids must fit the
+    current graph (``vertex-out-of-range``) and a deletion must target an
+    edge that exists in the *effective* topology — the applied snapshot
+    overlaid with the still-pending buffer (``absent-edge``).  Without the
+    overlay, a legitimate add-then-delete arriving within one batch window
+    would be rejected.
+    """
+
+    def __init__(
+        self,
+        stream: StreamingGraph,
+        policy: str = "quarantine",
+        deadletters: Optional[DeadLetterQueue] = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; pick one of {POLICIES}")
+        self.stream = stream
+        self.policy = policy
+        self.deadletters = deadletters or DeadLetterQueue()
+        self.accepted = 0
+        self.rejected = 0
+        self._seen = 0
+        # pending-buffer overlay: edge -> exists?  (True after a buffered
+        # add, False after a buffered delete)
+        self._overlay: Dict[Tuple[int, int], bool] = {}
+
+    # ------------------------------------------------------------------
+    def _edge_exists(self, u: int, v: int) -> bool:
+        key = (u, v)
+        if key in self._overlay:
+            return self._overlay[key]
+        return self.stream.graph.has_edge(u, v)
+
+    def _validate(self, record: RawRecord) -> EdgeUpdate:
+        update = coerce_record(record)
+        n = self.stream.graph.num_vertices
+        if update.u >= n or update.v >= n:
+            raise MalformedUpdateError(record, "vertex-out-of-range")
+        if not math.isfinite(update.weight):
+            raise MalformedUpdateError(record, "bad-weight")
+        if update.is_deletion and not self._edge_exists(update.u, update.v):
+            raise MalformedUpdateError(record, "absent-edge")
+        return update
+
+    def offer(self, record: RawRecord) -> bool:
+        """Validate and buffer one record.
+
+        Returns ``True`` when the streaming graph's batch threshold is now
+        reached (mirroring :meth:`StreamingGraph.ingest`); rejected records
+        return ``False`` and are counted/quarantined per the policy.
+        """
+        position = self._seen
+        self._seen += 1
+        try:
+            update = self._validate(record)
+        except MalformedUpdateError as exc:
+            self.rejected += 1
+            if self.policy == "strict":
+                raise
+            if self.policy == "quarantine":
+                self.deadletters.put(exc.record, exc.reason, position)
+            else:  # skip: count only
+                self.deadletters.counts[exc.reason] += 1
+                self.deadletters.total += 1
+            return False
+        self.accepted += 1
+        self._overlay[update.edge] = update.is_addition
+        return self.stream.ingest(update, validate=False)
+
+    def offer_many(self, records: Iterable[RawRecord]) -> int:
+        """Offer a sequence of records; returns how many were accepted."""
+        before = self.accepted
+        for record in records:
+            self.offer(record)
+        return self.accepted - before
+
+    def on_sealed(self) -> None:
+        """Reset the pending-buffer overlay after the batch is sealed."""
+        self._overlay.clear()
+
+
+_T = TypeVar("_T")
+
+
+def retry_with_backoff(
+    operation: Callable[[], _T],
+    retries: int = 3,
+    base_delay: float = 0.05,
+    multiplier: float = 2.0,
+    retry_on: Tuple[type, ...] = (Exception,),
+    sleep: Callable[[float], None] = None,  # type: ignore[assignment]
+    on_retry: Optional[Callable[[int, Exception], None]] = None,
+) -> _T:
+    """Call ``operation`` with bounded exponential-backoff retries.
+
+    ``retries`` is the number of *re*-attempts after the first call (so the
+    operation runs at most ``retries + 1`` times).  Exceptions not matching
+    ``retry_on`` propagate immediately — only transient source failures
+    should be retried, never validation errors.  When the budget is spent,
+    :class:`~repro.errors.RetryExhaustedError` chains the last failure.
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if sleep is None:
+        import time
+
+        sleep = time.sleep
+    delay = base_delay
+    last: Optional[Exception] = None
+    for attempt in range(retries + 1):
+        try:
+            return operation()
+        except retry_on as exc:  # type: ignore[misc]
+            last = exc
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            if attempt == retries:
+                break
+            sleep(delay)
+            delay *= multiplier
+    assert last is not None
+    raise RetryExhaustedError(retries + 1, last) from last

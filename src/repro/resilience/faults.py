@@ -1,0 +1,182 @@
+"""Deterministic crash and corruption injection for the resilience layer.
+
+Recovery code that is never exercised is broken code; these helpers make
+crash-window behaviour *testable* by injecting failures at precise,
+reproducible points:
+
+* :class:`CrashPoint` — a WAL write hook that kills the pipeline after N
+  durable appends (clean tail) or tears the (N+1)-th record mid-write
+  (torn tail, the on-disk signature of a real crash);
+* :func:`corrupt_record_byte` / :func:`truncate_segment` — file-level
+  damage to an existing WAL directory, for replay-integrity tests;
+* :func:`with_duplicates` / :func:`with_shuffled` — stream perturbations
+  (at-least-once delivery, out-of-order delivery) with a seeded RNG;
+* :class:`FlakySource` — a record iterator that fails transiently on a
+  fixed schedule, for exercising bounded retry-with-backoff.
+
+Everything is deterministic: the same arguments produce the same failure,
+so fault-injection tests never flake.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.errors import ReproError, WalError
+from repro.graph.batch import UpdateBatch
+from repro.resilience import wal as wal_mod
+
+
+class SimulatedCrash(ReproError):
+    """The fault injector killed the pipeline at a planned crash point."""
+
+
+class TransientStreamError(ReproError):
+    """A retryable source hiccup injected by :class:`FlakySource`."""
+
+
+class CrashPoint:
+    """Kill the pipeline after a fixed number of WAL appends.
+
+    Install as ``WriteAheadLog(write_hook=CrashPoint(...))``.  With
+    ``tear=False`` (default) the crash happens *before* record
+    ``after_records`` is written at all — the WAL tail is clean and simply
+    short.  With ``tear=True`` the record is half-written first
+    (``tear_fraction`` of its bytes), producing the torn tail a real
+    mid-``write(2)`` crash leaves behind; replay must then drop it.
+    """
+
+    def __init__(
+        self,
+        after_records: int,
+        tear: bool = False,
+        tear_fraction: float = 0.5,
+    ) -> None:
+        if after_records < 0:
+            raise ValueError("after_records must be non-negative")
+        if not 0.0 < tear_fraction < 1.0:
+            raise ValueError("tear_fraction must be in (0, 1)")
+        self.after_records = after_records
+        self.tear = tear
+        self.tear_fraction = tear_fraction
+        self.appends = 0
+        self.fired = False
+
+    def __call__(self, record: bytes) -> Optional[bytes]:
+        if self.appends < self.after_records:
+            self.appends += 1
+            return None  # write the full record
+        self.fired = True
+        if self.tear:
+            cut = max(1, int(len(record) * self.tear_fraction))
+            return record[:cut]  # WAL writes this then raises WalError
+        raise SimulatedCrash(
+            f"crash injected before WAL record {self.after_records + 1}"
+        )
+
+
+def corrupt_record_byte(
+    directory: str, record_index: int, byte_delta: int = 0x5A
+) -> str:
+    """Flip one payload byte of the ``record_index``-th committed record.
+
+    The length prefix stays intact, so framing survives and replay can skip
+    exactly this record under the quarantine policy.  Returns the segment
+    path that was damaged.
+    """
+    records = list(wal_mod.replay(directory, on_corrupt="quarantine"))
+    if not 0 <= record_index < len(records):
+        raise WalError(
+            f"record index {record_index} out of range ({len(records)} records)"
+        )
+    target = records[record_index]
+    # damage the first payload byte (skip the 8-byte length+CRC header)
+    position = target.offset + 8
+    with open(target.segment, "r+b") as handle:
+        handle.seek(position)
+        original = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([original[0] ^ byte_delta]))
+    return target.segment
+
+
+def truncate_segment(directory: str, drop_bytes: int) -> str:
+    """Chop ``drop_bytes`` off the end of the last segment (torn tail).
+
+    Returns the truncated segment path.  Truncating into the middle of the
+    final record is exactly what a crash mid-append leaves behind.
+    """
+    segments = wal_mod.list_segments(directory)
+    if not segments:
+        raise WalError(f"no WAL segments in {directory!r}")
+    path = segments[-1]
+    import os
+
+    size = os.path.getsize(path)
+    if drop_bytes <= 0 or drop_bytes >= size:
+        raise WalError(f"cannot drop {drop_bytes} bytes from a {size}-byte segment")
+    with open(path, "r+b") as handle:
+        handle.truncate(size - drop_bytes)
+    return path
+
+
+def with_duplicates(
+    batch: UpdateBatch, fraction: float = 0.2, seed: int = 0
+) -> UpdateBatch:
+    """A copy of ``batch`` with a seeded fraction of updates re-delivered.
+
+    Models at-least-once delivery: each chosen update appears again
+    immediately after its original position.  Monotone engines must absorb
+    duplicates (a re-add is a no-op re-weight, a re-delete targets a now
+    absent edge), which the fault suite asserts.
+    """
+    rng = random.Random(seed)
+    out = UpdateBatch()
+    for upd in batch:
+        out.append(upd)
+        if rng.random() < fraction:
+            out.append(upd)
+    return out
+
+
+def with_shuffled(batch: UpdateBatch, seed: int = 0) -> UpdateBatch:
+    """A copy of ``batch`` with update order permuted (seeded).
+
+    Models out-of-order delivery within one batch window.  Because engines
+    normalise a batch to its *net* topology effect before processing, any
+    permutation that preserves the per-edge last-write must converge to the
+    same answer; the fault suite shuffles only batches without per-edge
+    conflicts so this holds exactly.
+    """
+    rng = random.Random(seed)
+    updates = list(batch)
+    rng.shuffle(updates)
+    return UpdateBatch(updates)
+
+
+class FlakySource:
+    """An iterator over raw records that fails on a fixed schedule.
+
+    ``fail_at`` lists 0-based *attempt* indices of :meth:`next_record`
+    calls that raise :class:`TransientStreamError` (the record is not
+    consumed — a retry will deliver it).  Drive it with
+    :func:`repro.resilience.deadletter.retry_with_backoff`.
+    """
+
+    def __init__(
+        self, records: Iterable[object], fail_at: Sequence[int] = ()
+    ) -> None:
+        self._records: Iterator[object] = iter(records)
+        self._fail_at = set(fail_at)
+        self.attempts = 0
+        self.failures = 0
+
+    def next_record(self) -> object:
+        """Return the next record or raise a transient error (retryable)."""
+        attempt = self.attempts
+        self.attempts += 1
+        if attempt in self._fail_at:
+            self.failures += 1
+            raise TransientStreamError(f"injected hiccup on attempt {attempt}")
+        return next(self._records)  # StopIteration ends the stream

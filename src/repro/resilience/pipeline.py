@@ -1,0 +1,230 @@
+"""End-to-end fault-tolerant streaming pipeline.
+
+:class:`ResilientPipeline` wraps the CISGraph engine with every layer of
+the resilience subsystem::
+
+    raw records ──▶ IngestGuard (validate / dead-letter) ──▶ StreamingGraph
+                                                                buffer
+                         seal at threshold ─▶ WAL append (durable) ─▶
+                    engine.on_batch ─▶ periodic checkpoint ─▶
+                    periodic DifferentialGuard cross-check
+
+The ordering is the durability contract: a batch reaches the engine only
+after its WAL record is on disk, and a checkpoint records the WAL sequence
+it covers — so a crash at *any* point is recoverable by
+:class:`repro.resilience.recovery.RecoveryManager` (restore checkpoint,
+replay WAL tail) with no batch applied twice and at most the not-yet-sealed
+buffer lost.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.checkpoint import save_checkpoint
+from repro.core.engine import CISGraphEngine
+from repro.graph.batch import UpdateBatch
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.streaming import StreamingGraph
+from repro.metrics import BatchResult, ResilienceCounters
+from repro.query import PairwiseQuery
+from repro.resilience.deadletter import DeadLetterQueue, IngestGuard, RawRecord
+from repro.resilience.guard import DifferentialGuard
+from repro.resilience.recovery import RecoveryManager, state_paths
+from repro.resilience.wal import WriteAheadLog
+
+
+class ResilientPipeline:
+    """A streaming session with WAL durability, quarantine, and a guard.
+
+    Construct fresh with :meth:`open` (full computation on the initial
+    snapshot, checkpoint 0 written immediately) or after a crash with
+    :meth:`resume` (checkpoint + WAL tail replay).  Feed raw records with
+    :meth:`offer` (or whole pre-validated batches with :meth:`run_batch`)
+    and call :meth:`flush` at end of stream.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        engine: CISGraphEngine,
+        start_snapshot: int = 0,
+        batch_threshold: int = 100_000,
+        policy: str = "quarantine",
+        checkpoint_every: int = 4,
+        guard_every: Optional[int] = None,
+        wal_sync: bool = True,
+        counters: Optional[ResilienceCounters] = None,
+        write_hook=None,
+    ) -> None:
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        self.directory = directory
+        self.engine = engine
+        self.counters = counters if counters is not None else ResilienceCounters()
+        self.checkpoint_path, wal_dir = state_paths(directory)
+        os.makedirs(directory, exist_ok=True)
+        # the stream and the engine share one DynamicGraph: the engine owns
+        # topology application, the stream owns buffering and the snapshot
+        # counter (advanced via commit_external)
+        self.stream = StreamingGraph(engine.graph, batch_threshold=batch_threshold)
+        for _ in range(start_snapshot):
+            self.stream.commit_external()
+        self.ingest_guard = IngestGuard(
+            self.stream, policy=policy, deadletters=DeadLetterQueue()
+        )
+        self.wal = WriteAheadLog(wal_dir, sync=wal_sync, write_hook=write_hook)
+        self.guard = (
+            DifferentialGuard(engine, every_batches=guard_every,
+                              counters=self.counters)
+            if guard_every
+            else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.results: List[BatchResult] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        graph: DynamicGraph,
+        algorithm: MonotonicAlgorithm,
+        query: PairwiseQuery,
+        **kwargs,
+    ) -> "ResilientPipeline":
+        """Start a fresh session: full computation on ``graph``, then an
+        immediate checkpoint at snapshot 0 so recovery always has a base."""
+        engine = CISGraphEngine(graph, algorithm, query)
+        engine.initialize()
+        pipeline = cls(directory, engine, start_snapshot=0, **kwargs)
+        pipeline.checkpoint()
+        return pipeline
+
+    @classmethod
+    def resume(
+        cls,
+        directory: str,
+        algorithm: Optional[MonotonicAlgorithm] = None,
+        on_corrupt: str = "quarantine",
+        **kwargs,
+    ) -> "ResilientPipeline":
+        """Recover from ``directory`` and continue the session.
+
+        The recovered position seeds the snapshot counter, so new WAL
+        records continue the sequence exactly where the crash cut it.
+        """
+        counters = kwargs.pop("counters", None) or ResilienceCounters()
+        manager = RecoveryManager(
+            directory, algorithm=algorithm, on_corrupt=on_corrupt,
+            counters=counters,
+        )
+        recovered = manager.recover()
+        return cls(
+            directory,
+            recovered.engine,
+            start_snapshot=recovered.snapshot_id,
+            counters=counters,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_id(self) -> int:
+        return self.stream.snapshot_id
+
+    @property
+    def answer(self) -> float:
+        return self.engine.answer
+
+    @property
+    def deadletters(self) -> DeadLetterQueue:
+        return self.ingest_guard.deadletters
+
+    def offer(self, record: RawRecord) -> Optional[BatchResult]:
+        """Validate and buffer one raw record; process the batch when the
+        threshold fills.  Returns the batch result when one was processed."""
+        if self.ingest_guard.offer(record):
+            return self._process_sealed()
+        return None
+
+    def offer_many(self, records: Iterable[RawRecord]) -> List[BatchResult]:
+        """Offer a record sequence; returns the results of full batches."""
+        results = []
+        for record in records:
+            result = self.offer(record)
+            if result is not None:
+                results.append(result)
+        return results
+
+    def flush(self) -> Optional[BatchResult]:
+        """Seal and process the under-full buffer (end of stream)."""
+        if self.stream.pending_count == 0:
+            return None
+        return self._process_sealed()
+
+    def run_batch(self, batch: UpdateBatch) -> BatchResult:
+        """Process one pre-built batch through the durable path directly.
+
+        Skips ingestion validation (the batch is trusted, e.g. replayed
+        from a :class:`~repro.graph.streaming.StreamReplay`), but keeps the
+        WAL-before-apply ordering and the checkpoint/guard cadence.
+        """
+        if self.stream.pending_count:
+            raise RuntimeError("cannot run_batch with records still buffered")
+        return self._commit(batch)
+
+    def _process_sealed(self) -> BatchResult:
+        batch = self.stream.seal_batch()
+        self.ingest_guard.on_sealed()
+        return self._commit(batch)
+
+    def _commit(self, batch: UpdateBatch) -> BatchResult:
+        sequence = self.snapshot_id + 1
+        self.wal.append(batch, sequence)  # durable before the engine sees it
+        self.counters.wal_records_appended += 1
+        result = self.engine.on_batch(batch)
+        self.stream.commit_external()
+        self.results.append(result)
+        if sequence % self.checkpoint_every == 0:
+            self.checkpoint()
+        if self.guard is not None:
+            self.guard.maybe_check(sequence)
+        return result
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Checkpoint the engine's state at the current stream position."""
+        save_checkpoint(
+            self.checkpoint_path,
+            self.engine,
+            snapshot_id=self.snapshot_id,
+            wal_sequence=self.snapshot_id,
+        )
+        self.counters.checkpoints_written += 1
+
+    def close(self, final_checkpoint: bool = True) -> None:
+        """Flush the buffer, optionally checkpoint, release the WAL."""
+        self.flush()
+        if final_checkpoint:
+            self.checkpoint()
+        self.wal.close()
+
+    def __enter__(self) -> "ResilientPipeline":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        # on an exception (including an injected crash) leave the disk state
+        # exactly as the crash left it — that is what recovery is for
+        if exc_type is None:
+            self.close()
+        else:
+            self.wal.close()

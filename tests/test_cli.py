@@ -130,6 +130,63 @@ class TestGenstream:
         assert load_stream_npz(path).num_batches == 2
 
 
+class TestRecoverAndWalVerify:
+    def build_state(self, tmp_path):
+        from repro.algorithms import get_algorithm
+        from repro.query import PairwiseQuery
+        from repro.resilience.pipeline import ResilientPipeline
+        from tests.conftest import random_batch, random_graph
+
+        graph = random_graph(40, 200, seed=3)
+        directory = str(tmp_path / "state")
+        pipeline = ResilientPipeline.open(
+            directory, graph.copy(), get_algorithm("ppsp"), PairwiseQuery(0, 20),
+            checkpoint_every=100, wal_sync=False,
+        )
+        for i in range(3):
+            pipeline.run_batch(random_batch(graph, 5, 3, seed=10 + i))
+        pipeline.wal.close()
+        return directory
+
+    def test_recover_reports_position(self, tmp_path, capsys):
+        directory = self.build_state(tmp_path)
+        assert main(["recover", directory, "--guard"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered: snapshot=3" in out
+        assert "3 replayed" in out
+        assert "clean" in out
+
+    def test_recover_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "void")]) == 1
+        assert "recovery failed" in capsys.readouterr().err
+
+    def test_wal_verify_clean(self, tmp_path, capsys):
+        directory = self.build_state(tmp_path)
+        assert main(["wal-verify", os.path.join(directory, "wal")]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_wal_verify_damage(self, tmp_path, capsys):
+        from repro.resilience.faults import corrupt_record_byte
+
+        directory = self.build_state(tmp_path)
+        wal_dir = os.path.join(directory, "wal")
+        corrupt_record_byte(wal_dir, record_index=1)
+        assert main(["wal-verify", wal_dir]) == 1
+        captured = capsys.readouterr()
+        assert "corrupt records: 1" in captured.out
+        assert "DAMAGED" in captured.err
+
+    def test_recover_quarantines_corrupt_record(self, tmp_path, capsys):
+        from repro.resilience.faults import corrupt_record_byte
+
+        directory = self.build_state(tmp_path)
+        corrupt_record_byte(os.path.join(directory, "wal"), record_index=1)
+        assert main(["recover", directory, "--guard"]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+        assert "2 replayed" in out
+
+
 class TestValidate:
     def test_validator_passes(self):
         report = validate_engines(

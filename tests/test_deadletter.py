@@ -1,0 +1,219 @@
+"""Ingestion guard: validation policies, dead-letter queue, retries."""
+
+import math
+
+import pytest
+
+from repro.errors import MalformedUpdateError, RetryExhaustedError, VertexOutOfRangeError
+from repro.graph.batch import add
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.streaming import StreamingGraph
+from repro.resilience.deadletter import (
+    DeadLetterQueue,
+    IngestGuard,
+    coerce_record,
+    retry_with_backoff,
+)
+from repro.resilience.faults import FlakySource, TransientStreamError
+
+
+def make_stream(threshold=100):
+    graph = DynamicGraph.from_edges(5, [(0, 1, 1.0), (1, 2, 2.0)])
+    return StreamingGraph(graph, batch_threshold=threshold)
+
+
+GOOD = ("add", 0, 3, 1.5)
+BAD_RECORDS = [
+    (("bogus", 0, 1, 1.0), "bad-kind"),
+    (("add", "x", 1, 1.0), "bad-vertex"),
+    (("add", -1, 1, 1.0), "bad-vertex"),
+    (("add", 2, 2, 1.0), "self-loop"),
+    (("add", 0, 1, float("nan")), "bad-weight"),
+    (("add", 0, 1, -2.0), "bad-weight"),
+    (("add", 0, 1, 0.0), "bad-weight"),
+    (("add", 0, 1, "w"), "bad-weight"),
+    (("add", 0, 99, 1.0), "vertex-out-of-range"),
+    (("delete", 2, 4, 1.0), "absent-edge"),
+    ("not-a-tuple", "bad-shape"),
+]
+
+
+class TestCoerce:
+    def test_good_record(self):
+        update = coerce_record(GOOD)
+        assert update.is_addition and update.edge == (0, 3)
+
+    def test_string_tags(self):
+        assert coerce_record(("a", 0, 1, 1.0)).is_addition
+        assert coerce_record(("d", 0, 1, 1.0)).is_deletion
+
+    @pytest.mark.parametrize("record,reason", BAD_RECORDS[:8] + [BAD_RECORDS[-1]])
+    def test_bad_shapes(self, record, reason):
+        with pytest.raises(MalformedUpdateError) as excinfo:
+            coerce_record(record)
+        assert excinfo.value.reason == reason
+
+
+class TestPolicies:
+    def test_strict_raises(self):
+        guard = IngestGuard(make_stream(), policy="strict")
+        with pytest.raises(MalformedUpdateError, match="vertex-out-of-range"):
+            guard.offer(("add", 0, 99, 1.0))
+
+    def test_skip_counts_without_keeping(self):
+        guard = IngestGuard(make_stream(), policy="skip")
+        for record, _ in BAD_RECORDS:
+            assert guard.offer(record) is False
+        assert guard.rejected == len(BAD_RECORDS)
+        assert guard.deadletters.total == len(BAD_RECORDS)
+        assert len(guard.deadletters) == 0  # skip: counters only, no letters
+
+    def test_quarantine_keeps_letters_with_reasons(self):
+        guard = IngestGuard(make_stream(), policy="quarantine")
+        guard.offer(GOOD)
+        for record, _ in BAD_RECORDS:
+            guard.offer(record)
+        assert guard.accepted == 1
+        assert guard.rejected == len(BAD_RECORDS)
+        summary = guard.deadletters.summary()
+        for _, reason in BAD_RECORDS:
+            assert summary[reason] >= 1
+        # positions index the arrival order (GOOD was record 0)
+        assert [l.position for l in guard.deadletters] == list(
+            range(1, len(BAD_RECORDS) + 1)
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            IngestGuard(make_stream(), policy="yolo")
+
+    def test_stream_unaffected_by_rejects(self):
+        stream = make_stream(threshold=2)
+        guard = IngestGuard(stream, policy="quarantine")
+        for record, _ in BAD_RECORDS:
+            guard.offer(record)
+        assert stream.pending_count == 0
+        assert guard.offer(GOOD) is False
+        assert guard.offer(("add", 3, 4, 1.0)) is True  # threshold reached
+        assert stream.pending_count == 2
+
+    def test_delete_after_buffered_add_is_valid(self):
+        """The absent-edge check must see the pending buffer overlay."""
+        guard = IngestGuard(make_stream(), policy="strict")
+        guard.offer(("add", 0, 4, 1.0))
+        guard.offer(("delete", 0, 4, 1.0))  # not yet applied, still valid
+        assert guard.accepted == 2
+
+    def test_buffered_delete_invalidates_redelete(self):
+        guard = IngestGuard(make_stream(), policy="quarantine")
+        guard.offer(("delete", 0, 1, 1.0))
+        guard.offer(("delete", 0, 1, 1.0))  # edge already deleted in-buffer
+        assert guard.accepted == 1
+        assert guard.deadletters.summary() == {"absent-edge": 1}
+
+    def test_overlay_resets_after_seal(self):
+        stream = make_stream()
+        guard = IngestGuard(stream, policy="quarantine")
+        guard.offer(("delete", 0, 1, 1.0))
+        stream.seal_batch()
+        guard.on_sealed()
+        # topology still has 0->1 (batch unapplied); the overlay is gone so
+        # the delete validates against the graph again
+        assert guard.offer(("delete", 0, 1, 1.0)) is False
+        assert guard.accepted == 2
+
+
+class TestQueueBounds:
+    def test_eviction_keeps_counters(self):
+        queue = DeadLetterQueue(max_letters=3)
+        for i in range(10):
+            queue.put(("add", 0, 0, 1.0), "self-loop", i)
+        assert len(queue) == 3
+        assert queue.evicted == 7
+        assert queue.total == 10
+        assert queue.counts["self-loop"] == 10
+        assert [l.position for l in queue] == [7, 8, 9]
+
+    def test_filter_by_reason(self):
+        queue = DeadLetterQueue()
+        queue.put("a", "bad-kind", 0)
+        queue.put("b", "bad-weight", 1)
+        assert [l.record for l in queue.letters("bad-weight")] == ["b"]
+
+
+class TestIngestValidationBoundary:
+    """Satellite: StreamingGraph.ingest validates at the boundary."""
+
+    def test_out_of_range_vertex_rejected_at_ingest(self):
+        stream = make_stream()
+        with pytest.raises(VertexOutOfRangeError):
+            stream.ingest(add(0, 99, 1.0))
+        with pytest.raises(VertexOutOfRangeError):
+            stream.ingest(add(99, 0, 1.0))
+        assert stream.pending_count == 0
+
+    def test_non_finite_weight_rejected_at_ingest(self):
+        stream = make_stream()
+        with pytest.raises(ValueError, match="non-finite"):
+            stream.ingest(add(0, 1, math.inf))
+
+    def test_validation_can_be_bypassed(self):
+        stream = make_stream()
+        stream.ingest(add(0, 99, 1.0), validate=False)
+        assert stream.pending_count == 1
+
+
+class TestRetry:
+    def sleeps(self):
+        log = []
+        return log, log.append
+
+    def test_succeeds_after_transient_failures(self):
+        source = FlakySource([GOOD, GOOD], fail_at=[0, 2])
+        log, sleep = self.sleeps()
+        first = retry_with_backoff(
+            source.next_record, retries=3, base_delay=0.1, sleep=sleep,
+            retry_on=(TransientStreamError,),
+        )
+        second = retry_with_backoff(
+            source.next_record, retries=3, base_delay=0.1, sleep=sleep,
+            retry_on=(TransientStreamError,),
+        )
+        assert first == second == GOOD
+        assert source.failures == 2
+        # exponential backoff: one sleep per failed attempt
+        assert log == [0.1, 0.1]
+
+    def test_backoff_grows_exponentially(self):
+        attempts = {"n": 0}
+
+        def always_fail():
+            attempts["n"] += 1
+            raise TransientStreamError("down")
+
+        log, sleep = self.sleeps()
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry_with_backoff(
+                always_fail, retries=3, base_delay=0.05, sleep=sleep,
+                retry_on=(TransientStreamError,),
+            )
+        assert attempts["n"] == 4  # initial try + 3 retries
+        assert log == [0.05, 0.1, 0.2]  # no sleep after the final failure
+        assert excinfo.value.attempts == 4
+        assert isinstance(excinfo.value.last, TransientStreamError)
+
+    def test_non_retryable_errors_propagate(self):
+        def boom():
+            raise KeyError("fatal")
+
+        log, sleep = self.sleeps()
+        with pytest.raises(KeyError):
+            retry_with_backoff(boom, retries=5, sleep=sleep,
+                               retry_on=(TransientStreamError,))
+        assert log == []
+
+    def test_flaky_source_end_of_stream(self):
+        source = FlakySource([GOOD], fail_at=[])
+        assert source.next_record() == GOOD
+        with pytest.raises(StopIteration):
+            source.next_record()

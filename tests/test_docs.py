@@ -16,6 +16,7 @@ DOC_FILES = [
     "docs/hardware.md",
     "docs/usage.md",
     "docs/paper_mapping.md",
+    "docs/resilience.md",
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")

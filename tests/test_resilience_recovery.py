@@ -1,0 +1,322 @@
+"""Fault-injection suite: crash-window recovery must be provably exact.
+
+Every test here kills or damages a resilient pipeline at a deterministic
+injection point, recovers it, and cross-checks the result against an
+uninterrupted run or the cold-start ground truth — the acceptance bar for
+the durability protocol.  Marked ``faults`` (run alone: ``pytest -m faults``).
+"""
+
+import os
+
+import pytest
+
+from repro.algorithms import dijkstra, get_algorithm
+from repro.checkpoint import checkpoint_info, save_checkpoint
+from repro.core.engine import CISGraphEngine
+from repro.errors import RecoveryError, WalError
+from repro.metrics import ResilienceCounters
+from repro.query import PairwiseQuery
+from repro.resilience import faults
+from repro.resilience.guard import DifferentialGuard
+from repro.resilience.pipeline import ResilientPipeline
+from repro.resilience.recovery import RecoveryManager, state_paths
+from repro.resilience.wal import WriteAheadLog
+from tests.conftest import random_batch, random_graph
+
+pytestmark = pytest.mark.faults
+
+ALG = get_algorithm("ppsp")
+QUERY = PairwiseQuery(0, 20)
+NUM_BATCHES = 6
+
+
+def make_scenario(seed=3):
+    graph = random_graph(40, 220, seed=seed)
+    batches = [random_batch(graph, 6, 4, seed=seed + 1 + i) for i in range(NUM_BATCHES)]
+    return graph, batches
+
+
+def straight_through(graph, batches):
+    """Uninterrupted reference run; returns the engine and per-batch answers."""
+    engine = CISGraphEngine(graph.copy(), ALG, QUERY)
+    engine.initialize()
+    answers = [engine.on_batch(batch).answer for batch in batches]
+    return engine, answers
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("crash_after", [0, 1, 3, 5])
+    @pytest.mark.parametrize("tear", [False, True])
+    def test_kill_mid_stream_then_recover_matches_uninterrupted(
+        self, tmp_path, crash_after, tear
+    ):
+        """Kill at an injected fault point; the recovered engine must answer
+        exactly like an uninterrupted run on every remaining batch."""
+        graph, batches = make_scenario()
+        reference, ref_answers = straight_through(graph, batches)
+
+        directory = str(tmp_path / "state")
+        crash = faults.CrashPoint(after_records=crash_after, tear=tear)
+        pipeline = ResilientPipeline.open(
+            directory, graph.copy(), ALG, QUERY,
+            checkpoint_every=2, wal_sync=False, write_hook=crash,
+        )
+        with pytest.raises((faults.SimulatedCrash, WalError)):
+            for batch in batches:
+                pipeline.run_batch(batch)
+        pipeline.wal.close()
+        assert crash.fired
+
+        counters = ResilienceCounters()
+        recovered = RecoveryManager(directory, counters=counters).recover()
+        assert counters.recoveries == 1
+        # the first crash_after batches committed to the WAL before the kill
+        assert recovered.snapshot_id == crash_after
+        if crash_after:
+            assert recovered.answer == ref_answers[crash_after - 1]
+
+        for index in range(recovered.snapshot_id, NUM_BATCHES):
+            result = recovered.engine.on_batch(batches[index])
+            assert result.answer == ref_answers[index], f"batch {index} diverged"
+        assert recovered.engine.state.states == reference.state.states
+
+    def test_resume_continues_wal_sequence(self, tmp_path):
+        """ResilientPipeline.resume picks up the stream position so the WAL
+        sequence keeps counting from the crash point."""
+        graph, batches = make_scenario()
+        _, ref_answers = straight_through(graph, batches)
+        directory = str(tmp_path / "state")
+
+        crash = faults.CrashPoint(after_records=3)
+        pipeline = ResilientPipeline.open(
+            directory, graph.copy(), ALG, QUERY,
+            checkpoint_every=2, wal_sync=False, write_hook=crash,
+        )
+        with pytest.raises(faults.SimulatedCrash):
+            for batch in batches:
+                pipeline.run_batch(batch)
+        pipeline.wal.close()
+
+        resumed = ResilientPipeline.resume(directory, wal_sync=False,
+                                           checkpoint_every=2)
+        assert resumed.snapshot_id == 3
+        for batch in batches[3:]:
+            resumed.run_batch(batch)
+        resumed.close()
+        assert resumed.answer == ref_answers[-1]
+        # the full WAL now covers the whole stream exactly once
+        from repro.resilience.wal import verify
+
+        _, wal_dir = state_paths(directory)
+        stats = verify(wal_dir)
+        assert stats.last_sequence == NUM_BATCHES
+        assert stats.records == NUM_BATCHES
+
+    def test_corrupted_record_quarantined_and_converges(self, tmp_path):
+        """A CRC-corrupt WAL record is quarantined (dead-letter counter up)
+        and the recovered engine still converges to cold-start truth."""
+        graph, batches = make_scenario()
+        directory = str(tmp_path / "state")
+        pipeline = ResilientPipeline.open(
+            directory, graph.copy(), ALG, QUERY,
+            checkpoint_every=100, wal_sync=False,  # no mid-stream checkpoint
+        )
+        for batch in batches:
+            pipeline.run_batch(batch)
+        pipeline.wal.close()  # no final checkpoint: recovery must replay all
+
+        _, wal_dir = state_paths(directory)
+        faults.corrupt_record_byte(wal_dir, record_index=2)
+
+        counters = ResilienceCounters()
+        recovered = RecoveryManager(directory, counters=counters).recover()
+        assert counters.quarantined == 1
+        assert counters.wal_corrupt_records == 1
+        assert len(recovered.deadletters.letters("wal-corrupt")) == 1
+        # batch 3 (sequence 3) was lost; the rest replayed
+        assert recovered.replayed == [1, 2, 4, 5, 6]
+
+        # the recovered state is a converged fixpoint of its own topology:
+        # cold-start ground truth, still serving
+        truth = dijkstra(recovered.engine.graph, ALG, QUERY.source)
+        assert recovered.engine.state.states == truth.states
+        report = DifferentialGuard(recovered.engine, counters=counters).check()
+        assert not report.diverged
+
+    def test_strict_policy_raises_on_corruption(self, tmp_path):
+        from repro.errors import WalCorruptionError
+
+        graph, batches = make_scenario()
+        directory = str(tmp_path / "state")
+        pipeline = ResilientPipeline.open(
+            directory, graph.copy(), ALG, QUERY, checkpoint_every=100,
+            wal_sync=False,
+        )
+        for batch in batches[:3]:
+            pipeline.run_batch(batch)
+        pipeline.wal.close()
+        _, wal_dir = state_paths(directory)
+        faults.corrupt_record_byte(wal_dir, record_index=1)
+        with pytest.raises(WalCorruptionError):
+            RecoveryManager(directory, on_corrupt="raise").recover()
+
+
+class TestCrashWindowEdgeCases:
+    def test_recovery_from_empty_wal(self, tmp_path):
+        """Crash after the initial checkpoint but before any batch."""
+        graph, _ = make_scenario()
+        directory = str(tmp_path / "state")
+        pipeline = ResilientPipeline.open(
+            directory, graph.copy(), ALG, QUERY, wal_sync=False
+        )
+        initial_answer = pipeline.answer
+        pipeline.wal.close()
+
+        recovered = RecoveryManager(directory).recover()
+        assert recovered.snapshot_id == 0
+        assert recovered.replayed == []
+        assert recovered.answer == initial_answer
+
+    def test_recovery_with_no_checkpoint_fails_typed(self, tmp_path):
+        with pytest.raises(RecoveryError, match="cannot restore checkpoint"):
+            RecoveryManager(str(tmp_path / "void")).recover()
+
+    def test_torn_last_record_dropped(self, tmp_path):
+        """A WAL whose final record is cut mid-write recovers to the last
+        committed batch."""
+        graph, batches = make_scenario()
+        _, ref_answers = straight_through(graph, batches)
+        directory = str(tmp_path / "state")
+        pipeline = ResilientPipeline.open(
+            directory, graph.copy(), ALG, QUERY, checkpoint_every=100,
+            wal_sync=False,
+        )
+        for batch in batches[:4]:
+            pipeline.run_batch(batch)
+        pipeline.wal.close()
+
+        _, wal_dir = state_paths(directory)
+        faults.truncate_segment(wal_dir, drop_bytes=7)
+        recovered = RecoveryManager(directory).recover()
+        assert recovered.snapshot_id == 3
+        assert recovered.wal_stats.torn_tails == 1
+        assert recovered.answer == ref_answers[2]
+
+    def test_checkpoint_newer_than_wal_tail(self, tmp_path):
+        """When the checkpoint already covers every WAL record, recovery
+        replays nothing and keeps the checkpoint state."""
+        graph, batches = make_scenario()
+        directory = str(tmp_path / "state")
+        pipeline = ResilientPipeline.open(
+            directory, graph.copy(), ALG, QUERY, checkpoint_every=100,
+            wal_sync=False,
+        )
+        for batch in batches[:3]:
+            pipeline.run_batch(batch)
+        pipeline.checkpoint()  # checkpoint at snapshot 3 == WAL tail
+        pipeline.wal.close()
+
+        ckpt_path, _ = state_paths(directory)
+        assert checkpoint_info(ckpt_path).snapshot_id == 3
+        recovered = RecoveryManager(directory).recover()
+        assert recovered.replayed == []
+        assert recovered.skipped == [1, 2, 3]
+        assert recovered.snapshot_id == 3
+        assert recovered.answer == pipeline.answer
+
+    def test_double_recovery_is_idempotent(self, tmp_path):
+        """recover() twice -> bit-identical engine state (it never mutates
+        the WAL or the checkpoint)."""
+        graph, batches = make_scenario()
+        directory = str(tmp_path / "state")
+        crash = faults.CrashPoint(after_records=4, tear=True)
+        pipeline = ResilientPipeline.open(
+            directory, graph.copy(), ALG, QUERY, checkpoint_every=2,
+            wal_sync=False, write_hook=crash,
+        )
+        with pytest.raises(WalError):
+            for batch in batches:
+                pipeline.run_batch(batch)
+        pipeline.wal.close()
+
+        first = RecoveryManager(directory).recover()
+        second = RecoveryManager(directory).recover()
+        assert first.snapshot_id == second.snapshot_id
+        assert first.engine.state.states == second.engine.state.states
+        assert first.engine.state.parents == second.engine.state.parents
+        assert sorted(first.engine.graph.edges()) == sorted(
+            second.engine.graph.edges()
+        )
+
+
+class TestDeliveryPerturbations:
+    def test_duplicate_delivery_absorbed(self):
+        """At-least-once delivery: duplicated updates converge identically."""
+        graph, batches = make_scenario(seed=11)
+        _, ref_answers = straight_through(graph, batches)
+        engine = CISGraphEngine(graph.copy(), ALG, QUERY)
+        engine.initialize()
+        for index, batch in enumerate(batches):
+            result = engine.on_batch(faults.with_duplicates(batch, seed=index))
+            assert result.answer == ref_answers[index]
+        engine.state.check_converged()
+
+    def test_out_of_order_delivery_absorbed(self):
+        """Shuffling conflict-free batches must not change any answer."""
+        graph, batches = make_scenario(seed=13)
+        # keep only batches without per-edge conflicts so any order is valid
+        safe = []
+        for batch in batches:
+            edges = [u.edge for u in batch]
+            if len(edges) == len(set(edges)):
+                safe.append(batch)
+        assert safe, "scenario produced no conflict-free batches"
+        _, ref_answers = straight_through(graph, safe)
+        engine = CISGraphEngine(graph.copy(), ALG, QUERY)
+        engine.initialize()
+        for index, batch in enumerate(safe):
+            result = engine.on_batch(faults.with_shuffled(batch, seed=index))
+            assert result.answer == ref_answers[index]
+        engine.state.check_converged()
+
+
+class TestCheckpointV2:
+    def test_position_metadata_roundtrip(self, tmp_path):
+        graph, batches = make_scenario()
+        engine = CISGraphEngine(graph.copy(), ALG, QUERY)
+        engine.initialize()
+        engine.on_batch(batches[0])
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, engine, snapshot_id=1, wal_sequence=1)
+        info = checkpoint_info(path)
+        assert info.version == 2
+        assert info.snapshot_id == 1
+        assert info.wal_sequence == 1
+        assert info.algorithm == "ppsp"
+        assert info.num_vertices == graph.num_vertices
+
+    def test_corrupt_checkpoint_typed_error(self, tmp_path):
+        from repro.checkpoint import CheckpointError
+
+        path = str(tmp_path / "bad.npz")
+        with open(path, "wb") as handle:
+            handle.write(b"zip? never heard of it")
+        with pytest.raises(CheckpointError, match="corrupt|not an npz"):
+            checkpoint_info(path)
+
+    def test_no_leaked_file_handle(self, tmp_path):
+        import gc
+        import warnings
+
+        from repro.checkpoint import load_checkpoint
+
+        graph, _ = make_scenario()
+        engine = CISGraphEngine(graph.copy(), ALG, QUERY)
+        engine.initialize()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, engine)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            load_checkpoint(path)
+            checkpoint_info(path)
+            gc.collect()

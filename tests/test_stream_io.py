@@ -102,6 +102,76 @@ class TestNpzFormat:
         assert result.answer == dijkstra(final, get_algorithm("ppsp"), 0).states[10]
 
 
+class TestTextPrecision:
+    """Regression: `{w:g}` truncated weights to 6 significant digits, so a
+    save -> load -> save cycle silently perturbed weights."""
+
+    AWKWARD = 0.123456789012345  # needs 15 significant digits
+
+    def awkward_replay(self):
+        graph = DynamicGraph.from_edges(4, [(0, 1, self.AWKWARD), (1, 2, 1 / 3)])
+        return StreamReplay(
+            graph, [UpdateBatch([add(0, 2, 2 * self.AWKWARD), delete(0, 1, self.AWKWARD)])]
+        )
+
+    def test_weights_roundtrip_exactly(self, tmp_path):
+        path = str(tmp_path / "stream.txt")
+        save_stream_text(path, self.awkward_replay())
+        loaded = load_stream_text(path)
+        assert sorted(loaded.initial_graph.edges()) == [
+            (0, 1, self.AWKWARD),
+            (1, 2, 1 / 3),
+        ]
+        assert [u.weight for u in loaded.batch(0)] == [2 * self.AWKWARD, self.AWKWARD]
+
+    def test_save_load_save_idempotent(self, tmp_path):
+        first = str(tmp_path / "first.txt")
+        second = str(tmp_path / "second.txt")
+        save_stream_text(first, self.awkward_replay())
+        save_stream_text(second, load_stream_text(first))
+        with open(first) as a, open(second) as b:
+            assert a.read() == b.read()
+
+
+class TestNpzRobustness:
+    def test_corrupt_archive_typed_error(self, tmp_path):
+        from repro.errors import StreamFormatError
+
+        path = str(tmp_path / "bad.npz")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a zip archive")
+        with pytest.raises(StreamFormatError, match="corrupt|not an npz"):
+            load_stream_npz(path)
+
+    def test_missing_file_typed_error(self, tmp_path):
+        from repro.errors import StreamFormatError
+
+        with pytest.raises(StreamFormatError, match="does not exist"):
+            load_stream_npz(str(tmp_path / "nope.npz"))
+
+    def test_truncated_field_typed_error(self, tmp_path):
+        from repro.errors import StreamFormatError
+
+        import numpy as np
+
+        path = str(tmp_path / "partial.npz")
+        np.savez_compressed(path, num_vertices=np.int64(3), num_batches=np.int64(1))
+        with pytest.raises(StreamFormatError, match="missing or corrupt"):
+            load_stream_npz(path)
+
+    def test_no_leaked_file_handle(self, tmp_path):
+        """Regression: np.load's NpzFile was never closed."""
+        import gc
+        import warnings
+
+        path = str(tmp_path / "stream.npz")
+        save_stream_npz(path, sample_replay())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            load_stream_npz(path)
+            gc.collect()
+
+
 class TestHopCountExtension:
     def test_registered(self):
         alg = get_algorithm("hops")
