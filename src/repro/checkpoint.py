@@ -15,6 +15,7 @@ the position defaulting to snapshot 0.
 
 from __future__ import annotations
 
+import os
 import zipfile
 from dataclasses import dataclass
 from typing import Optional, Type
@@ -60,24 +61,52 @@ def save_checkpoint(
     ``snapshot_id`` is the stream snapshot the state corresponds to and
     ``wal_sequence`` the last WAL record sequence covered by the state;
     standalone callers (no WAL) can leave both at 0.
+
+    The write is atomic: the archive goes to a temporary file in the same
+    directory, is fsynced, then renamed over ``path`` — a crash mid-write
+    leaves the previous checkpoint intact instead of a truncated archive
+    (pipelines overwrite one ``checkpoint.npz`` in place, so a torn write
+    would otherwise destroy the only recovery base).
     """
+    if not path.endswith(".npz"):
+        path = path + ".npz"  # np.savez appends it; keep the path identical
     graph = engine.graph
     edges = list(graph.edges())
-    np.savez_compressed(
-        path,
-        version=np.int64(_FORMAT_VERSION),
-        algorithm=np.str_(engine.algorithm.name),
-        source=np.int64(engine.query.source),
-        destination=np.int64(engine.query.destination),
-        num_vertices=np.int64(graph.num_vertices),
-        snapshot_id=np.int64(snapshot_id),
-        wal_sequence=np.int64(wal_sequence),
-        edges_src=np.array([e[0] for e in edges], dtype=np.int64),
-        edges_dst=np.array([e[1] for e in edges], dtype=np.int64),
-        edges_wgt=np.array([e[2] for e in edges], dtype=np.float64),
-        states=np.array(engine.state.states, dtype=np.float64),
-        parents=np.array(engine.state.parents, dtype=np.int64),
-    )
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                version=np.int64(_FORMAT_VERSION),
+                algorithm=np.str_(engine.algorithm.name),
+                source=np.int64(engine.query.source),
+                destination=np.int64(engine.query.destination),
+                num_vertices=np.int64(graph.num_vertices),
+                snapshot_id=np.int64(snapshot_id),
+                wal_sequence=np.int64(wal_sequence),
+                edges_src=np.array([e[0] for e in edges], dtype=np.int64),
+                edges_dst=np.array([e[1] for e in edges], dtype=np.int64),
+                edges_wgt=np.array([e[2] for e in edges], dtype=np.float64),
+                states=np.array(engine.state.states, dtype=np.float64),
+                parents=np.array(engine.state.parents, dtype=np.int64),
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:  # make the rename itself durable
+        dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def _open_archive(path: str):

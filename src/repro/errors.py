@@ -71,6 +71,16 @@ class RecoveryError(ReproError):
     """Crash recovery could not restore a consistent engine."""
 
 
+class TransientStreamError(ReproError):
+    """A retryable, transient failure of a streaming source.
+
+    Sources that hiccup (network blip, temporarily unavailable shard)
+    raise this to signal that the same read may succeed if retried —
+    :func:`repro.resilience.deadletter.retry_with_backoff` retries it by
+    default, unlike validation or programming errors.
+    """
+
+
 class RetryExhaustedError(ReproError):
     """A flaky operation kept failing after the bounded retry budget."""
 

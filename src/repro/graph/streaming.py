@@ -87,6 +87,24 @@ class StreamingGraph:
         self._snapshot_id += 1
         return changed
 
+    def seek(self, snapshot_id: int) -> None:
+        """Set the snapshot counter directly (O(1)).
+
+        Used when resuming a recovered session: the topology already *is*
+        snapshot ``snapshot_id`` (restored from a checkpoint plus WAL
+        replay), so the counter just needs to match it — without looping
+        ``commit_external`` millions of times on a production-scale stream.
+        Refuses to seek with updates still buffered: those belong to the
+        snapshot the counter currently points at.
+        """
+        if snapshot_id < 0:
+            raise ValueError(f"snapshot id must be non-negative, got {snapshot_id}")
+        if self._pending:
+            raise ValueError(
+                f"cannot seek with {len(self._pending)} updates still buffered"
+            )
+        self._snapshot_id = snapshot_id
+
     def commit_external(self) -> int:
         """Advance the snapshot id for a batch applied *by an engine*.
 

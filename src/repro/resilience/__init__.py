@@ -27,7 +27,14 @@ from repro.resilience.faults import CrashPoint, FlakySource, SimulatedCrash
 from repro.resilience.guard import DifferentialGuard, GuardReport
 from repro.resilience.pipeline import ResilientPipeline
 from repro.resilience.recovery import RecoveryManager, RecoveryResult
-from repro.resilience.wal import WalRecord, WalStats, WriteAheadLog, replay, verify
+from repro.resilience.wal import (
+    WalRecord,
+    WalStats,
+    WriteAheadLog,
+    repair_segment_tail,
+    replay,
+    verify,
+)
 
 __all__ = [
     "DeadLetter",
@@ -45,6 +52,7 @@ __all__ = [
     "WalRecord",
     "WalStats",
     "WriteAheadLog",
+    "repair_segment_tail",
     "replay",
     "verify",
 ]

@@ -28,7 +28,11 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar, Union
 
-from repro.errors import MalformedUpdateError, RetryExhaustedError
+from repro.errors import (
+    MalformedUpdateError,
+    RetryExhaustedError,
+    TransientStreamError,
+)
 from repro.graph.batch import EdgeUpdate, UpdateKind
 from repro.graph.streaming import StreamingGraph
 
@@ -226,7 +230,7 @@ def retry_with_backoff(
     retries: int = 3,
     base_delay: float = 0.05,
     multiplier: float = 2.0,
-    retry_on: Tuple[type, ...] = (Exception,),
+    retry_on: Tuple[type, ...] = (TransientStreamError, OSError),
     sleep: Callable[[float], None] = None,  # type: ignore[assignment]
     on_retry: Optional[Callable[[int, Exception], None]] = None,
 ) -> _T:
@@ -235,7 +239,9 @@ def retry_with_backoff(
     ``retries`` is the number of *re*-attempts after the first call (so the
     operation runs at most ``retries + 1`` times).  Exceptions not matching
     ``retry_on`` propagate immediately — only transient source failures
-    should be retried, never validation errors.  When the budget is spent,
+    should be retried, never validation errors, which is why the default is
+    the narrow ``(TransientStreamError, OSError)`` rather than
+    ``Exception``.  When the budget is spent,
     :class:`~repro.errors.RetryExhaustedError` chains the last failure.
     """
     if retries < 0:

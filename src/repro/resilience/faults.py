@@ -23,17 +23,24 @@ from __future__ import annotations
 import random
 from typing import Iterable, Iterator, Optional, Sequence
 
-from repro.errors import ReproError, WalError
+from repro.errors import ReproError, TransientStreamError, WalError
 from repro.graph.batch import UpdateBatch
 from repro.resilience import wal as wal_mod
+
+__all__ = [
+    "CrashPoint",
+    "FlakySource",
+    "SimulatedCrash",
+    "TransientStreamError",  # canonical home: repro.errors
+    "corrupt_record_byte",
+    "truncate_segment",
+    "with_duplicates",
+    "with_shuffled",
+]
 
 
 class SimulatedCrash(ReproError):
     """The fault injector killed the pipeline at a planned crash point."""
-
-
-class TransientStreamError(ReproError):
-    """A retryable source hiccup injected by :class:`FlakySource`."""
 
 
 class CrashPoint:

@@ -70,8 +70,7 @@ class ResilientPipeline:
         # topology application, the stream owns buffering and the snapshot
         # counter (advanced via commit_external)
         self.stream = StreamingGraph(engine.graph, batch_threshold=batch_threshold)
-        for _ in range(start_snapshot):
-            self.stream.commit_external()
+        self.stream.seek(start_snapshot)
         self.ingest_guard = IngestGuard(
             self.stream, policy=policy, deadletters=DeadLetterQueue()
         )

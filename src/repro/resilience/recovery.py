@@ -139,7 +139,7 @@ class RecoveryManager:
         # corrupt records were quarantined by the reader; surface them the
         # same way ingestion-time rejects are surfaced
         for note in stats.notes:
-            if "CRC mismatch" in note:
+            if ", skipped" in note:  # CRC mismatch or undecodable payload
                 result.deadletters.put(note, "wal-corrupt", position=-1)
                 self.counters.quarantined += 1
         self.counters.wal_torn_tails += stats.torn_tails

@@ -79,6 +79,57 @@ def list_segments(directory: str) -> List[str]:
     return [os.path.join(directory, n) for _, n in sorted(indexed)]
 
 
+def repair_segment_tail(path: str) -> int:
+    """Truncate ``path`` at the first torn record; returns bytes removed.
+
+    A crash mid-append leaves a prefix of the final record on disk.  If a
+    writer later appended *after* those torn bytes, replay would misframe at
+    the tear and every subsequent (fsynced, committed) record would be
+    unreadable — so :class:`WriteAheadLog` repairs the tail segment before
+    reusing it for appends.  Only broken *framing* is truncated (torn length
+    prefix, implausible length, short payload): a record whose framing is
+    intact but whose CRC or payload is bad stays in place, because replay can
+    skip it under the quarantine policy and records after it are still
+    readable.
+
+    A file shorter than the segment magic (crash during segment creation) is
+    reset to a valid empty segment.
+    """
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        magic = handle.read(len(_MAGIC))
+        if len(magic) < len(_MAGIC):
+            # crash while the segment header itself was being written
+            handle.seek(0)
+            handle.truncate(0)
+            handle.write(_MAGIC)
+            handle.flush()
+            os.fsync(handle.fileno())
+            return size
+        if magic != _MAGIC:
+            raise WalError(f"{path}: bad segment magic {magic!r}")
+        good_end = handle.tell()
+        while True:
+            head = handle.read(_LEN_CRC.size)
+            if not head:
+                break  # clean end of segment
+            if len(head) < _LEN_CRC.size:
+                break  # torn length prefix
+            length, _ = _LEN_CRC.unpack(head)
+            if length > MAX_RECORD_BYTES:
+                break  # framing destroyed
+            payload = handle.read(length)
+            if len(payload) < length:
+                break  # torn payload
+            good_end = handle.tell()
+        if good_end < size:
+            handle.truncate(good_end)
+            handle.flush()
+            os.fsync(handle.fileno())
+            return size - good_end
+    return 0
+
+
 def encode_payload(sequence: int, batch: UpdateBatch) -> bytes:
     """Serialise one batch into a WAL payload."""
     parts = [_PAYLOAD_HEAD.pack(sequence, len(batch))]
@@ -147,6 +198,11 @@ class WriteAheadLog:
     encoded record bytes and may return a truncated prefix to actually write
     (simulating a torn write) or raise to simulate a crash
     (:mod:`repro.resilience.faults`).
+
+    Opening a directory that already has segments reuses the last one for
+    appends — after repairing its tail (:func:`repair_segment_tail`), so a
+    post-crash resume never writes new records behind torn bytes that would
+    make them unreadable on the next replay.
     """
 
     def __init__(
@@ -173,6 +229,10 @@ class WriteAheadLog:
             else 1
         )
         self._open_path = existing[-1] if existing else None
+        #: bytes of torn tail truncated from the reused segment on open
+        self.tail_bytes_truncated = (
+            repair_segment_tail(self._open_path) if self._open_path else 0
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -262,6 +322,12 @@ def replay(
     for path in segments:
         with open(path, "rb") as handle:
             magic = handle.read(len(_MAGIC))
+            if len(magic) < len(_MAGIC):
+                # crash during segment creation: the header never committed
+                if stats is not None:
+                    stats.torn_tails += 1
+                    stats.notes.append(f"{path}@0: torn segment magic")
+                continue
             if magic != _MAGIC:
                 raise WalError(f"{path}: bad segment magic {magic!r}")
             while True:
@@ -301,7 +367,22 @@ def replay(
                         stats.corrupt_records += 1
                         stats.notes.append(f"{path}@{offset}: CRC mismatch, skipped")
                     continue
-                record = decode_payload(payload)
+                try:
+                    record = decode_payload(payload)
+                except WalError as exc:
+                    # CRC passed but the payload is structurally invalid
+                    # (e.g. all-zero bytes frame as length=0/crc=0 and
+                    # crc32(b"") == 0) — same policy as a CRC mismatch
+                    if on_corrupt == "raise":
+                        raise WalCorruptionError(
+                            f"{path}@{offset}: undecodable record: {exc}"
+                        ) from exc
+                    if stats is not None:
+                        stats.corrupt_records += 1
+                        stats.notes.append(
+                            f"{path}@{offset}: undecodable payload, skipped"
+                        )
+                    continue
                 record.segment = path
                 record.offset = offset
                 if stats is not None:

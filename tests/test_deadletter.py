@@ -212,6 +212,27 @@ class TestRetry:
                                retry_on=(TransientStreamError,))
         assert log == []
 
+    def test_default_retries_transient_errors_only(self):
+        """Review regression: the default retry_on was (Exception,), which
+        retried validation and programming errors too."""
+        source = FlakySource([GOOD], fail_at=[0])
+        log, sleep = self.sleeps()
+        assert retry_with_backoff(source.next_record, sleep=sleep) == GOOD
+        assert source.failures == 1
+
+    def test_default_does_not_retry_validation_errors(self):
+        calls = {"n": 0}
+
+        def bad():
+            calls["n"] += 1
+            raise MalformedUpdateError(("x",), "bad-shape")
+
+        log, sleep = self.sleeps()
+        with pytest.raises(MalformedUpdateError):
+            retry_with_backoff(bad, retries=5, sleep=sleep)
+        assert calls["n"] == 1  # no retry, immediate propagation
+        assert log == []
+
     def test_flaky_source_end_of_stream(self):
         source = FlakySource([GOOD], fail_at=[])
         assert source.next_record() == GOOD

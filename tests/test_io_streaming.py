@@ -80,6 +80,21 @@ class TestStreamingGraph:
         stream = StreamingGraph(DynamicGraph.from_edges(3, EDGES))
         assert stream.snapshot_csr().num_edges == 3
 
+    def test_seek_sets_snapshot_directly(self):
+        stream = StreamingGraph(DynamicGraph(4))
+        stream.seek(1_000_000)  # O(1), not a million commits
+        assert stream.snapshot_id == 1_000_000
+        stream.seek(0)
+        assert stream.snapshot_id == 0
+
+    def test_seek_rejects_negative_and_pending(self):
+        stream = StreamingGraph(DynamicGraph(4))
+        with pytest.raises(ValueError, match="non-negative"):
+            stream.seek(-1)
+        stream.ingest(add(0, 1))
+        with pytest.raises(ValueError, match="buffered"):
+            stream.seek(5)
+
 
 class TestStreamReplay:
     def test_replay_isolation(self):

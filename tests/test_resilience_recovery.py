@@ -112,6 +112,43 @@ class TestCrashRecovery:
         assert stats.last_sequence == NUM_BATCHES
         assert stats.records == NUM_BATCHES
 
+    def test_torn_crash_resume_stream_recover_again(self, tmp_path):
+        """Review regression: tear mid-append at record 5, resume, stream
+        the remaining batches — a second recovery must see every
+        post-resume record (they used to land behind the torn bytes and
+        misframe on the next replay)."""
+        graph, batches = make_scenario()
+        _, ref_answers = straight_through(graph, batches)
+        directory = str(tmp_path / "state")
+
+        crash = faults.CrashPoint(after_records=4, tear=True)
+        pipeline = ResilientPipeline.open(
+            directory, graph.copy(), ALG, QUERY,
+            checkpoint_every=2, wal_sync=False, write_hook=crash,
+        )
+        with pytest.raises(WalError, match="torn write"):
+            for batch in batches:
+                pipeline.run_batch(batch)
+        pipeline.wal.close()
+
+        resumed = ResilientPipeline.resume(
+            directory, wal_sync=False, checkpoint_every=100
+        )
+        assert resumed.snapshot_id == 4
+        assert resumed.wal.tail_bytes_truncated > 0
+        for batch in batches[4:]:
+            resumed.run_batch(batch)
+        resumed.wal.close()  # crash again before any further checkpoint
+
+        recovered = RecoveryManager(directory).recover()
+        assert recovered.snapshot_id == NUM_BATCHES
+        assert recovered.answer == ref_answers[-1]
+        from repro.resilience.wal import verify
+
+        stats = verify(state_paths(directory)[1])
+        assert stats.records == NUM_BATCHES
+        assert stats.clean
+
     def test_corrupted_record_quarantined_and_converges(self, tmp_path):
         """A CRC-corrupt WAL record is quarantined (dead-letter counter up)
         and the recovered engine still converges to cold-start truth."""
@@ -303,6 +340,30 @@ class TestCheckpointV2:
             handle.write(b"zip? never heard of it")
         with pytest.raises(CheckpointError, match="corrupt|not an npz"):
             checkpoint_info(path)
+
+    def test_crash_mid_checkpoint_keeps_previous_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """Review regression: checkpoints are overwritten in place, so a
+        torn write used to destroy the only recovery base.  The write must
+        be temp-file + rename: a crash mid-write leaves the old file."""
+        graph, batches = make_scenario()
+        engine = CISGraphEngine(graph.copy(), ALG, QUERY)
+        engine.initialize()
+        path = str(tmp_path / "checkpoint.npz")
+        save_checkpoint(path, engine, snapshot_id=0)
+
+        def torn_write(handle, **arrays):
+            handle.write(b"PK\x03\x04 half a zip archive")
+            raise faults.SimulatedCrash("killed mid-checkpoint")
+
+        monkeypatch.setattr("repro.checkpoint.np.savez_compressed", torn_write)
+        engine.on_batch(batches[0])
+        with pytest.raises(faults.SimulatedCrash):
+            save_checkpoint(path, engine, snapshot_id=1)
+
+        assert checkpoint_info(path).snapshot_id == 0  # old base intact
+        assert not os.path.exists(path + ".tmp")
 
     def test_no_leaked_file_handle(self, tmp_path):
         import gc

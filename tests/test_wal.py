@@ -166,6 +166,110 @@ class TestDamage:
         assert module["main"]([str(tmp_path / "missing")]) == 2
 
 
+class TestReopenRepair:
+    """Reopening for appends must repair the tail first (review regression:
+    appending behind torn bytes made all post-resume records unreadable)."""
+
+    def test_reopen_after_torn_crash_preserves_new_appends(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        hook = faults.CrashPoint(after_records=2, tear=True)
+        wal = WriteAheadLog(directory, sync=False, write_hook=hook)
+        with pytest.raises(WalError, match="torn write"):
+            fill(wal, 5)
+        wal.close()
+
+        with WriteAheadLog(directory, sync=False) as wal:
+            assert wal.tail_bytes_truncated > 0
+            fill(wal, 3, start_seq=3)
+        stats = WalStats()
+        records = list(replay(directory, stats=stats))
+        assert [r.sequence for r in records] == [1, 2, 3, 4, 5]
+        assert stats.clean  # the tear was repaired away, not just skipped
+
+    def test_reopen_after_truncated_tail(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        with WriteAheadLog(directory, sync=False) as wal:
+            fill(wal, 4)
+        faults.truncate_segment(directory, drop_bytes=5)
+        with WriteAheadLog(directory, sync=False) as wal:
+            assert wal.tail_bytes_truncated > 0
+            fill(wal, 2, start_seq=4)
+        assert [r.sequence for r in replay(directory)] == [1, 2, 3, 4, 5]
+        assert verify(directory).clean
+
+    def test_reopen_of_clean_log_truncates_nothing(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        with WriteAheadLog(directory, sync=False) as wal:
+            fill(wal, 3)
+        size = os.path.getsize(list_segments(directory)[-1])
+        with WriteAheadLog(directory, sync=False) as wal:
+            assert wal.tail_bytes_truncated == 0
+        assert os.path.getsize(list_segments(directory)[-1]) == size
+
+    def test_reopen_keeps_crc_corrupt_record_for_quarantine(self, tmp_path):
+        """Framing-intact corruption is the quarantine policy's job — the
+        tail repair must not destroy committed records behind it."""
+        directory = str(tmp_path / "wal")
+        with WriteAheadLog(directory, sync=False) as wal:
+            fill(wal, 4)
+        faults.corrupt_record_byte(directory, record_index=1)
+        with WriteAheadLog(directory, sync=False) as wal:
+            assert wal.tail_bytes_truncated == 0
+            fill(wal, 1, start_seq=5)
+        stats = WalStats()
+        records = list(replay(directory, on_corrupt="quarantine", stats=stats))
+        assert [r.sequence for r in records] == [1, 3, 4, 5]
+        assert stats.corrupt_records == 1
+
+    def test_reopen_segment_with_torn_magic(self, tmp_path):
+        """A crash during segment creation leaves a short header; reopen
+        resets it to a valid empty segment and appends work."""
+        directory = str(tmp_path / "wal")
+        os.makedirs(directory)
+        stub = os.path.join(directory, "wal-00000001.seg")
+        with open(stub, "wb") as handle:
+            handle.write(b"CIS")  # first bytes of the magic, then crash
+        assert verify(directory).torn_tails == 1  # and verify never raises
+        with WriteAheadLog(directory, sync=False) as wal:
+            fill(wal, 2)
+        assert [r.sequence for r in replay(directory)] == [1, 2]
+
+
+class TestUndecodablePayload:
+    """CRC-valid but structurally invalid records follow the on_corrupt
+    policy (review regression: they raised even under quarantine)."""
+
+    def zero_filled(self, tmp_path) -> str:
+        directory = str(tmp_path / "wal")
+        with WriteAheadLog(directory, sync=False) as wal:
+            fill(wal, 2)
+        # 8 zero bytes frame as a length-0/CRC-0 record and crc32(b"") == 0,
+        # so the CRC check passes while decode_payload must reject it
+        with open(list_segments(directory)[-1], "ab") as handle:
+            handle.write(b"\x00" * 8)
+        return directory
+
+    def test_quarantine_skips_and_counts(self, tmp_path):
+        directory = self.zero_filled(tmp_path)
+        stats = WalStats()
+        records = list(replay(directory, on_corrupt="quarantine", stats=stats))
+        assert [r.sequence for r in records] == [1, 2]
+        assert stats.corrupt_records == 1
+
+    def test_verify_never_raises(self, tmp_path):
+        directory = self.zero_filled(tmp_path)
+        stats = verify(directory)
+        assert stats.records == 2
+        assert not stats.clean
+
+    def test_raise_policy_raises_typed(self, tmp_path):
+        from repro.errors import WalCorruptionError
+
+        directory = self.zero_filled(tmp_path)
+        with pytest.raises(WalCorruptionError, match="undecodable"):
+            list(replay(directory, on_corrupt="raise"))
+
+
 class TestWriteHook:
     def test_clean_crash_leaves_clean_tail(self, tmp_path):
         directory = str(tmp_path / "wal")
