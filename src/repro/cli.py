@@ -26,11 +26,20 @@ Commands
 ``wal-verify``
     Scan a write-ahead-log directory and report integrity statistics
     (records, torn tails, corrupt records); exits non-zero on damage.
+``telemetry``
+    Summarize, dump or export a telemetry directory written by a
+    ``--telemetry PATH`` run (events.jsonl + metrics.json + metrics.prom).
+
+``query`` and ``experiment`` accept ``--telemetry PATH``: the run executes
+with the unified observability layer (:mod:`repro.obs`) enabled and exports
+the JSONL event log, the metrics snapshot and a Prometheus text file into
+``PATH``.  Without the flag, telemetry is fully disabled (zero overhead).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from typing import List, Optional, Sequence
@@ -79,6 +88,29 @@ def _engine_factory(name: str):
     }[name]
 
 
+@contextlib.contextmanager
+def _telemetry_session(path: Optional[str]):
+    """Enable the observability layer for the body and export on exit.
+
+    With ``path`` unset this is a no-op yielding None — engines then skip
+    every instrumentation branch, preserving the zero-overhead default.
+    """
+    if not path:
+        yield None
+        return
+    from repro.obs import Telemetry, use_telemetry
+
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        yield telemetry
+    paths = telemetry.export_dir(path)
+    print(
+        f"telemetry: {len(telemetry.events)} events "
+        f"({telemetry.events.dropped} dropped) -> {paths['events']}, "
+        f"{paths['metrics']}, {paths['prometheus']}"
+    )
+
+
 # ----------------------------------------------------------------------
 # commands
 # ----------------------------------------------------------------------
@@ -120,22 +152,23 @@ def cmd_query(args: argparse.Namespace) -> int:
         query = PairwiseQuery(args.source, args.destination)
 
     factory = _engine_factory(args.engine)
-    engine = factory(
-        workload.replay.initial_graph, get_algorithm(args.algorithm), query
-    )
-    answer = engine.initialize()
-    print(f"{engine.name} on {spec.name}: {query} initial answer = {answer:g}")
-    for step in workload.replay.batches():
-        result = engine.on_batch(step.batch)
-        line = (
-            f"batch {step.snapshot_id}: answer={result.answer:g} "
-            f"relaxations={result.total_ops.relaxations}"
+    with _telemetry_session(args.telemetry):
+        engine = factory(
+            workload.replay.initial_graph, get_algorithm(args.algorithm), query
         )
-        if "useless_fraction" in result.stats:
-            line += f" useless={100 * result.stats['useless_fraction']:.0f}%"
-        if "response_cycles" in result.stats:
-            line += f" response_cycles={int(result.stats['response_cycles'])}"
-        print(line)
+        answer = engine.initialize()
+        print(f"{engine.name} on {spec.name}: {query} initial answer = {answer:g}")
+        for step in workload.replay.batches():
+            result = engine.on_batch(step.batch)
+            line = (
+                f"batch {step.snapshot_id}: answer={result.answer:g} "
+                f"relaxations={result.total_ops.relaxations}"
+            )
+            if "useless_fraction" in result.stats:
+                line += f" useless={100 * result.stats['useless_fraction']:.0f}%"
+            if "response_cycles" in result.stats:
+                line += f" response_cycles={int(result.stats['response_cycles'])}"
+            print(line)
     return 0
 
 
@@ -163,51 +196,52 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     workload = make_workload(spec, num_batches=args.batches, seed=args.seed)
     queries = pick_query_pairs(workload.initial, count=args.pairs, seed=args.seed)
 
-    if name == "fig2":
-        result = experiments.run_fig2(workload, args.algorithm, queries)
-        print(f"Figure 2 on {spec.abbreviation} / {args.algorithm}:")
-        print(f"  useless updates (identification): "
-              f"{format_fraction(result.state_useless_fraction)}")
-        print(f"  useless updates (query truth):     "
-              f"{format_fraction(result.useless_update_fraction)}")
-        print(f"  redundant computations:            "
-              f"{format_fraction(result.redundant_computation_fraction)}")
-        print(f"  wasteful time:                     "
-              f"{format_fraction(result.wasteful_time_fraction)}")
-        return 0
-    if name == "fig5a":
-        result = experiments.run_fig5a(workload, args.algorithm, queries)
-        print(
-            f"Figure 5a on {spec.abbreviation} / {args.algorithm}: "
-            f"CS={result.cs_computations} CISGraph={result.cisgraph_computations} "
-            f"normalised={result.normalized:.4f}"
-        )
-        return 0
-    if name == "fig5b":
-        result = experiments.run_fig5b(workload, args.algorithm, queries)
-        print(
-            f"Figure 5b on {spec.abbreviation} / {args.algorithm}: "
-            f"additions activated {result.addition_activations}, deletions "
-            f"{result.deletion_activations} "
-            f"(add/del = {result.additions_over_deletions:.2f})"
-        )
-        return 0
-    if name == "table4":
-        algorithms = (
-            [args.algorithm] if args.algorithm != "all" else list_algorithms()
-        )
-        cells = [
-            experiments.run_speedup_experiment(workload, alg, queries)
-            for alg in algorithms
-        ]
-        rows = experiments.table4_gmean_rows(cells)
-        print(format_dict_table(
-            rows,
-            columns=["algorithm", "engine", spec.abbreviation, "gmean"],
-            formatters={spec.abbreviation: format_speedup, "gmean": format_speedup},
-            title=f"Table IV (dataset {spec.abbreviation}, {args.pairs} pairs)",
-        ))
-        return 0
+    with _telemetry_session(args.telemetry):
+        if name == "fig2":
+            result = experiments.run_fig2(workload, args.algorithm, queries)
+            print(f"Figure 2 on {spec.abbreviation} / {args.algorithm}:")
+            print(f"  useless updates (identification): "
+                  f"{format_fraction(result.state_useless_fraction)}")
+            print(f"  useless updates (query truth):     "
+                  f"{format_fraction(result.useless_update_fraction)}")
+            print(f"  redundant computations:            "
+                  f"{format_fraction(result.redundant_computation_fraction)}")
+            print(f"  wasteful time:                     "
+                  f"{format_fraction(result.wasteful_time_fraction)}")
+            return 0
+        if name == "fig5a":
+            result = experiments.run_fig5a(workload, args.algorithm, queries)
+            print(
+                f"Figure 5a on {spec.abbreviation} / {args.algorithm}: "
+                f"CS={result.cs_computations} CISGraph={result.cisgraph_computations} "
+                f"normalised={result.normalized:.4f}"
+            )
+            return 0
+        if name == "fig5b":
+            result = experiments.run_fig5b(workload, args.algorithm, queries)
+            print(
+                f"Figure 5b on {spec.abbreviation} / {args.algorithm}: "
+                f"additions activated {result.addition_activations}, deletions "
+                f"{result.deletion_activations} "
+                f"(add/del = {result.additions_over_deletions:.2f})"
+            )
+            return 0
+        if name == "table4":
+            algorithms = (
+                [args.algorithm] if args.algorithm != "all" else list_algorithms()
+            )
+            cells = [
+                experiments.run_speedup_experiment(workload, alg, queries)
+                for alg in algorithms
+            ]
+            rows = experiments.table4_gmean_rows(cells)
+            print(format_dict_table(
+                rows,
+                columns=["algorithm", "engine", spec.abbreviation, "gmean"],
+                formatters={spec.abbreviation: format_speedup, "gmean": format_speedup},
+                title=f"Table IV (dataset {spec.abbreviation}, {args.pairs} pairs)",
+            ))
+            return 0
     print(f"unknown experiment {name!r}", file=sys.stderr)
     return 2
 
@@ -346,6 +380,53 @@ def cmd_wal_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Summarize, dump or export a previously written telemetry directory."""
+    from repro.obs.events import load_jsonl
+    from repro.obs.summary import (
+        resolve_events_path,
+        resolve_metrics_path,
+        summarize_path,
+    )
+    from repro.obs.telemetry import PROMETHEUS_FILENAME
+
+    if args.action == "summarize":
+        print(summarize_path(args.path))
+        return 0
+    if args.action == "dump":
+        events_path = resolve_events_path(args.path)
+        if not os.path.exists(events_path):
+            print(f"error: no event log at {events_path}", file=sys.stderr)
+            return 1
+        events = load_jsonl(events_path)
+        shown = events if args.limit <= 0 else events[: args.limit]
+        for event in shown:
+            fields = " ".join(f"{k}={v}" for k, v in sorted(event.fields.items()))
+            print(f"{event.ts:.6f} {event.kind:<6} {event.name:<24} {fields}")
+        remaining = len(events) - len(shown)
+        if remaining > 0:
+            print(f"... {remaining} more events (raise --limit)")
+        return 0
+    if args.action == "export":
+        if args.format == "prom":
+            target = (
+                os.path.join(args.path, PROMETHEUS_FILENAME)
+                if os.path.isdir(args.path)
+                else args.path
+            )
+        else:
+            target = resolve_metrics_path(args.path)
+        if target is None or not os.path.exists(target):
+            print(f"error: no {args.format} export found under {args.path}",
+                  file=sys.stderr)
+            return 1
+        with open(target) as handle:
+            sys.stdout.write(handle.read())
+        return 0
+    print(f"unknown telemetry action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -367,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--destination", type=int, default=None)
     query.add_argument("--batches", type=int, default=2)
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="write events.jsonl/metrics.json/metrics.prom into PATH",
+    )
     query.set_defaults(func=cmd_query)
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -379,6 +466,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--pairs", type=int, default=3)
     experiment.add_argument("--batches", type=int, default=1)
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="write events.jsonl/metrics.json/metrics.prom into PATH",
+    )
     experiment.set_defaults(func=cmd_experiment)
 
     validate = sub.add_parser("validate", help="differential engine check")
@@ -431,6 +524,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     wal_verify.add_argument("directory", help="WAL directory (of wal-*.seg files)")
     wal_verify.set_defaults(func=cmd_wal_verify)
+
+    telemetry = sub.add_parser(
+        "telemetry", help="inspect a telemetry directory from a --telemetry run"
+    )
+    telemetry.add_argument("action", choices=["summarize", "dump", "export"])
+    telemetry.add_argument("path", help="telemetry directory (or events.jsonl file)")
+    telemetry.add_argument(
+        "--limit", type=int, default=0, help="dump: max events to print (0 = all)"
+    )
+    telemetry.add_argument(
+        "--format", choices=["json", "prom"], default="prom",
+        help="export: which artifact to print",
+    )
+    telemetry.set_defaults(func=cmd_telemetry)
 
     return parser
 

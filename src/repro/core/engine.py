@@ -20,6 +20,7 @@ machinery — the paper's headline computation reduction.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Optional, Set
 
 from repro.algorithms.base import MonotonicAlgorithm
@@ -36,6 +37,13 @@ from repro.graph.dynamic import DynamicGraph
 from repro.incremental import IncrementalState
 from repro.metrics import BatchResult, OpCounts
 from repro.query import PairwiseQuery
+
+
+def _maybe_span(telemetry, name: str, **attributes):
+    """A real span when telemetry is attached, a no-op context otherwise."""
+    if telemetry is None:
+        return nullcontext()
+    return telemetry.span(name, **attributes)
 
 
 class CISGraphEngine(PairwiseEngine):
@@ -90,48 +98,63 @@ class CISGraphEngine(PairwiseEngine):
             graph.apply_update(upd, missing_ok=False)
 
         # 2. classification against the previous converged states.
-        classified = classify_batch(
-            self.algorithm,
-            self.state.states,
-            self.state.parents,
-            self.keypath,
-            effective,
-            rule=self.rule,
-        )
+        telemetry = self.telemetry
+        with _maybe_span(telemetry, "engine.classify", engine=self.name) as span:
+            classified = classify_batch(
+                self.algorithm,
+                self.state.states,
+                self.state.parents,
+                self.keypath,
+                effective,
+                rule=self.rule,
+            )
+            if telemetry is not None:
+                span.set(
+                    valuable=classified.num_valuable,
+                    delayed=classified.num_delayed,
+                    useless=classified.num_useless,
+                )
         self.last_classified = classified
         response += classified.ops
 
         # 3a. valuable additions (the paper finishes all of them first).
         activated_add: Set[int] = set()
-        for upd in classified.valuable_additions:
-            self.state.process_addition(
-                upd.u, upd.v, upd.weight, response, activated=activated_add
-            )
-            response.updates_processed += 1
-        self.keypath.rebuild(self.state.parents)
+        with _maybe_span(
+            telemetry, "engine.propagate", engine=self.name, phase="additions"
+        ):
+            for upd in classified.valuable_additions:
+                self.state.process_addition(
+                    upd.u, upd.v, upd.weight, response, activated=activated_add
+                )
+                response.updates_processed += 1
+            self.keypath.rebuild(self.state.parents)
 
         # 3b. deletion phase through the priority buffer.
-        scheduler = UpdateScheduler()
-        for upd in classified.nondelayed_deletions:
-            scheduler.push_valuable(upd)
-        scheduler.extend_delayed(classified.delayed_deletions)
+        with _maybe_span(telemetry, "engine.schedule", engine=self.name):
+            scheduler = UpdateScheduler()
+            for upd in classified.nondelayed_deletions:
+                scheduler.push_valuable(upd)
+            scheduler.extend_delayed(classified.delayed_deletions)
 
         activated_del: Set[int] = set()
         activated_del_response: Set[int] = set()
-        while True:
-            while not scheduler.answer_ready:
-                item = scheduler.pop()
-                assert item is not None
-                self._process_deletion(
-                    item.update, response, activated_del_response
-                )
-                response.updates_processed += 1
-            # Repairs may have rerouted the key path through a deletion we
-            # originally delayed; promote and keep going until stable so the
-            # early answer is safe.
-            promoted = scheduler.promote_delayed(self._must_promote)
-            if promoted == 0:
-                break
+        with _maybe_span(
+            telemetry, "engine.propagate", engine=self.name, phase="deletions"
+        ):
+            while True:
+                while not scheduler.answer_ready:
+                    item = scheduler.pop()
+                    assert item is not None
+                    self._process_deletion(
+                        item.update, response, activated_del_response
+                    )
+                    response.updates_processed += 1
+                # Repairs may have rerouted the key path through a deletion we
+                # originally delayed; promote and keep going until stable so
+                # the early answer is safe.
+                promoted = scheduler.promote_delayed(self._must_promote)
+                if promoted == 0:
+                    break
 
         # 4. the response window closes: the answer is final for this
         #    snapshot (remaining delayed repairs cannot touch the key path).
@@ -140,10 +163,11 @@ class CISGraphEngine(PairwiseEngine):
 
         # 5. drain delayed deletions in the background (post work), restoring
         #    full convergence for the next batch's classification.
-        for item in scheduler.drain():
-            self._process_deletion(item.update, post, activated_del)
-            post.updates_processed += 1
-        self.keypath.rebuild(self.state.parents)
+        with _maybe_span(telemetry, "engine.drain", engine=self.name):
+            for item in scheduler.drain():
+                self._process_deletion(item.update, post, activated_del)
+                post.updates_processed += 1
+            self.keypath.rebuild(self.state.parents)
 
         self.last_activated_add = activated_add
         self.last_activated_del = activated_del

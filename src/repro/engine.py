@@ -18,6 +18,8 @@ from repro.algorithms.base import MonotonicAlgorithm
 from repro.graph.batch import UpdateBatch
 from repro.graph.dynamic import DynamicGraph
 from repro.metrics import BatchResult, OpCounts
+from repro.obs.bridge import record_batch_result, record_op_counts
+from repro.obs.telemetry import Telemetry, get_global_telemetry
 from repro.query import PairwiseQuery
 
 
@@ -39,13 +41,24 @@ class PairwiseEngine(abc.ABC):
         self.query = query
         self.init_ops = OpCounts()
         self._initialized = False
+        #: unified telemetry sink (repro.obs); engines pick up the ambient
+        #: process default at construction — None means fully disabled, and
+        #: every instrumentation branch reduces to one ``is None`` test
+        self.telemetry: Optional[Telemetry] = get_global_telemetry()
+        self._batches_seen = 0
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def initialize(self) -> float:
         """Full computation on the initial snapshot; returns the answer."""
-        self._do_initialize()
+        telemetry = self.telemetry
+        if telemetry is None:
+            self._do_initialize()
+        else:
+            with telemetry.span("engine.init", engine=self.name):
+                self._do_initialize()
+            record_op_counts(telemetry.registry, self.init_ops, self.name, "init")
         self._initialized = True
         return self.answer
 
@@ -54,10 +67,28 @@ class PairwiseEngine(abc.ABC):
         """Engine-specific full computation over ``self.graph``."""
 
     def on_batch(self, batch: UpdateBatch) -> BatchResult:
-        """Apply one update batch and converge the query answer."""
+        """Apply one update batch and converge the query answer.
+
+        With telemetry attached, the whole batch runs inside an
+        ``engine.batch`` span and the resulting :class:`BatchResult` is
+        bridged into the registry (``engine_ops_total``,
+        ``engine_batch_seconds``, classification and activation tallies).
+        """
         if not self._initialized:
             raise RuntimeError(f"{self.name}: initialize() must run before on_batch()")
-        return self._do_batch(batch)
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._do_batch(batch)
+        self._batches_seen += 1
+        with telemetry.span(
+            "engine.batch",
+            engine=self.name,
+            batch=self._batches_seen,
+            updates=len(batch),
+        ) as span:
+            result = self._do_batch(batch)
+        record_batch_result(telemetry.registry, self.name, result, span.duration)
+        return result
 
     @abc.abstractmethod
     def _do_batch(self, batch: UpdateBatch) -> BatchResult:

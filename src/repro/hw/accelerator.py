@@ -48,6 +48,7 @@ from repro.hw.prefetcher import (
 )
 from repro.hw.sim import ReadyQueue, Resource
 from repro.hw.trace import TraceRecorder
+from repro.obs.bridge import record_hw_stats, record_trace_recorder
 from repro.hw.spm import ScratchpadMemory, SpmStats
 from repro.metrics import BatchResult, OpCounts
 from repro.query import PairwiseQuery
@@ -228,6 +229,13 @@ class CISGraphAccelerator(PairwiseEngine):
             stats.neighbor_prefetch.bytes_requested += nf.stats.bytes_requested
             stats.neighbor_prefetch.stall_cycles += nf.stats.stall_cycles
         self.last_stats = stats
+
+        if self.telemetry is not None:
+            # same registry/format as the software engines, so a simulated
+            # run and a software run are comparable in one export
+            record_hw_stats(self.telemetry.registry, stats)
+            if self.tracer is not None:
+                record_trace_recorder(self.telemetry.registry, self.tracer)
 
         result_stats = dict(stats.classification)
         result_stats.update(

@@ -12,8 +12,11 @@ per accelerator with ``CISGraphAccelerator(..., trace=True)``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.events import TelemetryDropWarning
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,15 @@ class TraceRecorder:
         self, cycle: int, phase: str, unit: int, action: str, vertex: int
     ) -> None:
         if len(self._records) >= self.capacity:
+            if self.dropped == 0:
+                # silent trace loss hides exactly the tail a debugging
+                # session is usually after — warn once, then count
+                warnings.warn(
+                    f"TraceRecorder full ({self.capacity} records): further "
+                    "records are dropped (see the 'dropped' counter)",
+                    TelemetryDropWarning,
+                    stacklevel=2,
+                )
             self.dropped += 1
             return
         self._records.append(TraceRecord(cycle, phase, unit, action, vertex))

@@ -1,0 +1,58 @@
+"""Unified observability layer: metrics, spans, events, exports.
+
+``repro.obs`` is the one instrumentation vocabulary shared by the software
+engines, the resilience pipeline and the accelerator simulator:
+
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms in
+  a labelled :class:`MetricsRegistry` with snapshot/diff and Prometheus
+  text exposition;
+* :mod:`repro.obs.spans` — nested :class:`Span` timing (context manager or
+  decorator) feeding per-name latency histograms;
+* :mod:`repro.obs.events` — the bounded :class:`EventLog` with JSONL
+  export/import;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade bundling the
+  three, plus the opt-in process-wide default used by the CLI;
+* :mod:`repro.obs.bridge` — translators from the pre-existing counters
+  (``OpCounts``, ``ResilienceCounters``, ``HwBatchStats``,
+  ``TraceRecorder``) into registry metrics.
+
+See docs/observability.md for the metric catalog and span taxonomy.
+"""
+
+from repro.obs.events import Event, EventLog, TelemetryDropWarning, load_jsonl
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.spans import Span, SpanTracer
+from repro.obs.telemetry import (
+    Telemetry,
+    get_global_telemetry,
+    set_global_telemetry,
+    use_telemetry,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "TelemetryDropWarning",
+    "get_global_telemetry",
+    "load_jsonl",
+    "set_global_telemetry",
+    "use_telemetry",
+]

@@ -1,0 +1,133 @@
+"""Bridges from the existing instrumentation into the metrics registry.
+
+The repo already counts things in three dialects — :class:`repro.metrics.OpCounts`
+on the software engines, :class:`repro.metrics.ResilienceCounters` in the
+fault-tolerance layer, and ``HwBatchStats``/:class:`repro.hw.trace.TraceRecorder`
+in the simulator.  These functions translate each into registry metrics
+under one naming scheme (see docs/observability.md for the catalog), so a
+software run and a simulated run export in the same format.
+
+Everything is duck-typed on ``as_dict()``/attributes so this module keeps
+:mod:`repro.obs` free of imports from the rest of the package.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
+
+#: classification tallies copied from ``BatchResult.stats`` into counters
+CLASSIFICATION_KEYS = (
+    "valuable_additions",
+    "nondelayed_deletions",
+    "delayed_deletions",
+    "useless",
+)
+
+#: activation tallies copied from ``BatchResult.stats`` into counters
+ACTIVATION_KEYS = (
+    "activated_by_additions",
+    "activated_by_deletions",
+    "activated_by_deletions_response",
+)
+
+
+def record_op_counts(
+    registry: MetricsRegistry, ops, engine: str, phase: str
+) -> None:
+    """``OpCounts`` -> ``engine_ops_total{engine,phase,op}`` counters."""
+    for op, value in ops.as_dict().items():
+        if value:
+            registry.counter(
+                "engine_ops_total", {"engine": engine, "phase": phase, "op": op}
+            ).inc(value)
+
+
+def record_batch_result(
+    registry: MetricsRegistry,
+    engine: str,
+    result,
+    duration: Optional[float] = None,
+) -> None:
+    """One ``BatchResult`` -> batch counters, tallies and latency.
+
+    ``duration`` is the wall-clock seconds of ``on_batch`` (observed into
+    ``engine_batch_seconds``); per-op work lands in ``engine_ops_total``
+    split by response/post phase so registry totals reconcile exactly with
+    ``BatchResult.total_ops``.
+    """
+    registry.counter("engine_batches_total", {"engine": engine}).inc()
+    record_op_counts(registry, result.response_ops, engine, "response")
+    record_op_counts(registry, result.post_ops, engine, "post")
+    if duration is not None:
+        registry.histogram("engine_batch_seconds", {"engine": engine}).observe(duration)
+    stats: Mapping[str, float] = result.stats
+    for key in CLASSIFICATION_KEYS:
+        if key in stats:
+            registry.counter(
+                "engine_classified_total", {"engine": engine, "class": key}
+            ).inc(stats[key])
+    for key in ACTIVATION_KEYS:
+        if key in stats:
+            registry.counter(
+                "engine_activations_total", {"engine": engine, "kind": key}
+            ).inc(stats[key])
+    registry.histogram(
+        "engine_batch_relaxations",
+        {"engine": engine},
+        buckets=DEFAULT_COUNT_BUCKETS,
+    ).observe(result.total_ops.relaxations)
+
+
+def record_resilience_counters(registry: MetricsRegistry, counters) -> None:
+    """``ResilienceCounters`` -> ``resilience_*`` gauges (cumulative levels).
+
+    The source counters are cumulative already, so they map onto gauges
+    set to the current level — calling this after every batch keeps the
+    registry view consistent without double counting.
+    """
+    for name, value in counters.as_dict().items():
+        registry.gauge(f"resilience_{name}").set(value)
+
+
+def record_deadletters(registry: MetricsRegistry, deadletters) -> None:
+    """``DeadLetterQueue`` -> per-reason quarantine gauges."""
+    registry.gauge("deadletter_queued").set(len(deadletters))
+    for reason, count in deadletters.summary().items():
+        registry.gauge("deadletter_by_reason", {"reason": reason}).set(count)
+
+
+def record_hw_stats(registry: MetricsRegistry, stats) -> None:
+    """``HwBatchStats`` -> ``hw_*`` cycle counters and occupancy gauges."""
+    for attr in ("identify_cycles", "response_cycles", "total_cycles"):
+        registry.counter("hw_cycles_total", {"window": attr.replace("_cycles", "")}).inc(
+            getattr(stats, attr)
+        )
+        registry.histogram(
+            "hw_batch_cycles",
+            {"window": attr.replace("_cycles", "")},
+            buckets=DEFAULT_COUNT_BUCKETS,
+        ).observe(getattr(stats, attr))
+    for attr in ("relaxations", "activations", "repairs", "promoted"):
+        registry.counter("hw_work_total", {"kind": attr}).inc(getattr(stats, attr))
+    registry.gauge("hw_buffer_peak").set(stats.buffer_peak)
+    registry.gauge("hw_spm_hit_rate").set(stats.spm.hit_rate)
+    registry.gauge("hw_dram_row_hit_rate").set(stats.dram.row_hit_rate)
+    for name, prefetch in (
+        ("state", stats.state_prefetch),
+        ("neighbor", stats.neighbor_prefetch),
+    ):
+        labels = {"prefetcher": name}
+        registry.counter("hw_prefetch_requests_total", labels).inc(prefetch.requests)
+        registry.counter("hw_prefetch_bytes_total", labels).inc(prefetch.bytes_requested)
+        registry.counter("hw_prefetch_stall_cycles_total", labels).inc(
+            prefetch.stall_cycles
+        )
+
+
+def record_trace_recorder(registry: MetricsRegistry, tracer) -> None:
+    """``TraceRecorder`` occupancy -> gauges (incl. the ``dropped`` count)."""
+    registry.gauge("hw_trace_records").set(len(tracer))
+    registry.gauge("hw_trace_dropped").set(tracer.dropped)
+    registry.gauge("hw_trace_capacity").set(tracer.capacity)

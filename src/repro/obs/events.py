@@ -1,0 +1,118 @@
+"""Bounded in-process event log with JSONL export.
+
+Spans, point events and operational markers all land here as
+:class:`Event` records.  The log is bounded (telemetry must never OOM the
+process it observes): past ``capacity`` new events are dropped, counted in
+:attr:`EventLog.dropped`, and the *first* drop emits a one-time
+:class:`TelemetryDropWarning` — silent loss is the one failure mode an
+observability layer may not have.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class TelemetryDropWarning(UserWarning):
+    """Raised (as a warning) the first time a bounded telemetry buffer drops."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One telemetry record.
+
+    ``ts`` is a monotonic-clock timestamp in seconds (comparable within a
+    process, not across processes); ``kind`` partitions the namespace
+    (``span`` | ``point``); ``fields`` is a flat JSON-serialisable payload.
+    """
+
+    ts: float
+    kind: str
+    name: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"ts": self.ts, "kind": self.kind, "name": self.name, **self.fields}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Event":
+        payload = dict(data)
+        ts = float(payload.pop("ts"))
+        kind = str(payload.pop("kind"))
+        name = str(payload.pop("name"))
+        return cls(ts=ts, kind=kind, name=name, fields=payload)
+
+
+class EventLog:
+    """Append-only bounded event buffer."""
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: List[Event] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def append(self, event: Event) -> None:
+        if len(self._events) >= self.capacity:
+            if self.dropped == 0:
+                warnings.warn(
+                    f"EventLog full ({self.capacity} events): telemetry "
+                    "events are being dropped from here on",
+                    TelemetryDropWarning,
+                    stacklevel=2,
+                )
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    def emit(self, kind: str, name: str, ts: float, **fields: object) -> None:
+        self.append(Event(ts=ts, kind=kind, name=name, fields=fields))
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def events(
+        self, kind: Optional[str] = None, name: Optional[str] = None
+    ) -> List[Event]:
+        """Filtered view of the log."""
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if name is not None and event.name != name:
+                continue
+            out.append(event)
+        return out
+
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON object per line; returns the number of lines."""
+        with open(path, "w") as handle:
+            for event in self._events:
+                handle.write(json.dumps(event.as_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(self._events)
+
+
+def load_jsonl(path: str) -> List[Event]:
+    """Read an event log written by :meth:`EventLog.export_jsonl`."""
+    events: List[Event] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(Event.from_dict(json.loads(line)))
+    return events

@@ -1,0 +1,346 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms, registry.
+
+The paper's evaluation is built from per-batch numbers — computations
+(Figure 5a), activations (Figure 5b), response time (Table IV) — and the
+production north star (ROADMAP.md) adds operational counters from the
+resilience layer and cycle/occupancy statistics from the simulator.  This
+module gives all of them one vocabulary:
+
+* :class:`Counter` — monotone event count (``engine_ops_total``);
+* :class:`Gauge` — last-write-wins level (``spm_hit_rate``);
+* :class:`Histogram` — fixed upper-bound buckets with exact count/sum/min/max
+  and interpolated percentiles (``engine_batch_seconds``), RisGraph-style
+  tail-latency accounting;
+* :class:`MetricsRegistry` — the named, labelled instrument store with
+  :meth:`~MetricsRegistry.snapshot` / :meth:`MetricsSnapshot.diff` semantics
+  and a Prometheus text exposition formatter.
+
+Everything here is dependency-free stdlib Python; nothing imports the rest
+of :mod:`repro`, so every layer (engine, resilience, hw) can depend on it.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Prometheus-style default latency buckets (seconds).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default buckets for dimensionless work counts (ops, cycles, records).
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500,
+    1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000,
+)
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, object]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(labels: LabelPairs) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-write-wins level; may move in both directions."""
+
+    kind = "gauge"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact extrema and estimated percentiles.
+
+    ``buckets`` are inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches the overflow.  Percentiles are estimated by linear interpolation
+    inside the containing bucket (clamped by the observed min/max, so small
+    samples do not report values never seen).
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +Inf overflow at the end
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    # ------------------------------------------------------------------
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]) of observed values."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                lo = self.bounds[index - 1] if index > 0 else 0.0
+                hi = self.bounds[index] if index < len(self.bounds) else self.max
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                estimate = lo + (hi - lo) * fraction
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.sum / self.count,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "buckets": {
+                ("+Inf" if i == len(self.bounds) else repr(self.bounds[i])): n
+                for i, n in enumerate(self.bucket_counts)
+            },
+        }
+        data.update(self.summary())
+        return data
+
+
+class MetricsSnapshot:
+    """Immutable point-in-time copy of a registry, diffable and exportable.
+
+    The payload is plain JSON-serialisable data: a dict keyed by metric
+    name, each entry carrying the metric ``type`` and a list of
+    ``{labels, ...values}`` series.
+    """
+
+    def __init__(self, data: Dict[str, Dict[str, object]]) -> None:
+        self.data = data
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        return self.data
+
+    def names(self) -> List[str]:
+        return sorted(self.data)
+
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels: object) -> Optional[object]:
+        """Counter/gauge value or histogram summary for one label set."""
+        metric = self.data.get(name)
+        if metric is None:
+            return None
+        wanted = [list(pair) for pair in _label_key(labels)]
+        for series in metric["series"]:  # type: ignore[index]
+            if series["labels"] == wanted:
+                if metric["type"] == "histogram":
+                    return {k: v for k, v in series.items() if k != "labels"}
+                return series["value"]
+        return None
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across all label sets (0.0 when absent)."""
+        metric = self.data.get(name)
+        if metric is None:
+            return 0.0
+        if metric["type"] == "histogram":
+            raise TypeError(f"{name} is a histogram; use value()/summary")
+        return sum(series["value"] for series in metric["series"])  # type: ignore[index]
+
+    # ------------------------------------------------------------------
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Delta since ``earlier``: counters and histogram counts subtract,
+        gauges keep their current (latest) level."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, metric in self.data.items():
+            previous = earlier.data.get(name, {"series": []})
+            prior = {
+                tuple(map(tuple, s["labels"])): s
+                for s in previous.get("series", [])
+            }
+            series_out = []
+            for series in metric["series"]:  # type: ignore[index]
+                key = tuple(map(tuple, series["labels"]))
+                base = prior.get(key)
+                entry = dict(series)
+                if base is not None and metric["type"] == "counter":
+                    entry["value"] = series["value"] - base["value"]
+                elif base is not None and metric["type"] == "histogram":
+                    entry["count"] = series.get("count", 0) - base.get("count", 0)
+                    entry["sum"] = series.get("sum", 0.0) - base.get("sum", 0.0)
+                    entry["buckets"] = {
+                        k: v - base.get("buckets", {}).get(k, 0)
+                        for k, v in series.get("buckets", {}).items()
+                    }
+                    for dropped in ("min", "max", "mean", "p50", "p95", "p99"):
+                        entry.pop(dropped, None)
+                series_out.append(entry)
+            out[name] = {"type": metric["type"], "series": series_out}
+        return MetricsSnapshot(out)
+
+
+class MetricsRegistry:
+    """Named, labelled instrument store.
+
+    Instruments are created on first use and identified by
+    ``(name, sorted label pairs)``; re-requesting with the same identity
+    returns the same instrument, so callers can hold references on hot
+    paths instead of re-resolving.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Dict[LabelPairs, object]] = {}
+        self._kinds: Dict[str, str] = {}
+        self._buckets: Dict[str, Tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def _instrument(self, name: str, kind: str, labels, factory):
+        registered = self._kinds.get(name)
+        if registered is None:
+            self._kinds[name] = kind
+            self._metrics[name] = {}
+        elif registered != kind:
+            raise TypeError(f"{name} already registered as {registered}, not {kind}")
+        family = self._metrics[name]
+        key = _label_key(labels)
+        instrument = family.get(key)
+        if instrument is None:
+            instrument = family[key] = factory()
+        return instrument
+
+    def counter(self, name: str, labels: Optional[Mapping[str, object]] = None) -> Counter:
+        return self._instrument(name, "counter", labels, Counter)
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, object]] = None) -> Gauge:
+        return self._instrument(name, "gauge", labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, object]] = None,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        if buckets is not None:
+            bounds = tuple(float(b) for b in buckets)
+            known = self._buckets.setdefault(name, bounds)
+            if known != bounds:
+                raise ValueError(f"{name}: conflicting bucket bounds")
+        chosen = self._buckets.get(name, DEFAULT_LATENCY_BUCKETS)
+        return self._instrument(name, "histogram", labels, lambda: Histogram(chosen))
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> MetricsSnapshot:
+        data: Dict[str, Dict[str, object]] = {}
+        for name in sorted(self._metrics):
+            series = []
+            for key in sorted(self._metrics[name]):
+                instrument = self._metrics[name][key]
+                entry: Dict[str, object] = {"labels": [list(pair) for pair in key]}
+                entry.update(instrument.as_dict())  # type: ignore[union-attr]
+                series.append(entry)
+            data[name] = {"type": self._kinds[name], "series": series}
+        return MetricsSnapshot(data)
+
+    def clear(self) -> None:
+        self._metrics.clear()
+        self._kinds.clear()
+        self._buckets.clear()
+
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (histograms as *_bucket/_sum/_count)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            kind = self._kinds[name]
+            lines.append(f"# TYPE {name} {kind}")
+            for key in sorted(self._metrics[name]):
+                instrument = self._metrics[name][key]
+                if kind == "histogram":
+                    assert isinstance(instrument, Histogram)
+                    cumulative = 0
+                    for index, bucket_count in enumerate(instrument.bucket_counts):
+                        cumulative += bucket_count
+                        le = (
+                            "+Inf"
+                            if index == len(instrument.bounds)
+                            else repr(instrument.bounds[index])
+                        )
+                        labelled = _format_labels(key + (("le", le),))
+                        lines.append(f"{name}_bucket{labelled} {cumulative}")
+                    lines.append(f"{name}_sum{_format_labels(key)} {instrument.sum}")
+                    lines.append(f"{name}_count{_format_labels(key)} {instrument.count}")
+                else:
+                    value = instrument.value  # type: ignore[union-attr]
+                    lines.append(f"{name}{_format_labels(key)} {value}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,152 @@
+"""Structured spans: timed, nested regions of work.
+
+A :class:`Span` measures one region on the monotonic clock and carries a
+``span_id``/``parent_id`` pair so nested regions reconstruct into a tree
+(``engine.batch`` > ``engine.classify`` > ...).  Spans are produced by a
+:class:`SpanTracer` — as a context manager or a decorator — and on close
+are emitted into an :class:`~repro.obs.events.EventLog` and observed into a
+``span_seconds`` histogram in the owning registry, which is how per-batch
+latency percentiles (p50/p95/p99) fall out of normal tracing.
+
+Exception safety: a span closed by an exception records
+``status="error"`` plus the exception type and re-raises; the tracer's
+open-span stack is always unwound.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import time
+from typing import Callable, Dict, Optional
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
+
+class Span:
+    """One timed region; use through :meth:`SpanTracer.span`."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "start", "end", "status",
+        "error", "attributes", "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attributes: Dict[str, object],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise RuntimeError(f"span {self.name!r} still open")
+        return self.end - self.start
+
+    def set(self, **attributes: object) -> "Span":
+        """Attach attributes to the span (merged into the emitted event)."""
+        self.attributes.update(attributes)
+        return self
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self.start = self._tracer.clock()
+        self._tracer._opened(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = self._tracer.clock()
+        if exc_type is not None:
+            self.status = "error"
+            self.error = exc_type.__name__
+        self._tracer._closed(self)
+        # never swallow: telemetry observes, it does not alter control flow
+
+
+class SpanTracer:
+    """Factory and sink for spans.
+
+    The tracer keeps a stack of open spans to assign ``parent_id``
+    automatically; ids are unique per tracer.  All closed spans are
+    emitted to ``events`` (kind ``span``) and, when a registry is
+    attached, observed into the ``span_seconds`` histogram labelled by
+    span name.
+    """
+
+    def __init__(
+        self,
+        events: EventLog,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.events = events
+        self.registry = registry
+        self.clock = clock
+        self._ids = itertools.count(1)
+        self._stack: list = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: object) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        return Span(self, name, next(self._ids), parent, dict(attributes))
+
+    def traced(self, name: Optional[str] = None) -> Callable:
+        """Decorator: run the function inside a span named after it."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans (0 outside any span)."""
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    def _opened(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _closed(self, span: Span) -> None:
+        # unwind to (and including) this span even if inner spans leaked —
+        # an open child must not survive its parent's exit
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+        fields: Dict[str, object] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "duration": span.duration,
+            "status": span.status,
+        }
+        if span.error is not None:
+            fields["error"] = span.error
+        fields.update(span.attributes)
+        self.events.emit("span", span.name, ts=span.start, **fields)
+        if self.registry is not None:
+            self.registry.histogram(
+                "span_seconds",
+                labels={"span": span.name},
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            ).observe(span.duration)

@@ -1,0 +1,133 @@
+"""Offline summaries of exported telemetry (the ``repro telemetry`` CLI).
+
+Operates on the files written by :meth:`repro.obs.telemetry.Telemetry.export_dir`
+— an ``events.jsonl`` span/event stream and a ``metrics.json`` snapshot —
+after the process that produced them is gone, so everything here works
+from the serialized form only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.events import Event, load_jsonl
+from repro.obs.telemetry import EVENTS_FILENAME, METRICS_FILENAME
+
+
+def resolve_events_path(path: str) -> str:
+    """Accept a telemetry directory or a .jsonl file path."""
+    if os.path.isdir(path):
+        return os.path.join(path, EVENTS_FILENAME)
+    return path
+
+
+def resolve_metrics_path(path: str) -> Optional[str]:
+    """The metrics.json inside a telemetry directory (or the path itself)."""
+    if os.path.isdir(path):
+        candidate = os.path.join(path, METRICS_FILENAME)
+        return candidate if os.path.exists(candidate) else None
+    return path if path.endswith(".json") else None
+
+
+def _exact_percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return float("nan")
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def span_rows(events: Sequence[Event]) -> List[Dict[str, object]]:
+    """Per-span-name latency table from raw span events (exact percentiles)."""
+    by_name: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for event in events:
+        if event.kind != "span":
+            continue
+        by_name.setdefault(event.name, []).append(float(event.fields["duration"]))
+        if event.fields.get("status") == "error":
+            errors[event.name] = errors.get(event.name, 0) + 1
+    rows = []
+    for name in sorted(by_name):
+        samples = by_name[name]
+        rows.append({
+            "span": name,
+            "count": len(samples),
+            "errors": errors.get(name, 0),
+            "total_s": sum(samples),
+            "mean_s": sum(samples) / len(samples),
+            "p50_s": _exact_percentile(samples, 0.50),
+            "p95_s": _exact_percentile(samples, 0.95),
+            "p99_s": _exact_percentile(samples, 0.99),
+            "max_s": max(samples),
+        })
+    return rows
+
+
+def format_span_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Fixed-width text rendering of :func:`span_rows`."""
+    if not rows:
+        return "(no span events)"
+    header = f"{'span':<28}{'count':>7}{'err':>5}{'total':>10}{'p50':>10}{'p95':>10}{'p99':>10}{'max':>10}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['span']:<28}{row['count']:>7}{row['errors']:>5}"
+            f"{row['total_s']:>10.4f}{row['p50_s']:>10.5f}{row['p95_s']:>10.5f}"
+            f"{row['p99_s']:>10.5f}{row['max_s']:>10.5f}"
+        )
+    return "\n".join(lines)
+
+
+def format_metrics_summary(document: Dict[str, object]) -> str:
+    """Human summary of a metrics.json document (counters/gauges/histograms)."""
+    lines: List[str] = []
+    events = document.get("events", {})
+    lines.append(
+        f"events: {events.get('recorded', '?')} recorded, "
+        f"{events.get('dropped', '?')} dropped "
+        f"(schema v{document.get('schema_version', '?')})"
+    )
+    metrics: Dict[str, Dict[str, object]] = document.get("metrics", {})  # type: ignore[assignment]
+    for name in sorted(metrics):
+        metric = metrics[name]
+        for series in metric["series"]:  # type: ignore[index]
+            labels = ",".join(f"{k}={v}" for k, v in series["labels"])
+            tag = f"{name}{{{labels}}}" if labels else name
+            if metric["type"] == "histogram":
+                if not series.get("count"):
+                    lines.append(f"  {tag}: empty")
+                    continue
+                lines.append(
+                    f"  {tag}: count={series['count']} sum={series['sum']:.6g} "
+                    f"p50={series.get('p50', float('nan')):.6g} "
+                    f"p95={series.get('p95', float('nan')):.6g} "
+                    f"p99={series.get('p99', float('nan')):.6g}"
+                )
+            else:
+                lines.append(f"  {tag}: {series['value']:g}")
+    return "\n".join(lines)
+
+
+def load_metrics_document(path: str) -> Dict[str, object]:
+    """Parse a metrics.json export."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def summarize_path(path: str) -> str:
+    """Full text summary for ``repro telemetry summarize PATH``."""
+    sections: List[str] = []
+    metrics_path = resolve_metrics_path(path)
+    if metrics_path and os.path.exists(metrics_path):
+        sections.append(format_metrics_summary(load_metrics_document(metrics_path)))
+    events_path = resolve_events_path(path)
+    if os.path.exists(events_path):
+        events = load_jsonl(events_path)
+        sections.append(f"spans ({events_path}):")
+        sections.append(format_span_table(span_rows(events)))
+    if not sections:
+        return f"no telemetry found at {path}"
+    return "\n".join(sections)

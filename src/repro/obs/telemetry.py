@@ -1,0 +1,131 @@
+"""The :class:`Telemetry` facade and the process-wide default instance.
+
+One ``Telemetry`` object bundles the three primitives — a
+:class:`~repro.obs.metrics.MetricsRegistry`, a bounded
+:class:`~repro.obs.events.EventLog` and a
+:class:`~repro.obs.spans.SpanTracer` wired to both — plus the export
+surface (JSONL events, JSON metrics snapshot, Prometheus text).
+
+Telemetry is **opt-in**: engines and pipelines carry ``telemetry=None`` by
+default and skip every instrumentation branch, so the disabled cost is one
+``is None`` test per batch.  Enabling is either explicit (pass an instance)
+or ambient: :func:`set_global_telemetry` / the :func:`use_telemetry`
+context manager install a process-wide default that newly constructed
+engines pick up — which is how ``repro query --telemetry`` instruments
+engines built deep inside the experiment harness without threading a
+parameter through every call site.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.spans import Span, SpanTracer
+
+#: filenames written by :meth:`Telemetry.export_dir`
+EVENTS_FILENAME = "events.jsonl"
+METRICS_FILENAME = "metrics.json"
+PROMETHEUS_FILENAME = "metrics.prom"
+
+#: schema tag stamped into every metrics.json export
+METRICS_SCHEMA_VERSION = 1
+
+
+class Telemetry:
+    """Registry + event log + tracer, with one export surface."""
+
+    def __init__(
+        self,
+        event_capacity: int = 65_536,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.events = EventLog(capacity=event_capacity)
+        self.tracer = SpanTracer(self.events, registry=self.registry, clock=clock)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: object) -> Span:
+        return self.tracer.span(name, **attributes)
+
+    def counter(self, name: str, labels=None):
+        return self.registry.counter(name, labels)
+
+    def gauge(self, name: str, labels=None):
+        return self.registry.gauge(name, labels)
+
+    def histogram(self, name: str, labels=None, buckets=None):
+        return self.registry.histogram(name, labels, buckets=buckets)
+
+    def point(self, name: str, **fields: object) -> None:
+        """Record a point (non-span) event at the current clock reading."""
+        self.events.emit("point", name, ts=self.tracer.clock(), **fields)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        return self.registry.snapshot()
+
+    def metrics_document(self) -> Dict[str, object]:
+        """The metrics.json payload: schema tag + snapshot + event stats."""
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "events": {"recorded": len(self.events), "dropped": self.events.dropped},
+            "metrics": self.snapshot().as_dict(),
+        }
+
+    def export_dir(self, directory: str) -> Dict[str, str]:
+        """Write events.jsonl + metrics.json + metrics.prom into a directory.
+
+        Returns ``{kind: path}`` for reporting to the user.
+        """
+        os.makedirs(directory, exist_ok=True)
+        paths = {
+            "events": os.path.join(directory, EVENTS_FILENAME),
+            "metrics": os.path.join(directory, METRICS_FILENAME),
+            "prometheus": os.path.join(directory, PROMETHEUS_FILENAME),
+        }
+        self.events.export_jsonl(paths["events"])
+        with open(paths["metrics"], "w") as handle:
+            json.dump(self.metrics_document(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        with open(paths["prometheus"], "w") as handle:
+            handle.write(self.registry.to_prometheus())
+        return paths
+
+
+# ----------------------------------------------------------------------
+# ambient default
+# ----------------------------------------------------------------------
+_GLOBAL: Optional[Telemetry] = None
+
+
+def get_global_telemetry() -> Optional[Telemetry]:
+    """The process-wide default telemetry (None when disabled)."""
+    return _GLOBAL
+
+
+def set_global_telemetry(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Install (or clear, with None) the process default; returns the old."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = telemetry
+    return previous
+
+
+@contextlib.contextmanager
+def use_telemetry(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Scoped installation of the process default (restores on exit)."""
+    previous = set_global_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_global_telemetry(previous)

@@ -29,6 +29,8 @@ from repro.graph.batch import UpdateBatch
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.streaming import StreamingGraph
 from repro.metrics import BatchResult, ResilienceCounters
+from repro.obs.bridge import record_deadletters, record_resilience_counters
+from repro.obs.telemetry import Telemetry, get_global_telemetry
 from repro.query import PairwiseQuery
 from repro.resilience.deadletter import DeadLetterQueue, IngestGuard, RawRecord
 from repro.resilience.guard import DifferentialGuard
@@ -58,11 +60,16 @@ class ResilientPipeline:
         wal_sync: bool = True,
         counters: Optional[ResilienceCounters] = None,
         write_hook=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive")
         self.directory = directory
         self.engine = engine
+        self.telemetry = telemetry if telemetry is not None else get_global_telemetry()
+        if self.telemetry is not None and engine.telemetry is None:
+            # the pipeline's sink covers its engine so one export holds both
+            engine.telemetry = self.telemetry
         self.counters = counters if counters is not None else ResilienceCounters()
         self.checkpoint_path, wal_dir = state_paths(directory)
         os.makedirs(directory, exist_ok=True)
@@ -186,7 +193,14 @@ class ResilientPipeline:
 
     def _commit(self, batch: UpdateBatch) -> BatchResult:
         sequence = self.snapshot_id + 1
-        self.wal.append(batch, sequence)  # durable before the engine sees it
+        telemetry = self.telemetry
+        if telemetry is None:
+            self.wal.append(batch, sequence)  # durable before the engine sees it
+        else:
+            with telemetry.span(
+                "pipeline.wal_append", sequence=sequence, updates=len(batch)
+            ):
+                self.wal.append(batch, sequence)
         self.counters.wal_records_appended += 1
         result = self.engine.on_batch(batch)
         self.stream.commit_external()
@@ -194,7 +208,14 @@ class ResilientPipeline:
         if sequence % self.checkpoint_every == 0:
             self.checkpoint()
         if self.guard is not None:
-            self.guard.maybe_check(sequence)
+            if telemetry is None:
+                self.guard.maybe_check(sequence)
+            else:
+                with telemetry.span("pipeline.guard_check", sequence=sequence):
+                    self.guard.maybe_check(sequence)
+        if telemetry is not None:
+            record_resilience_counters(telemetry.registry, self.counters)
+            record_deadletters(telemetry.registry, self.deadletters)
         return result
 
     # ------------------------------------------------------------------
@@ -202,13 +223,29 @@ class ResilientPipeline:
     # ------------------------------------------------------------------
     def checkpoint(self) -> None:
         """Checkpoint the engine's state at the current stream position."""
-        save_checkpoint(
-            self.checkpoint_path,
-            self.engine,
-            snapshot_id=self.snapshot_id,
-            wal_sequence=self.snapshot_id,
-        )
+        telemetry = self.telemetry
+        if telemetry is None:
+            save_checkpoint(
+                self.checkpoint_path,
+                self.engine,
+                snapshot_id=self.snapshot_id,
+                wal_sequence=self.snapshot_id,
+            )
+        else:
+            with telemetry.span("pipeline.checkpoint", snapshot=self.snapshot_id):
+                save_checkpoint(
+                    self.checkpoint_path,
+                    self.engine,
+                    snapshot_id=self.snapshot_id,
+                    wal_sequence=self.snapshot_id,
+                )
         self.counters.checkpoints_written += 1
+        if telemetry is not None:
+            # checkpoint is also the close path, so refresh both gauge
+            # families here — a quarantine after the last commit would
+            # otherwise never reach the registry
+            record_resilience_counters(telemetry.registry, self.counters)
+            record_deadletters(telemetry.registry, self.deadletters)
 
     def close(self, final_checkpoint: bool = True) -> None:
         """Flush the buffer, optionally checkpoint, release the WAL."""

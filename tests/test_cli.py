@@ -231,3 +231,83 @@ class TestValidate:
         )
         assert not report.ok
         assert any("cisgraph-o" in line for line in report.lines)
+
+
+@pytest.mark.telemetry
+class TestTelemetryCLI:
+    def test_query_with_telemetry_exports_run(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "tel")
+        assert main(["query", "--batches", "1", "--telemetry", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        for name in ("events.jsonl", "metrics.json", "metrics.prom"):
+            assert os.path.exists(os.path.join(out_dir, name)), name
+
+    def test_query_without_telemetry_writes_nothing(self, tmp_path, capsys):
+        assert main(["query", "--batches", "1"]) == 0
+        assert "telemetry:" not in capsys.readouterr().out
+
+    def test_query_telemetry_reconciles_with_opcounts(self, tmp_path, capsys):
+        """Acceptance criterion: exported engine counters match the printed
+        per-batch relaxation totals."""
+        import json
+
+        out_dir = str(tmp_path / "tel")
+        assert main(["query", "--batches", "2", "--telemetry", out_dir]) == 0
+        printed = capsys.readouterr().out
+        expected = sum(
+            int(part.split("=")[1])
+            for line in printed.splitlines()
+            for part in line.split()
+            if part.startswith("relaxations=")
+        )
+        with open(os.path.join(out_dir, "metrics.json")) as handle:
+            document = json.load(handle)
+        ops = document["metrics"]["engine_ops_total"]["series"]
+        recorded = sum(
+            series["value"]
+            for series in ops
+            if ["op", "relaxations"] in series["labels"]
+            and ["phase", "init"] not in series["labels"]
+        )
+        assert recorded == expected
+
+    def test_experiment_with_telemetry(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "tel")
+        assert main(
+            ["experiment", "fig5a", "--batches", "1", "--telemetry", out_dir]
+        ) == 0
+        assert os.path.exists(os.path.join(out_dir, "events.jsonl"))
+
+    def test_telemetry_summarize(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "tel")
+        assert main(["query", "--batches", "1", "--telemetry", out_dir]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "engine.batch" in out
+        assert "engine_ops_total" in out
+
+    def test_telemetry_dump_with_limit(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "tel")
+        assert main(["query", "--batches", "1", "--telemetry", out_dir]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "dump", out_dir, "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "more events" in out
+
+    def test_telemetry_export_prom_and_json(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "tel")
+        assert main(["query", "--batches", "1", "--telemetry", out_dir]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "export", out_dir, "--format", "prom"]) == 0
+        assert "# TYPE engine_ops_total counter" in capsys.readouterr().out
+        assert main(["telemetry", "export", out_dir, "--format", "json"]) == 0
+        assert '"schema_version"' in capsys.readouterr().out
+
+    def test_telemetry_on_missing_path_fails(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["telemetry", "dump", missing]) == 1
+        assert main(["telemetry", "export", missing]) == 1
+        assert main(["telemetry", "summarize", missing]) == 0  # reports "none found"
+        assert "no telemetry found" in capsys.readouterr().out

@@ -17,6 +17,7 @@ DOC_FILES = [
     "docs/usage.md",
     "docs/paper_mapping.md",
     "docs/resilience.md",
+    "docs/observability.md",
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")

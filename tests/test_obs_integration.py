@@ -1,0 +1,249 @@
+"""Cross-layer telemetry integration: engines, resilience, simulator.
+
+The headline regression test asserts that registry counters reconcile
+exactly with the pre-existing ``OpCounts``/classification instrumentation —
+the observability layer must *report* the paper's metrics, never invent
+its own numbers.
+"""
+
+import warnings
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.baselines import ColdStartEngine, SGraphEngine
+from repro.core.engine import CISGraphEngine
+from repro.hw.accelerator import CISGraphAccelerator
+from repro.hw.trace import TraceRecorder
+from repro.metrics import OpCounts
+from repro.obs import Telemetry, TelemetryDropWarning, use_telemetry
+from repro.obs.bridge import record_trace_recorder
+from repro.query import PairwiseQuery
+from repro.resilience.pipeline import ResilientPipeline
+from tests.conftest import random_batch, random_graph, reachable_destination
+
+pytestmark = pytest.mark.telemetry
+
+
+def make_setup(seed=0, num_vertices=60, num_edges=300):
+    graph = random_graph(num_vertices, num_edges, seed=seed)
+    destination = reachable_destination(graph, 0)
+    assert destination >= 0
+    return graph, PairwiseQuery(0, destination)
+
+
+def run_engine(engine_cls, telemetry, batches=3, **kwargs):
+    graph, query = make_setup()
+    with use_telemetry(telemetry):
+        engine = engine_cls(graph, get_algorithm("ppsp"), query, **kwargs)
+        engine.initialize()
+        results = [
+            engine.on_batch(random_batch(engine.graph, 8, 5, seed=i))
+            for i in range(batches)
+        ]
+    return engine, results
+
+
+# ----------------------------------------------------------------------
+# engine <-> OpCounts reconciliation (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestEngineReconciliation:
+    def test_registry_totals_match_opcounts(self):
+        telemetry = Telemetry()
+        engine, results = run_engine(CISGraphEngine, telemetry)
+        snap = telemetry.snapshot()
+        expected = OpCounts()
+        for result in results:
+            expected += result.total_ops
+        for op in ("relaxations", "activations", "updates_processed"):
+            recorded = sum(
+                snap.value("engine_ops_total", engine=engine.name, phase=phase, op=op)
+                or 0
+                for phase in ("response", "post")
+            )
+            assert recorded == getattr(expected, op), op
+        assert snap.value("engine_batches_total", engine=engine.name) == len(results)
+
+    def test_init_ops_bridged_separately(self):
+        telemetry = Telemetry()
+        engine, _ = run_engine(CISGraphEngine, telemetry, batches=1)
+        snap = telemetry.snapshot()
+        assert (
+            snap.value(
+                "engine_ops_total", engine=engine.name, phase="init", op="relaxations"
+            )
+            == engine.init_ops.relaxations
+        )
+
+    def test_classification_tallies_match_batch_stats(self):
+        telemetry = Telemetry()
+        engine, results = run_engine(CISGraphEngine, telemetry)
+        snap = telemetry.snapshot()
+        for key in ("valuable_additions", "delayed_deletions", "useless"):
+            expected = sum(result.stats[key] for result in results)
+            recorded = snap.value(
+                "engine_classified_total", engine=engine.name, **{"class": key}
+            )
+            assert recorded == expected, key
+
+    def test_activation_tallies_match_batch_stats(self):
+        telemetry = Telemetry()
+        engine, results = run_engine(CISGraphEngine, telemetry)
+        snap = telemetry.snapshot()
+        expected = sum(r.stats["activated_by_additions"] for r in results)
+        assert (
+            snap.value(
+                "engine_activations_total",
+                engine=engine.name,
+                kind="activated_by_additions",
+            )
+            == expected
+        )
+
+    def test_batch_latency_histogram_counts_batches(self):
+        telemetry = Telemetry()
+        engine, results = run_engine(CISGraphEngine, telemetry)
+        snap = telemetry.snapshot()
+        summary = snap.value("engine_batch_seconds", engine=engine.name)
+        assert summary["count"] == len(results)
+        assert summary["sum"] > 0
+
+    def test_phase_spans_nest_under_batch_span(self):
+        telemetry = Telemetry()
+        run_engine(CISGraphEngine, telemetry, batches=1)
+        spans = {e.name: e for e in telemetry.events.events(kind="span")}
+        assert {"engine.batch", "engine.classify", "engine.schedule",
+                "engine.propagate", "engine.drain"} <= set(spans)
+        batch_id = spans["engine.batch"].fields["span_id"]
+        for child in ("engine.classify", "engine.schedule", "engine.drain"):
+            assert spans[child].fields["parent_id"] == batch_id
+        assert spans["engine.classify"].fields["useless"] >= 0
+
+    def test_baselines_are_instrumented_through_the_same_chokepoint(self):
+        for engine_cls in (ColdStartEngine, SGraphEngine):
+            telemetry = Telemetry()
+            engine, results = run_engine(engine_cls, telemetry, batches=2)
+            snap = telemetry.snapshot()
+            assert snap.value("engine_batches_total", engine=engine.name) == 2
+            recorded = sum(
+                snap.value("engine_ops_total", engine=engine.name, phase=phase,
+                           op="relaxations") or 0
+                for phase in ("response", "post")
+            )
+            assert recorded == sum(r.total_ops.relaxations for r in results)
+
+    def test_disabled_telemetry_records_nothing(self):
+        graph, query = make_setup()
+        engine = CISGraphEngine(graph, get_algorithm("ppsp"), query)
+        assert engine.telemetry is None
+        engine.initialize()
+        engine.on_batch(random_batch(engine.graph, 4, 2, seed=1))
+
+    def test_results_identical_with_and_without_telemetry(self):
+        _, with_t = run_engine(CISGraphEngine, Telemetry())
+        graph, query = make_setup()
+        engine = CISGraphEngine(graph, get_algorithm("ppsp"), query)
+        engine.initialize()
+        without_t = [
+            engine.on_batch(random_batch(engine.graph, 8, 5, seed=i))
+            for i in range(3)
+        ]
+        for a, b in zip(with_t, without_t):
+            assert a.answer == b.answer
+            assert a.total_ops.as_dict() == b.total_ops.as_dict()
+
+
+# ----------------------------------------------------------------------
+# accelerator simulator
+# ----------------------------------------------------------------------
+class TestAcceleratorTelemetry:
+    def test_hw_stats_land_in_the_same_registry(self):
+        telemetry = Telemetry()
+        engine, results = run_engine(CISGraphAccelerator, telemetry, batches=2)
+        snap = telemetry.snapshot()
+        expected_response = sum(r.stats["response_cycles"] for r in results)
+        assert snap.value("hw_cycles_total", window="response") == expected_response
+        assert snap.value("hw_work_total", kind="relaxations") == sum(
+            r.stats["relaxations"] for r in results
+        )
+        assert snap.value("hw_spm_hit_rate") is not None
+        # software-style batch metrics exist too: one format for both runs
+        assert snap.value("engine_batches_total", engine="cisgraph") == 2
+
+    def test_trace_occupancy_surfaced(self):
+        telemetry = Telemetry()
+        engine, _ = run_engine(CISGraphAccelerator, telemetry, batches=1, trace=True)
+        snap = telemetry.snapshot()
+        assert snap.value("hw_trace_records") == len(engine.tracer)
+        assert snap.value("hw_trace_dropped") == 0
+
+
+# ----------------------------------------------------------------------
+# trace recorder drop warning (satellite fix)
+# ----------------------------------------------------------------------
+class TestTraceDropWarning:
+    def test_first_drop_warns_once(self):
+        recorder = TraceRecorder(capacity=1)
+        recorder.record(0, "identify", 0, "issue", 1)
+        with pytest.warns(TelemetryDropWarning):
+            recorder.record(1, "identify", 0, "issue", 2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            recorder.record(2, "identify", 0, "issue", 3)
+        assert recorder.dropped == 2
+
+    def test_dropped_in_registry_snapshot(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        recorder = TraceRecorder(capacity=1)
+        recorder.record(0, "identify", 0, "issue", 1)
+        with pytest.warns(TelemetryDropWarning):
+            recorder.record(1, "identify", 0, "issue", 2)
+        registry = MetricsRegistry()
+        record_trace_recorder(registry, recorder)
+        snap = registry.snapshot()
+        assert snap.value("hw_trace_dropped") == 1
+        assert snap.value("hw_trace_records") == 1
+        assert snap.value("hw_trace_capacity") == 1
+
+
+# ----------------------------------------------------------------------
+# resilience pipeline
+# ----------------------------------------------------------------------
+class TestPipelineTelemetry:
+    def test_wal_checkpoint_quarantine_metrics(self, tmp_path):
+        telemetry = Telemetry()
+        graph, query = make_setup(num_vertices=40, num_edges=200)
+        with use_telemetry(telemetry):
+            pipeline = ResilientPipeline.open(
+                str(tmp_path / "state"),
+                graph,
+                get_algorithm("ppsp"),
+                query,
+                batch_threshold=4,
+                wal_sync=False,
+            )
+            assert pipeline.telemetry is telemetry
+            assert pipeline.engine.telemetry is telemetry
+            for i in range(8):
+                pipeline.offer(("add", i % 10, (i + 3) % 10, 1.0))
+            pipeline.offer(("add", -5, 2, 1.0))  # quarantined
+            pipeline.close()
+        snap = telemetry.snapshot()
+        assert snap.value("resilience_wal_records_appended") == pipeline.counters.wal_records_appended
+        assert snap.value("resilience_checkpoints_written") == pipeline.counters.checkpoints_written
+        assert snap.value("deadletter_queued") == 1
+        assert snap.value("deadletter_by_reason", reason="bad-vertex") == 1
+        span_names = {e.name for e in telemetry.events.events(kind="span")}
+        assert {"pipeline.wal_append", "pipeline.checkpoint", "engine.batch"} <= span_names
+
+    def test_pipeline_without_telemetry_unchanged(self, tmp_path):
+        graph, query = make_setup(num_vertices=40, num_edges=200)
+        pipeline = ResilientPipeline.open(
+            str(tmp_path / "state"), graph, get_algorithm("ppsp"), query,
+            batch_threshold=4, wal_sync=False,
+        )
+        assert pipeline.telemetry is None
+        for i in range(4):
+            pipeline.offer(("add", i % 10, (i + 3) % 10, 1.0))
+        pipeline.close()

@@ -1,0 +1,215 @@
+"""Unit tests for the metrics primitives (repro.obs.metrics)."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_COUNT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+# ----------------------------------------------------------------------
+# counters and gauges
+# ----------------------------------------------------------------------
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc(1)
+        assert gauge.value == 8
+
+
+# ----------------------------------------------------------------------
+# histogram buckets and percentiles
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive_upper_bounds(self):
+        hist = Histogram(buckets=[1.0, 2.0, 5.0])
+        for value in (0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 7.0):
+            hist.observe(value)
+        # le=1: {0.5, 1.0}; le=2: {1.5, 2.0}; le=5: {4.9, 5.0}; +Inf: {7.0}
+        assert hist.bucket_counts == [2, 2, 2, 1]
+        assert hist.count == 7
+        assert hist.sum == pytest.approx(21.9)
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram(buckets=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram(buckets=[])
+
+    def test_percentiles_on_uniform_distribution(self):
+        """1..1000 into fine buckets: interpolated percentiles within 1%."""
+        hist = Histogram(buckets=[i * 10 for i in range(1, 101)])
+        for value in range(1, 1001):
+            hist.observe(value)
+        assert hist.percentile(0.50) == pytest.approx(500, rel=0.02)
+        assert hist.percentile(0.95) == pytest.approx(950, rel=0.02)
+        assert hist.percentile(0.99) == pytest.approx(990, rel=0.02)
+        assert hist.percentile(1.0) == 1000
+        assert hist.percentile(0.0) >= hist.min
+
+    def test_percentiles_on_skewed_distribution(self):
+        """99 fast + 1 slow: p95 stays fast, p99+ catches the tail."""
+        hist = Histogram(buckets=[0.001, 0.01, 0.1, 1.0, 10.0])
+        for _ in range(99):
+            hist.observe(0.0005)
+        hist.observe(5.0)
+        assert hist.percentile(0.95) <= 0.001
+        assert hist.percentile(0.999) > 0.1
+
+    def test_percentile_clamped_to_observed_extrema(self):
+        hist = Histogram(buckets=[100.0])
+        hist.observe(40.0)
+        hist.observe(42.0)
+        # naive interpolation inside [0, 100] would claim e.g. 90; clamping
+        # keeps the estimate inside what was actually seen
+        assert hist.percentile(0.9) <= 42.0
+        assert hist.percentile(0.1) >= 40.0
+
+    def test_empty_histogram_summary(self):
+        hist = Histogram()
+        assert hist.summary() == {"count": 0, "sum": 0.0}
+        assert math.isnan(hist.percentile(0.5))
+
+    def test_percentile_q_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+    def test_summary_has_tail_keys(self):
+        hist = Histogram(buckets=DEFAULT_COUNT_BUCKETS)
+        for value in (1, 10, 100):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 1
+        assert summary["max"] == 100
+        assert set(summary) >= {"p50", "p95", "p99", "mean"}
+
+
+# ----------------------------------------------------------------------
+# registry: identity, snapshot, diff, prometheus
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_same_identity_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", {"engine": "cs"})
+        b = registry.counter("x_total", {"engine": "cs"})
+        other = registry.counter("x_total", {"engine": "sgraph"})
+        assert a is b and a is not other
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", {"a": 1, "b": 2})
+        b = registry.counter("x_total", {"b": 2, "a": 1})
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(TypeError):
+            registry.gauge("x_total")
+
+    def test_histogram_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=[1, 2])
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=[1, 2, 3])
+
+    def test_snapshot_value_and_total(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", {"engine": "cs"}).inc(3)
+        registry.counter("ops_total", {"engine": "sgraph"}).inc(4)
+        registry.gauge("depth").set(2)
+        snap = registry.snapshot()
+        assert snap.value("ops_total", engine="cs") == 3
+        assert snap.value("ops_total", engine="missing") is None
+        assert snap.value("missing_metric") is None
+        assert snap.total("ops_total") == 7
+        assert snap.value("depth") == 2
+
+    def test_snapshot_total_rejects_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        with pytest.raises(TypeError):
+            registry.snapshot().total("h")
+
+    def test_snapshot_is_point_in_time(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total")
+        counter.inc(1)
+        snap = registry.snapshot()
+        counter.inc(10)
+        assert snap.value("ops_total") == 1
+
+    def test_diff_counters_subtract_gauges_keep_latest(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total")
+        gauge = registry.gauge("level")
+        counter.inc(5)
+        gauge.set(100)
+        before = registry.snapshot()
+        counter.inc(7)
+        gauge.set(42)
+        delta = registry.snapshot().diff(before)
+        assert delta.value("ops_total") == 7
+        assert delta.value("level") == 42
+
+    def test_diff_histograms_subtract_counts(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=[1.0, 10.0])
+        hist.observe(0.5)
+        before = registry.snapshot()
+        hist.observe(5.0)
+        hist.observe(5.0)
+        delta = registry.snapshot().diff(before)
+        summary = delta.value("h")
+        assert summary["count"] == 2
+        assert summary["sum"] == pytest.approx(10.0)
+        assert summary["buckets"]["10.0"] == 2
+
+    def test_diff_with_new_series_passes_through(self):
+        registry = MetricsRegistry()
+        before = registry.snapshot()
+        registry.counter("late_total").inc(3)
+        delta = registry.snapshot().diff(before)
+        assert delta.value("late_total") == 3
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", {"engine": "cs"}).inc(3)
+        registry.histogram("lat_seconds", buckets=[0.1, 1.0]).observe(0.05)
+        text = registry.to_prometheus()
+        assert '# TYPE ops_total counter' in text
+        assert 'ops_total{engine="cs"} 3.0' in text
+        # histogram buckets are cumulative and end at +Inf
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert 'lat_seconds_count 1' in text
+        assert text.endswith("\n")
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc()
+        registry.clear()
+        assert registry.names() == []

@@ -1,0 +1,225 @@
+"""Span tracer, event log and JSONL round-trip tests (repro.obs)."""
+
+import os
+
+import pytest
+
+from repro.obs.events import Event, EventLog, TelemetryDropWarning, load_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+from repro.obs.telemetry import (
+    Telemetry,
+    get_global_telemetry,
+    set_global_telemetry,
+    use_telemetry,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each reading advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def make_tracer():
+    events = EventLog()
+    registry = MetricsRegistry()
+    return SpanTracer(events, registry=registry, clock=FakeClock()), events, registry
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_span_measures_duration_on_the_injected_clock(self):
+        tracer, events, _ = make_tracer()
+        with tracer.span("work") as span:
+            pass
+        assert span.duration == pytest.approx(1.0)  # two clock ticks
+        assert len(events) == 1
+        event = events.events(kind="span")[0]
+        assert event.name == "work"
+        assert event.fields["duration"] == pytest.approx(1.0)
+        assert event.fields["status"] == "ok"
+
+    def test_nested_spans_link_parent_ids(self):
+        tracer, events, _ = make_tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.depth == 1
+            with tracer.span("inner") as inner:
+                assert tracer.depth == 2
+                assert inner.parent_id == outer.span_id
+        assert tracer.depth == 0
+        inner_event = events.events(name="inner")[0]
+        outer_event = events.events(name="outer")[0]
+        assert inner_event.fields["parent_id"] == outer_event.fields["span_id"]
+        assert outer_event.fields["parent_id"] is None
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer, events, _ = make_tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("doomed"):
+                raise KeyError("boom")
+        assert tracer.depth == 0  # stack unwound
+        event = events.events(name="doomed")[0]
+        assert event.fields["status"] == "error"
+        assert event.fields["error"] == "KeyError"
+        assert "duration" in event.fields
+
+    def test_exception_unwinds_nested_stack(self):
+        tracer, _, _ = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError
+        assert tracer.depth == 0
+        # the tracer is still usable afterwards
+        with tracer.span("after") as span:
+            pass
+        assert span.parent_id is None
+
+    def test_decorator_wraps_and_names(self):
+        tracer, events, _ = make_tracer()
+
+        @tracer.traced("compute")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert events.events(name="compute")
+
+    def test_attributes_flow_into_event(self):
+        tracer, events, _ = make_tracer()
+        with tracer.span("batch", engine="cs") as span:
+            span.set(updates=42)
+        event = events.events(name="batch")[0]
+        assert event.fields["engine"] == "cs"
+        assert event.fields["updates"] == 42
+
+    def test_span_durations_feed_registry_histogram(self):
+        tracer, _, registry = make_tracer()
+        for _ in range(3):
+            with tracer.span("step"):
+                pass
+        snap = registry.snapshot()
+        summary = snap.value("span_seconds", span="step")
+        assert summary["count"] == 3
+
+    def test_open_span_duration_raises(self):
+        tracer, _, _ = make_tracer()
+        span = tracer.span("never_entered")
+        with pytest.raises(RuntimeError):
+            _ = span.duration
+
+
+# ----------------------------------------------------------------------
+# event log bounds + JSONL round-trip
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_bounded_with_one_time_warning(self):
+        log = EventLog(capacity=2)
+        log.emit("point", "a", ts=0.0)
+        log.emit("point", "b", ts=1.0)
+        with pytest.warns(TelemetryDropWarning):
+            log.emit("point", "c", ts=2.0)
+        # second drop is silent (warning is one-time), only counted
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            log.emit("point", "d", ts=3.0)
+        assert len(log) == 2
+        assert log.dropped == 2
+
+    def test_clear_resets_drop_state(self):
+        log = EventLog(capacity=1)
+        log.emit("point", "a", ts=0.0)
+        with pytest.warns(TelemetryDropWarning):
+            log.emit("point", "b", ts=1.0)
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_filtered_views(self):
+        log = EventLog()
+        log.emit("span", "x", ts=0.0)
+        log.emit("point", "x", ts=1.0)
+        log.emit("point", "y", ts=2.0)
+        assert len(log.events(kind="point")) == 2
+        assert len(log.events(name="x")) == 2
+        assert len(log.events(kind="span", name="y")) == 0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog()
+        log.emit("span", "batch", ts=1.5, duration=0.25, engine="cs", n=3)
+        log.emit("point", "drop", ts=2.5, reason="overflow")
+        path = os.path.join(tmp_path, "events.jsonl")
+        assert log.export_jsonl(path) == 2
+        loaded = load_jsonl(path)
+        assert [e.as_dict() for e in loaded] == [e.as_dict() for e in log]
+        assert loaded[0].fields["engine"] == "cs"
+        assert loaded[1].kind == "point"
+
+    def test_event_from_dict_is_inverse_of_as_dict(self):
+        event = Event(ts=0.5, kind="span", name="n", fields={"a": 1})
+        assert Event.from_dict(event.as_dict()) == event
+
+
+# ----------------------------------------------------------------------
+# telemetry facade + ambient default
+# ----------------------------------------------------------------------
+class TestTelemetry:
+    def test_export_dir_writes_all_three_artifacts(self, tmp_path):
+        telemetry = Telemetry()
+        with telemetry.span("work"):
+            telemetry.counter("ops_total").inc(2)
+        paths = telemetry.export_dir(str(tmp_path / "out"))
+        for path in paths.values():
+            assert os.path.exists(path)
+        events = load_jsonl(paths["events"])
+        assert events[0].name == "work"
+        import json
+        with open(paths["metrics"]) as handle:
+            document = json.load(handle)
+        assert document["schema_version"] == 1
+        assert "ops_total" in document["metrics"]
+        with open(paths["prometheus"]) as handle:
+            assert "ops_total 2.0" in handle.read()
+
+    def test_use_telemetry_scopes_the_global(self):
+        assert get_global_telemetry() is None
+        telemetry = Telemetry()
+        with use_telemetry(telemetry) as active:
+            assert active is telemetry
+            assert get_global_telemetry() is telemetry
+        assert get_global_telemetry() is None
+
+    def test_use_telemetry_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_telemetry(Telemetry()):
+                raise RuntimeError
+        assert get_global_telemetry() is None
+
+    def test_set_global_returns_previous(self):
+        first = Telemetry()
+        assert set_global_telemetry(first) is None
+        try:
+            assert set_global_telemetry(None) is first
+        finally:
+            set_global_telemetry(None)
+
+    def test_point_events(self):
+        telemetry = Telemetry()
+        telemetry.point("quarantine", reason="bad_vertex")
+        event = telemetry.events.events(kind="point")[0]
+        assert event.fields["reason"] == "bad_vertex"

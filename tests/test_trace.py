@@ -27,9 +27,15 @@ class TestRecorder:
         assert tr.records(phase="vertex", action="start")[0].vertex == 6
 
     def test_capacity_drops(self):
+        from repro.obs.events import TelemetryDropWarning
+
         tr = TraceRecorder(capacity=2)
-        for i in range(5):
-            tr.record(i, "vertex", 0, "start", i)
+        tr.record(0, "vertex", 0, "start", 0)
+        tr.record(1, "vertex", 0, "start", 1)
+        with pytest.warns(TelemetryDropWarning):  # first drop warns once
+            tr.record(2, "vertex", 0, "start", 2)
+        for i in range(3, 5):
+            tr.record(i, "vertex", 0, "start", i)  # further drops are silent
         assert len(tr) == 2
         assert tr.dropped == 3
         assert "dropped" in tr.dump()

@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Fixed-workload telemetry snapshot: the repo's perf-trajectory seed.
+
+Runs a small deterministic workload (OR stand-in dataset, seed 0, two
+batches, PPSP) through the software engine and the accelerator simulator
+with the unified observability layer enabled, and writes the resulting
+metrics document to ``BENCH_observability.json`` at the repo root.
+
+The committed file is the baseline every future PR measures against:
+
+* ``--check`` re-runs the workload and fails (exit 1) if the *schema* of
+  the fresh document drifts from the committed one — renamed metrics,
+  dropped series, changed histogram buckets.  Values are allowed to move
+  (wall-clock noise; algorithmic improvements regenerate the baseline).
+* without ``--check`` the file is (re)written, which is how a PR that
+  intentionally changes the metric surface refreshes the baseline.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_snapshot.py            # regenerate
+    PYTHONPATH=src python tools/bench_snapshot.py --check    # smoke check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+DEFAULT_OUTPUT = os.path.join(ROOT, "BENCH_observability.json")
+
+#: bump when the snapshot layout itself (not the metric surface) changes
+SNAPSHOT_SCHEMA_VERSION = 1
+
+WORKLOAD = {
+    "dataset": "OR",
+    "algorithm": "ppsp",
+    "batches": 2,
+    "seed": 0,
+    "engines": ["cisgraph-o", "cisgraph"],
+}
+
+
+def run_fixed_workload() -> Dict[str, object]:
+    """Run the fixed workload under telemetry; return the snapshot document."""
+    from repro.algorithms import get_algorithm
+    from repro.bench.datasets import (
+        dataset_by_abbreviation,
+        make_workload,
+        pick_query_pairs,
+    )
+    from repro.core.engine import CISGraphEngine
+    from repro.hw.accelerator import CISGraphAccelerator
+    from repro.obs import Telemetry, use_telemetry
+
+    factories = {
+        "cisgraph-o": CISGraphEngine,
+        "cisgraph": CISGraphAccelerator,
+    }
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        spec = dataset_by_abbreviation(WORKLOAD["dataset"])
+        workload = make_workload(
+            spec, num_batches=WORKLOAD["batches"], seed=WORKLOAD["seed"]
+        )
+        query = pick_query_pairs(
+            workload.initial, count=1, seed=WORKLOAD["seed"]
+        )[0]
+        answers = {}
+        for name in WORKLOAD["engines"]:
+            # initial_graph is a fresh copy per access, so engines don't
+            # see each other's applied updates
+            engine = factories[name](
+                workload.replay.initial_graph,
+                get_algorithm(WORKLOAD["algorithm"]),
+                query,
+            )
+            engine.initialize()
+            for step in workload.replay.batches():
+                result = engine.on_batch(step.batch)
+            answers[name] = result.answer
+
+    return {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "workload": dict(WORKLOAD, scale=os.environ.get("CISGRAPH_SCALE", "small")),
+        "answers": answers,
+        "telemetry": telemetry.metrics_document(),
+    }
+
+
+# ----------------------------------------------------------------------
+# schema comparison
+# ----------------------------------------------------------------------
+def key_paths(node: object, prefix: str = "") -> List[str]:
+    """Every dict key path in a JSON document (list items by index)."""
+    paths: List[str] = []
+    if isinstance(node, dict):
+        for key in sorted(node):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            paths.append(path)
+            paths.extend(key_paths(node[key], path))
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            paths.extend(key_paths(item, f"{prefix}[{index}]"))
+    return paths
+
+
+def schema_drift(baseline: Dict[str, object], fresh: Dict[str, object]) -> List[str]:
+    """Human-readable drift lines (empty when schemas match)."""
+    base_paths = set(key_paths(baseline))
+    fresh_paths = set(key_paths(fresh))
+    drift = []
+    for path in sorted(base_paths - fresh_paths):
+        drift.append(f"missing from fresh run: {path}")
+    for path in sorted(fresh_paths - base_paths):
+        drift.append(f"new (not in baseline):  {path}")
+    return drift
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_fixed_workload()
+
+    if args.check:
+        if not os.path.exists(args.output):
+            print(f"error: no baseline at {args.output} (run without --check)",
+                  file=sys.stderr)
+            return 1
+        with open(args.output) as handle:
+            baseline = json.load(handle)
+        drift = schema_drift(baseline, document)
+        if drift:
+            print(f"BENCH_observability schema drift ({len(drift)} paths):",
+                  file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            print("regenerate with: PYTHONPATH=src python tools/bench_snapshot.py",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: {args.output} schema matches ({len(set(key_paths(document)))} paths)")
+        return 0
+
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
