@@ -26,6 +26,10 @@ Commands
 ``wal-verify``
     Scan a write-ahead-log directory and report integrity statistics
     (records, torn tails, corrupt records); exits non-zero on damage.
+``serve``
+    Run a scripted concurrent query-serving session (standing queries,
+    sharded workers, admission control, result cache) over a dataset's
+    initial graph; see ``docs/serving.md`` for the script grammar.
 ``telemetry``
     Summarize, dump or export a telemetry directory written by a
     ``--telemetry PATH`` run (events.jsonl + metrics.json + metrics.prom).
@@ -137,6 +141,17 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"  SPM:               {config.spm.size_bytes // (1024 * 1024)} MB, "
           f"{config.spm.ways}-way, {config.spm.ports} ports")
     print(f"  DRAM:              {config.dram.channels}x DDR4 channels")
+    print()
+    from repro.serve.session import SessionState
+
+    print("Serving (repro serve, docs/serving.md):")
+    print("  script commands:   register, deregister, add, delete, commit, "
+          "query, stats, close")
+    print("  shed policies:     reject (fail fast), delay (park until deadline)")
+    print("  session lifecycle: "
+          + " -> ".join(s.value for s in SessionState))
+    print("  result cache:      key-path-aware invalidation "
+          "(contribution-driven, see docs/serving.md)")
     return 0
 
 
@@ -380,6 +395,61 @@ def cmd_wal_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a scripted query-serving session over a dataset's initial graph."""
+    import tempfile
+
+    from repro.algorithms import get_algorithm
+    from repro.serve import ScriptRunner, ServeHarness, ShedPolicy
+    from repro.serve.protocol import format_event, parse_script
+
+    spec = dataset_by_abbreviation(args.dataset)
+    workload = make_workload(spec, num_batches=1, seed=args.seed)
+    graph = workload.replay.initial_graph
+    if args.anchor_source is None or args.anchor_destination is None:
+        anchor = pick_query_pairs(workload.initial, count=1, seed=args.seed)[0]
+    else:
+        anchor = PairwiseQuery(args.anchor_source, args.anchor_destination)
+
+    if args.script == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.script) as handle:
+            lines = handle.read().splitlines()
+
+    directory = args.state_dir or tempfile.mkdtemp(prefix="repro-serve-")
+    with _telemetry_session(args.telemetry):
+        harness = ServeHarness.open(
+            directory,
+            graph,
+            get_algorithm(args.algorithm),
+            anchor,
+            num_shards=args.shards,
+            queue_bound=args.queue_bound,
+            policy=ShedPolicy(args.policy),
+            registration_rate=args.rate,
+            registration_burst=args.burst,
+            dedupe=args.dedupe,
+        )
+        print(
+            f"serving {spec.name} / {args.algorithm}: {args.shards} shards, "
+            f"queue bound {args.queue_bound}, policy {args.policy}, "
+            f"anchor {anchor}, state in {directory}"
+        )
+        runner = ScriptRunner(harness)
+        try:
+            for command in parse_script(lines):
+                event = runner.step(command)
+                print(format_event(event))
+                if runner.closed:
+                    break
+        finally:
+            runner.close()
+    errors = sum(1 for event in runner.events if not event["ok"])
+    print(f"serve: {len(runner.events)} commands, {errors} protocol errors")
+    return 0
+
+
 def cmd_telemetry(args: argparse.Namespace) -> int:
     """Summarize, dump or export a previously written telemetry directory."""
     from repro.obs.events import load_jsonl
@@ -524,6 +594,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     wal_verify.add_argument("directory", help="WAL directory (of wal-*.seg files)")
     wal_verify.set_defaults(func=cmd_wal_verify)
+
+    serve = sub.add_parser(
+        "serve", help="run a scripted concurrent query-serving session"
+    )
+    serve.add_argument(
+        "--script", default="-",
+        help="serve script path ('-' reads stdin; see docs/serving.md)",
+    )
+    serve.add_argument("--dataset", default="OR", help="OR, LJ or UK")
+    serve.add_argument("--algorithm", default="ppsp", choices=list_algorithms())
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--shards", type=int, default=2, help="worker threads")
+    serve.add_argument(
+        "--queue-bound", type=int, default=64, help="per-shard inbox bound"
+    )
+    serve.add_argument(
+        "--policy", choices=["reject", "delay"], default="reject",
+        help="load-shedding policy at saturation",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=64.0, help="registrations per second"
+    )
+    serve.add_argument(
+        "--burst", type=float, default=32.0, help="registration burst capacity"
+    )
+    serve.add_argument(
+        "--dedupe", action="store_true",
+        help="make duplicate registrations idempotent instead of errors",
+    )
+    serve.add_argument("--anchor-source", type=int, default=None)
+    serve.add_argument("--anchor-destination", type=int, default=None)
+    serve.add_argument(
+        "--state-dir", default=None,
+        help="WAL/checkpoint directory (default: fresh temp dir)",
+    )
+    serve.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="write events.jsonl/metrics.json/metrics.prom into PATH",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     telemetry = sub.add_parser(
         "telemetry", help="inspect a telemetry directory from a --telemetry run"

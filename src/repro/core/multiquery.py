@@ -29,6 +29,7 @@ from repro.algorithms.base import MonotonicAlgorithm
 from repro.core.classification import KeyPathRule
 from repro.core.keypath import KeyPathTracker
 from repro.core.scheduler import UpdateScheduler
+from repro.errors import DuplicateQueryError
 from repro.graph.batch import EdgeUpdate, UpdateBatch, net_effects
 from repro.graph.dynamic import DynamicGraph
 from repro.incremental import IncrementalState
@@ -50,8 +51,17 @@ class MultiBatchResult:
         return self.response_ops + self.post_ops
 
 
-class _SourceGroup:
-    """All queries sharing one source: one state array, many key paths."""
+class SourceGroup:
+    """All queries sharing one source: one state array, many key paths.
+
+    Public because the serve layer (:mod:`repro.serve`) shards standing
+    sessions along source groups: each shard worker owns the
+    ``SourceGroup`` objects of the sources assigned to it and drives them
+    through :meth:`process_batch` exactly like :class:`MultiQueryEngine`
+    does.  Destinations can be attached and detached at runtime
+    (:meth:`add_destination` / :meth:`remove_destination`) so standing
+    queries can register and deregister against a live group.
+    """
 
     def __init__(
         self,
@@ -81,6 +91,26 @@ class _SourceGroup:
 
     def answer(self, destination: int) -> float:
         return self.state.states[destination]
+
+    def add_destination(self, destination: int) -> None:
+        """Attach a destination to the group (idempotent, O(key path)).
+
+        The shared state array is keyed by the source only, so a late
+        destination costs exactly one key-path rebuild — no propagation.
+        """
+        if destination in self.keypaths:
+            return
+        self.destinations.append(destination)
+        tracker = KeyPathTracker(self.source, destination)
+        tracker.rebuild(self.state.parents)
+        self.keypaths[destination] = tracker
+
+    def remove_destination(self, destination: int) -> bool:
+        """Detach a destination; returns True when the group is now empty."""
+        if destination in self.keypaths:
+            del self.keypaths[destination]
+            self.destinations.remove(destination)
+        return not self.keypaths
 
     # ------------------------------------------------------------------
     def _deletion_urgent(self, upd: EdgeUpdate) -> bool:
@@ -156,6 +186,10 @@ class _SourceGroup:
         }
 
 
+#: backwards-compatible alias (the class predates the serve layer)
+_SourceGroup = SourceGroup
+
+
 class MultiQueryEngine:
     """Contribution-aware engine serving many pairwise queries at once."""
 
@@ -167,24 +201,32 @@ class MultiQueryEngine:
         algorithm: MonotonicAlgorithm,
         queries: Sequence[PairwiseQuery],
         rule: KeyPathRule = KeyPathRule.PRECISE,
+        dedupe: bool = False,
     ) -> None:
         if not queries:
             raise ValueError("need at least one query")
+        # The answer maps are keyed by query, so a duplicate registration
+        # would silently collapse onto one entry while ``queries`` kept
+        # both — either dedupe explicitly or fail with a typed error.
+        accepted: List[PairwiseQuery] = []
         seen = set()
         for query in queries:
             query.validate(graph.num_vertices)
             if query in seen:
-                raise ValueError(f"duplicate query {query}")
+                if dedupe:
+                    continue
+                raise DuplicateQueryError(query)
             seen.add(query)
+            accepted.append(query)
         self.graph = graph
         self.algorithm = algorithm
-        self.queries = list(queries)
+        self.queries = accepted
         self.init_ops = OpCounts()
         by_source: Dict[int, List[int]] = {}
-        for query in queries:
+        for query in accepted:
             by_source.setdefault(query.source, []).append(query.destination)
         self._groups = {
-            source: _SourceGroup(graph, algorithm, source, dests, rule)
+            source: SourceGroup(graph, algorithm, source, dests, rule)
             for source, dests in by_source.items()
         }
         self._initialized = False

@@ -33,6 +33,20 @@ class QueryError(ReproError):
     """Invalid pairwise query (e.g. source == destination)."""
 
 
+class DuplicateQueryError(QueryError):
+    """The same pairwise query was registered twice.
+
+    Raised by :class:`repro.core.multiquery.MultiQueryEngine` (unless
+    constructed with ``dedupe=True``) and by the serve-layer session
+    registry, so a duplicate registration can never silently shadow the
+    answers of the session that owns the query.
+    """
+
+    def __init__(self, query) -> None:
+        super().__init__(f"query {query} is already registered")
+        self.query = query
+
+
 class ConfigError(ReproError):
     """Invalid hardware or experiment configuration."""
 
@@ -88,3 +102,48 @@ class RetryExhaustedError(ReproError):
         super().__init__(f"gave up after {attempts} attempts: {last}")
         self.attempts = attempts
         self.last = last
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the query-serving layer."""
+
+
+class AdmissionError(ServeError):
+    """A request was load-shedded by admission control.
+
+    ``reason`` is a short machine-stable tag (``"rate-limited"``,
+    ``"queue-saturated"``) used as the rejection counter label.
+    """
+
+    reason = "admission"
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(detail)
+
+
+class RateLimitedError(AdmissionError):
+    """The registration token bucket is empty; retry later."""
+
+    reason = "rate-limited"
+
+
+class QueueSaturatedError(AdmissionError):
+    """A bounded serve queue is full and the shed policy gave up."""
+
+    reason = "queue-saturated"
+
+
+class SessionNotFoundError(ServeError):
+    """A session id referenced a session that does not exist."""
+
+    def __init__(self, session_id: str) -> None:
+        super().__init__(f"no session {session_id!r}")
+        self.session_id = session_id
+
+
+class SessionStateError(ServeError):
+    """A session was driven through an invalid lifecycle transition."""
+
+
+class ShardCrashedError(ServeError):
+    """A shard worker died and could not produce a batch outcome."""

@@ -98,6 +98,52 @@ def record_deadletters(registry: MetricsRegistry, deadletters) -> None:
         registry.gauge("deadletter_by_reason", {"reason": reason}).set(count)
 
 
+def record_serve_state(
+    registry: MetricsRegistry,
+    shard_depths: Mapping[int, int],
+    session_counts: Mapping[str, int],
+) -> None:
+    """Serve-layer occupancy -> per-shard depth and per-state session gauges."""
+    for index, depth in shard_depths.items():
+        registry.gauge("serve_queue_depth", {"shard": str(index)}).set(depth)
+    for state, count in session_counts.items():
+        registry.gauge("serve_sessions", {"state": state}).set(count)
+
+
+def record_serve_admission(registry: MetricsRegistry, stats: Mapping) -> None:
+    """``AdmissionController.stats()`` -> admission gauges.
+
+    The controller's counts are cumulative, so (like
+    :func:`record_resilience_counters`) they map onto gauges set to the
+    current level — safe to call after every admission decision.
+    """
+    registry.gauge("serve_queue_bound").set(stats["queue_bound"])
+    registry.gauge("serve_admitted_registrations").set(
+        stats["admitted_registrations"]
+    )
+    registry.gauge("serve_admitted_batches").set(stats["admitted_batches"])
+    registry.gauge("serve_admission_delays").set(stats["delays"])
+    for reason, count in stats["rejections"].items():
+        registry.gauge(
+            "serve_admission_rejections", {"reason": reason}
+        ).set(count)
+
+
+def record_serve_cache(registry: MetricsRegistry, stats: Mapping) -> None:
+    """``CacheStats.as_dict()`` -> ``serve_cache_*`` gauges."""
+    for name, value in stats.items():
+        registry.gauge(f"serve_cache_{name}").set(value)
+
+
+def record_answer_latency(
+    registry: MetricsRegistry, session_id: str, latency: float
+) -> None:
+    """One standing-query answer -> ``serve_answer_seconds{session}``."""
+    registry.histogram(
+        "serve_answer_seconds", {"session": session_id}
+    ).observe(latency)
+
+
 def record_hw_stats(registry: MetricsRegistry, stats) -> None:
     """``HwBatchStats`` -> ``hw_*`` cycle counters and occupancy gauges."""
     for attr in ("identify_cycles", "response_cycles", "total_cycles"):

@@ -17,11 +17,18 @@ module gives all of them one vocabulary:
 
 Everything here is dependency-free stdlib Python; nothing imports the rest
 of :mod:`repro`, so every layer (engine, resilience, hw) can depend on it.
+
+Instruments and the registry are **thread-safe**: the serve worker pool
+(:mod:`repro.serve`) increments counters and observes histograms from
+multiple shard threads concurrently, so every read-modify-write (and the
+create-on-first-use path in :class:`MetricsRegistry`) is guarded by a lock.
+The hot-path cost is one uncontended ``Lock`` acquire per update.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -54,42 +61,48 @@ def _format_labels(labels: LabelPairs) -> str:
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count (thread-safe)."""
 
     kind = "counter"
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def as_dict(self) -> Dict[str, float]:
         return {"value": self.value}
 
 
 class Gauge:
-    """Last-write-wins level; may move in both directions."""
+    """Last-write-wins level; may move in both directions (thread-safe)."""
 
     kind = "gauge"
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def as_dict(self) -> Dict[str, float]:
         return {"value": self.value}
@@ -106,7 +119,7 @@ class Histogram:
 
     kind = "histogram"
 
-    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max", "_lock")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -120,16 +133,19 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     # ------------------------------------------------------------------
     def percentile(self, q: float) -> float:
@@ -260,21 +276,28 @@ class MetricsRegistry:
         self._metrics: Dict[str, Dict[LabelPairs, object]] = {}
         self._kinds: Dict[str, str] = {}
         self._buckets: Dict[str, Tuple[float, ...]] = {}
+        # guards create-on-first-use and structural iteration: without it,
+        # two threads requesting a new (name, labels) pair could each build
+        # an instrument and one of them would silently lose every update
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def _instrument(self, name: str, kind: str, labels, factory):
-        registered = self._kinds.get(name)
-        if registered is None:
-            self._kinds[name] = kind
-            self._metrics[name] = {}
-        elif registered != kind:
-            raise TypeError(f"{name} already registered as {registered}, not {kind}")
-        family = self._metrics[name]
         key = _label_key(labels)
-        instrument = family.get(key)
-        if instrument is None:
-            instrument = family[key] = factory()
-        return instrument
+        with self._lock:
+            registered = self._kinds.get(name)
+            if registered is None:
+                self._kinds[name] = kind
+                self._metrics[name] = {}
+            elif registered != kind:
+                raise TypeError(
+                    f"{name} already registered as {registered}, not {kind}"
+                )
+            family = self._metrics[name]
+            instrument = family.get(key)
+            if instrument is None:
+                instrument = family[key] = factory()
+            return instrument
 
     def counter(self, name: str, labels: Optional[Mapping[str, object]] = None) -> Counter:
         return self._instrument(name, "counter", labels, Counter)
@@ -288,39 +311,51 @@ class MetricsRegistry:
         labels: Optional[Mapping[str, object]] = None,
         buckets: Optional[Sequence[float]] = None,
     ) -> Histogram:
-        if buckets is not None:
-            bounds = tuple(float(b) for b in buckets)
-            known = self._buckets.setdefault(name, bounds)
-            if known != bounds:
-                raise ValueError(f"{name}: conflicting bucket bounds")
-        chosen = self._buckets.get(name, DEFAULT_LATENCY_BUCKETS)
-        return self._instrument(name, "histogram", labels, lambda: Histogram(chosen))
+        with self._lock:
+            if buckets is not None:
+                bounds = tuple(float(b) for b in buckets)
+                known = self._buckets.setdefault(name, bounds)
+                if known != bounds:
+                    raise ValueError(f"{name}: conflicting bucket bounds")
+            chosen = self._buckets.get(name, DEFAULT_LATENCY_BUCKETS)
+            return self._instrument(
+                name, "histogram", labels, lambda: Histogram(chosen)
+            )
 
     # ------------------------------------------------------------------
     def names(self) -> List[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def snapshot(self) -> MetricsSnapshot:
         data: Dict[str, Dict[str, object]] = {}
-        for name in sorted(self._metrics):
-            series = []
-            for key in sorted(self._metrics[name]):
-                instrument = self._metrics[name][key]
-                entry: Dict[str, object] = {"labels": [list(pair) for pair in key]}
-                entry.update(instrument.as_dict())  # type: ignore[union-attr]
-                series.append(entry)
-            data[name] = {"type": self._kinds[name], "series": series}
+        with self._lock:
+            for name in sorted(self._metrics):
+                series = []
+                for key in sorted(self._metrics[name]):
+                    instrument = self._metrics[name][key]
+                    entry: Dict[str, object] = {
+                        "labels": [list(pair) for pair in key]
+                    }
+                    entry.update(instrument.as_dict())  # type: ignore[union-attr]
+                    series.append(entry)
+                data[name] = {"type": self._kinds[name], "series": series}
         return MetricsSnapshot(data)
 
     def clear(self) -> None:
-        self._metrics.clear()
-        self._kinds.clear()
-        self._buckets.clear()
+        with self._lock:
+            self._metrics.clear()
+            self._kinds.clear()
+            self._buckets.clear()
 
     # ------------------------------------------------------------------
     def to_prometheus(self) -> str:
         """Prometheus text exposition (histograms as *_bucket/_sum/_count)."""
         lines: List[str] = []
+        with self._lock:
+            return self._to_prometheus_locked(lines)
+
+    def _to_prometheus_locked(self, lines: List[str]) -> str:
         for name in sorted(self._metrics):
             kind = self._kinds[name]
             lines.append(f"# TYPE {name} {kind}")

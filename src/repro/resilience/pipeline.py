@@ -112,6 +112,31 @@ class ResilientPipeline:
         return pipeline
 
     @classmethod
+    def wrap(
+        cls,
+        directory: str,
+        engine,
+        start_snapshot: int = 0,
+        checkpoint_now: bool = True,
+        **kwargs,
+    ) -> "ResilientPipeline":
+        """Wrap an already-initialized engine with the durable path.
+
+        Unlike :meth:`open`, no engine is constructed: any object speaking
+        the engine protocol (``on_batch``/``graph``/``query``/``state``/
+        ``keypath``/``answer``/``telemetry``) gains WAL-first commits,
+        checkpoint cadence and guard coverage — this is how the serve
+        layer (:mod:`repro.serve`) attaches its sharded engine.  With
+        ``checkpoint_now`` (default) a base checkpoint is written at
+        ``start_snapshot`` so recovery always has a foundation; pass
+        ``False`` when resuming onto a directory that already has one.
+        """
+        pipeline = cls(directory, engine, start_snapshot=start_snapshot, **kwargs)
+        if checkpoint_now:
+            pipeline.checkpoint()
+        return pipeline
+
+    @classmethod
     def resume(
         cls,
         directory: str,

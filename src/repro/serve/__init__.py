@@ -1,0 +1,59 @@
+"""Concurrent query serving over streaming pairwise analytics.
+
+The paper's engine answers one fixed query; a deployment serves *many
+clients* registering and dropping standing queries while the topology
+keeps streaming.  This package is that serving layer:
+
+* :mod:`repro.serve.session` — standing-query sessions with a
+  pending/warming/live/degraded/closed lifecycle and a registry enforcing
+  one session per query;
+* :mod:`repro.serve.shard` — worker threads partitioning sessions by
+  source group, each owning a private topology copy and bounded inbox;
+* :mod:`repro.serve.engine` — the sharded engine speaking the common
+  engine protocol so the resilience stack (WAL, checkpoints, guard,
+  recovery) wraps it unchanged;
+* :mod:`repro.serve.admission` — token-bucket registration limits and
+  reject-vs-delay load shedding with typed errors;
+* :mod:`repro.serve.cache` — key-path-aware memoization of one-shot
+  pairwise reads, invalidated with the paper's own contribution tests;
+* :mod:`repro.serve.harness` — :class:`ServeHarness`, the façade wiring
+  all of the above plus telemetry;
+* :mod:`repro.serve.protocol` — the line-oriented script protocol behind
+  ``repro serve``.
+
+See ``docs/serving.md`` for the architecture and the backpressure and
+cache-invalidation policies.
+"""
+
+from repro.serve.admission import AdmissionController, ShedPolicy, TokenBucket
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.engine import ServeBatchResult, ShardedServeEngine
+from repro.serve.harness import ServeHarness
+from repro.serve.protocol import ScriptRunner, format_event, parse_script
+from repro.serve.session import (
+    AnswerEvent,
+    QuerySession,
+    SessionRegistry,
+    SessionState,
+)
+from repro.serve.shard import ShardBatchOutcome, ShardWorker
+
+__all__ = [
+    "AdmissionController",
+    "AnswerEvent",
+    "CacheStats",
+    "QuerySession",
+    "ResultCache",
+    "ScriptRunner",
+    "ServeBatchResult",
+    "ServeHarness",
+    "SessionRegistry",
+    "SessionState",
+    "ShardBatchOutcome",
+    "ShardWorker",
+    "ShardedServeEngine",
+    "ShedPolicy",
+    "TokenBucket",
+    "format_event",
+    "parse_script",
+]

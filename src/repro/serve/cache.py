@@ -1,0 +1,252 @@
+"""Key-path-aware result cache for ad-hoc pairwise reads.
+
+Standing sessions get their answers for free from the shard workers'
+converged source groups; the cache serves the other read pattern — clients
+issuing (often duplicate) one-shot ``query(s, d)`` reads against the
+current snapshot — without a full computation per read.
+
+A cache entry is keyed ``(source, destination)`` and lives inside a
+per-source *family* holding the solver's converged state/parent arrays
+("fresh") plus the answer's key path (the witness chain from
+:class:`~repro.core.keypath.KeyPathTracker`).  On every committed batch
+the cache invalidates with the paper's own machinery instead of flushing:
+
+* an addition that is *useless* wrt the family's converged states
+  (``improves`` false, Algorithm 1) provably changes no state — retained;
+* a *valuable* addition may improve anything — the family is dropped;
+* a deletion that *supplies* no state (``supplies`` false) is a no-op —
+  retained;
+* a supplying deletion invalidates exactly the entries whose **key path**
+  contains the deleted edge; other entries keep their answers (the witness
+  path is intact and deletions cannot improve a monotone answer) but the
+  family's state array goes *stale*, so later additions can no longer be
+  classified and conservatively drop the family;
+* a batch mixing supplying deletions with additions drops the family:
+  a repair may make a previously-useless addition valuable, so retention
+  cannot be proven.
+
+Every retention above is a theorem, not a heuristic — the differential
+fuzz test in ``tests/test_serve_cache.py`` checks cache hits against a
+fresh solver run on every step.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.algorithms.solvers import dijkstra
+from repro.core.keypath import KeyPathTracker
+from repro.graph.batch import UpdateBatch
+from repro.graph.dynamic import DynamicGraph
+from repro.metrics import OpCounts
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache effectiveness counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    invalidated_entries: int = 0
+    invalidated_families: int = 0
+    evicted_families: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without a full computation."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        data = {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidated_entries": self.invalidated_entries,
+            "invalidated_families": self.invalidated_families,
+            "evicted_families": self.evicted_families,
+            "hit_rate": self.hit_rate,
+        }
+        return data
+
+
+@dataclass
+class _Entry:
+    """One cached ``(source, destination)`` answer with its witness path."""
+
+    value: float
+    #: dependence edges ``(parent, child)`` of the key path (empty when the
+    #: destination is unreached — then no deletion can worsen it further)
+    path_edges: FrozenSet[Tuple[int, int]]
+
+
+@dataclass
+class _SourceFamily:
+    """All cached answers of one source plus the solver state behind them."""
+
+    states: List[float]
+    parents: List[int]
+    #: True while ``states`` is the converged array of the *current*
+    #: snapshot (required for classifying additions); supplying deletions
+    #: flip it off without discarding still-valid answers
+    fresh: bool = True
+    answers: Dict[int, _Entry] = field(default_factory=dict)
+
+
+class ResultCache:
+    """Memoized pairwise answers with contribution-driven invalidation.
+
+    ``capacity`` bounds the number of source families (LRU eviction).
+    The cache is driven from the harness thread only — reads between
+    batches, :meth:`on_batch` after each commit — so it needs no locking.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        algorithm: MonotonicAlgorithm,
+        capacity: int = 128,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.graph = graph
+        self.algorithm = algorithm
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._families: "OrderedDict[int, _SourceFamily]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return sum(len(f.answers) for f in self._families.values())
+
+    @property
+    def num_families(self) -> int:
+        return len(self._families)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def fetch(
+        self, source: int, destination: int, ops: Optional[OpCounts] = None
+    ) -> float:
+        """Answer ``Q(source -> destination)`` on the current snapshot.
+
+        Serves from the family's converged states (fresh family, any
+        destination) or a retained entry (stale family, cached
+        destination); otherwise runs the solver, installing a fresh family.
+        """
+        self.stats.lookups += 1
+        family = self._families.get(source)
+        if family is not None:
+            self._families.move_to_end(source)
+            if family.fresh and destination < len(family.states):
+                self.stats.hits += 1
+                if destination not in family.answers:
+                    family.answers[destination] = self._entry(
+                        source, family, destination
+                    )
+                return family.states[destination]
+            entry = family.answers.get(destination)
+            if entry is not None:
+                self.stats.hits += 1
+                return entry.value
+        self.stats.misses += 1
+        result = dijkstra(self.graph, self.algorithm, source)
+        if ops is not None:
+            ops += result.ops
+        family = _SourceFamily(states=result.states, parents=result.parents)
+        family.answers[destination] = self._entry(source, family, destination)
+        self._families[source] = family
+        self._families.move_to_end(source)
+        while len(self._families) > self.capacity:
+            self._families.popitem(last=False)
+            self.stats.evicted_families += 1
+        return family.states[destination]
+
+    def _entry(
+        self, source: int, family: _SourceFamily, destination: int
+    ) -> _Entry:
+        tracker = KeyPathTracker(source, destination)
+        tracker.rebuild(family.parents)
+        chain = tracker.vertices()  # source ... destination (empty if none)
+        return _Entry(
+            value=family.states[destination],
+            path_edges=frozenset(zip(chain, chain[1:])),
+        )
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def on_batch(self, effective: UpdateBatch) -> Dict[str, int]:
+        """Invalidate against one committed *net* batch; returns tallies."""
+        adds = [u for u in effective if u.is_addition]
+        dels = [u for u in effective if u.is_deletion]
+        tallies = {"families_dropped": 0, "entries_dropped": 0, "retained": 0}
+        if not adds and not dels:
+            return tallies
+
+        before_entries = self.stats.invalidated_entries
+        for source in list(self._families):
+            family = self._families[source]
+            if family.fresh:
+                keep = self._sweep_fresh(family, adds, dels)
+            else:
+                keep = self._sweep_stale(family, adds, dels)
+            if not keep:
+                del self._families[source]
+                self.stats.invalidated_families += 1
+                tallies["families_dropped"] += 1
+            else:
+                tallies["retained"] += 1
+        tallies["entries_dropped"] = (
+            self.stats.invalidated_entries - before_entries
+        )
+        return tallies
+
+    def _sweep_fresh(self, family, adds, dels) -> bool:
+        """Classify a net batch against a fresh family; False = drop it."""
+        alg = self.algorithm
+        states = family.states
+        n = len(states)
+        for upd in adds:
+            if upd.u >= n or upd.v >= n:
+                return False  # grown graph: states unknown, cannot classify
+            if alg.improves(states[upd.u], upd.weight, states[upd.v]):
+                return False  # valuable addition may improve anything
+        supplying = []
+        for upd in dels:
+            if upd.u >= n or upd.v >= n:
+                supplying.append(upd)  # conservative: treat as supplying
+            elif alg.supplies(states[upd.u], upd.weight, states[upd.v]):
+                supplying.append(upd)
+        if not supplying:
+            return True  # pure no-op batch: family stays fresh
+        if adds:
+            # a repair may turn a useless addition valuable; retention of
+            # anything in this family can no longer be proven
+            return False
+        deleted = {(upd.u, upd.v) for upd in supplying}
+        for destination in list(family.answers):
+            if family.answers[destination].path_edges & deleted:
+                del family.answers[destination]
+                self.stats.invalidated_entries += 1
+        family.fresh = False  # states may have shifted off the kept paths
+        return bool(family.answers)
+
+    def _sweep_stale(self, family, adds, dels) -> bool:
+        """Key-path-only sweep for a stale family; False = drop it."""
+        if adds:
+            return False  # no states to classify additions against
+        deleted = {(upd.u, upd.v) for upd in dels}
+        for destination in list(family.answers):
+            if family.answers[destination].path_edges & deleted:
+                del family.answers[destination]
+                self.stats.invalidated_entries += 1
+        return bool(family.answers)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every family (stats are kept cumulative)."""
+        self._families.clear()

@@ -1,0 +1,237 @@
+"""The sharded serve engine: one ingest thread, N shard workers.
+
+:class:`ShardedServeEngine` speaks the same engine protocol as
+:class:`~repro.core.engine.CISGraphEngine` (``on_batch``/``graph``/``query``/
+``state``/``keypath``/``answer``), so the whole resilience stack — WAL-first
+commit, checkpoint cadence, differential guard, crash recovery — wraps it
+unchanged via :meth:`repro.resilience.pipeline.ResilientPipeline.wrap`.
+
+Topology and work are split as follows:
+
+* the engine owns the **canonical graph** (the one the pipeline WALs and
+  checkpoints) and an **anchor** source group processed inline on the
+  ingest thread — the anchor is the durability surface: its states/parents
+  are what checkpoints capture and what the guard cross-checks;
+* every shard worker owns a private copy of the topology plus the source
+  groups of the standing sessions hashed to it (``source % num_shards``);
+* :meth:`on_batch` reduces the batch to net effects once, applies it to
+  the canonical graph, fans the same effective batch to every shard inbox,
+  processes the anchor, then barriers on all shard outcomes for the epoch
+  and merges their answers, op counts and degradations into one
+  :class:`ServeBatchResult`.
+
+Because shard inboxes are FIFO and registrations travel through the same
+inbox as batches, a session registered before batch *k* is bootstrapped on
+the pre-*k* topology and answers from *k* on — no locks, no torn reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.core.classification import KeyPathRule
+from repro.core.keypath import KeyPathTracker
+from repro.core.multiquery import SourceGroup
+from repro.graph.batch import UpdateBatch, net_effects
+from repro.graph.dynamic import DynamicGraph
+from repro.incremental import IncrementalState
+from repro.metrics import BatchResult, OpCounts
+from repro.obs.bridge import record_batch_result
+from repro.obs.telemetry import Telemetry, get_global_telemetry
+from repro.query import PairwiseQuery
+from repro.serve.shard import FaultHook, ShardWorker
+
+
+@dataclass
+class ServeBatchResult(BatchResult):
+    """A :class:`~repro.metrics.BatchResult` plus the per-session answers.
+
+    ``answer`` (inherited) is the anchor query's answer; ``answers`` maps
+    every standing ``(source, destination)`` pair to its converged answer
+    for this epoch; ``degraded`` lists sources whose shard-side group
+    failed mid-batch (with the failure text).
+    """
+
+    answers: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    degraded: List[Tuple[int, str]] = field(default_factory=list)
+    epoch: int = 0
+
+
+class ShardedServeEngine:
+    """Engine-protocol front for the sharded worker pool.
+
+    ``anchor`` is the pairwise query checkpointed and guarded on behalf of
+    the whole serving session (see module docstring); standing sessions
+    are attached afterwards through :meth:`submit_register`.
+    """
+
+    name = "serve-sharded"
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        algorithm: MonotonicAlgorithm,
+        anchor: PairwiseQuery,
+        num_shards: int = 2,
+        rule: KeyPathRule = KeyPathRule.PRECISE,
+        queue_bound: int = 64,
+        fault_hook: Optional[FaultHook] = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        anchor.validate(graph.num_vertices)
+        self.graph = graph
+        self.algorithm = algorithm
+        self.query = anchor
+        self.rule = rule
+        self.init_ops = OpCounts()
+        self.epoch = 0
+        #: the last committed net batch (consumed by the result cache)
+        self.last_effective: Optional[UpdateBatch] = None
+        self.telemetry: Optional[Telemetry] = get_global_telemetry()
+        self._anchor = SourceGroup(
+            graph, algorithm, anchor.source, [anchor.destination], rule
+        )
+        self.shards = [
+            ShardWorker(
+                index,
+                graph.copy(),
+                algorithm,
+                rule=rule,
+                queue_bound=queue_bound,
+                fault_hook=fault_hook,
+            )
+            for index in range(num_shards)
+        ]
+        self._initialized = False
+        self._batches_seen = 0
+
+    # ------------------------------------------------------------------
+    # engine protocol (what pipeline / checkpoint / guard consume)
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> IncrementalState:
+        """The anchor group's incremental state (the checkpoint surface)."""
+        return self._anchor.state
+
+    @property
+    def keypath(self) -> KeyPathTracker:
+        """The anchor query's key-path tracker (guard fallback rebuilds it)."""
+        return self._anchor.keypaths[self.query.destination]
+
+    @property
+    def answer(self) -> float:
+        """Converged answer of the anchor query."""
+        return self._anchor.answer(self.query.destination)
+
+    def initialize(self) -> float:
+        """Full computation for the anchor; starts the shard workers."""
+        self._anchor.initialize(self.init_ops)
+        self._start_shards()
+        self._initialized = True
+        return self.answer
+
+    def adopt_state(self, states: List[float], parents: List[int]) -> float:
+        """Adopt recovered anchor state instead of recomputing (resume path)."""
+        self.state.states = list(states)
+        self.state.parents = list(parents)
+        self.state.suppressed.clear()
+        for tracker in self._anchor.keypaths.values():
+            tracker.rebuild(self.state.parents)
+        self._start_shards()
+        self._initialized = True
+        return self.answer
+
+    def _start_shards(self) -> None:
+        for shard in self.shards:
+            shard.start()
+
+    def on_batch(self, batch: UpdateBatch) -> ServeBatchResult:
+        """Commit one batch across the canonical graph and every shard."""
+        if not self._initialized:
+            raise RuntimeError(f"{self.name}: initialize() must run before on_batch()")
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._do_batch(batch)
+        self._batches_seen += 1
+        with telemetry.span(
+            "engine.batch",
+            engine=self.name,
+            batch=self._batches_seen,
+            updates=len(batch),
+        ) as span:
+            result = self._do_batch(batch)
+        record_batch_result(telemetry.registry, self.name, result, span.duration)
+        return result
+
+    def _do_batch(self, batch: UpdateBatch) -> ServeBatchResult:
+        response = OpCounts()
+        post = OpCounts()
+        effective = net_effects(
+            batch, lambda u, v: self.graph.out_adj(u).get(v)
+        )
+        self.epoch += 1
+        # fan out first so shards overlap with the anchor's inline work
+        for shard in self.shards:
+            shard.submit_batch(self.epoch, effective)
+        for upd in effective:
+            self.graph.apply_update(upd, missing_ok=True)
+        anchor_stats = self._anchor.process_batch(effective, response, post)
+
+        answers: Dict[Tuple[int, int], float] = {}
+        degraded: List[Tuple[int, str]] = []
+        totals: Dict[str, int] = dict(anchor_stats)
+        for shard in self.shards:
+            outcome = shard.wait_outcome(self.epoch)
+            answers.update(outcome.answers)
+            degraded.extend(outcome.degraded)
+            response += outcome.response_ops
+            post += outcome.post_ops
+            for key, value in outcome.stats.items():
+                totals[key] = totals.get(key, 0) + value
+
+        self.last_effective = effective
+        stats: Dict[str, float] = {k: float(v) for k, v in totals.items()}
+        stats["standing_answers"] = float(len(answers))
+        stats["degraded_sources"] = float(len(degraded))
+        return ServeBatchResult(
+            answer=self.answer,
+            response_ops=response,
+            post_ops=post,
+            stats=stats,
+            answers=answers,
+            degraded=degraded,
+            epoch=self.epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # shard routing (what the harness consumes)
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, source: int) -> ShardWorker:
+        """The worker owning ``source``'s group (stable hash by source)."""
+        return self.shards[source % len(self.shards)]
+
+    def max_depth(self) -> int:
+        """Deepest shard inbox right now (the admission probe)."""
+        return max(shard.depth for shard in self.shards)
+
+    def sources_owned(self) -> Dict[int, List[int]]:
+        """Shard index -> sources currently grouped there (diagnostics)."""
+        return {shard.index: sorted(shard.groups) for shard in self.shards}
+
+    def close(self) -> None:
+        """Stop every shard worker (idempotent)."""
+        for shard in self.shards:
+            shard.stop()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedServeEngine(shards={len(self.shards)}, "
+            f"epoch={self.epoch}, anchor={self.query})"
+        )

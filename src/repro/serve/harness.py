@@ -1,0 +1,393 @@
+"""The serving harness: sessions + shards + admission + cache + durability.
+
+:class:`ServeHarness` is the one object a serving deployment holds.  It
+owns the :class:`~repro.serve.session.SessionRegistry`, routes
+registrations to the :class:`~repro.serve.engine.ShardedServeEngine`'s
+workers behind the :class:`~repro.serve.admission.AdmissionController`,
+pushes every committed batch through a WAL-backed
+:class:`~repro.resilience.pipeline.ResilientPipeline` (so a crash mid-serve
+is recoverable with :meth:`ServeHarness.resume`), fans per-batch answers
+out to live sessions, and serves ad-hoc reads through the key-path-aware
+:class:`~repro.serve.cache.ResultCache`.
+
+Threading contract: the harness itself is driven from one caller thread
+(registrations, batches, reads); the shard workers are the only other
+threads and communicate exclusively through their bounded inboxes and
+epoch outcomes.  Telemetry, when ambient or passed in, records queue
+depths, session states, admission rejections, cache effectiveness and a
+per-session answer-latency histogram (``serve_answer_seconds``).
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.core.classification import KeyPathRule
+from repro.errors import QueryError, QueueSaturatedError
+from repro.graph.batch import EdgeUpdate, UpdateBatch
+from repro.graph.dynamic import DynamicGraph
+from repro.metrics import OpCounts, ResilienceCounters
+from repro.obs.bridge import (
+    record_answer_latency,
+    record_serve_admission,
+    record_serve_cache,
+    record_serve_state,
+)
+from repro.obs.telemetry import Telemetry, get_global_telemetry
+from repro.query import PairwiseQuery
+from repro.resilience.pipeline import ResilientPipeline
+from repro.resilience.recovery import RecoveryManager, RecoveryResult
+from repro.serve.admission import AdmissionController, ShedPolicy
+from repro.serve.cache import ResultCache
+from repro.serve.engine import ServeBatchResult, ShardedServeEngine
+from repro.serve.session import (
+    AnswerEvent,
+    QuerySession,
+    SessionRegistry,
+    SessionState,
+)
+
+
+class ServeHarness:
+    """A live query-serving deployment over one streaming graph.
+
+    Build with :meth:`open` (fresh) or :meth:`resume` (after a crash);
+    register standing queries with :meth:`register`, stream updates with
+    :meth:`submit`, read ad hoc with :meth:`query`, and :meth:`close` when
+    done (also usable as a context manager).
+    """
+
+    def __init__(
+        self,
+        pipeline: ResilientPipeline,
+        engine: ShardedServeEngine,
+        admission: AdmissionController,
+        registry: SessionRegistry,
+        cache: ResultCache,
+        recovered: Optional[RecoveryResult] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.engine = engine
+        self.admission = admission
+        self.sessions = registry
+        self.cache = cache
+        #: recovery report when this harness was built by :meth:`resume`
+        self.recovered = recovered
+        self.telemetry: Optional[Telemetry] = pipeline.telemetry
+        self.batches_served = 0
+        self.query_ops = OpCounts()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        graph: DynamicGraph,
+        algorithm: MonotonicAlgorithm,
+        anchor: PairwiseQuery,
+        num_shards: int = 2,
+        rule: KeyPathRule = KeyPathRule.PRECISE,
+        queue_bound: int = 64,
+        policy: ShedPolicy = ShedPolicy.REJECT,
+        registration_rate: float = 64.0,
+        registration_burst: float = 32.0,
+        delay_timeout: float = 2.0,
+        dedupe: bool = False,
+        cache_capacity: int = 128,
+        clock: Callable[[], float] = time.monotonic,
+        fault_hook=None,
+        **pipeline_kwargs,
+    ) -> "ServeHarness":
+        """Start serving on a fresh state directory.
+
+        ``anchor`` is the query whose state anchors checkpoints and the
+        differential guard; ``pipeline_kwargs`` pass through to
+        :class:`~repro.resilience.pipeline.ResilientPipeline` (e.g.
+        ``checkpoint_every``, ``guard_every``, ``wal_sync``,
+        ``write_hook``, ``telemetry``).
+        """
+        engine = ShardedServeEngine(
+            graph,
+            algorithm,
+            anchor,
+            num_shards=num_shards,
+            rule=rule,
+            queue_bound=queue_bound,
+            fault_hook=fault_hook,
+        )
+        engine.initialize()
+        pipeline = ResilientPipeline.wrap(directory, engine, **pipeline_kwargs)
+        return cls._assemble(
+            pipeline, engine, policy, queue_bound, registration_rate,
+            registration_burst, delay_timeout, dedupe, cache_capacity, clock,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        directory: str,
+        algorithm: Optional[MonotonicAlgorithm] = None,
+        on_corrupt: str = "quarantine",
+        num_shards: int = 2,
+        rule: KeyPathRule = KeyPathRule.PRECISE,
+        queue_bound: int = 64,
+        policy: ShedPolicy = ShedPolicy.REJECT,
+        registration_rate: float = 64.0,
+        registration_burst: float = 32.0,
+        delay_timeout: float = 2.0,
+        dedupe: bool = False,
+        cache_capacity: int = 128,
+        clock: Callable[[], float] = time.monotonic,
+        fault_hook=None,
+        **pipeline_kwargs,
+    ) -> "ServeHarness":
+        """Recover a crashed serving session from its state directory.
+
+        Checkpoint restore + WAL tail replay rebuild the canonical
+        topology and the anchor's converged state; shard workers start
+        from the recovered graph, so clients simply re-register their
+        standing queries (sessions are in-memory, not durable state).
+        """
+        counters = pipeline_kwargs.pop("counters", None) or ResilienceCounters()
+        manager = RecoveryManager(
+            directory, algorithm=algorithm, on_corrupt=on_corrupt,
+            counters=counters,
+        )
+        recovered = manager.recover()
+        base = recovered.engine
+        engine = ShardedServeEngine(
+            base.graph,
+            base.algorithm,
+            base.query,
+            num_shards=num_shards,
+            rule=rule,
+            queue_bound=queue_bound,
+            fault_hook=fault_hook,
+        )
+        engine.adopt_state(base.state.states, base.state.parents)
+        pipeline = ResilientPipeline.wrap(
+            directory,
+            engine,
+            start_snapshot=recovered.snapshot_id,
+            checkpoint_now=False,
+            counters=counters,
+            **pipeline_kwargs,
+        )
+        return cls._assemble(
+            pipeline, engine, policy, queue_bound, registration_rate,
+            registration_burst, delay_timeout, dedupe, cache_capacity, clock,
+            recovered=recovered,
+        )
+
+    @classmethod
+    def _assemble(
+        cls, pipeline, engine, policy, queue_bound, registration_rate,
+        registration_burst, delay_timeout, dedupe, cache_capacity, clock,
+        recovered=None,
+    ) -> "ServeHarness":
+        """Shared tail of :meth:`open` / :meth:`resume`."""
+        admission = AdmissionController(
+            policy=policy,
+            queue_bound=queue_bound,
+            registration_rate=registration_rate,
+            registration_burst=registration_burst,
+            delay_timeout=delay_timeout,
+            clock=clock,
+        )
+        registry = SessionRegistry(dedupe=dedupe)
+        cache = ResultCache(engine.graph, engine.algorithm,
+                            capacity=cache_capacity)
+        return cls(pipeline, engine, admission, registry, cache,
+                   recovered=recovered)
+
+    # ------------------------------------------------------------------
+    # standing queries
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        source: int,
+        destination: int,
+        callback: Optional[Callable[[QuerySession, AnswerEvent], None]] = None,
+    ) -> QuerySession:
+        """Register a standing query; returns its session.
+
+        Admission runs first (token bucket, then the owning shard's inbox
+        depth), so a shed registration creates no session.  Raises
+        :class:`~repro.errors.RateLimitedError`,
+        :class:`~repro.errors.QueueSaturatedError` or
+        :class:`~repro.errors.DuplicateQueryError` (unless deduping).
+        """
+        request = PairwiseQuery(source, destination)
+        request.validate(self.engine.graph.num_vertices)
+        shard = self.engine.shard_of(request.source)
+        try:
+            self.admission.admit_registration(shard.depth)
+        finally:
+            self._record_telemetry()
+        session = self.sessions.register(request, callback)
+        if session.registered_snapshot is not None:
+            return session  # dedupe hit: already queued or live
+        session.registered_snapshot = self.pipeline.snapshot_id
+        try:
+            shard.submit_register(session, block=False)
+        except queue.Full:
+            # lost the depth race; undo the session and shed like admission
+            self.sessions.close(session.id)
+            self.admission._count_rejection(QueueSaturatedError.reason)
+            self._record_telemetry()
+            raise QueueSaturatedError(
+                f"shard {shard.index} inbox filled during registration"
+            ) from None
+        self._record_telemetry()
+        return session
+
+    def deregister(self, session_id: str) -> QuerySession:
+        """Close a session and detach its destination from the shard."""
+        session = self.sessions.close(session_id)
+        shard = self.engine.shard_of(session.query.source)
+        shard.submit_deregister(session.query.source,
+                                session.query.destination)
+        self._record_telemetry()
+        return session
+
+    def wait_all_live(self, timeout: float = 10.0) -> bool:
+        """Block until every active session left warm-up; True iff all LIVE."""
+        deadline = time.monotonic() + timeout
+        all_live = True
+        for session in self.sessions.active_sessions():
+            remaining = max(0.0, deadline - time.monotonic())
+            all_live &= session.wait_live(remaining)
+        return all_live
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_id(self) -> int:
+        return self.pipeline.snapshot_id
+
+    def submit(
+        self, batch: Union[UpdateBatch, List[EdgeUpdate]]
+    ) -> ServeBatchResult:
+        """Commit one update batch and fan answers to live sessions.
+
+        Admission (queue-depth probe under the shed policy) runs *before*
+        the WAL append: a shed batch leaves no durable trace, an admitted
+        batch is never dropped.  Raises
+        :class:`~repro.errors.QueueSaturatedError` when shed.
+        """
+        if not isinstance(batch, UpdateBatch):
+            batch = UpdateBatch(list(batch))
+        upper = batch.max_vertex()
+        if upper >= self.engine.graph.num_vertices:
+            raise QueryError(
+                f"batch references vertex {upper} outside the "
+                f"{self.engine.graph.num_vertices}-vertex graph"
+            )
+        try:
+            self.admission.admit_batch(self.engine.max_depth)
+        finally:
+            self._record_telemetry()
+        started = time.perf_counter()
+        result: ServeBatchResult = self.pipeline.run_batch(batch)
+        latency = time.perf_counter() - started
+        self.batches_served += 1
+        self._fan_out(result, latency)
+        if self.engine.last_effective is not None:
+            self.cache.on_batch(self.engine.last_effective)
+        self._record_telemetry()
+        return result
+
+    def _fan_out(self, result: ServeBatchResult, latency: float) -> None:
+        """Deliver per-query answers and degrade crashed sources' sessions."""
+        degraded = dict(result.degraded)
+        telemetry = self.telemetry
+        for session in self.sessions.active_sessions():
+            source = session.query.source
+            if source in degraded:
+                if session.state is not SessionState.DEGRADED:
+                    session.transition(SessionState.DEGRADED,
+                                       reason=degraded[source])
+                continue
+            key = (source, session.query.destination)
+            if key not in result.answers:
+                continue  # registered after this batch entered the shard
+            session.push_answer(AnswerEvent(
+                snapshot_id=self.pipeline.snapshot_id,
+                answer=result.answers[key],
+                latency_seconds=latency,
+            ))
+            if telemetry is not None:
+                record_answer_latency(telemetry.registry, session.id, latency)
+
+    # ------------------------------------------------------------------
+    # ad-hoc reads
+    # ------------------------------------------------------------------
+    def query(self, source: int, destination: int) -> float:
+        """One-shot pairwise read against the current snapshot (cached)."""
+        request = PairwiseQuery(source, destination)
+        request.validate(self.engine.graph.num_vertices)
+        value = self.cache.fetch(source, destination, ops=self.query_ops)
+        if self.telemetry is not None:
+            record_serve_cache(self.telemetry.registry,
+                               self.cache.stats.as_dict())
+        return value
+
+    # ------------------------------------------------------------------
+    # introspection / shutdown
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Point-in-time summary across every serving subsystem."""
+        return {
+            "snapshot_id": self.pipeline.snapshot_id,
+            "epoch": self.engine.epoch,
+            "batches_served": self.batches_served,
+            "sessions": self.sessions.by_state(),
+            "admission": self.admission.stats(),
+            "cache": self.cache.stats.as_dict(),
+            "shards": {
+                shard.index: {
+                    "depth": shard.depth,
+                    "alive": shard.alive,
+                    "sources": sorted(shard.groups),
+                }
+                for shard in self.engine.shards
+            },
+        }
+
+    def _record_telemetry(self) -> None:
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        record_serve_state(
+            telemetry.registry,
+            {shard.index: shard.depth for shard in self.engine.shards},
+            self.sessions.by_state(),
+        )
+        record_serve_admission(telemetry.registry, self.admission.stats())
+        record_serve_cache(telemetry.registry, self.cache.stats.as_dict())
+
+    def close(self, final_checkpoint: bool = True) -> None:
+        """Close every session, checkpoint, release the WAL, stop shards."""
+        for session in self.sessions.active_sessions():
+            self.sessions.close(session.id)
+        self._record_telemetry()
+        self.pipeline.close(final_checkpoint=final_checkpoint)
+        self.engine.close()
+
+    def __enter__(self) -> "ServeHarness":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        # mirror the pipeline: on an injected crash leave disk state as the
+        # crash left it (recovery's job), but always stop the worker threads
+        if exc_type is None:
+            self.close()
+        else:
+            self.pipeline.wal.close()
+            self.engine.close()

@@ -1,0 +1,257 @@
+"""Standing-query sessions and the session registry.
+
+A *session* is a registered pairwise query that stays live against the
+evolving topology (Pacaci et al.'s persistent-query abstraction): clients
+register ``Q(s -> d)`` once and then receive a fresh answer after every
+committed update batch until they deregister.  Each session carries its
+lifecycle state, a bounded subscription queue of answer events, and an
+optional callback.
+
+Lifecycle::
+
+    PENDING ──▶ WARMING ──▶ LIVE ──▶ CLOSED
+                   │           │
+                   └──▶ DEGRADED ◀──┘   (shard crash; see docs/serving.md)
+
+``PENDING`` means the registration is queued for the owning shard;
+``WARMING`` means the shard is bootstrapping the source group from the
+current graph (a full computation for a brand-new source, one key-path
+rebuild for a known one); ``LIVE`` sessions get an answer per batch;
+``DEGRADED`` sessions stopped receiving answers after a shard-side failure
+but never block other sessions.  All transitions are thread-safe — the
+shard worker flips states while clients poll or :meth:`QuerySession.wait_live`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.errors import (
+    DuplicateQueryError,
+    SessionNotFoundError,
+    SessionStateError,
+)
+from repro.query import PairwiseQuery
+
+
+class SessionState(enum.Enum):
+    """Lifecycle state of a standing query session."""
+
+    PENDING = "pending"
+    WARMING = "warming"
+    LIVE = "live"
+    DEGRADED = "degraded"
+    CLOSED = "closed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: transitions a session may take (anything else raises SessionStateError)
+_ALLOWED = {
+    SessionState.PENDING: {SessionState.WARMING, SessionState.LIVE,
+                           SessionState.DEGRADED, SessionState.CLOSED},
+    SessionState.WARMING: {SessionState.LIVE, SessionState.DEGRADED,
+                           SessionState.CLOSED},
+    SessionState.LIVE: {SessionState.DEGRADED, SessionState.CLOSED},
+    SessionState.DEGRADED: {SessionState.CLOSED},
+    SessionState.CLOSED: set(),
+}
+
+
+@dataclass(frozen=True)
+class AnswerEvent:
+    """One per-batch answer delivered to a session's subscription queue."""
+
+    snapshot_id: int
+    answer: float
+    latency_seconds: float
+
+
+class QuerySession:
+    """One standing pairwise query with lifecycle and subscription state.
+
+    Answer events are pushed into a bounded deque (oldest dropped first,
+    with a drop counter) so a slow consumer can never exhaust server
+    memory; ``callback`` — when given — is invoked synchronously with each
+    event *in addition to* the queue.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        query: PairwiseQuery,
+        subscription_capacity: int = 256,
+        callback: Optional[Callable[["QuerySession", AnswerEvent], None]] = None,
+    ) -> None:
+        if subscription_capacity <= 0:
+            raise ValueError("subscription_capacity must be positive")
+        self.id = session_id
+        self.query = query
+        self.callback = callback
+        self._state = SessionState.PENDING
+        self._lock = threading.Lock()
+        self._live = threading.Event()
+        self._events: Deque[AnswerEvent] = deque(maxlen=subscription_capacity)
+        self.dropped_events = 0
+        self.answers_delivered = 0
+        self.last_answer: Optional[float] = None
+        self.registered_snapshot: Optional[int] = None
+        #: error text of the failure that degraded this session (if any)
+        self.degraded_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> SessionState:
+        return self._state
+
+    def transition(self, target: SessionState, reason: Optional[str] = None) -> None:
+        """Move to ``target`` (thread-safe); invalid moves raise typed errors."""
+        with self._lock:
+            if target not in _ALLOWED[self._state]:
+                raise SessionStateError(
+                    f"session {self.id}: cannot move {self._state.value} "
+                    f"-> {target.value}"
+                )
+            self._state = target
+            if target is SessionState.DEGRADED:
+                self.degraded_reason = reason
+        if target is SessionState.LIVE:
+            self._live.set()
+        elif target in (SessionState.DEGRADED, SessionState.CLOSED):
+            # unblock any wait_live() caller; they re-check the state
+            self._live.set()
+
+    def wait_live(self, timeout: Optional[float] = None) -> bool:
+        """Block until the session left the warm-up path; True iff LIVE."""
+        self._live.wait(timeout)
+        return self._state is SessionState.LIVE
+
+    @property
+    def is_active(self) -> bool:
+        """Does this session still expect per-batch answers?"""
+        return self._state in (
+            SessionState.PENDING, SessionState.WARMING, SessionState.LIVE
+        )
+
+    # ------------------------------------------------------------------
+    # subscription
+    # ------------------------------------------------------------------
+    def push_answer(self, event: AnswerEvent) -> None:
+        """Deliver one answer event (bounded queue + optional callback)."""
+        with self._lock:
+            if len(self._events) == self._events.maxlen:
+                self.dropped_events += 1
+            self._events.append(event)
+            self.answers_delivered += 1
+            self.last_answer = event.answer
+        if self.callback is not None:
+            self.callback(self, event)
+
+    def drain(self) -> List[AnswerEvent]:
+        """Pop and return every queued answer event (oldest first)."""
+        with self._lock:
+            events = list(self._events)
+            self._events.clear()
+        return events
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySession({self.id}, {self.query}, state={self._state.value}, "
+            f"answers={self.answers_delivered})"
+        )
+
+
+class SessionRegistry:
+    """Thread-safe store of sessions, keyed by id and by query.
+
+    The registry enforces the one-session-per-query invariant: registering
+    an already-live query raises :class:`~repro.errors.DuplicateQueryError`
+    unless the registry was built with ``dedupe=True``, in which case the
+    existing session is returned (idempotent registration).
+    """
+
+    def __init__(self, dedupe: bool = False,
+                 subscription_capacity: int = 256) -> None:
+        self.dedupe = dedupe
+        self.subscription_capacity = subscription_capacity
+        self._lock = threading.Lock()
+        self._by_id: Dict[str, QuerySession] = {}
+        self._by_query: Dict[PairwiseQuery, QuerySession] = {}
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(list(self._by_id.values()))
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        query: PairwiseQuery,
+        callback: Optional[Callable[[QuerySession, AnswerEvent], None]] = None,
+    ) -> QuerySession:
+        """Create (or, with dedupe, return) the session owning ``query``."""
+        with self._lock:
+            existing = self._by_query.get(query)
+            if existing is not None and existing.is_active:
+                if self.dedupe:
+                    return existing
+                raise DuplicateQueryError(query)
+            session = QuerySession(
+                f"s{next(self._ids):04d}",
+                query,
+                subscription_capacity=self.subscription_capacity,
+                callback=callback,
+            )
+            self._by_id[session.id] = session
+            self._by_query[query] = session
+            return session
+
+    def get(self, session_id: str) -> QuerySession:
+        """Look up a session by id; unknown ids raise a typed error."""
+        session = self._by_id.get(session_id)
+        if session is None:
+            raise SessionNotFoundError(session_id)
+        return session
+
+    def find(self, query: PairwiseQuery) -> Optional[QuerySession]:
+        """The active session owning ``query``, if any."""
+        session = self._by_query.get(query)
+        if session is not None and session.is_active:
+            return session
+        return None
+
+    def close(self, session_id: str) -> QuerySession:
+        """Transition a session to CLOSED and release its query key."""
+        with self._lock:
+            session = self._by_id.get(session_id)
+            if session is None:
+                raise SessionNotFoundError(session_id)
+            if self._by_query.get(session.query) is session:
+                del self._by_query[session.query]
+        if session.state is not SessionState.CLOSED:
+            session.transition(SessionState.CLOSED)
+        return session
+
+    # ------------------------------------------------------------------
+    def active_sessions(self) -> List[QuerySession]:
+        """Sessions still expecting answers (pending/warming/live)."""
+        with self._lock:
+            return [s for s in self._by_id.values() if s.is_active]
+
+    def by_state(self) -> Dict[str, int]:
+        """Session counts keyed by lifecycle state name."""
+        counts = {state.value: 0 for state in SessionState}
+        with self._lock:
+            for session in self._by_id.values():
+                counts[session.state.value] += 1
+        return counts

@@ -1,0 +1,232 @@
+"""Sharded worker pool: per-shard threads owning source groups.
+
+Sessions are partitioned by *source* (``shard = source % num_shards``),
+because everything shareable in pairwise streaming analytics is shared
+along the source (see :mod:`repro.core.multiquery`): one shard owns the
+:class:`~repro.core.multiquery.SourceGroup` — converged state array plus
+per-destination key paths — of every source assigned to it.
+
+Each worker runs one daemon thread consuming a **bounded** inbox of
+commands in FIFO order:
+
+* ``register`` / ``deregister`` — attach or detach a standing query;
+  brand-new sources are bootstrapped with a full computation *on the
+  shard's own graph copy*, so warming one session never stalls batches on
+  other shards;
+* ``batch`` — apply one net-effect batch to the shard-local topology and
+  drive every owned group through contribution-aware processing, then
+  publish a :class:`ShardBatchOutcome` for the epoch.
+
+Every shard holds a private :class:`~repro.graph.dynamic.DynamicGraph`
+copy that it alone mutates — no cross-thread topology sharing, hence no
+locks on the hot path.  A failure inside one group's processing (or an
+injected fault) degrades only that source: the group is dropped, the
+failure is reported in the outcome, and all other groups' answers for the
+same epoch stay exact.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.core.classification import KeyPathRule
+from repro.core.multiquery import SourceGroup
+from repro.errors import SessionStateError, ShardCrashedError
+from repro.graph.batch import UpdateBatch
+from repro.graph.dynamic import DynamicGraph
+from repro.metrics import OpCounts
+from repro.serve.session import QuerySession, SessionState
+
+#: fault-injection hook signature: (kind, source, epoch) -> None; raising
+#: inside ``"batch"`` degrades that source, inside ``"register"`` degrades
+#: the registering session; blocking inside either stalls the shard (used
+#: by tests to fill the bounded inbox deterministically)
+FaultHook = Callable[[str, int, int], None]
+
+
+@dataclass
+class ShardBatchOutcome:
+    """What one shard produced for one epoch."""
+
+    epoch: int
+    shard: int
+    #: converged answers keyed ``(source, destination)``
+    answers: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    response_ops: OpCounts = field(default_factory=OpCounts)
+    post_ops: OpCounts = field(default_factory=OpCounts)
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: sources whose group failed this epoch, with the failure text
+    degraded: List[Tuple[int, str]] = field(default_factory=list)
+
+
+class ShardWorker:
+    """One worker thread owning the source groups of its shard.
+
+    ``queue_bound`` caps the inbox; the harness checks headroom *before*
+    enqueueing (admission control), while committed batches use a blocking
+    put — a WAL-durable batch must never be shed.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        graph: DynamicGraph,
+        algorithm: MonotonicAlgorithm,
+        rule: KeyPathRule = KeyPathRule.PRECISE,
+        queue_bound: int = 64,
+        fault_hook: Optional[FaultHook] = None,
+    ) -> None:
+        self.index = index
+        self.graph = graph
+        self.algorithm = algorithm
+        self.rule = rule
+        self.fault_hook = fault_hook
+        self.inbox: "queue.Queue" = queue.Queue(maxsize=queue_bound)
+        self.groups: Dict[int, SourceGroup] = {}
+        self._results: Dict[int, ShardBatchOutcome] = {}
+        self._results_cv = threading.Condition()
+        self._thread = threading.Thread(
+            target=self._run, name=f"serve-shard-{index}", daemon=True
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker thread (idempotent)."""
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Ask the worker to exit and join it."""
+        if self._started and self._thread.is_alive():
+            self.inbox.put(("stop",))
+            self._thread.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    @property
+    def depth(self) -> int:
+        """Current inbox depth (the admission-control probe)."""
+        return self.inbox.qsize()
+
+    # ------------------------------------------------------------------
+    # commands (called from the harness / engine thread)
+    # ------------------------------------------------------------------
+    def submit_register(self, session: QuerySession, block: bool,
+                        timeout: Optional[float] = None) -> None:
+        """Enqueue a registration; ``block=False`` raises ``queue.Full``."""
+        self.inbox.put(("register", session), block=block, timeout=timeout)
+
+    def submit_deregister(self, source: int, destination: int) -> None:
+        self.inbox.put(("deregister", source, destination))
+
+    def submit_batch(self, epoch: int, effective: UpdateBatch) -> None:
+        """Enqueue a committed batch (blocking: durable batches never shed)."""
+        self.inbox.put(("batch", epoch, effective))
+
+    def wait_outcome(self, epoch: int, timeout: float = 30.0) -> ShardBatchOutcome:
+        """Block until this shard publishes its outcome for ``epoch``."""
+        with self._results_cv:
+            while epoch not in self._results:
+                if not self._thread.is_alive():
+                    raise ShardCrashedError(
+                        f"shard {self.index} died before epoch {epoch}"
+                    )
+                if not self._results_cv.wait(timeout):
+                    raise ShardCrashedError(
+                        f"shard {self.index} produced no outcome for epoch "
+                        f"{epoch} within {timeout:g}s"
+                    )
+            return self._results.pop(epoch)
+
+    # ------------------------------------------------------------------
+    # worker thread body
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            command = self.inbox.get()
+            kind = command[0]
+            try:
+                if kind == "stop":
+                    return
+                if kind == "register":
+                    self._handle_register(command[1])
+                elif kind == "deregister":
+                    self._handle_deregister(command[1], command[2])
+                elif kind == "batch":
+                    self._handle_batch(command[1], command[2])
+            finally:
+                self.inbox.task_done()
+
+    def _handle_register(self, session: QuerySession) -> None:
+        query = session.query
+        try:
+            session.transition(SessionState.WARMING)
+        except SessionStateError:
+            return  # closed while still queued (or closing concurrently)
+        try:
+            if self.fault_hook is not None:
+                self.fault_hook("register", query.source, -1)
+            group = self.groups.get(query.source)
+            if group is None:
+                group = SourceGroup(
+                    self.graph,
+                    self.algorithm,
+                    query.source,
+                    [query.destination],
+                    self.rule,
+                )
+                group.initialize(OpCounts())
+                self.groups[query.source] = group
+            else:
+                group.add_destination(query.destination)
+        except Exception as exc:  # noqa: BLE001 - degrade, never kill the shard
+            try:
+                session.transition(SessionState.DEGRADED, reason=str(exc))
+            except SessionStateError:
+                pass  # already closed by the client; nothing to report
+            return
+        try:
+            session.transition(SessionState.LIVE)
+        except SessionStateError:
+            pass  # closed while warming: the group stays, harmlessly
+
+    def _handle_deregister(self, source: int, destination: int) -> None:
+        group = self.groups.get(source)
+        if group is not None and group.remove_destination(destination):
+            del self.groups[source]
+
+    def _handle_batch(self, epoch: int, effective: UpdateBatch) -> None:
+        outcome = ShardBatchOutcome(epoch=epoch, shard=self.index)
+        for upd in effective:
+            self.graph.apply_update(upd, missing_ok=True)
+        totals: Dict[str, int] = {}
+        for source in list(self.groups):
+            group = self.groups[source]
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook("batch", source, epoch)
+                group_stats = group.process_batch(
+                    effective, outcome.response_ops, outcome.post_ops
+                )
+            except Exception as exc:  # noqa: BLE001 - isolate the failure
+                del self.groups[source]
+                outcome.degraded.append((source, str(exc)))
+                continue
+            for key, value in group_stats.items():
+                totals[key] = totals.get(key, 0) + value
+            for destination in group.destinations:
+                outcome.answers[(source, destination)] = group.answer(destination)
+        outcome.stats = totals
+        with self._results_cv:
+            self._results[epoch] = outcome
+            self._results_cv.notify_all()

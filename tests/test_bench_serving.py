@@ -1,0 +1,78 @@
+"""Smoke check for tools/bench_serving.py and BENCH_serving.json.
+
+Runs the fixed serving workload and asserts the committed baseline's
+schema still matches — the serving twin of tests/test_bench_snapshot.py,
+guarding the serve metric surface (queue depths, admission rejections,
+cache effectiveness, per-session latency) against silent renames.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "tools"))
+
+import bench_serving  # noqa: E402
+
+pytestmark = pytest.mark.serve
+
+BASELINE = os.path.join(ROOT, "BENCH_serving.json")
+
+
+class TestCommittedBaseline:
+    def test_baseline_exists_and_is_versioned(self):
+        assert os.path.exists(BASELINE), (
+            "BENCH_serving.json missing — run "
+            "PYTHONPATH=src python tools/bench_serving.py"
+        )
+        with open(BASELINE) as handle:
+            document = json.load(handle)
+        assert document["schema_version"] == bench_serving.SNAPSHOT_SCHEMA_VERSION
+        assert document["workload"]["dataset"] == "OR"
+        assert document["workload"]["standing_queries"] == 8
+        assert document["cache_hit_rate_positive"] is True
+        # the deterministic rate-limit rejections are always present
+        assert document["admission"]["rejected_registrations"] == 2
+        assert document["admission"]["rejections"]["rate-limited"] == 2
+        assert document["telemetry"]["metrics"]
+
+    def test_baseline_carries_the_serve_metric_surface(self):
+        with open(BASELINE) as handle:
+            metrics = json.load(handle)["telemetry"]["metrics"]
+        for name in (
+            "serve_queue_depth",
+            "serve_sessions",
+            "serve_admission_rejections",
+            "serve_cache_hit_rate",
+            "serve_answer_seconds",
+        ):
+            assert name in metrics, f"serve metric {name} missing from baseline"
+
+    def test_check_mode_passes_against_committed_baseline(self, capsys):
+        """The smoke check: a fresh serving run's schema matches the baseline."""
+        assert bench_serving.main(["--check", "--output", BASELINE]) == 0
+        assert "schema matches" in capsys.readouterr().out
+
+    def test_check_mode_fails_on_drift(self, tmp_path, capsys):
+        mutated = os.path.join(tmp_path, "drifted.json")
+        with open(BASELINE) as handle:
+            document = json.load(handle)
+        document["telemetry"]["metrics"]["serve_renamed_total"] = {
+            "type": "counter", "series": [],
+        }
+        with open(mutated, "w") as handle:
+            json.dump(document, handle)
+        assert bench_serving.main(["--check", "--output", mutated]) == 1
+        assert "schema drift" in capsys.readouterr().err
+
+    def test_check_mode_requires_baseline(self, tmp_path):
+        missing = os.path.join(tmp_path, "nope.json")
+        assert bench_serving.main(["--check", "--output", missing]) == 1
+
+    def test_regenerate_round_trips(self, tmp_path):
+        output = os.path.join(tmp_path, "fresh.json")
+        assert bench_serving.main(["--output", output]) == 0
+        assert bench_serving.main(["--check", "--output", output]) == 0

@@ -18,6 +18,7 @@ DOC_FILES = [
     "docs/paper_mapping.md",
     "docs/resilience.md",
     "docs/observability.md",
+    "docs/serving.md",
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")

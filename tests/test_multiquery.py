@@ -5,6 +5,7 @@ import pytest
 from repro.algorithms import PPSP, dijkstra, get_algorithm
 from repro.core.engine import CISGraphEngine
 from repro.core.multiquery import MultiQueryEngine
+from repro.errors import DuplicateQueryError
 from repro.graph.batch import UpdateBatch, add, delete
 from repro.graph.dynamic import DynamicGraph
 from repro.query import PairwiseQuery
@@ -16,10 +17,28 @@ class TestConstruction:
         with pytest.raises(ValueError):
             MultiQueryEngine(diamond_graph, PPSP(), [])
 
-    def test_rejects_duplicates(self, diamond_graph):
+    def test_rejects_duplicates_with_typed_error(self, diamond_graph):
         q = PairwiseQuery(0, 4)
-        with pytest.raises(ValueError):
+        with pytest.raises(DuplicateQueryError) as excinfo:
             MultiQueryEngine(diamond_graph, PPSP(), [q, q])
+        assert excinfo.value.query == q
+        # DuplicateQueryError subclasses QueryError -> ValueError-free,
+        # but stays catchable through the package's error hierarchy
+        from repro.errors import QueryError
+
+        assert isinstance(excinfo.value, QueryError)
+
+    def test_dedupe_collapses_duplicates(self, diamond_graph):
+        """With dedupe=True a repeated query registers once and the engine
+        keeps answering it — no silent double-entry in the answer map."""
+        q1, q2 = PairwiseQuery(0, 4), PairwiseQuery(0, 3)
+        engine = MultiQueryEngine(
+            diamond_graph, PPSP(), [q1, q2, q1, q1], dedupe=True
+        )
+        assert engine.queries == [q1, q2]
+        answers = engine.initialize()
+        assert answers[q1] == 4.0
+        assert answers[q2] == 2.0
 
     def test_groups_by_source(self, diamond_graph):
         engine = MultiQueryEngine(

@@ -213,3 +213,100 @@ class TestRegistry:
         registry.counter("x_total").inc()
         registry.clear()
         assert registry.names() == []
+
+
+# ----------------------------------------------------------------------
+# thread safety under contention (the serve worker pool requirement)
+# ----------------------------------------------------------------------
+class TestThreadSafety:
+    """N threads hammer one registry; totals must be exact, not approximate.
+
+    Lost updates from unlocked read-modify-write are probabilistic, so the
+    loop counts are sized to make a race overwhelmingly likely to surface
+    while keeping the test fast (~8 threads x 2000 increments).
+    """
+
+    THREADS = 8
+    ROUNDS = 2000
+
+    def _hammer(self, registry, barrier, thread_index):
+        barrier.wait()  # maximize interleaving: everyone starts together
+        counter = registry.counter("stress_total")
+        labelled = registry.counter(
+            "stress_labelled_total", {"thread": thread_index % 2}
+        )
+        gauge = registry.gauge("stress_level")
+        hist = registry.histogram("stress_seconds", buckets=[0.5, 1.5])
+        for round_index in range(self.ROUNDS):
+            counter.inc()
+            labelled.inc(2)
+            gauge.inc()
+            hist.observe(1.0)
+            # create-on-first-use from many threads must also be safe
+            registry.counter(
+                "stress_churn_total", {"round": round_index % 4}
+            ).inc()
+
+    def test_concurrent_totals_are_exact(self):
+        import threading
+
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+        threads = [
+            threading.Thread(target=self._hammer, args=(registry, barrier, i))
+            for i in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not any(t.is_alive() for t in threads)
+
+        expected = self.THREADS * self.ROUNDS
+        snapshot = registry.snapshot()
+        assert snapshot.total("stress_total") == expected
+        assert snapshot.total("stress_labelled_total") == 2 * expected
+        # both label sets exist and split the labelled total evenly
+        assert snapshot.value("stress_labelled_total", thread=0) == expected
+        assert snapshot.value("stress_labelled_total", thread=1) == expected
+        assert snapshot.total("stress_level") == expected
+        assert snapshot.total("stress_churn_total") == expected
+        summary = snapshot.value("stress_seconds")
+        assert summary["count"] == expected
+        assert summary["sum"] == pytest.approx(float(expected))
+        assert summary["buckets"]["1.5"] == expected
+
+    def test_concurrent_snapshot_while_writing(self):
+        """snapshot()/to_prometheus() during writes never crash or misframe."""
+        import threading
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                registry.counter("live_total", {"series": i % 8}).inc()
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    snapshot = registry.snapshot()
+                    assert snapshot.total("live_total") >= 0
+                    assert registry.to_prometheus().endswith("\n")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.2)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert errors == []

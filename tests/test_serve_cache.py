@@ -1,0 +1,208 @@
+"""Tests for the key-path-aware result cache (repro.serve.cache).
+
+The retention rules are theorems, not heuristics, so besides exercising
+each rule on a hand-built graph this file ends with a differential fuzz:
+every cache hit over a random update stream must equal a fresh solver run
+on the current snapshot.
+"""
+
+import pytest
+
+from repro.algorithms import PPSP, dijkstra
+from repro.graph.batch import UpdateBatch, add, delete, net_effects
+from repro.graph.dynamic import DynamicGraph
+from repro.metrics import OpCounts
+from repro.serve.cache import CacheStats, ResultCache
+from tests.conftest import random_batch, random_graph
+
+pytestmark = pytest.mark.serve
+
+
+def _graph() -> DynamicGraph:
+    """0 -1-> 1 -1-> 2 -1-> 3 and a 0 -10-> 4 -10-> 3 detour.
+
+    PPSP from 0: states [0, 1, 2, 3, 10]; key path to 3 is 0-1-2-3.
+    """
+    return DynamicGraph.from_edges(
+        5,
+        [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 4, 10.0), (4, 3, 10.0)],
+    )
+
+
+def _commit(graph: DynamicGraph, cache: ResultCache, updates) -> None:
+    """Apply a batch the way the harness does: net effects, graph, cache."""
+    effective = net_effects(
+        UpdateBatch(list(updates)), lambda u, v: graph.out_adj(u).get(v)
+    )
+    for upd in effective:
+        graph.apply_update(upd, missing_ok=True)
+    cache.on_batch(effective)
+
+
+# ----------------------------------------------------------------------
+# reads
+# ----------------------------------------------------------------------
+class TestFetch:
+    def test_miss_then_fresh_family_hits_any_destination(self):
+        cache = ResultCache(_graph(), PPSP())
+        assert cache.fetch(0, 3) == 3.0   # miss: full solve
+        assert cache.fetch(0, 3) == 3.0   # hit: same entry
+        assert cache.fetch(0, 4) == 10.0  # hit: fresh family, new destination
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+        assert cache.num_families == 1
+
+    def test_miss_accumulates_solver_ops(self):
+        cache = ResultCache(_graph(), PPSP())
+        ops = OpCounts()
+        cache.fetch(0, 3, ops=ops)
+        assert ops.total_compute() > 0
+        spent = ops.total_compute()
+        cache.fetch(0, 3, ops=ops)  # hit: no solver work
+        assert ops.total_compute() == spent
+
+    def test_lru_evicts_least_recent_family(self):
+        cache = ResultCache(_graph(), PPSP(), capacity=2)
+        cache.fetch(0, 3)
+        cache.fetch(1, 3)
+        cache.fetch(2, 3)  # evicts source 0
+        assert cache.stats.evicted_families == 1
+        assert cache.num_families == 2
+        cache.fetch(0, 3)
+        assert cache.stats.misses == 4  # source 0 had to resolve again
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(_graph(), PPSP(), capacity=0)
+
+
+# ----------------------------------------------------------------------
+# invalidation rules (each retention is provable; see docs/serving.md)
+# ----------------------------------------------------------------------
+class TestInvalidation:
+    def test_useless_addition_retains_fresh_family(self):
+        graph, cache = _graph(), None
+        cache = ResultCache(graph, PPSP())
+        cache.fetch(0, 3)
+        # 1 -5-> 3 cannot improve: states[1] + 5 = 6 > states[3] = 3
+        _commit(graph, cache, [add(1, 3, 5.0)])
+        assert cache.num_families == 1
+        assert cache.fetch(0, 3) == 3.0 == dijkstra(graph, PPSP(), 0).states[3]
+        assert cache.stats.misses == 1  # served without a new solve
+
+    def test_valuable_addition_drops_family(self):
+        graph = _graph()
+        cache = ResultCache(graph, PPSP())
+        cache.fetch(0, 3)
+        # 1 -1-> 3 improves: 1 + 1 = 2 < 3
+        _commit(graph, cache, [add(1, 3, 1.0)])
+        assert cache.num_families == 0
+        assert cache.stats.invalidated_families == 1
+        assert cache.fetch(0, 3) == 2.0
+
+    def test_nonsupplying_deletion_retains_fresh_family(self):
+        graph = _graph()
+        cache = ResultCache(graph, PPSP())
+        cache.fetch(0, 3)
+        # 4 -10-> 3 supplies nothing: states[4] + 10 = 20 != states[3] = 3
+        _commit(graph, cache, [delete(4, 3, 10.0)])
+        assert cache.num_families == 1
+        assert cache.fetch(0, 3) == 3.0
+        assert cache.stats.misses == 1
+
+    def test_supplying_deletion_cuts_only_path_intersecting_entries(self):
+        graph = _graph()
+        cache = ResultCache(graph, PPSP())
+        cache.fetch(0, 3)  # key path 0-1-2-3
+        cache.fetch(0, 4)  # key path 0-4
+        # 1 -1-> 2 supplies states[2]: entry (0,3) dies, (0,4) survives
+        _commit(graph, cache, [delete(1, 2, 1.0)])
+        assert cache.stats.invalidated_entries == 1
+        assert cache.num_families == 1
+        assert cache.fetch(0, 4) == 10.0  # retained answer, no new solve
+        assert cache.stats.misses == 1
+        # the cut destination resolves freshly on the new topology
+        assert cache.fetch(0, 3) == 20.0  # via 0-4-3 now
+        assert cache.fetch(0, 3) == dijkstra(graph, PPSP(), 0).states[3]
+
+    def test_stale_family_survives_offpath_deletion_but_not_additions(self):
+        graph = _graph()
+        cache = ResultCache(graph, PPSP())
+        cache.fetch(0, 4)
+        _commit(graph, cache, [delete(1, 2, 1.0)])  # family goes stale
+        # off-path deletion: (2,3) not on the 0-4 witness path -> retained
+        _commit(graph, cache, [delete(2, 3, 1.0)])
+        assert cache.num_families == 1
+        assert cache.fetch(0, 4) == 10.0
+        # stale states cannot classify additions -> family dropped
+        _commit(graph, cache, [add(1, 3, 9.0)])
+        assert cache.num_families == 0
+
+    def test_supplying_deletion_mixed_with_adds_drops_family(self):
+        graph = _graph()
+        cache = ResultCache(graph, PPSP())
+        cache.fetch(0, 4)
+        # the useless add alone would be retained; combined with a
+        # supplying deletion the repair could make it valuable -> drop
+        _commit(graph, cache, [add(1, 3, 5.0), delete(1, 2, 1.0)])
+        assert cache.num_families == 0
+
+    def test_addition_into_grown_graph_drops_family(self):
+        graph = _graph()
+        cache = ResultCache(graph, PPSP())
+        cache.fetch(0, 3)
+        graph.ensure_vertex(5)
+        _commit(graph, cache, [add(5, 3, 1.0)])  # vertex unknown to states
+        assert cache.num_families == 0
+
+    def test_empty_batch_is_a_noop(self):
+        graph = _graph()
+        cache = ResultCache(graph, PPSP())
+        cache.fetch(0, 3)
+        tallies = cache.on_batch(UpdateBatch())
+        assert tallies == {
+            "families_dropped": 0, "entries_dropped": 0, "retained": 0
+        }
+        assert cache.num_families == 1
+
+    def test_clear_drops_families_keeps_stats(self):
+        graph = _graph()
+        cache = ResultCache(graph, PPSP())
+        cache.fetch(0, 3)
+        cache.clear()
+        assert cache.num_families == 0
+        assert cache.stats.misses == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        stats.lookups, stats.hits = 4, 3
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert stats.as_dict()["hit_rate"] == pytest.approx(0.75)
+
+
+# ----------------------------------------------------------------------
+# differential fuzz: every hit equals a fresh solve
+# ----------------------------------------------------------------------
+class TestDifferentialFuzz:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cached_answers_match_fresh_solver_over_random_stream(
+        self, algorithm, seed
+    ):
+        graph = random_graph(40, 240, seed=seed)
+        cache = ResultCache(graph, algorithm, capacity=8)
+        pairs = [(s, d) for s in (0, 1, 2) for d in (10, 20, 30)]
+        for batch_index in range(6):
+            batch = random_batch(graph, 15, 15, seed=seed * 31 + batch_index)
+            _commit(graph, cache, batch)
+            for source, destination in pairs:
+                want = dijkstra(graph, algorithm, source).states[destination]
+                got = cache.fetch(source, destination)
+                assert got == want, (
+                    f"cache diverged on batch {batch_index} for "
+                    f"Q({source}->{destination})"
+                )
+        # retention must actually have happened for this to test anything
+        assert cache.stats.hits > 0

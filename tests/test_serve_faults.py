@@ -1,0 +1,189 @@
+"""Failure-path tests for the serving layer.
+
+Three families of injected faults, all deterministic:
+
+* shard-side group failures (via the worker ``fault_hook``) — one source
+  degrades, every other session's answers stay exact;
+* a dead shard worker — :class:`~repro.errors.ShardCrashedError` surfaces
+  instead of a hang;
+* a WAL crash mid-serve (via :class:`repro.resilience.faults.CrashPoint`)
+  followed by :meth:`ServeHarness.resume` — recovery restores the graph
+  and the anchor, clients re-register, and answers from then on match an
+  uninterrupted offline replay.
+"""
+
+import pytest
+
+from repro.algorithms import PPSP
+from repro.core.engine import CISGraphEngine
+from repro.errors import ShardCrashedError, WalError
+from repro.query import PairwiseQuery
+from repro.resilience.faults import CrashPoint, SimulatedCrash
+from repro.serve import ServeHarness, SessionState
+from tests.conftest import random_batch, random_graph
+
+pytestmark = [pytest.mark.serve, pytest.mark.faults]
+
+ANCHOR = PairwiseQuery(7, 23)
+
+
+def _stream(graph, num_batches, seed):
+    reference = graph.copy()
+    batches = []
+    for index in range(num_batches):
+        batch = random_batch(reference, 10, 10, seed=seed * 97 + index)
+        reference.apply_batch(batch)
+        batches.append(batch)
+    return batches
+
+
+def _offline_replay(graph, pairs, batches):
+    engines = {
+        pair: CISGraphEngine(graph.copy(), PPSP(), PairwiseQuery(*pair))
+        for pair in pairs
+    }
+    for engine in engines.values():
+        engine.initialize()
+    return [
+        {pair: engines[pair].on_batch(batch).answer for pair in engines}
+        for batch in batches
+    ]
+
+
+class TestShardGroupFailure:
+    def test_crash_mid_batch_degrades_only_that_source(self, tmp_path):
+        pairs = [(1, 20), (2, 30), (3, 40)]
+        graph = random_graph(50, 300, seed=20)
+        batches = _stream(graph, num_batches=4, seed=20)
+        offline = _offline_replay(graph, pairs, batches)
+
+        def explode_source_2(kind, source, epoch):
+            if kind == "batch" and source == 2 and epoch == 2:
+                raise RuntimeError("injected shard fault")
+
+        harness = ServeHarness.open(
+            str(tmp_path / "state"), graph.copy(), PPSP(), ANCHOR,
+            num_shards=2, fault_hook=explode_source_2,
+        )
+        sessions = {pair: harness.register(*pair) for pair in pairs}
+        assert harness.wait_all_live()
+
+        first = harness.submit(batches[0])
+        assert first.degraded == []
+        assert all(first.answers[p] == offline[0][p] for p in pairs)
+
+        second = harness.submit(batches[1])
+        assert second.degraded == [(2, "injected shard fault")]
+        assert (2, 30) not in second.answers
+        victim = sessions[(2, 30)]
+        assert victim.state is SessionState.DEGRADED
+        assert victim.degraded_reason == "injected shard fault"
+        # the unaffected sessions answer exactly, same epoch
+        for pair in ((1, 20), (3, 40)):
+            assert second.answers[pair] == offline[1][pair]
+
+        # later batches: the shard survived, survivors stay exact
+        for index in (2, 3):
+            result = harness.submit(batches[index])
+            assert result.degraded == []
+            assert (2, 30) not in result.answers
+            for pair in ((1, 20), (3, 40)):
+                assert result.answers[pair] == offline[index][pair]
+        assert all(shard.alive for shard in harness.engine.shards)
+        assert len(victim.drain()) == 1  # only the pre-fault answer
+        harness.close()
+
+    def test_register_time_fault_degrades_only_that_session(self, tmp_path):
+        graph = random_graph(50, 300, seed=21)
+        batches = _stream(graph, num_batches=2, seed=21)
+
+        def reject_source_4(kind, source, epoch):
+            if kind == "register" and source == 4:
+                raise RuntimeError("bootstrap refused")
+
+        harness = ServeHarness.open(
+            str(tmp_path / "state"), graph.copy(), PPSP(), ANCHOR,
+            num_shards=2, fault_hook=reject_source_4,
+        )
+        healthy = harness.register(1, 20)
+        broken = harness.register(4, 30)
+        assert not harness.wait_all_live(timeout=5.0)
+        assert healthy.state is SessionState.LIVE
+        assert broken.state is SessionState.DEGRADED
+        assert broken.degraded_reason == "bootstrap refused"
+        result = harness.submit(batches[0])
+        assert (1, 20) in result.answers
+        assert (4, 30) not in result.answers
+        harness.close()
+
+
+class TestDeadShard:
+    def test_dead_worker_raises_instead_of_hanging(self, tmp_path):
+        graph = random_graph(40, 240, seed=22)
+        batches = _stream(graph, num_batches=1, seed=22)
+        harness = ServeHarness.open(
+            str(tmp_path / "state"), graph.copy(), PPSP(), ANCHOR,
+            num_shards=2,
+        )
+        harness.engine.shards[1].stop()
+        with pytest.raises(ShardCrashedError):
+            harness.submit(batches[0])
+        harness.pipeline.wal.close()
+        harness.engine.close()
+
+
+class TestWalCrashRecovery:
+    @pytest.mark.parametrize(
+        "tear, raised", [(False, SimulatedCrash), (True, WalError)]
+    )
+    def test_resume_after_crash_matches_uninterrupted_replay(
+        self, tmp_path, tear, raised
+    ):
+        pairs = [(1, 20), (2, 30), (5, 40)]
+        graph = random_graph(50, 300, seed=23)
+        batches = _stream(graph, num_batches=6, seed=23)
+        offline = _offline_replay(graph, pairs, batches)
+        anchor_offline = _offline_replay(
+            graph, [(ANCHOR.source, ANCHOR.destination)], batches
+        )
+        directory = str(tmp_path / "state")
+
+        harness = ServeHarness.open(
+            directory, graph.copy(), PPSP(), ANCHOR,
+            num_shards=2, checkpoint_every=2,
+            write_hook=CrashPoint(after_records=2, tear=tear),
+        )
+        for pair in pairs:
+            harness.register(*pair)
+        assert harness.wait_all_live()
+        harness.submit(batches[0])
+        harness.submit(batches[1])
+        with pytest.raises(raised):
+            with harness:  # __exit__ stops threads, leaves disk as-crashed
+                harness.submit(batches[2])
+
+        resumed = ServeHarness.resume(directory, num_shards=2)
+        assert resumed.recovered is not None
+        assert resumed.snapshot_id == 2  # checkpoint@2, no WAL tail beyond
+        # the recovered anchor state equals the offline engine at batch 2
+        assert resumed.engine.answer == anchor_offline[1][
+            (ANCHOR.source, ANCHOR.destination)
+        ]
+        # sessions are in-memory: clients simply re-register
+        sessions = {pair: resumed.register(*pair) for pair in pairs}
+        assert resumed.wait_all_live()
+        for index in range(2, 6):
+            result = resumed.submit(batches[index])
+            assert result.degraded == []
+            for pair in pairs:
+                assert result.answers[pair] == offline[index][pair], (
+                    f"post-recovery divergence on batch {index} for {pair}"
+                )
+            assert result.answer == anchor_offline[index][
+                (ANCHOR.source, ANCHOR.destination)
+            ]
+        for pair, session in sessions.items():
+            assert [e.answer for e in session.drain()] == [
+                offline[i][pair] for i in range(2, 6)
+            ]
+        resumed.close()

@@ -1,0 +1,208 @@
+"""Unit tests for standing-query sessions and the session registry."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    DuplicateQueryError,
+    SessionNotFoundError,
+    SessionStateError,
+)
+from repro.query import PairwiseQuery
+from repro.serve.session import (
+    AnswerEvent,
+    QuerySession,
+    SessionRegistry,
+    SessionState,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def _session(**kwargs) -> QuerySession:
+    return QuerySession("s0001", PairwiseQuery(0, 5), **kwargs)
+
+
+def _event(answer: float = 1.0, snapshot: int = 1) -> AnswerEvent:
+    return AnswerEvent(snapshot_id=snapshot, answer=answer, latency_seconds=0.0)
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_starts_pending(self):
+        assert _session().state is SessionState.PENDING
+
+    def test_happy_path_transitions(self):
+        session = _session()
+        session.transition(SessionState.WARMING)
+        session.transition(SessionState.LIVE)
+        session.transition(SessionState.CLOSED)
+        assert session.state is SessionState.CLOSED
+
+    def test_degrade_from_warming_and_live(self):
+        for prefix in ([SessionState.WARMING], [SessionState.WARMING, SessionState.LIVE]):
+            session = _session()
+            for state in prefix:
+                session.transition(state)
+            session.transition(SessionState.DEGRADED, reason="shard died")
+            assert session.state is SessionState.DEGRADED
+            assert session.degraded_reason == "shard died"
+
+    @pytest.mark.parametrize(
+        "path, bad",
+        [
+            ([SessionState.CLOSED], SessionState.LIVE),
+            ([SessionState.WARMING, SessionState.LIVE], SessionState.WARMING),
+            ([SessionState.WARMING, SessionState.DEGRADED], SessionState.LIVE),
+            ([], SessionState.PENDING),
+        ],
+    )
+    def test_invalid_transitions_raise_typed_error(self, path, bad):
+        session = _session()
+        for state in path:
+            session.transition(state)
+        before = session.state
+        with pytest.raises(SessionStateError):
+            session.transition(bad)
+        assert session.state is before  # failed move leaves state untouched
+
+    def test_closed_is_terminal(self):
+        session = _session()
+        session.transition(SessionState.CLOSED)
+        for target in SessionState:
+            with pytest.raises(SessionStateError):
+                session.transition(target)
+
+    def test_is_active(self):
+        session = _session()
+        assert session.is_active
+        session.transition(SessionState.WARMING)
+        assert session.is_active
+        session.transition(SessionState.DEGRADED)
+        assert not session.is_active
+
+
+class TestWaitLive:
+    def test_wait_live_returns_true_once_live(self):
+        session = _session()
+        flipper = threading.Thread(
+            target=lambda: (session.transition(SessionState.WARMING),
+                            session.transition(SessionState.LIVE)),
+        )
+        flipper.start()
+        assert session.wait_live(timeout=5.0) is True
+        flipper.join()
+
+    def test_wait_live_unblocks_on_degrade_but_returns_false(self):
+        session = _session()
+        session.transition(SessionState.WARMING)
+        session.transition(SessionState.DEGRADED, reason="boom")
+        # must not block: the event is set on any warm-up exit
+        assert session.wait_live(timeout=0.1) is False
+
+    def test_wait_live_times_out_while_pending(self):
+        assert _session().wait_live(timeout=0.01) is False
+
+
+# ----------------------------------------------------------------------
+# subscription queue
+# ----------------------------------------------------------------------
+class TestSubscription:
+    def test_push_and_drain_fifo(self):
+        session = _session()
+        session.push_answer(_event(1.0, snapshot=1))
+        session.push_answer(_event(2.0, snapshot=2))
+        events = session.drain()
+        assert [e.answer for e in events] == [1.0, 2.0]
+        assert session.drain() == []  # drained
+        assert session.last_answer == 2.0
+        assert session.answers_delivered == 2
+
+    def test_bounded_queue_drops_oldest_and_counts(self):
+        session = _session(subscription_capacity=3)
+        for snapshot in range(1, 6):
+            session.push_answer(_event(float(snapshot), snapshot=snapshot))
+        assert session.dropped_events == 2
+        kept = session.drain()
+        assert [e.snapshot_id for e in kept] == [3, 4, 5]  # oldest dropped
+        # the delivery counter still counts every push
+        assert session.answers_delivered == 5
+
+    def test_callback_invoked_per_event(self):
+        seen = []
+        session = _session(callback=lambda s, e: seen.append((s.id, e.answer)))
+        session.push_answer(_event(7.0))
+        assert seen == [("s0001", 7.0)]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            _session(subscription_capacity=0)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_register_assigns_unique_ids(self):
+        registry = SessionRegistry()
+        a = registry.register(PairwiseQuery(0, 1))
+        b = registry.register(PairwiseQuery(0, 2))
+        assert a.id != b.id
+        assert len(registry) == 2
+        assert registry.get(a.id) is a
+
+    def test_duplicate_query_raises_typed_error(self):
+        registry = SessionRegistry()
+        query = PairwiseQuery(3, 9)
+        registry.register(query)
+        with pytest.raises(DuplicateQueryError) as excinfo:
+            registry.register(query)
+        assert excinfo.value.query == query
+
+    def test_dedupe_returns_existing_session(self):
+        registry = SessionRegistry(dedupe=True)
+        query = PairwiseQuery(3, 9)
+        first = registry.register(query)
+        assert registry.register(query) is first
+        assert len(registry) == 1
+
+    def test_query_key_is_reusable_after_close(self):
+        registry = SessionRegistry()
+        query = PairwiseQuery(2, 8)
+        first = registry.register(query)
+        registry.close(first.id)
+        assert first.state is SessionState.CLOSED
+        second = registry.register(query)  # no DuplicateQueryError
+        assert second is not first
+        assert registry.find(query) is second
+
+    def test_find_ignores_inactive_sessions(self):
+        registry = SessionRegistry()
+        query = PairwiseQuery(1, 4)
+        session = registry.register(query)
+        assert registry.find(query) is session
+        session.transition(SessionState.DEGRADED, reason="x")
+        assert registry.find(query) is None
+
+    def test_get_and_close_unknown_id_raise(self):
+        registry = SessionRegistry()
+        with pytest.raises(SessionNotFoundError):
+            registry.get("s9999")
+        with pytest.raises(SessionNotFoundError):
+            registry.close("s9999")
+
+    def test_by_state_and_active_sessions(self):
+        registry = SessionRegistry()
+        live = registry.register(PairwiseQuery(0, 1))
+        dead = registry.register(PairwiseQuery(0, 2))
+        live.transition(SessionState.WARMING)
+        live.transition(SessionState.LIVE)
+        registry.close(dead.id)
+        counts = registry.by_state()
+        assert counts["live"] == 1
+        assert counts["closed"] == 1
+        assert counts["pending"] == 0
+        assert registry.active_sessions() == [live]

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Fixed-workload serving snapshot: throughput/latency smoke baseline.
+
+Runs a small deterministic serving session — standing queries registered
+across several source groups, streamed update batches through the
+WAL-backed serve harness, ad-hoc cached reads, and a couple of
+deliberately rate-limited registrations — with telemetry enabled, and
+writes the resulting document to ``BENCH_serving.json`` at the repo root.
+
+Same contract as ``tools/bench_snapshot.py`` (whose schema-drift checker
+this tool reuses):
+
+* ``--check`` re-runs the workload and fails (exit 1) if the *schema* of
+  the fresh document drifts from the committed one — renamed metrics,
+  dropped series, changed labels.  Values are allowed to move.
+* without ``--check`` the file is (re)written, which is how a PR that
+  intentionally changes the serving metric surface refreshes the
+  baseline.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_serving.py            # regenerate
+    PYTHONPATH=src python tools/bench_serving.py --check    # smoke check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from typing import Dict, Optional, Sequence
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_snapshot import key_paths, schema_drift  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(ROOT, "BENCH_serving.json")
+
+#: bump when the snapshot layout itself (not the metric surface) changes
+SNAPSHOT_SCHEMA_VERSION = 1
+
+WORKLOAD = {
+    "dataset": "OR",
+    "algorithm": "ppsp",
+    "batches": 4,
+    "seed": 0,
+    "standing_queries": 8,
+    "shards": 3,
+    "queue_bound": 16,
+    "registration_burst": 8,
+}
+
+
+def run_serving_workload() -> Dict[str, object]:
+    """Run the fixed serving session under telemetry; return the document."""
+    from repro.algorithms import get_algorithm
+    from repro.bench.datasets import (
+        dataset_by_abbreviation,
+        make_workload,
+        pick_query_pairs,
+    )
+    from repro.errors import AdmissionError
+    from repro.obs import Telemetry, use_telemetry
+    from repro.serve import ServeHarness
+
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        spec = dataset_by_abbreviation(WORKLOAD["dataset"])
+        workload = make_workload(
+            spec, num_batches=WORKLOAD["batches"], seed=WORKLOAD["seed"]
+        )
+        pairs = pick_query_pairs(
+            workload.initial,
+            count=WORKLOAD["standing_queries"] + 2,
+            seed=WORKLOAD["seed"],
+        )
+        harness = ServeHarness.open(
+            tempfile.mkdtemp(prefix="bench-serving-"),
+            workload.replay.initial_graph,
+            get_algorithm(WORKLOAD["algorithm"]),
+            pairs[0],
+            num_shards=WORKLOAD["shards"],
+            queue_bound=WORKLOAD["queue_bound"],
+            # rate 0 = non-refilling bucket: exactly `burst` registrations
+            # are admitted, the two extras below are rejected
+            # deterministically so the rejection metric is always present
+            registration_rate=0.0,
+            registration_burst=WORKLOAD["registration_burst"],
+        )
+        sessions = [
+            harness.register(q.source, q.destination)
+            for q in pairs[: WORKLOAD["standing_queries"]]
+        ]
+        rejected = 0
+        for query in pairs[WORKLOAD["standing_queries"]:]:
+            try:
+                harness.register(query.source, query.destination)
+            except AdmissionError:
+                rejected += 1
+        harness.wait_all_live()
+        for step in workload.replay.batches():
+            harness.submit(step.batch)
+        # two passes over the standing pairs: the second is all cache hits
+        for _ in range(2):
+            for query in pairs[: WORKLOAD["standing_queries"]]:
+                harness.query(query.source, query.destination)
+        summary = harness.stats()
+        answers = {
+            session.id: session.last_answer for session in sessions
+        }
+        harness.close()
+
+    return {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "workload": dict(WORKLOAD, scale=os.environ.get("CISGRAPH_SCALE", "small")),
+        "answers": answers,
+        "sessions": summary["sessions"],
+        "admission": {
+            "rejected_registrations": rejected,
+            "rejections": summary["admission"]["rejections"],
+        },
+        "cache_hit_rate_positive": summary["cache"]["hit_rate"] > 0,
+        "telemetry": telemetry.metrics_document(),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: regenerate or schema-check the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_serving_workload()
+
+    if args.check:
+        if not os.path.exists(args.output):
+            print(f"error: no baseline at {args.output} (run without --check)",
+                  file=sys.stderr)
+            return 1
+        with open(args.output) as handle:
+            baseline = json.load(handle)
+        drift = schema_drift(baseline, document)
+        if drift:
+            print(f"BENCH_serving schema drift ({len(drift)} paths):",
+                  file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            print("regenerate with: PYTHONPATH=src python tools/bench_serving.py",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: {args.output} schema matches "
+              f"({len(set(key_paths(document)))} paths)")
+        return 0
+
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
