@@ -30,6 +30,11 @@ Commands
     Run a scripted concurrent query-serving session (standing queries,
     sharded workers, admission control, result cache) over a dataset's
     initial graph; see ``docs/serving.md`` for the script grammar.
+``chaos``
+    Play deterministic seeded fault schedules (shard kills, hangs, inbox
+    saturation, WAL tears) against a live serving harness and verify that
+    self-healing converges to an uninterrupted offline replay; see
+    ``docs/self_healing.md``.
 ``telemetry``
     Summarize, dump or export a telemetry directory written by a
     ``--telemetry PATH`` run (events.jsonl + metrics.json + metrics.prom).
@@ -450,6 +455,59 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run seeded fault schedules against a live serving harness."""
+    import tempfile
+
+    from repro.algorithms import get_algorithm
+    from repro.resilience.chaos import (
+        BUILTIN_SCHEDULES,
+        builtin_schedule,
+        random_schedule,
+        run_chaos,
+    )
+
+    if args.schedule == "all":
+        names = list(BUILTIN_SCHEDULES)
+    else:
+        names = [args.schedule]
+    algorithm = get_algorithm(args.algorithm)
+    failures = 0
+    for name in names:
+        if name == "random":
+            schedule = random_schedule(
+                args.seed, num_batches=args.batches, num_shards=args.shards
+            )
+        else:
+            schedule = builtin_schedule(name)
+        directory = os.path.join(
+            args.state_dir or tempfile.mkdtemp(prefix="repro-chaos-"),
+            schedule.name,
+        )
+        report = run_chaos(
+            schedule,
+            directory,
+            algorithm,
+            seed=args.seed,
+            num_batches=args.batches,
+            num_shards=args.shards,
+        )
+        print(report.summary())
+        if args.verbose:
+            print(f"  breaker states seen: {report.breaker_states_seen}")
+            print(f"  session states:      {report.session_states}")
+            for source, breaker in sorted(
+                report.supervisor["breakers"].items()
+            ):
+                print(f"  breaker[{source}]: {breaker}")
+        for mismatch in report.mismatches:
+            print(f"  DIVERGED: {mismatch}", file=sys.stderr)
+        failures += 0 if report.converged else 1
+    verdict = "OK" if failures == 0 else f"{failures} schedule(s) diverged"
+    print(f"chaos: {len(names)} schedule(s), {verdict}")
+    return 0 if failures == 0 else 1
+
+
 def cmd_telemetry(args: argparse.Namespace) -> int:
     """Summarize, dump or export a previously written telemetry directory."""
     from repro.obs.events import load_jsonl
@@ -636,6 +694,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="write events.jsonl/metrics.json/metrics.prom into PATH",
     )
     serve.set_defaults(func=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="play seeded fault schedules against a live serving harness",
+    )
+    chaos.add_argument(
+        "--schedule",
+        default="all",
+        choices=["all", "kill-shard", "hang-epoch", "saturate-tear", "random"],
+        help="builtin schedule name, 'all' builtins, or a seeded random one",
+    )
+    chaos.add_argument("--seed", type=int, default=7, help="workload/fault seed")
+    chaos.add_argument("--batches", type=int, default=8, help="stream length")
+    chaos.add_argument("--shards", type=int, default=2, help="worker threads")
+    chaos.add_argument("--algorithm", default="ppsp", choices=list_algorithms())
+    chaos.add_argument(
+        "--state-dir", default=None,
+        help="WAL/checkpoint parent directory (default: fresh temp dir)",
+    )
+    chaos.add_argument(
+        "--verbose", action="store_true",
+        help="print breaker and session state detail per schedule",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     telemetry = sub.add_parser(
         "telemetry", help="inspect a telemetry directory from a --telemetry run"

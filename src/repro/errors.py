@@ -147,3 +147,30 @@ class SessionStateError(ServeError):
 
 class ShardCrashedError(ServeError):
     """A shard worker died and could not produce a batch outcome."""
+
+
+class ShardKilledError(ServeError):
+    """Kill signal for a shard worker thread (chaos fault injection).
+
+    Unlike any other exception raised inside a worker — which degrades
+    only the source being processed — this one deliberately escapes the
+    per-group isolation and terminates the whole worker thread, so tests
+    and the chaos harness (:mod:`repro.resilience.chaos`) can simulate a
+    real thread death at a precise epoch.
+    """
+
+
+class ShardShutdownError(ServeError):
+    """Worker threads survived ``close()``'s join deadline (a thread leak).
+
+    Carries the indices of the straggler workers so tests and operators
+    can see exactly which shard is wedged instead of silently leaking
+    daemon threads across test cases or deployments.
+    """
+
+    def __init__(self, stragglers) -> None:
+        names = ", ".join(str(index) for index in stragglers)
+        super().__init__(
+            f"shard worker(s) [{names}] did not exit within the join deadline"
+        )
+        self.stragglers = list(stragglers)

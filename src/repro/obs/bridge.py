@@ -135,6 +135,33 @@ def record_serve_cache(registry: MetricsRegistry, stats: Mapping) -> None:
         registry.gauge(f"serve_cache_{name}").set(value)
 
 
+#: breaker states encoded for the ``serve_breaker_state`` gauge
+_BREAKER_STATE_CODES = {"closed": 0, "open": 1, "half-open": 2}
+
+
+def record_supervision(registry: MetricsRegistry, stats: Mapping) -> None:
+    """``Supervisor.stats()`` -> supervision gauges.
+
+    Restart/resurrection/blocked/degraded-read counts are cumulative on
+    the supervisor, so they map onto gauges set to the current level;
+    each source's breaker exports its state (0 closed / 1 open / 2
+    half-open) and trip count labelled by source.
+    """
+    registry.gauge("serve_supervisor_restarts").set(stats["shard_restarts"])
+    registry.gauge("serve_supervisor_resurrections").set(
+        stats["session_resurrections"]
+    )
+    registry.gauge("serve_supervisor_blocked").set(stats["blocked_rescues"])
+    registry.gauge("serve_degraded_reads").set(stats["degraded_reads"])
+    registry.gauge("serve_awaiting_rescue").set(stats["awaiting_rescue"])
+    for source, breaker in stats["breakers"].items():
+        labels = {"source": str(source)}
+        registry.gauge("serve_breaker_state", labels).set(
+            _BREAKER_STATE_CODES.get(breaker["state"], -1)
+        )
+        registry.gauge("serve_breaker_opens", labels).set(breaker["opens"])
+
+
 def record_answer_latency(
     registry: MetricsRegistry, session_id: str, latency: float
 ) -> None:

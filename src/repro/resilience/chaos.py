@@ -1,0 +1,582 @@
+"""Deterministic chaos harness for the self-healing serve layer.
+
+:mod:`repro.resilience.faults` injects *one* failure at *one* precise
+point; this module generalises that into **seeded fault schedules** — a
+list of :class:`FaultEvent`\\ s ("kill shard 1 at epoch 2", "hang source
+3 for 2 epochs", "saturate shard 0's inbox before epoch 4", "tear the
+WAL tail at epoch 5") — and a driver, :func:`run_chaos`, that plays a
+schedule against a full :class:`~repro.serve.harness.ServeHarness` while
+streaming a seeded update workload.
+
+The contract under test is **convergence**: after the schedule ends and
+the supervisor has rescued what the breakers allow, every live standing
+session's answer must be *bit-identical* to an uninterrupted offline
+replay of the same stream (one
+:class:`~repro.core.engine.CISGraphEngine` per pair, never failed).  The
+report records the healing activity (restarts, resurrections, blocked
+rescues, breaker trips, degraded reads) alongside the verdict, so tests
+can assert a fault actually fired *and* was healed.
+
+Everything is deterministic:
+
+* the workload (graph + batches) comes from one seed;
+* faults fire at fixed epochs, keyed off the engine's own epoch counter;
+* time is a :class:`ManualClock` advanced one unit per epoch, so breaker
+  cooldowns, hang detection and admission refill never depend on wall
+  clock;
+* hangs block on events the controller releases after an exact number of
+  epochs — no sleeps, no races.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.core.engine import CISGraphEngine
+from repro.errors import QueueSaturatedError, ShardKilledError
+from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind
+from repro.graph.dynamic import DynamicGraph
+from repro.query import PairwiseQuery
+from repro.resilience.deadletter import retry_with_backoff
+from repro.resilience.faults import truncate_segment
+from repro.resilience.recovery import state_paths
+from repro.serve.harness import ServeHarness
+from repro.serve.session import SessionState
+from repro.serve.supervision import SupervisorConfig
+
+__all__ = [
+    "BUILTIN_SCHEDULES",
+    "ChaosController",
+    "ChaosReport",
+    "ChaosSchedule",
+    "FaultEvent",
+    "ManualClock",
+    "builtin_schedule",
+    "random_schedule",
+    "run_chaos",
+]
+
+#: fault kinds a schedule may contain
+KINDS = ("kill_shard", "hang_source", "saturate_inbox", "tear_wal")
+
+
+class ManualClock:
+    """A monotonic clock advanced explicitly (one unit per epoch)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, delta: float = 1.0) -> float:
+        if delta < 0:
+            raise ValueError("clocks only move forward")
+        self.now += delta
+        return self.now
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``epoch`` is the 1-based batch number the fault attaches to:
+    ``kill_shard`` and ``hang_source`` fire *inside* that epoch's shard
+    processing, ``saturate_inbox`` fills the target shard's inbox *before*
+    the batch is submitted, ``tear_wal`` crashes the harness before the
+    batch and truncates ``payload`` bytes off the WAL tail.  ``target``
+    is a shard index (kill/saturate) or a source vertex (hang);
+    ``duration`` is the hang length in epochs.
+    """
+
+    epoch: int
+    kind: str
+    target: int = 0
+    duration: int = 1
+    payload: int = 0
+
+    def validate(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.epoch < 1:
+            raise ValueError("fault epochs are 1-based")
+        if self.kind == "hang_source" and self.duration < 1:
+            raise ValueError("hang duration must be at least one epoch")
+        if self.kind == "tear_wal" and self.payload < 1:
+            raise ValueError("tear_wal needs payload (bytes to truncate)")
+
+
+@dataclass
+class ChaosSchedule:
+    """A named, validated list of fault events plus supervision tuning."""
+
+    name: str
+    events: List[FaultEvent]
+    #: supervisor pacing under this schedule (manual-clock units)
+    failure_threshold: int = 1
+    breaker_cooldown: float = 2.0
+    max_staleness: int = 8
+
+    def validate(self, num_batches: int, num_shards: int) -> None:
+        for event in self.events:
+            event.validate()
+            if event.epoch > num_batches:
+                raise ValueError(
+                    f"{self.name}: fault at epoch {event.epoch} beyond the "
+                    f"{num_batches}-batch stream"
+                )
+            if event.kind in ("kill_shard", "saturate_inbox") and not (
+                0 <= event.target < num_shards
+            ):
+                raise ValueError(
+                    f"{self.name}: shard {event.target} out of range"
+                )
+
+    def supervision(self) -> SupervisorConfig:
+        return SupervisorConfig(
+            failure_threshold=self.failure_threshold,
+            breaker_cooldown=self.breaker_cooldown,
+            max_staleness=self.max_staleness,
+        )
+
+
+def builtin_schedule(name: str) -> ChaosSchedule:
+    """One of the three canonical schedules (fresh instance)."""
+    if name == "kill-shard":
+        # kill the shard owning the odd sources; with threshold 1 the
+        # first failure trips every affected breaker OPEN, rescues stay
+        # blocked through the cooldown, and resurrection happens via the
+        # HALF_OPEN trial two epochs later
+        return ChaosSchedule(
+            "kill-shard",
+            [FaultEvent(epoch=2, kind="kill_shard", target=1)],
+            failure_threshold=1,
+            breaker_cooldown=2.0,
+        )
+    if name == "hang-epoch":
+        # wedge source 3's group mid-epoch: the barrier deadline expires,
+        # the shard is retired+respawned, the zombie wakes 2 epochs later
+        # and exits through its stop flag; threshold 2 keeps the breaker
+        # closed so the rescue is immediate (no half-open detour)
+        return ChaosSchedule(
+            "hang-epoch",
+            [FaultEvent(epoch=3, kind="hang_source", target=3, duration=2)],
+            failure_threshold=2,
+            breaker_cooldown=3.0,
+        )
+    if name == "saturate-tear":
+        # back-to-back infrastructure faults with no shard loss: a full
+        # inbox sheds one submit (no durable trace; the driver retries),
+        # then a torn WAL tail forces crash + resume mid-stream
+        return ChaosSchedule(
+            "saturate-tear",
+            [
+                FaultEvent(epoch=2, kind="saturate_inbox", target=0),
+                FaultEvent(epoch=4, kind="tear_wal", payload=7),
+            ],
+            failure_threshold=2,
+            breaker_cooldown=2.0,
+        )
+    raise ValueError(f"unknown builtin schedule {name!r}")
+
+
+#: names accepted by :func:`builtin_schedule` / the ``chaos`` CLI
+BUILTIN_SCHEDULES = ("kill-shard", "hang-epoch", "saturate-tear")
+
+
+def random_schedule(
+    seed: int,
+    num_batches: int = 8,
+    num_shards: int = 2,
+    sources: Tuple[int, ...] = (1, 2, 3),
+    num_faults: int = 2,
+) -> ChaosSchedule:
+    """A seeded random schedule (same seed -> same faults, always)."""
+    rng = random.Random(seed)
+    events = []
+    # leave the last two epochs quiet so rescues can confirm
+    last = max(2, num_batches - 2)
+    for _ in range(num_faults):
+        kind = rng.choice(("kill_shard", "hang_source", "saturate_inbox"))
+        epoch = rng.randint(2, last)
+        if kind == "hang_source":
+            events.append(FaultEvent(
+                epoch=epoch, kind=kind, target=rng.choice(sources),
+                duration=rng.randint(1, 2),
+            ))
+        else:
+            events.append(FaultEvent(
+                epoch=epoch, kind=kind, target=rng.randrange(num_shards)
+            ))
+    events.sort(key=lambda e: (e.epoch, e.kind, e.target))
+    return ChaosSchedule(f"random-{seed}", events, failure_threshold=1,
+                         breaker_cooldown=2.0)
+
+
+class ChaosController:
+    """Executes a schedule: in-worker faults via the hook, the rest inline.
+
+    One instance is both the harness ``fault_hook`` (kill / hang fire on
+    the worker thread at their exact epoch) and the driver-side actor
+    (inbox saturation, WAL tears, hang releases happen between submits on
+    the driver thread).  ``fired`` records what actually went off.
+    """
+
+    def __init__(self, schedule: ChaosSchedule, num_shards: int,
+                 clock: ManualClock) -> None:
+        self.schedule = schedule
+        self.num_shards = num_shards
+        self.clock = clock
+        self.fired: List[FaultEvent] = []
+        self._kills: Dict[int, FaultEvent] = {}      # epoch -> event
+        self._hangs: Dict[Tuple[int, int], FaultEvent] = {}
+        self._hang_gates: Dict[Tuple[int, int], threading.Event] = {}
+        self._releases: Dict[int, List[threading.Event]] = {}
+        self._saturations: Dict[int, FaultEvent] = {}
+        self._tears: Dict[int, FaultEvent] = {}
+        self._barriers: List[threading.Event] = []
+        for event in schedule.events:
+            if event.kind == "kill_shard":
+                self._kills[event.epoch] = event
+            elif event.kind == "hang_source":
+                key = (event.epoch, event.target)
+                self._hangs[key] = event
+                gate = threading.Event()
+                self._hang_gates[key] = gate
+                self._releases.setdefault(
+                    event.epoch + event.duration, []
+                ).append(gate)
+            elif event.kind == "saturate_inbox":
+                self._saturations[event.epoch] = event
+            elif event.kind == "tear_wal":
+                self._tears[event.epoch] = event
+
+    # ------------------------------------------------------------------
+    # worker-thread side (the fault hook)
+    # ------------------------------------------------------------------
+    def __call__(self, kind: str, source: int, epoch: int) -> None:
+        if kind != "batch":
+            return
+        kill = self._kills.get(epoch)
+        if kill is not None and source % self.num_shards == kill.target:
+            del self._kills[epoch]
+            self.fired.append(kill)
+            raise ShardKilledError(
+                f"chaos: killed shard {kill.target} at epoch {epoch}"
+            )
+        hang = self._hangs.pop((epoch, source), None)
+        if hang is not None:
+            self.fired.append(hang)
+            # park until the driver releases us `duration` epochs later;
+            # by then this worker is retired and exits via its stop flag
+            self._hang_gates[(epoch, source)].wait(timeout=60.0)
+
+    # ------------------------------------------------------------------
+    # driver side
+    # ------------------------------------------------------------------
+    def tear_before(self, epoch: int) -> Optional[FaultEvent]:
+        """The WAL tear scheduled immediately before ``epoch``, if any."""
+        return self._tears.pop(epoch, None)
+
+    def saturate_before(self, epoch: int, harness: ServeHarness) -> bool:
+        """Fill the target shard's inbox so the next submit is shed."""
+        event = self._saturations.pop(epoch, None)
+        if event is None:
+            return False
+        shard = harness.engine.shards[event.target]
+        barrier = threading.Event()
+        self._barriers.append(barrier)
+        shard.inbox.put(("barrier", barrier))  # parks the worker
+        try:
+            while True:
+                shard.inbox.put_nowait(("noop",))
+        except queue.Full:  # the inbox is at its bound
+            pass
+        self.fired.append(event)
+        return True
+
+    def release_saturation(self) -> None:
+        """Unpark saturated workers; the noop backlog drains in FIFO."""
+        while self._barriers:
+            self._barriers.pop().set()
+
+    def after_epoch(self, epoch: int) -> None:
+        """Advance chaos time one epoch; release hangs that served it."""
+        self.clock.advance(1.0)
+        for gate in self._releases.pop(epoch, ()):
+            gate.set()
+
+    def release_all(self) -> None:
+        """Unblock every outstanding gate (teardown: no zombie survives)."""
+        self.release_saturation()
+        for gates in self._releases.values():
+            for gate in gates:
+                gate.set()
+        self._releases.clear()
+
+
+@dataclass
+class ChaosReport:
+    """What a chaos run did and whether serving converged."""
+
+    schedule: str
+    epochs: int
+    faults_fired: List[str]
+    converged: bool
+    mismatches: List[str]
+    resumes: int
+    shed_submits: int
+    supervisor: Dict[str, object]
+    session_states: Dict[str, int]
+    #: breaker states seen at least once during the run (half-open proof)
+    breaker_states_seen: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        verdict = "CONVERGED" if self.converged else "DIVERGED"
+        fired = ", ".join(self.faults_fired) or "none"
+        return (
+            f"chaos[{self.schedule}]: {verdict} after {self.epochs} epochs; "
+            f"faults: {fired}; restarts={self.supervisor['shard_restarts']} "
+            f"resurrections={self.supervisor['session_resurrections']} "
+            f"blocked={self.supervisor['blocked_rescues']} "
+            f"degraded_reads={self.supervisor['degraded_reads']} "
+            f"resumes={self.resumes} shed={self.shed_submits}"
+        )
+
+
+# ----------------------------------------------------------------------
+# seeded workload
+# ----------------------------------------------------------------------
+def _workload(
+    seed: int, num_vertices: int, num_edges: int, num_batches: int
+) -> Tuple[DynamicGraph, List[UpdateBatch]]:
+    """Seeded graph + update stream (mirrors the fault-suite generators)."""
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < num_edges:
+        u, v = rng.randrange(num_vertices), rng.randrange(num_vertices)
+        if u != v:
+            edges.add((u, v))
+    graph = DynamicGraph.from_edges(
+        num_vertices,
+        [(u, v, float(rng.randint(1, 16))) for u, v in edges],
+    )
+    reference = graph.copy()
+    batches = []
+    for _ in range(num_batches):
+        batch = UpdateBatch()
+        present = list(reference.edges())
+        taken = {(u, v) for u, v, _ in present}
+        while sum(1 for x in batch if x.is_addition) < 8:
+            u, v = rng.randrange(num_vertices), rng.randrange(num_vertices)
+            if u == v or (u, v) in taken:
+                continue
+            taken.add((u, v))
+            batch.append(
+                EdgeUpdate(UpdateKind.ADD, u, v, float(rng.randint(1, 16)))
+            )
+        for u, v, w in rng.sample(present, min(8, len(present))):
+            batch.append(EdgeUpdate(UpdateKind.DELETE, u, v, w))
+        reference.apply_batch(batch)
+        batches.append(batch)
+    return graph, batches
+
+
+def _offline_replay(
+    graph: DynamicGraph,
+    algorithm: MonotonicAlgorithm,
+    pairs: List[Tuple[int, int]],
+    batches: List[UpdateBatch],
+) -> List[Dict[Tuple[int, int], float]]:
+    """Per-batch answers of an uninterrupted run (the convergence oracle)."""
+    engines = {
+        pair: CISGraphEngine(graph.copy(), algorithm, PairwiseQuery(*pair))
+        for pair in pairs
+    }
+    for engine in engines.values():
+        engine.initialize()
+    return [
+        {pair: engines[pair].on_batch(batch).answer for pair in engines}
+        for batch in batches
+    ]
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+def run_chaos(
+    schedule: ChaosSchedule,
+    directory: str,
+    algorithm: MonotonicAlgorithm,
+    seed: int = 7,
+    num_vertices: int = 60,
+    num_edges: int = 360,
+    num_batches: int = 8,
+    num_shards: int = 2,
+    pairs: Optional[List[Tuple[int, int]]] = None,
+    anchor: Optional[PairwiseQuery] = None,
+    epoch_deadline: float = 0.5,
+) -> ChaosReport:
+    """Play ``schedule`` against a live harness; verify convergence.
+
+    The same seed drives the workload and the offline oracle, so the
+    check is exact: every session that is LIVE when the stream ends must
+    hold the bit-identical answer of its never-failed offline twin, and
+    any session left degraded (breaker still open) counts as a mismatch
+    only if the schedule gave the supervisor room to heal it (quiet tail
+    epochs) — which the builtin schedules all do.
+    """
+    pairs = pairs or [(1, 20), (2, 30), (3, 40), (4, 50)]
+    anchor = anchor or PairwiseQuery(7, 23)
+    schedule.validate(num_batches, num_shards)
+    graph, batches = _workload(seed, num_vertices, num_edges, num_batches)
+    offline = _offline_replay(graph, algorithm, pairs, batches)
+
+    clock = ManualClock()
+    controller = ChaosController(schedule, num_shards, clock)
+    harness = ServeHarness.open(
+        directory,
+        graph.copy(),
+        algorithm,
+        anchor,
+        num_shards=num_shards,
+        fault_hook=controller,
+        epoch_deadline=epoch_deadline,
+        clock=clock,
+        supervision=schedule.supervision(),
+        checkpoint_every=2,
+    )
+    for pair in pairs:
+        harness.register(*pair)
+    harness.wait_all_live()
+
+    resumes = 0
+    shed = 0
+    breaker_states_seen = set()
+    read_mismatches: List[str] = []
+    epoch = 0
+    try:
+        while epoch < num_batches:
+            target = epoch + 1
+            tear = controller.tear_before(target)
+            if tear is not None:
+                # simulated crash: stop threads, leave disk as-is, damage
+                # the WAL tail, then recover and re-register every client
+                harness.pipeline.wal.close()
+                harness.engine.close(strict=False)
+                _, wal_dir = state_paths(directory)
+                truncate_segment(wal_dir, tear.payload)
+                controller.fired.append(tear)
+                harness = ServeHarness.resume(
+                    directory,
+                    algorithm=algorithm,
+                    num_shards=num_shards,
+                    fault_hook=controller,
+                    epoch_deadline=epoch_deadline,
+                    clock=clock,
+                    supervision=schedule.supervision(),
+                    checkpoint_every=2,
+                )
+                resumes += 1
+                for pair in pairs:
+                    harness.register(*pair)
+                harness.wait_all_live()
+                # the tear may have rolled back past durable batches; the
+                # recovered snapshot says exactly where to resubmit from
+                epoch = harness.snapshot_id
+                continue
+            controller.saturate_before(target, harness)
+            try:
+                harness.submit(batches[epoch])
+            except QueueSaturatedError:
+                shed += 1
+                # the shed batch left no durable trace; release the
+                # saturated inbox and replay the identical submit with
+                # backoff while the noop backlog drains
+                controller.release_saturation()
+                batch = batches[epoch]
+                retry_with_backoff(
+                    lambda: harness.submit(batch),
+                    retries=20,
+                    base_delay=0.005,
+                    multiplier=1.5,
+                    retry_on=(QueueSaturatedError,),
+                    deadline=10.0,
+                )
+            epoch += 1
+            controller.after_epoch(epoch)
+            for breaker in harness.supervisor.breakers.values():
+                breaker_states_seen.add(breaker.state.value)
+            # on a manual clock a lazy OPEN -> HALF_OPEN flip only shows
+            # up when observed, so poll once per epoch (observability only)
+            harness.supervisor.review(_EMPTY_RESULT)
+            # ad-hoc read probe: a healthy source must read the current
+            # exact answer; an open-circuit source may serve its
+            # last-known answer, which must match the offline oracle at
+            # exactly `stale_epochs` batches ago — bounded staleness,
+            # never a wrong value
+            for pair in pairs:
+                outcome = harness.read(*pair)
+                expected = offline[epoch - 1 - outcome.stale_epochs][pair]
+                if outcome.value != expected:
+                    read_mismatches.append(
+                        f"read {pair} at epoch {epoch}: {outcome.value!r} "
+                        f"!= oracle {expected!r} "
+                        f"(degraded={outcome.degraded}, "
+                        f"stale={outcome.stale_epochs})"
+                    )
+        controller.release_all()
+
+        mismatches: List[str] = list(read_mismatches)
+        final = offline[-1]
+        live = 0
+        for session in harness.sessions:
+            pair = (session.query.source, session.query.destination)
+            if pair not in final:
+                continue
+            if session.state is SessionState.LIVE:
+                live += 1
+                if session.last_answer != final[pair]:
+                    mismatches.append(
+                        f"{pair}: served {session.last_answer!r} "
+                        f"!= offline {final[pair]!r}"
+                    )
+            else:
+                mismatches.append(
+                    f"{pair}: ended {session.state.value} "
+                    f"({session.degraded_reason or 'no reason'})"
+                )
+        if live == 0:
+            mismatches.append("no session survived to compare")
+        supervisor_stats = harness.supervisor.stats()
+        states = harness.sessions.by_state()
+    finally:
+        controller.release_all()
+        harness.close()
+
+    return ChaosReport(
+        schedule=schedule.name,
+        epochs=num_batches,
+        faults_fired=[f"{e.kind}@{e.epoch}" for e in controller.fired],
+        converged=not mismatches,
+        mismatches=mismatches,
+        resumes=resumes,
+        shed_submits=shed,
+        supervisor=supervisor_stats,
+        session_states=states,
+        breaker_states_seen=sorted(breaker_states_seen),
+    )
+
+
+class _EmptyResult:
+    """A no-failure stand-in so idle supervisor reviews can run."""
+
+    failed_shards: List[Tuple[int, str]] = []
+
+
+_EMPTY_RESULT = _EmptyResult()

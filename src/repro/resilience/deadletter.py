@@ -233,6 +233,10 @@ def retry_with_backoff(
     retry_on: Tuple[type, ...] = (TransientStreamError, OSError),
     sleep: Callable[[float], None] = None,  # type: ignore[assignment]
     on_retry: Optional[Callable[[int, Exception], None]] = None,
+    deadline: Optional[float] = None,
+    jitter: bool = False,
+    rng: Optional[Callable[[], float]] = None,
+    clock: Callable[[], float] = None,  # type: ignore[assignment]
 ) -> _T:
     """Call ``operation`` with bounded exponential-backoff retries.
 
@@ -243,16 +247,40 @@ def retry_with_backoff(
     the narrow ``(TransientStreamError, OSError)`` rather than
     ``Exception``.  When the budget is spent,
     :class:`~repro.errors.RetryExhaustedError` chains the last failure.
+
+    Two additional bounds, both off by default:
+
+    * ``deadline`` — an overall wall-clock budget in seconds: once the
+      *next* backoff sleep would overrun it, retrying stops early even
+      with attempts left (a caller-facing operation should fail within
+      its SLA, not after the full exponential ladder);
+    * ``jitter`` — full jitter: each sleep is drawn uniformly from
+      ``[0, delay]`` via ``rng`` (a ``random.Random().random``-style
+      callable, injectable for determinism) so a fleet of retriers does
+      not thunder back in lockstep.
+
+    ``clock`` (monotonic, injectable) only matters with ``deadline``.
     """
     if retries < 0:
         raise ValueError("retries must be non-negative")
-    if sleep is None:
-        import time
+    if deadline is not None and deadline <= 0:
+        raise ValueError("deadline must be positive")
+    import time
 
+    if sleep is None:
         sleep = time.sleep
+    if clock is None:
+        clock = time.monotonic
+    if jitter and rng is None:
+        import random
+
+        rng = random.Random().random
+    started = clock()
     delay = base_delay
     last: Optional[Exception] = None
+    attempts = 0
     for attempt in range(retries + 1):
+        attempts += 1
         try:
             return operation()
         except retry_on as exc:  # type: ignore[misc]
@@ -261,7 +289,13 @@ def retry_with_backoff(
                 on_retry(attempt, exc)
             if attempt == retries:
                 break
-            sleep(delay)
+            pause = delay * rng() if jitter else delay
+            if (
+                deadline is not None
+                and clock() - started + pause > deadline
+            ):
+                break  # the budgeted SLA would be blown mid-sleep
+            sleep(pause)
             delay *= multiplier
     assert last is not None
-    raise RetryExhaustedError(retries + 1, last) from last
+    raise RetryExhaustedError(attempts, last) from last

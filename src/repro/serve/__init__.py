@@ -16,19 +16,33 @@ keeps streaming.  This package is that serving layer:
   reject-vs-delay load shedding with typed errors;
 * :mod:`repro.serve.cache` — key-path-aware memoization of one-shot
   pairwise reads, invalidated with the paper's own contribution tests;
+* :mod:`repro.serve.health` — heartbeats, the shard health monitor, and
+  the per-source circuit breaker;
+* :mod:`repro.serve.supervision` — the :class:`Supervisor` that detects
+  crashed/hung shards, resurrects them, and paces rescues through the
+  breakers;
 * :mod:`repro.serve.harness` — :class:`ServeHarness`, the façade wiring
   all of the above plus telemetry;
 * :mod:`repro.serve.protocol` — the line-oriented script protocol behind
   ``repro serve``.
 
 See ``docs/serving.md`` for the architecture and the backpressure and
-cache-invalidation policies.
+cache-invalidation policies, and ``docs/self_healing.md`` for the
+supervision tree, breaker semantics and the degraded-read staleness
+contract.
 """
 
 from repro.serve.admission import AdmissionController, ShedPolicy, TokenBucket
 from repro.serve.cache import CacheStats, ResultCache
 from repro.serve.engine import ServeBatchResult, ShardedServeEngine
-from repro.serve.harness import ServeHarness
+from repro.serve.harness import ReadResult, ServeHarness
+from repro.serve.health import (
+    BreakerState,
+    CircuitBreaker,
+    HealthMonitor,
+    Heartbeat,
+    ShardHealth,
+)
 from repro.serve.protocol import ScriptRunner, format_event, parse_script
 from repro.serve.session import (
     AnswerEvent,
@@ -37,12 +51,18 @@ from repro.serve.session import (
     SessionState,
 )
 from repro.serve.shard import ShardBatchOutcome, ShardWorker
+from repro.serve.supervision import Supervisor, SupervisorConfig
 
 __all__ = [
     "AdmissionController",
     "AnswerEvent",
+    "BreakerState",
     "CacheStats",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "Heartbeat",
     "QuerySession",
+    "ReadResult",
     "ResultCache",
     "ScriptRunner",
     "ServeBatchResult",
@@ -50,9 +70,12 @@ __all__ = [
     "SessionRegistry",
     "SessionState",
     "ShardBatchOutcome",
+    "ShardHealth",
     "ShardWorker",
     "ShardedServeEngine",
     "ShedPolicy",
+    "Supervisor",
+    "SupervisorConfig",
     "TokenBucket",
     "format_event",
     "parse_script",

@@ -117,6 +117,16 @@ class ResultCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._families: "OrderedDict[int, _SourceFamily]" = OrderedDict()
+        #: committed batches seen (the staleness clock for degraded reads)
+        self.epoch = 0
+        # last-known answers: (source, destination) -> (value, epoch stamped).
+        # Unlike families these survive invalidation — they are explicitly
+        # *possibly stale* and only served on an open circuit, bounded by
+        # the supervisor's max_staleness (see docs/self_healing.md).
+        self._last_known: "OrderedDict[Tuple[int, int], Tuple[float, int]]" = (
+            OrderedDict()
+        )
+        self._last_known_bound = max(1024, capacity * 8)
 
     def __len__(self) -> int:
         return sum(len(f.answers) for f in self._families.values())
@@ -165,6 +175,37 @@ class ResultCache:
             self.stats.evicted_families += 1
         return family.states[destination]
 
+    # ------------------------------------------------------------------
+    # last-known answers (the degraded-read surface)
+    # ------------------------------------------------------------------
+    def remember(self, source: int, destination: int, value: float) -> None:
+        """Record a known-exact answer for the current epoch.
+
+        Fed by the harness fan-out with every per-batch standing answer,
+        so an open circuit can still serve ``Q(s -> d)`` with an explicit
+        age bound instead of recomputing on a path that just failed.
+        """
+        key = (source, destination)
+        self._last_known[key] = (value, self.epoch)
+        self._last_known.move_to_end(key)
+        while len(self._last_known) > self._last_known_bound:
+            self._last_known.popitem(last=False)
+
+    def stale_lookup(
+        self, source: int, destination: int
+    ) -> Optional[Tuple[float, int]]:
+        """Last-known ``(value, age_in_epochs)`` for a pair, if recorded.
+
+        Age 0 means the answer is from the current epoch (exact); the
+        caller enforces its own staleness bound and tags the read
+        ``degraded`` — this method never filters.
+        """
+        stamped = self._last_known.get((source, destination))
+        if stamped is None:
+            return None
+        value, epoch = stamped
+        return value, self.epoch - epoch
+
     def _entry(
         self, source: int, family: _SourceFamily, destination: int
     ) -> _Entry:
@@ -181,6 +222,7 @@ class ResultCache:
     # ------------------------------------------------------------------
     def on_batch(self, effective: UpdateBatch) -> Dict[str, int]:
         """Invalidate against one committed *net* batch; returns tallies."""
+        self.epoch += 1  # ages every last-known answer by one
         adds = [u for u in effective if u.is_addition]
         dels = [u for u in effective if u.is_deletion]
         tallies = {"families_dropped": 0, "entries_dropped": 0, "retained": 0}

@@ -27,13 +27,15 @@ the pre-*k* topology and answers from *k* on — no locks, no torn reads.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.core.classification import KeyPathRule
 from repro.core.keypath import KeyPathTracker
 from repro.core.multiquery import SourceGroup
+from repro.errors import ShardCrashedError, ShardShutdownError
 from repro.graph.batch import UpdateBatch, net_effects
 from repro.graph.dynamic import DynamicGraph
 from repro.incremental import IncrementalState
@@ -56,6 +58,10 @@ class ServeBatchResult(BatchResult):
 
     answers: Dict[Tuple[int, int], float] = field(default_factory=dict)
     degraded: List[Tuple[int, str]] = field(default_factory=list)
+    #: shards that produced no outcome this epoch (crashed or hung past
+    #: the epoch deadline), with the failure text; only populated when the
+    #: engine runs in tolerant mode (under a supervisor)
+    failed_shards: List[Tuple[int, str]] = field(default_factory=list)
     epoch: int = 0
 
 
@@ -78,14 +84,27 @@ class ShardedServeEngine:
         rule: KeyPathRule = KeyPathRule.PRECISE,
         queue_bound: int = 64,
         fault_hook: Optional[FaultHook] = None,
+        epoch_deadline: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if epoch_deadline <= 0:
+            raise ValueError("epoch_deadline must be positive")
         anchor.validate(graph.num_vertices)
         self.graph = graph
         self.algorithm = algorithm
         self.query = anchor
         self.rule = rule
+        self.queue_bound = queue_bound
+        self.fault_hook = fault_hook
+        #: how long the epoch barrier waits for one shard's outcome; the
+        #: watchdog deadline that turns a hung worker into a detected fault
+        self.epoch_deadline = epoch_deadline
+        self.clock = clock
+        #: with a supervisor attached, a crashed/hung shard degrades its
+        #: sources for the epoch instead of raising out of on_batch
+        self.tolerate_shard_failures = False
         self.init_ops = OpCounts()
         self.epoch = 0
         #: the last committed net batch (consumed by the result cache)
@@ -95,18 +114,23 @@ class ShardedServeEngine:
             graph, algorithm, anchor.source, [anchor.destination], rule
         )
         self.shards = [
-            ShardWorker(
-                index,
-                graph.copy(),
-                algorithm,
-                rule=rule,
-                queue_bound=queue_bound,
-                fault_hook=fault_hook,
-            )
-            for index in range(num_shards)
+            self._make_worker(index) for index in range(num_shards)
         ]
+        #: replaced workers awaiting their final join at close()
+        self.retired: List[ShardWorker] = []
         self._initialized = False
         self._batches_seen = 0
+
+    def _make_worker(self, index: int) -> ShardWorker:
+        return ShardWorker(
+            index,
+            self.graph.copy(),
+            self.algorithm,
+            rule=self.rule,
+            queue_bound=self.queue_bound,
+            fault_hook=self.fault_hook,
+            clock=self.clock,
+        )
 
     # ------------------------------------------------------------------
     # engine protocol (what pipeline / checkpoint / guard consume)
@@ -182,9 +206,21 @@ class ShardedServeEngine:
 
         answers: Dict[Tuple[int, int], float] = {}
         degraded: List[Tuple[int, str]] = []
+        failed_shards: List[Tuple[int, str]] = []
         totals: Dict[str, int] = dict(anchor_stats)
         for shard in self.shards:
-            outcome = shard.wait_outcome(self.epoch)
+            try:
+                outcome = shard.wait_outcome(
+                    self.epoch, timeout=self.epoch_deadline
+                )
+            except ShardCrashedError as exc:
+                if not self.tolerate_shard_failures:
+                    raise
+                # supervised mode: the epoch completes without this shard —
+                # its sessions degrade now and the supervisor resurrects
+                # the worker (and re-derives its groups) after the batch
+                failed_shards.append((shard.index, str(exc)))
+                continue
             answers.update(outcome.answers)
             degraded.extend(outcome.degraded)
             response += outcome.response_ops
@@ -196,6 +232,8 @@ class ShardedServeEngine:
         stats: Dict[str, float] = {k: float(v) for k, v in totals.items()}
         stats["standing_answers"] = float(len(answers))
         stats["degraded_sources"] = float(len(degraded))
+        if failed_shards:
+            stats["failed_shards"] = float(len(failed_shards))
         return ServeBatchResult(
             answer=self.answer,
             response_ops=response,
@@ -203,6 +241,7 @@ class ShardedServeEngine:
             stats=stats,
             answers=answers,
             degraded=degraded,
+            failed_shards=failed_shards,
             epoch=self.epoch,
         )
 
@@ -225,10 +264,43 @@ class ShardedServeEngine:
         """Shard index -> sources currently grouped there (diagnostics)."""
         return {shard.index: sorted(shard.groups) for shard in self.shards}
 
-    def close(self) -> None:
-        """Stop every shard worker (idempotent)."""
-        for shard in self.shards:
-            shard.stop()
+    def replace_shard(self, index: int) -> ShardWorker:
+        """Retire the worker at ``index`` and swap in a fresh one.
+
+        The replacement starts from a copy of the **canonical graph** —
+        which is exactly what the anchor checkpoint plus the WAL tail
+        reconstruct — so resurrected source groups re-derive their
+        converged state on the current topology instead of replaying the
+        stream from batch 0.  The retired worker is asked to drain (it may
+        be a zombie stuck in a hung command; its private graph copy and
+        outcome map are unreachable from the new worker, so even a late
+        wake-up cannot corrupt serving state) and is joined at
+        :meth:`close`.
+        """
+        old = self.shards[index]
+        old.request_stop()
+        self.retired.append(old)
+        replacement = self._make_worker(index)
+        replacement.start()
+        self.shards[index] = replacement
+        return replacement
+
+    def close(self, timeout: float = 5.0, strict: bool = True) -> None:
+        """Stop and join every worker, including retired ones (idempotent).
+
+        With ``strict`` (default) any thread still alive after its join
+        deadline raises :class:`~repro.errors.ShardShutdownError` listing
+        the straggler shard indices — a leak is an error, not a silent
+        daemon-thread residue bleeding across tests.  Pass
+        ``strict=False`` on already-failing paths (e.g. an injected crash
+        unwinding) where masking the original exception would hurt more.
+        """
+        stragglers: List[int] = []
+        for shard in self.shards + self.retired:
+            if not shard.stop(timeout=timeout):
+                stragglers.append(shard.index)
+        if stragglers and strict:
+            raise ShardShutdownError(sorted(set(stragglers)))
 
     def __repr__(self) -> str:
         return (

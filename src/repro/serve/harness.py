@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import queue
 import time
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.algorithms.base import MonotonicAlgorithm
@@ -35,6 +36,7 @@ from repro.obs.bridge import (
     record_serve_admission,
     record_serve_cache,
     record_serve_state,
+    record_supervision,
 )
 from repro.obs.telemetry import Telemetry, get_global_telemetry
 from repro.query import PairwiseQuery
@@ -49,6 +51,23 @@ from repro.serve.session import (
     SessionRegistry,
     SessionState,
 )
+from repro.serve.supervision import Supervisor, SupervisorConfig
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """One ad-hoc read with its freshness contract.
+
+    ``degraded`` is True when the source's circuit was not closed — the
+    answer came from the last-known store (``stale_epochs`` committed
+    batches old; 0 means current-epoch) or, with nothing fresh enough
+    remembered, from a direct recompute that still carries the flag so
+    clients know the serving path for this source is unhealthy.
+    """
+
+    value: float
+    degraded: bool = False
+    stale_epochs: int = 0
 
 
 class ServeHarness:
@@ -67,6 +86,7 @@ class ServeHarness:
         admission: AdmissionController,
         registry: SessionRegistry,
         cache: ResultCache,
+        supervisor: Supervisor,
         recovered: Optional[RecoveryResult] = None,
     ) -> None:
         self.pipeline = pipeline
@@ -74,6 +94,7 @@ class ServeHarness:
         self.admission = admission
         self.sessions = registry
         self.cache = cache
+        self.supervisor = supervisor
         #: recovery report when this harness was built by :meth:`resume`
         self.recovered = recovered
         self.telemetry: Optional[Telemetry] = pipeline.telemetry
@@ -101,12 +122,16 @@ class ServeHarness:
         cache_capacity: int = 128,
         clock: Callable[[], float] = time.monotonic,
         fault_hook=None,
+        epoch_deadline: float = 30.0,
+        supervision: Optional[SupervisorConfig] = None,
         **pipeline_kwargs,
     ) -> "ServeHarness":
         """Start serving on a fresh state directory.
 
         ``anchor`` is the query whose state anchors checkpoints and the
-        differential guard; ``pipeline_kwargs`` pass through to
+        differential guard; ``supervision`` tunes failure detection and
+        resurrection pacing (defaults to :class:`SupervisorConfig`);
+        ``pipeline_kwargs`` pass through to
         :class:`~repro.resilience.pipeline.ResilientPipeline` (e.g.
         ``checkpoint_every``, ``guard_every``, ``wal_sync``,
         ``write_hook``, ``telemetry``).
@@ -119,12 +144,15 @@ class ServeHarness:
             rule=rule,
             queue_bound=queue_bound,
             fault_hook=fault_hook,
+            epoch_deadline=epoch_deadline,
+            clock=clock,
         )
         engine.initialize()
         pipeline = ResilientPipeline.wrap(directory, engine, **pipeline_kwargs)
         return cls._assemble(
             pipeline, engine, policy, queue_bound, registration_rate,
             registration_burst, delay_timeout, dedupe, cache_capacity, clock,
+            supervision,
         )
 
     @classmethod
@@ -144,6 +172,8 @@ class ServeHarness:
         cache_capacity: int = 128,
         clock: Callable[[], float] = time.monotonic,
         fault_hook=None,
+        epoch_deadline: float = 30.0,
+        supervision: Optional[SupervisorConfig] = None,
         **pipeline_kwargs,
     ) -> "ServeHarness":
         """Recover a crashed serving session from its state directory.
@@ -168,6 +198,8 @@ class ServeHarness:
             rule=rule,
             queue_bound=queue_bound,
             fault_hook=fault_hook,
+            epoch_deadline=epoch_deadline,
+            clock=clock,
         )
         engine.adopt_state(base.state.states, base.state.parents)
         pipeline = ResilientPipeline.wrap(
@@ -181,14 +213,14 @@ class ServeHarness:
         return cls._assemble(
             pipeline, engine, policy, queue_bound, registration_rate,
             registration_burst, delay_timeout, dedupe, cache_capacity, clock,
-            recovered=recovered,
+            supervision, recovered=recovered,
         )
 
     @classmethod
     def _assemble(
         cls, pipeline, engine, policy, queue_bound, registration_rate,
         registration_burst, delay_timeout, dedupe, cache_capacity, clock,
-        recovered=None,
+        supervision=None, recovered=None,
     ) -> "ServeHarness":
         """Shared tail of :meth:`open` / :meth:`resume`."""
         admission = AdmissionController(
@@ -202,7 +234,11 @@ class ServeHarness:
         registry = SessionRegistry(dedupe=dedupe)
         cache = ResultCache(engine.graph, engine.algorithm,
                             capacity=cache_capacity)
-        return cls(pipeline, engine, admission, registry, cache,
+        # the supervisor flips the engine into tolerant mode: shard loss
+        # degrades and resurrects instead of raising out of submit()
+        supervisor = Supervisor(engine, registry, config=supervision,
+                                clock=clock)
+        return cls(pipeline, engine, admission, registry, cache, supervisor,
                    recovered=recovered)
 
     # ------------------------------------------------------------------
@@ -300,19 +336,27 @@ class ServeHarness:
         self._fan_out(result, latency)
         if self.engine.last_effective is not None:
             self.cache.on_batch(self.engine.last_effective)
+        # stamp this epoch's exact answers into the last-known store
+        # (after on_batch so the age of a current answer reads as 0)
+        for (source, destination), value in result.answers.items():
+            self.cache.remember(source, destination, value)
+        self.supervisor.review(result)
         self._record_telemetry()
         return result
 
     def _fan_out(self, result: ServeBatchResult, latency: float) -> None:
-        """Deliver per-query answers and degrade crashed sources' sessions."""
+        """Deliver per-query answers and degrade failed sources' sessions."""
         degraded = dict(result.degraded)
+        failed = {index for index, _ in result.failed_shards}
+        reasons = dict(result.failed_shards)
         telemetry = self.telemetry
         for session in self.sessions.active_sessions():
             source = session.query.source
-            if source in degraded:
+            shard_index = source % self.engine.num_shards
+            if source in degraded or shard_index in failed:
+                reason = degraded.get(source) or reasons[shard_index]
                 if session.state is not SessionState.DEGRADED:
-                    session.transition(SessionState.DEGRADED,
-                                       reason=degraded[source])
+                    session.transition(SessionState.DEGRADED, reason=reason)
                 continue
             key = (source, session.query.destination)
             if key not in result.answers:
@@ -329,14 +373,43 @@ class ServeHarness:
     # ad-hoc reads
     # ------------------------------------------------------------------
     def query(self, source: int, destination: int) -> float:
-        """One-shot pairwise read against the current snapshot (cached)."""
+        """One-shot pairwise read against the current snapshot (cached).
+
+        Compatibility front for :meth:`read` — returns the bare value.
+        """
+        return self.read(source, destination).value
+
+    def read(self, source: int, destination: int) -> ReadResult:
+        """One-shot pairwise read with an explicit freshness contract.
+
+        On a closed circuit this is the cached exact read.  While
+        ``source``'s breaker is open (or trialling half-open), the answer
+        comes from the last-known store when one exists within the
+        supervisor's ``max_staleness`` bound — tagged ``degraded`` with
+        its age — and otherwise falls back to a direct recompute that
+        still carries the flag (the value is exact; the serving path for
+        this source is not healthy).
+        """
         request = PairwiseQuery(source, destination)
         request.validate(self.engine.graph.num_vertices)
+        degraded = self.supervisor.breaker_open(source)
+        stale_epochs = 0
+        if degraded:
+            self.supervisor.degraded_reads += 1
+            stamped = self.cache.stale_lookup(source, destination)
+            if (
+                stamped is not None
+                and stamped[1] <= self.supervisor.config.max_staleness
+            ):
+                value, stale_epochs = stamped
+                self._record_telemetry()
+                return ReadResult(value, degraded=True,
+                                  stale_epochs=stale_epochs)
         value = self.cache.fetch(source, destination, ops=self.query_ops)
         if self.telemetry is not None:
             record_serve_cache(self.telemetry.registry,
                                self.cache.stats.as_dict())
-        return value
+        return ReadResult(value, degraded=degraded, stale_epochs=stale_epochs)
 
     # ------------------------------------------------------------------
     # introspection / shutdown
@@ -350,6 +423,7 @@ class ServeHarness:
             "sessions": self.sessions.by_state(),
             "admission": self.admission.stats(),
             "cache": self.cache.stats.as_dict(),
+            "supervisor": self.supervisor.stats(),
             "shards": {
                 shard.index: {
                     "depth": shard.depth,
@@ -371,9 +445,15 @@ class ServeHarness:
         )
         record_serve_admission(telemetry.registry, self.admission.stats())
         record_serve_cache(telemetry.registry, self.cache.stats.as_dict())
+        record_supervision(telemetry.registry, self.supervisor.stats())
 
     def close(self, final_checkpoint: bool = True) -> None:
-        """Close every session, checkpoint, release the WAL, stop shards."""
+        """Close every session, checkpoint, release the WAL, stop shards.
+
+        Shard shutdown is strict: a worker thread that survives its join
+        deadline raises :class:`~repro.errors.ShardShutdownError` — leaks
+        are errors, not silent daemon-thread residue.
+        """
         for session in self.sessions.active_sessions():
             self.sessions.close(session.id)
         self._record_telemetry()
@@ -385,9 +465,10 @@ class ServeHarness:
 
     def __exit__(self, exc_type, *exc) -> None:
         # mirror the pipeline: on an injected crash leave disk state as the
-        # crash left it (recovery's job), but always stop the worker threads
+        # crash left it (recovery's job), but always stop the worker threads;
+        # non-strict so a shutdown straggler cannot mask the real exception
         if exc_type is None:
             self.close()
         else:
             self.pipeline.wal.close()
-            self.engine.close()
+            self.engine.close(strict=False)

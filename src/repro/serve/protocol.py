@@ -10,7 +10,9 @@ line, ``#`` starts a comment)::
     add U V W           buffer edge addition U --W--> V
     delete U V [W]      buffer edge deletion U -> V
     commit              commit buffered updates as one batch; prints answers
-    query S D           one-shot cached read of Q(S -> D)
+    query S D           one-shot cached read of Q(S -> D); reports the
+                        ``degraded`` flag (and staleness) while the
+                        source's circuit breaker is open
     stats               print the harness summary
     close               stop serving (implicit at end of script)
 
@@ -126,8 +128,15 @@ class ScriptRunner:
         }
 
     def _cmd_query(self, args: List[str]) -> Dict[str, object]:
-        value = self.harness.query(int(args[0]), int(args[1]))
-        return {"answer": value, "hit_rate": self.harness.cache.stats.hit_rate}
+        read = self.harness.read(int(args[0]), int(args[1]))
+        event: Dict[str, object] = {
+            "answer": read.value,
+            "hit_rate": self.harness.cache.stats.hit_rate,
+            "degraded": read.degraded,
+        }
+        if read.degraded:
+            event["stale_epochs"] = read.stale_epochs
+        return event
 
     def _cmd_stats(self, args: List[str]) -> Dict[str, object]:
         return {"stats": self.harness.stats()}

@@ -10,8 +10,10 @@ optional callback.
 Lifecycle::
 
     PENDING ──▶ WARMING ──▶ LIVE ──▶ CLOSED
-                   │           │
-                   └──▶ DEGRADED ◀──┘   (shard crash; see docs/serving.md)
+       ▲           │           │
+       │           └──▶ DEGRADED ◀──┘   (shard crash; see docs/serving.md)
+       └──────────────────┘  (supervisor resurrection requeue,
+                              docs/self_healing.md)
 
 ``PENDING`` means the registration is queued for the owning shard;
 ``WARMING`` means the shard is bootstrapping the source group from the
@@ -53,13 +55,16 @@ class SessionState(enum.Enum):
 
 
 #: transitions a session may take (anything else raises SessionStateError)
+#: DEGRADED -> PENDING is the supervisor's resurrection requeue: a rescued
+#: session re-enters the normal pending -> warming -> live warm-up on the
+#: (possibly respawned) owning shard — see docs/self_healing.md
 _ALLOWED = {
     SessionState.PENDING: {SessionState.WARMING, SessionState.LIVE,
                            SessionState.DEGRADED, SessionState.CLOSED},
     SessionState.WARMING: {SessionState.LIVE, SessionState.DEGRADED,
                            SessionState.CLOSED},
     SessionState.LIVE: {SessionState.DEGRADED, SessionState.CLOSED},
-    SessionState.DEGRADED: {SessionState.CLOSED},
+    SessionState.DEGRADED: {SessionState.PENDING, SessionState.CLOSED},
     SessionState.CLOSED: set(),
 }
 
@@ -104,6 +109,8 @@ class QuerySession:
         self.registered_snapshot: Optional[int] = None
         #: error text of the failure that degraded this session (if any)
         self.degraded_reason: Optional[str] = None
+        #: times the supervisor requeued this session after a failure
+        self.resurrections = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -123,11 +130,18 @@ class QuerySession:
             self._state = target
             if target is SessionState.DEGRADED:
                 self.degraded_reason = reason
+            elif target is SessionState.PENDING:
+                # resurrection requeue: the session warms up again, so
+                # wait_live() must block again and the old failure clears
+                self.degraded_reason = None
+                self.resurrections += 1
         if target is SessionState.LIVE:
             self._live.set()
         elif target in (SessionState.DEGRADED, SessionState.CLOSED):
             # unblock any wait_live() caller; they re-check the state
             self._live.set()
+        elif target is SessionState.PENDING:
+            self._live.clear()
 
     def wait_live(self, timeout: Optional[float] = None) -> bool:
         """Block until the session left the warm-up path; True iff LIVE."""

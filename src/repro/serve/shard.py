@@ -29,22 +29,26 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.core.classification import KeyPathRule
 from repro.core.multiquery import SourceGroup
-from repro.errors import SessionStateError, ShardCrashedError
+from repro.errors import SessionStateError, ShardCrashedError, ShardKilledError
 from repro.graph.batch import UpdateBatch
 from repro.graph.dynamic import DynamicGraph
 from repro.metrics import OpCounts
+from repro.serve.health import Heartbeat
 from repro.serve.session import QuerySession, SessionState
 
 #: fault-injection hook signature: (kind, source, epoch) -> None; raising
 #: inside ``"batch"`` degrades that source, inside ``"register"`` degrades
 #: the registering session; blocking inside either stalls the shard (used
-#: by tests to fill the bounded inbox deterministically)
+#: by tests to fill the bounded inbox deterministically); raising
+#: :class:`~repro.errors.ShardKilledError` escapes the per-source isolation
+#: and kills the whole worker thread (the chaos harness's shard-kill fault)
 FaultHook = Callable[[str, int, int], None]
 
 
@@ -79,6 +83,7 @@ class ShardWorker:
         rule: KeyPathRule = KeyPathRule.PRECISE,
         queue_bound: int = 64,
         fault_hook: Optional[FaultHook] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.index = index
         self.graph = graph
@@ -87,12 +92,17 @@ class ShardWorker:
         self.fault_hook = fault_hook
         self.inbox: "queue.Queue" = queue.Queue(maxsize=queue_bound)
         self.groups: Dict[int, SourceGroup] = {}
+        self.heartbeat = Heartbeat(clock)
         self._results: Dict[int, ShardBatchOutcome] = {}
         self._results_cv = threading.Condition()
         self._thread = threading.Thread(
             target=self._run, name=f"serve-shard-{index}", daemon=True
         )
         self._started = False
+        self._stop_requested = False
+        #: set by the worker itself on the way out (is_alive() lags: the
+        #: thread is still "alive" while running its own cleanup)
+        self._dead = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -103,15 +113,46 @@ class ShardWorker:
             self._started = True
             self._thread.start()
 
-    def stop(self, timeout: float = 5.0) -> None:
-        """Ask the worker to exit and join it."""
-        if self._started and self._thread.is_alive():
-            self.inbox.put(("stop",))
+    def request_stop(self) -> None:
+        """Ask the worker to drain and exit, without joining (idempotent).
+
+        Used by the supervisor when retiring a hung or replaced worker:
+        the stop flag makes the thread exit at its next command boundary,
+        and the sentinel wakes it if it is idle in ``inbox.get()``.  When
+        the inbox is full (a wedged worker with backlog) the sentinel is
+        skipped — the flag alone suffices once the worker resumes.
+        """
+        self._stop_requested = True
+        try:
+            self.inbox.put_nowait(("stop",))
+        except queue.Full:
+            pass  # flag is set; the worker checks it between commands
+
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Stop the worker and join it; True iff the thread exited.
+
+        Never raises on a straggler — the caller
+        (:meth:`~repro.serve.engine.ShardedServeEngine.close`) aggregates
+        survivors into one typed :class:`~repro.errors.ShardShutdownError`.
+        """
+        if not self._started:
+            return True
+        if self._thread.is_alive():
+            self.request_stop()
             self._thread.join(timeout)
+        return not self._thread.is_alive()
 
     @property
     def alive(self) -> bool:
-        return self._thread.is_alive()
+        return self._thread.is_alive() and not self._dead
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_requested
 
     @property
     def depth(self) -> int:
@@ -137,7 +178,7 @@ class ShardWorker:
         """Block until this shard publishes its outcome for ``epoch``."""
         with self._results_cv:
             while epoch not in self._results:
-                if not self._thread.is_alive():
+                if self._dead or not self._thread.is_alive():
                     raise ShardCrashedError(
                         f"shard {self.index} died before epoch {epoch}"
                     )
@@ -152,11 +193,25 @@ class ShardWorker:
     # worker thread body
     # ------------------------------------------------------------------
     def _run(self) -> None:
+        try:
+            self._serve_loop()
+        except ShardKilledError:
+            pass  # injected thread death: exit without stderr noise
+        finally:
+            self.heartbeat.end()
+            with self._results_cv:
+                # wake any barrier waiting on an outcome this thread will
+                # never publish; it re-checks liveness and raises at once
+                self._dead = True
+                self._results_cv.notify_all()
+
+    def _serve_loop(self) -> None:
         while True:
             command = self.inbox.get()
             kind = command[0]
+            self.heartbeat.begin(kind)
             try:
-                if kind == "stop":
+                if kind == "stop" or self._stop_requested:
                     return
                 if kind == "register":
                     self._handle_register(command[1])
@@ -164,10 +219,16 @@ class ShardWorker:
                     self._handle_deregister(command[1], command[2])
                 elif kind == "batch":
                     self._handle_batch(command[1], command[2])
+                elif kind == "barrier":
+                    # chaos/test primitive: park until released (bounded)
+                    command[1].wait(timeout=30.0)
             finally:
+                self.heartbeat.end()
                 self.inbox.task_done()
 
     def _handle_register(self, session: QuerySession) -> None:
+        if self._stop_requested:
+            return  # retired worker; the replacement owns this session now
         query = session.query
         try:
             session.transition(SessionState.WARMING)
@@ -189,6 +250,14 @@ class ShardWorker:
                 self.groups[query.source] = group
             else:
                 group.add_destination(query.destination)
+        except ShardKilledError as exc:
+            # the kill signal escapes session isolation: degrade the
+            # session (its bootstrap is lost) and take the thread down
+            try:
+                session.transition(SessionState.DEGRADED, reason=str(exc))
+            except SessionStateError:
+                pass
+            raise
         except Exception as exc:  # noqa: BLE001 - degrade, never kill the shard
             try:
                 session.transition(SessionState.DEGRADED, reason=str(exc))
@@ -218,6 +287,8 @@ class ShardWorker:
                 group_stats = group.process_batch(
                     effective, outcome.response_ops, outcome.post_ops
                 )
+            except ShardKilledError:
+                raise  # chaos kill signal: no isolation, the thread dies
             except Exception as exc:  # noqa: BLE001 - isolate the failure
                 del self.groups[source]
                 outcome.degraded.append((source, str(exc)))

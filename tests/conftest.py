@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import random
+import threading
+import time
 from typing import List, Tuple
 
 import pytest
@@ -13,6 +15,28 @@ from repro.graph.dynamic import DynamicGraph
 from repro.graph import generators
 
 ALL_ALGORITHMS = list_algorithms()
+
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    """Every test must return the process to its thread baseline.
+
+    Shard workers are daemon threads; a test that forgets to close its
+    harness (or a close() that silently fails to join) would leak them
+    across the whole session and poison later timing-sensitive tests.
+    A short grace period lets just-joined threads finish dying before
+    the count is compared.
+    """
+    before = threading.active_count()
+    yield
+    deadline = time.monotonic() + 2.0
+    while threading.active_count() > before and time.monotonic() < deadline:
+        time.sleep(0.01)
+    leaked = threading.active_count() - before
+    assert leaked <= 0, (
+        f"test leaked {leaked} thread(s): "
+        f"{[t.name for t in threading.enumerate()]}"
+    )
 
 
 @pytest.fixture(params=ALL_ALGORITHMS)

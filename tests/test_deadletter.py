@@ -238,3 +238,100 @@ class TestRetry:
         assert source.next_record() == GOOD
         with pytest.raises(StopIteration):
             source.next_record()
+
+
+class TestRetryDeadline:
+    def _always_fail(self, attempts):
+        def op():
+            attempts["n"] += 1
+            raise TransientStreamError("down")
+        return op
+
+    def test_deadline_stops_before_an_overrunning_sleep(self):
+        """The budget is an SLA: a sleep that would blow it never starts."""
+        attempts = {"n": 0}
+        log = []
+        clock = {"now": 0.0}
+
+        def sleep(pause):
+            log.append(pause)
+            clock["now"] += pause
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry_with_backoff(
+                self._always_fail(attempts), retries=10, base_delay=1.0,
+                multiplier=2.0, retry_on=(TransientStreamError,),
+                sleep=sleep, deadline=5.0, clock=lambda: clock["now"],
+            )
+        # sleeps 1 + 2 = 3s; the next 4s pause would overrun the 5s budget
+        assert log == [1.0, 2.0]
+        assert attempts["n"] == 3
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last, TransientStreamError)
+
+    def test_generous_deadline_changes_nothing(self):
+        attempts = {"n": 0}
+        log = []
+        with pytest.raises(RetryExhaustedError):
+            retry_with_backoff(
+                self._always_fail(attempts), retries=3, base_delay=0.05,
+                retry_on=(TransientStreamError,), sleep=log.append,
+                deadline=100.0, clock=lambda: 0.0,
+            )
+        assert attempts["n"] == 4
+        assert log == [0.05, 0.1, 0.2]
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ValueError):
+            retry_with_backoff(lambda: GOOD, deadline=0.0)
+
+
+class TestRetryJitter:
+    def test_full_jitter_draws_each_pause_from_zero_to_delay(self):
+        attempts = {"n": 0}
+
+        def always_fail():
+            attempts["n"] += 1
+            raise TransientStreamError("down")
+
+        log = []
+        draws = iter([0.5, 0.0, 1.0])
+        with pytest.raises(RetryExhaustedError):
+            retry_with_backoff(
+                always_fail, retries=3, base_delay=0.1, multiplier=2.0,
+                retry_on=(TransientStreamError,), sleep=log.append,
+                jitter=True, rng=lambda: next(draws),
+            )
+        # the *un*-jittered ladder still grows 0.1 -> 0.2 -> 0.4; each
+        # actual pause is that rung scaled by the rng draw
+        assert log == [0.05, 0.0, 0.4]
+
+    def test_jitter_off_keeps_the_deterministic_ladder(self):
+        source = FlakySource([GOOD], fail_at=[0])
+        log = []
+        assert retry_with_backoff(
+            source.next_record, retries=2, base_delay=0.1,
+            retry_on=(TransientStreamError,), sleep=log.append,
+            rng=lambda: 0.0,  # ignored without jitter=True
+        ) == GOOD
+        assert log == [0.1]
+
+    def test_jittered_pause_counts_against_the_deadline(self):
+        attempts = {"n": 0}
+
+        def always_fail():
+            attempts["n"] += 1
+            raise TransientStreamError("down")
+
+        log = []
+        with pytest.raises(RetryExhaustedError):
+            retry_with_backoff(
+                always_fail, retries=10, base_delay=1.0, multiplier=2.0,
+                retry_on=(TransientStreamError,), sleep=log.append,
+                jitter=True, rng=lambda: 1.0,  # worst-case draw
+                deadline=5.0, clock=lambda: 0.0,
+            )
+        # with a frozen clock only the pause itself can overrun the 5s
+        # budget: 1, 2 and 4 fit, the 8s rung would not
+        assert log == [1.0, 2.0, 4.0]
+        assert attempts["n"] == 4

@@ -19,6 +19,7 @@ DOC_FILES = [
     "docs/resilience.md",
     "docs/observability.md",
     "docs/serving.md",
+    "docs/self_healing.md",
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")

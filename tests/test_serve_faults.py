@@ -3,9 +3,10 @@
 Three families of injected faults, all deterministic:
 
 * shard-side group failures (via the worker ``fault_hook``) — one source
-  degrades, every other session's answers stay exact;
-* a dead shard worker — :class:`~repro.errors.ShardCrashedError` surfaces
-  instead of a hang;
+  degrades for the epoch, every other session's answers stay exact, and
+  the supervisor resurrects the source on the next batch;
+* a dead shard worker — the supervised harness respawns it mid-stream
+  (the bare engine still raises :class:`~repro.errors.ShardCrashedError`);
 * a WAL crash mid-serve (via :class:`repro.resilience.faults.CrashPoint`)
   followed by :meth:`ServeHarness.resume` — recovery restores the graph
   and the anchor, clients re-register, and answers from then on match an
@@ -19,7 +20,7 @@ from repro.core.engine import CISGraphEngine
 from repro.errors import ShardCrashedError, WalError
 from repro.query import PairwiseQuery
 from repro.resilience.faults import CrashPoint, SimulatedCrash
-from repro.serve import ServeHarness, SessionState
+from repro.serve import ServeHarness, SessionState, ShardedServeEngine
 from tests.conftest import random_batch, random_graph
 
 pytestmark = [pytest.mark.serve, pytest.mark.faults]
@@ -76,21 +77,29 @@ class TestShardGroupFailure:
         assert second.degraded == [(2, "injected shard fault")]
         assert (2, 30) not in second.answers
         victim = sessions[(2, 30)]
-        assert victim.state is SessionState.DEGRADED
-        assert victim.degraded_reason == "injected shard fault"
+        # the supervisor already requeued the degraded session for a
+        # rescue on the (still live) owning shard
+        assert victim.state is SessionState.PENDING
+        assert victim.resurrections == 1
+        assert harness.supervisor.session_resurrections == 1
         # the unaffected sessions answer exactly, same epoch
         for pair in ((1, 20), (3, 40)):
             assert second.answers[pair] == offline[1][pair]
 
-        # later batches: the shard survived, survivors stay exact
+        # later batches: the resurrected group re-derived its state on the
+        # current topology, so every session answers exactly again
         for index in (2, 3):
             result = harness.submit(batches[index])
             assert result.degraded == []
-            assert (2, 30) not in result.answers
-            for pair in ((1, 20), (3, 40)):
+            for pair in pairs:
                 assert result.answers[pair] == offline[index][pair]
+        assert victim.state is SessionState.LIVE
+        breaker = harness.supervisor.breakers[2].as_dict()
+        assert breaker == {**breaker, "state": "closed", "failures": 1,
+                           "successes": 1}
         assert all(shard.alive for shard in harness.engine.shards)
-        assert len(victim.drain()) == 1  # only the pre-fault answer
+        # pre-fault answer plus the two post-resurrection ones
+        assert len(victim.drain()) == 3
         harness.close()
 
     def test_register_time_fault_degrades_only_that_session(self, tmp_path):
@@ -118,18 +127,33 @@ class TestShardGroupFailure:
 
 
 class TestDeadShard:
-    def test_dead_worker_raises_instead_of_hanging(self, tmp_path):
+    def test_dead_worker_is_respawned_by_the_supervisor(self, tmp_path):
         graph = random_graph(40, 240, seed=22)
-        batches = _stream(graph, num_batches=1, seed=22)
+        batches = _stream(graph, num_batches=2, seed=22)
         harness = ServeHarness.open(
             str(tmp_path / "state"), graph.copy(), PPSP(), ANCHOR,
             num_shards=2,
         )
-        harness.engine.shards[1].stop()
+        dead = harness.engine.shards[1]
+        dead.stop()
+        result = harness.submit(batches[0])
+        assert [index for index, _ in result.failed_shards] == [1]
+        assert harness.supervisor.shard_restarts == 1
+        replacement = harness.engine.shards[1]
+        assert replacement is not dead and replacement.alive
+        assert harness.engine.retired == [dead]
+        # the replacement serves the next epoch normally
+        assert harness.submit(batches[1]).failed_shards == []
+        harness.close()
+
+    def test_unsupervised_engine_still_raises(self):
+        graph = random_graph(40, 240, seed=22)
+        engine = ShardedServeEngine(graph.copy(), PPSP(), ANCHOR, num_shards=2)
+        engine.initialize()
+        engine.shards[1].stop()
         with pytest.raises(ShardCrashedError):
-            harness.submit(batches[0])
-        harness.pipeline.wal.close()
-        harness.engine.close()
+            engine.on_batch(random_batch(graph, 5, 5, seed=1))
+        engine.close()
 
 
 class TestWalCrashRecovery:
@@ -187,3 +211,133 @@ class TestWalCrashRecovery:
                 offline[i][pair] for i in range(2, 6)
             ]
         resumed.close()
+
+
+class TestCrashLoop:
+    """Repeated crash/resume cycles — the pathological deployment.
+
+    Recovery must be idempotent under a crash *loop*: however many times
+    the process dies (after every single epoch, or before any post-resume
+    epoch commits at all), the recovered snapshot is exactly the count of
+    durably committed batches — a WAL batch is never replayed twice and
+    never lost — and once the crashing stops, serving converges to the
+    uninterrupted offline replay.
+    """
+
+    PAIRS = [(1, 20), (2, 30), (5, 40)]
+
+    def _fixture(self, seed, num_batches):
+        graph = random_graph(50, 300, seed=seed)
+        batches = _stream(graph, num_batches=num_batches, seed=seed)
+        offline = _offline_replay(graph, self.PAIRS, batches)
+        return graph, batches, offline
+
+    def test_crash_after_every_epoch_converges(self, tmp_path):
+        graph, batches, offline = self._fixture(seed=24, num_batches=5)
+        directory = str(tmp_path / "state")
+
+        harness = ServeHarness.open(
+            directory, graph.copy(), PPSP(), ANCHOR,
+            num_shards=2, checkpoint_every=2,
+            write_hook=CrashPoint(after_records=1),
+        )
+        for pair in self.PAIRS:
+            harness.register(*pair)
+        assert harness.wait_all_live()
+        harness.submit(batches[0])
+        epoch = 1
+        with pytest.raises(SimulatedCrash):
+            with harness:
+                harness.submit(batches[1])
+
+        resumes = 0
+        while epoch < len(batches):
+            # each cycle: recover, commit exactly one batch, die on the next
+            harness = ServeHarness.resume(
+                directory, num_shards=2, checkpoint_every=2,
+                write_hook=CrashPoint(after_records=1),
+            )
+            resumes += 1
+            assert harness.snapshot_id == epoch, (
+                f"resume {resumes}: snapshot {harness.snapshot_id} != "
+                f"{epoch} committed batches (lost or double-applied)"
+            )
+            for pair in self.PAIRS:
+                harness.register(*pair)
+            assert harness.wait_all_live()
+            result = harness.submit(batches[epoch])
+            assert result.degraded == []
+            for pair in self.PAIRS:
+                assert result.answers[pair] == offline[epoch][pair], (
+                    f"divergence on batch {epoch} after {resumes} resumes"
+                )
+            epoch += 1
+            if epoch == len(batches):
+                harness.close()
+                break
+            with pytest.raises(SimulatedCrash):
+                with harness:
+                    harness.submit(batches[epoch])
+        assert resumes == len(batches) - 1
+
+        # the final state survives one more clean resume bit-identically
+        final = ServeHarness.resume(directory, num_shards=2)
+        assert final.snapshot_id == len(batches)
+        session = final.register(*self.PAIRS[0])
+        assert final.wait_all_live()
+        assert final.query(*self.PAIRS[0]) == offline[-1][self.PAIRS[0]]
+        final.close()
+
+    def test_zero_progress_crash_cycles_never_double_apply(self, tmp_path):
+        graph, batches, offline = self._fixture(seed=25, num_batches=4)
+        directory = str(tmp_path / "state")
+
+        harness = ServeHarness.open(
+            directory, graph.copy(), PPSP(), ANCHOR,
+            num_shards=2, checkpoint_every=2,
+        )
+        for pair in self.PAIRS:
+            harness.register(*pair)
+        assert harness.wait_all_live()
+        harness.submit(batches[0])
+        harness.submit(batches[1])
+        harness.close()
+
+        # crash immediately after recovery, before anything commits: three
+        # zero-progress cycles must leave the disk state byte-for-byte
+        # equivalent (the recovered snapshot never drifts)
+        for cycle in range(3):
+            harness = ServeHarness.resume(
+                directory, num_shards=2,
+                write_hook=CrashPoint(after_records=0),
+            )
+            assert harness.snapshot_id == 2, f"drift in cycle {cycle}"
+            for pair in self.PAIRS:
+                harness.register(*pair)
+            assert harness.wait_all_live()
+            with pytest.raises(SimulatedCrash):
+                with harness:
+                    harness.submit(batches[2])
+
+        # one more cycle dies right after recovery without even trying to
+        # serve (a crash mid-warm-up); still no drift
+        harness = ServeHarness.resume(directory, num_shards=2)
+        assert harness.snapshot_id == 2
+        harness.pipeline.wal.close()
+        harness.engine.close(strict=False)
+
+        # the crashing stops: recovery + the remaining stream converge
+        harness = ServeHarness.resume(directory, num_shards=2)
+        assert harness.snapshot_id == 2
+        sessions = {pair: harness.register(*pair) for pair in self.PAIRS}
+        assert harness.wait_all_live()
+        for index in (2, 3):
+            result = harness.submit(batches[index])
+            assert result.degraded == []
+            for pair in self.PAIRS:
+                assert result.answers[pair] == offline[index][pair]
+        for pair, session in sessions.items():
+            assert [e.answer for e in session.drain()] == [
+                offline[i][pair] for i in (2, 3)
+            ]
+        harness.close()
