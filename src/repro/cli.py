@@ -37,7 +37,13 @@ Commands
     ``docs/self_healing.md``.
 ``telemetry``
     Summarize, dump or export a telemetry directory written by a
-    ``--telemetry PATH`` run (events.jsonl + metrics.json + metrics.prom).
+    ``--telemetry PATH`` run (events.jsonl + metrics.json + metrics.prom);
+    ``summarize --top N`` adds the N slowest span instances and per-trace
+    duration rollups.
+``trace``
+    Render per-batch causal waterfalls (ingest -> WAL -> shard fan-out ->
+    barrier -> commit -> answers) with critical-path attribution from an
+    exported events.jsonl; see ``docs/tracing.md``.
 
 ``query`` and ``experiment`` accept ``--telemetry PATH``: the run executes
 with the unified observability layer (:mod:`repro.obs`) enabled and exports
@@ -108,16 +114,26 @@ def _telemetry_session(path: Optional[str]):
         yield None
         return
     from repro.obs import Telemetry, use_telemetry
+    from repro.obs.telemetry import FLIGHT_DIRNAME
 
     telemetry = Telemetry()
+    # flight-recorder bundles dumped mid-run (shard crash, chaos fault,
+    # strict-close failure) land on disk immediately, not just at export
+    telemetry.flight.directory = os.path.join(path, FLIGHT_DIRNAME)
     with use_telemetry(telemetry):
         yield telemetry
     paths = telemetry.export_dir(path)
-    print(
+    line = (
         f"telemetry: {len(telemetry.events)} events "
         f"({telemetry.events.dropped} dropped) -> {paths['events']}, "
         f"{paths['metrics']}, {paths['prometheus']}"
     )
+    if telemetry.flight.bundles:
+        line += (
+            f"; {len(telemetry.flight.bundles)} flight bundle(s) -> "
+            f"{os.path.join(path, FLIGHT_DIRNAME)}"
+        )
+    print(line)
 
 
 # ----------------------------------------------------------------------
@@ -473,36 +489,37 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         names = [args.schedule]
     algorithm = get_algorithm(args.algorithm)
     failures = 0
-    for name in names:
-        if name == "random":
-            schedule = random_schedule(
-                args.seed, num_batches=args.batches, num_shards=args.shards
+    with _telemetry_session(args.telemetry):
+        for name in names:
+            if name == "random":
+                schedule = random_schedule(
+                    args.seed, num_batches=args.batches, num_shards=args.shards
+                )
+            else:
+                schedule = builtin_schedule(name)
+            directory = os.path.join(
+                args.state_dir or tempfile.mkdtemp(prefix="repro-chaos-"),
+                schedule.name,
             )
-        else:
-            schedule = builtin_schedule(name)
-        directory = os.path.join(
-            args.state_dir or tempfile.mkdtemp(prefix="repro-chaos-"),
-            schedule.name,
-        )
-        report = run_chaos(
-            schedule,
-            directory,
-            algorithm,
-            seed=args.seed,
-            num_batches=args.batches,
-            num_shards=args.shards,
-        )
-        print(report.summary())
-        if args.verbose:
-            print(f"  breaker states seen: {report.breaker_states_seen}")
-            print(f"  session states:      {report.session_states}")
-            for source, breaker in sorted(
-                report.supervisor["breakers"].items()
-            ):
-                print(f"  breaker[{source}]: {breaker}")
-        for mismatch in report.mismatches:
-            print(f"  DIVERGED: {mismatch}", file=sys.stderr)
-        failures += 0 if report.converged else 1
+            report = run_chaos(
+                schedule,
+                directory,
+                algorithm,
+                seed=args.seed,
+                num_batches=args.batches,
+                num_shards=args.shards,
+            )
+            print(report.summary())
+            if args.verbose:
+                print(f"  breaker states seen: {report.breaker_states_seen}")
+                print(f"  session states:      {report.session_states}")
+                for source, breaker in sorted(
+                    report.supervisor["breakers"].items()
+                ):
+                    print(f"  breaker[{source}]: {breaker}")
+            for mismatch in report.mismatches:
+                print(f"  DIVERGED: {mismatch}", file=sys.stderr)
+            failures += 0 if report.converged else 1
     verdict = "OK" if failures == 0 else f"{failures} schedule(s) diverged"
     print(f"chaos: {len(names)} schedule(s), {verdict}")
     return 0 if failures == 0 else 1
@@ -519,7 +536,7 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     from repro.obs.telemetry import PROMETHEUS_FILENAME
 
     if args.action == "summarize":
-        print(summarize_path(args.path))
+        print(summarize_path(args.path, top=args.top))
         return 0
     if args.action == "dump":
         events_path = resolve_events_path(args.path)
@@ -553,6 +570,39 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
         return 0
     print(f"unknown telemetry action {args.action!r}", file=sys.stderr)
     return 2
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render causal waterfalls from an exported event log."""
+    from repro.obs.events import load_jsonl
+    from repro.obs.summary import resolve_events_path
+    from repro.obs.tracing import build_traces, render_waterfall
+
+    events_path = resolve_events_path(args.path)
+    if not os.path.exists(events_path):
+        print(f"error: no event log at {events_path}", file=sys.stderr)
+        return 1
+    traces = build_traces(load_jsonl(events_path))
+    if args.trace:
+        traces = [t for t in traces if t.trace_id == args.trace]
+    if args.batch is not None:
+        traces = [
+            t for t in traces
+            if t.root is not None
+            and t.root.attrs.get("sequence") == args.batch
+        ]
+    if not traces:
+        print("no matching traces", file=sys.stderr)
+        return 1
+    shown = traces if args.limit <= 0 else traces[-args.limit:]
+    skipped = len(traces) - len(shown)
+    if skipped > 0:
+        print(f"... {skipped} earlier trace(s) skipped (raise --limit)")
+    for index, trace in enumerate(shown):
+        if index:
+            print()
+        print(render_waterfall(trace, width=args.width))
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -717,6 +767,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print breaker and session state detail per schedule",
     )
+    chaos.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="run with tracing enabled; export events/metrics and "
+             "flight-recorder bundles into PATH",
+    )
     chaos.set_defaults(func=cmd_chaos)
 
     telemetry = sub.add_parser(
@@ -731,7 +788,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["json", "prom"], default="prom",
         help="export: which artifact to print",
     )
+    telemetry.add_argument(
+        "--top", type=int, default=0,
+        help="summarize: also show the N slowest span instances and "
+             "per-trace duration rollups",
+    )
     telemetry.set_defaults(func=cmd_telemetry)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render per-batch causal waterfalls from an exported event log",
+    )
+    trace.add_argument("path", help="telemetry directory (or events.jsonl file)")
+    trace.add_argument(
+        "--trace", default=None, help="render only this trace id (e.g. t000001)"
+    )
+    trace.add_argument(
+        "--batch", type=int, default=None,
+        help="render only the trace whose commit root has this WAL sequence",
+    )
+    trace.add_argument(
+        "--width", type=int, default=48, help="waterfall bar width in columns"
+    )
+    trace.add_argument(
+        "--limit", type=int, default=8,
+        help="render at most the last N traces (0 = all)",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

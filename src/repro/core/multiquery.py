@@ -123,6 +123,47 @@ class SourceGroup:
                 return True
         return False
 
+    def classify_sample(
+        self, effective: UpdateBatch, limit: int
+    ) -> List[Dict[str, object]]:
+        """Triangle-inequality verdicts for the first ``limit`` updates.
+
+        The provenance probe (:mod:`repro.obs.provenance`): runs the same
+        improves/supplies/key-path tests :meth:`process_batch` will run,
+        against the *current* (pre-batch) converged states, without
+        mutating anything — call it before processing and the verdicts
+        match the batch's real classification exactly.
+        """
+        alg = self.algorithm
+        states = self.state.states
+        out: List[Dict[str, object]] = []
+        for upd in list(effective)[: max(0, limit)]:
+            record: Dict[str, object] = {
+                "kind": "add" if upd.is_addition else "delete",
+                "u": upd.u,
+                "v": upd.v,
+                "weight": upd.weight,
+                "state_u": states[upd.u],
+                "state_v": states[upd.v],
+            }
+            if upd.is_addition:
+                record["test"] = "improves"
+                record["verdict"] = (
+                    "valuable"
+                    if alg.improves(states[upd.u], upd.weight, states[upd.v])
+                    else "useless"
+                )
+            elif not alg.supplies(states[upd.u], upd.weight, states[upd.v]):
+                record["test"] = "supplies"
+                record["verdict"] = "useless"
+            else:
+                record["test"] = "supplies+keypath"
+                record["verdict"] = (
+                    "nondelayed" if self._deletion_urgent(upd) else "delayed"
+                )
+            out.append(record)
+        return out
+
     def process_batch(
         self, effective: UpdateBatch, response: OpCounts, post: OpCounts
     ) -> Dict[str, int]:

@@ -174,3 +174,8 @@ class ShardShutdownError(ServeError):
             f"shard worker(s) [{names}] did not exit within the join deadline"
         )
         self.stragglers = list(stragglers)
+
+
+class ProvenanceMissError(ReproError):
+    """An ``explain`` asked for provenance that was never recorded (or
+    already evicted from the bounded per-epoch store)."""

@@ -14,9 +14,17 @@ engines, the resilience pipeline and the accelerator simulator:
   three, plus the opt-in process-wide default used by the CLI;
 * :mod:`repro.obs.bridge` — translators from the pre-existing counters
   (``OpCounts``, ``ResilienceCounters``, ``HwBatchStats``,
-  ``TraceRecorder``) into registry metrics.
+  ``TraceRecorder``) into registry metrics;
+* :mod:`repro.obs.tracing` — cross-thread :class:`TraceContext`
+  propagation plus offline trace reassembly and waterfall rendering;
+* :mod:`repro.obs.provenance` — per-epoch contribution provenance
+  (classification counts, sampled verdicts, key-path evolution) behind
+  the ``explain`` query;
+* :mod:`repro.obs.recorder` — the per-thread flight recorder dumped into
+  post-mortem bundles on shard crash / chaos fault / strict-close failure.
 
-See docs/observability.md for the metric catalog and span taxonomy.
+See docs/observability.md for the metric catalog and span taxonomy, and
+docs/tracing.md for the trace/provenance/flight-recorder model.
 """
 
 from repro.obs.events import Event, EventLog, TelemetryDropWarning, load_jsonl
@@ -29,12 +37,26 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from repro.obs.provenance import (
+    GroupObservation,
+    GroupRecord,
+    KeyPathChange,
+    ProvenanceRecorder,
+)
+from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import Span, SpanTracer
 from repro.obs.telemetry import (
     Telemetry,
     get_global_telemetry,
     set_global_telemetry,
     use_telemetry,
+)
+from repro.obs.tracing import (
+    Trace,
+    TraceContext,
+    build_traces,
+    critical_path,
+    render_waterfall,
 )
 
 __all__ = [
@@ -43,16 +65,26 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Event",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
+    "GroupObservation",
+    "GroupRecord",
     "Histogram",
+    "KeyPathChange",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "ProvenanceRecorder",
     "Span",
     "SpanTracer",
     "Telemetry",
     "TelemetryDropWarning",
+    "Trace",
+    "TraceContext",
+    "build_traces",
+    "critical_path",
     "get_global_telemetry",
     "load_jsonl",
+    "render_waterfall",
     "set_global_telemetry",
     "use_telemetry",
 ]

@@ -11,9 +11,10 @@ observability layer may not have.
 from __future__ import annotations
 
 import json
+import threading
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 
 class TelemetryDropWarning(UserWarning):
@@ -47,49 +48,80 @@ class Event:
 
 
 class EventLog:
-    """Append-only bounded event buffer."""
+    """Append-only bounded event buffer (thread-safe).
+
+    Shard workers and the ingest thread emit concurrently, so appends are
+    serialized under one lock.  ``tap``, when set, sees *every* event —
+    including ones the bounded log drops — which is how the flight
+    recorder's per-thread rings stay complete even after the main log
+    fills.  ``drop_counter`` (a duck-typed ``.inc()``-able, wired by
+    :class:`~repro.obs.telemetry.Telemetry` to the ``obs.events.dropped``
+    counter) makes drop volume visible in the metrics export, not just in
+    the one-time warning.
+    """
 
     def __init__(self, capacity: int = 65_536) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._events: List[Event] = []
+        self._lock = threading.Lock()
         self.dropped = 0
+        #: observer invoked with every event (even dropped ones); must not
+        #: raise into the instrumented code path
+        self.tap: Optional[Callable[[Event], None]] = None
+        #: counter bumped once per dropped event (``obs.events.dropped``)
+        self.drop_counter = None
 
     # ------------------------------------------------------------------
     def append(self, event: Event) -> None:
-        if len(self._events) >= self.capacity:
-            if self.dropped == 0:
-                warnings.warn(
-                    f"EventLog full ({self.capacity} events): telemetry "
-                    "events are being dropped from here on",
-                    TelemetryDropWarning,
-                    stacklevel=2,
-                )
-            self.dropped += 1
-            return
-        self._events.append(event)
+        tap = self.tap
+        if tap is not None:
+            try:
+                tap(event)
+            except Exception:  # noqa: BLE001 - observing must never break
+                pass
+        with self._lock:
+            if len(self._events) >= self.capacity:
+                if self.dropped == 0:
+                    warnings.warn(
+                        f"EventLog full ({self.capacity} events): telemetry "
+                        "events are being dropped from here on",
+                        TelemetryDropWarning,
+                        stacklevel=2,
+                    )
+                self.dropped += 1
+                counter = self.drop_counter
+            else:
+                self._events.append(event)
+                counter = None
+        if counter is not None:
+            counter.inc()
 
     def emit(self, kind: str, name: str, ts: float, **fields: object) -> None:
         self.append(Event(ts=ts, kind=kind, name=name, fields=fields))
 
     def clear(self) -> None:
-        self._events.clear()
-        self.dropped = 0
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._events)
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        with self._lock:
+            return iter(list(self._events))
 
     def events(
         self, kind: Optional[str] = None, name: Optional[str] = None
     ) -> List[Event]:
         """Filtered view of the log."""
+        with self._lock:
+            snapshot = list(self._events)
         out = []
-        for event in self._events:
+        for event in snapshot:
             if kind is not None and event.kind != kind:
                 continue
             if name is not None and event.name != name:
@@ -100,11 +132,13 @@ class EventLog:
     # ------------------------------------------------------------------
     def export_jsonl(self, path: str) -> int:
         """Write one JSON object per line; returns the number of lines."""
+        with self._lock:
+            snapshot = list(self._events)
         with open(path, "w") as handle:
-            for event in self._events:
+            for event in snapshot:
                 handle.write(json.dumps(event.as_dict(), sort_keys=True))
                 handle.write("\n")
-        return len(self._events)
+        return len(snapshot)
 
 
 def load_jsonl(path: str) -> List[Event]:

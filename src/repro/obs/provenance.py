@@ -1,0 +1,274 @@
+"""Contribution provenance: why did Q(s→d) answer what it answered?
+
+The paper's whole point is that most updates don't matter — classification
+(valuable / delayed / useless via the triangle-inequality tests) and the
+key path (the witness chain actually carrying the answer) decide what the
+engine does per batch.  This module records exactly those decisions per
+source group per epoch so a surprising answer can be *explained* after
+the fact:
+
+* the classification outcome **counts** — the very dict
+  :meth:`~repro.core.multiquery.SourceGroup.process_batch` returned, so
+  an explain is bit-identical to the engine's own batch stats;
+* the triangle-inequality **verdicts** for a configurable sample of the
+  batch's updates (computed against the pre-batch converged states by
+  :meth:`~repro.core.multiquery.SourceGroup.classify_sample`);
+* **key-path evolution** per destination: the witness chain before and
+  after the batch, which valuable additions now supply the new chain
+  (they displaced the old witness) and which deletions broke the old one;
+* the per-destination answers, the epoch's trace id and batch size.
+
+Everything is stored as plain dicts/lists (JSON-ready), bounded to the
+most recent ``capacity`` epochs, and thread-safe — shard workers record
+their groups concurrently while the ingest thread records the anchor.
+
+Query with :meth:`ProvenanceRecorder.explain` ("explain Q(s→d) at epoch
+N"), surfaced through :meth:`repro.serve.harness.ServeHarness.explain`
+and the serve script protocol's ``explain`` command.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProvenanceMissError
+
+
+def _update_dict(upd) -> Dict[str, object]:
+    """An :class:`~repro.graph.batch.EdgeUpdate` as a JSON-ready dict."""
+    return {
+        "kind": "add" if upd.is_addition else "delete",
+        "u": upd.u,
+        "v": upd.v,
+        "weight": upd.weight,
+    }
+
+
+@dataclass
+class KeyPathChange:
+    """One destination whose witness chain moved during a batch."""
+
+    destination: int
+    before: List[int]
+    after: List[int]
+    #: valuable additions lying on the *new* chain — the updates that
+    #: displaced the old witness path
+    displaced_by: List[Dict[str, object]] = field(default_factory=list)
+    #: deletions that removed a dependence edge of the *old* chain
+    broken_by: List[Dict[str, object]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "destination": self.destination,
+            "before": self.before,
+            "after": self.after,
+            "displaced_by": self.displaced_by,
+            "broken_by": self.broken_by,
+        }
+
+
+@dataclass
+class GroupRecord:
+    """What one source group did in one epoch."""
+
+    epoch: int
+    source: int
+    #: shard index, or -1 for the engine's inline anchor group
+    shard: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    answers: Dict[int, float] = field(default_factory=dict)
+    verdicts: List[Dict[str, object]] = field(default_factory=list)
+    keypath_changes: List[KeyPathChange] = field(default_factory=list)
+
+
+class GroupObservation:
+    """Pre-batch snapshot of a group, finished into a :class:`GroupRecord`.
+
+    Construct *before* :meth:`SourceGroup.process_batch` mutates the
+    converged states (the sampled verdicts and the before-chains are only
+    meaningful against the pre-batch snapshot), then call :meth:`finish`
+    with the counts the real processing returned.
+    """
+
+    def __init__(self, group, effective, sample_limit: int) -> None:
+        self.effective = effective
+        self.before = {
+            destination: list(group.keypaths[destination].vertices())
+            for destination in group.destinations
+        }
+        self.verdicts = group.classify_sample(effective, sample_limit)
+
+    def finish(
+        self, group, counts: Dict[str, int], epoch: int, shard: int
+    ) -> GroupRecord:
+        changes: List[KeyPathChange] = []
+        for destination, tracker in group.keypaths.items():
+            after = list(tracker.vertices())
+            before = self.before.get(destination, [])
+            if after == before:
+                continue
+            new_edges = set(zip(after, after[1:]))
+            old_edges = set(zip(before, before[1:]))
+            changes.append(KeyPathChange(
+                destination=destination,
+                before=before,
+                after=after,
+                displaced_by=[
+                    _update_dict(upd) for upd in self.effective
+                    if upd.is_addition and (upd.u, upd.v) in new_edges
+                ],
+                broken_by=[
+                    _update_dict(upd) for upd in self.effective
+                    if upd.is_deletion and (upd.u, upd.v) in old_edges
+                ],
+            ))
+        return GroupRecord(
+            epoch=epoch,
+            source=group.source,
+            shard=shard,
+            counts=dict(counts),
+            answers={
+                destination: group.answer(destination)
+                for destination in group.destinations
+            },
+            verdicts=self.verdicts,
+            keypath_changes=changes,
+        )
+
+
+@dataclass
+class _EpochRecord:
+    epoch: int
+    trace_id: Optional[str] = None
+    updates: int = 0
+    #: ``(shard, source) -> GroupRecord`` (anchor records under shard -1)
+    groups: Dict[Tuple[int, int], GroupRecord] = field(default_factory=dict)
+
+
+class ProvenanceRecorder:
+    """Bounded, thread-safe store of per-epoch contribution provenance."""
+
+    def __init__(self, sample_limit: int = 8, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        #: how many of each batch's updates get sampled verdicts
+        self.sample_limit = sample_limit
+        self.capacity = capacity
+        self._epochs: "OrderedDict[int, _EpochRecord]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # recording (engine + shard workers)
+    # ------------------------------------------------------------------
+    def begin_batch(
+        self, epoch: int, trace_id: Optional[str], updates: int
+    ) -> None:
+        """Open the epoch's record (ingest thread, before the fan-out)."""
+        with self._lock:
+            self._epochs[epoch] = _EpochRecord(
+                epoch=epoch, trace_id=trace_id, updates=updates
+            )
+            self._epochs.move_to_end(epoch)
+            while len(self._epochs) > self.capacity:
+                self._epochs.popitem(last=False)
+
+    def record_group(self, record: GroupRecord) -> None:
+        """Attach one group's outcome to its epoch (any thread)."""
+        with self._lock:
+            epoch = self._epochs.get(record.epoch)
+            if epoch is None:
+                # a zombie worker finishing an epoch already evicted —
+                # recreate the record so post-mortems still see it
+                epoch = _EpochRecord(epoch=record.epoch)
+                self._epochs[record.epoch] = epoch
+            epoch.groups[(record.shard, record.source)] = record
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def epochs(self) -> List[int]:
+        with self._lock:
+            return sorted(self._epochs)
+
+    def batch_counts(self, epoch: int) -> Dict[str, int]:
+        """Classification counts summed over every group of ``epoch``
+        (anchor + all shards) — comparable bit-for-bit with the engine's
+        own :class:`~repro.serve.engine.ServeBatchResult` stats."""
+        with self._lock:
+            record = self._epochs.get(epoch)
+            if record is None:
+                raise ProvenanceMissError(f"no provenance for epoch {epoch}")
+            totals: Dict[str, int] = {}
+            for group in record.groups.values():
+                for key, value in group.counts.items():
+                    totals[key] = totals.get(key, 0) + value
+            return totals
+
+    def explain(
+        self, source: int, destination: int, epoch: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Explain Q(source→destination) at ``epoch`` (default: latest).
+
+        Raises :class:`~repro.errors.ProvenanceMissError` when the pair
+        was not recorded at that epoch (evicted, never registered, or the
+        group failed before publishing).
+        """
+        with self._lock:
+            if epoch is None:
+                candidates = [
+                    e for e in reversed(self._epochs)
+                    if any(
+                        src == source and destination in rec.answers
+                        for (_, src), rec in self._epochs[e].groups.items()
+                    )
+                ]
+                if not candidates:
+                    raise ProvenanceMissError(
+                        f"no provenance recorded for Q({source}->{destination})"
+                    )
+                epoch = candidates[0]
+            record = self._epochs.get(epoch)
+            if record is None:
+                raise ProvenanceMissError(
+                    f"no provenance for epoch {epoch} "
+                    f"(retained: {sorted(self._epochs) or 'none'})"
+                )
+            group = next(
+                (rec for (_, src), rec in record.groups.items()
+                 if src == source and destination in rec.answers),
+                None,
+            )
+            if group is None:
+                raise ProvenanceMissError(
+                    f"Q({source}->{destination}) has no group record at "
+                    f"epoch {epoch}"
+                )
+            change = next(
+                (c for c in group.keypath_changes
+                 if c.destination == destination),
+                None,
+            )
+            return {
+                "query": {"source": source, "destination": destination},
+                "epoch": epoch,
+                "trace_id": record.trace_id,
+                "batch_updates": record.updates,
+                "shard": group.shard,
+                "answer": group.answers[destination],
+                "counts": dict(group.counts),
+                "verdicts": [dict(v) for v in group.verdicts],
+                "keypath": (
+                    change.as_dict() if change is not None
+                    else {"changed": False}
+                ),
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ProvenanceRecorder(epochs={len(self._epochs)}, "
+                f"sample_limit={self.sample_limit})"
+            )

@@ -1,0 +1,158 @@
+"""The flight recorder: bounded per-thread event rings + crash bundles.
+
+A post-mortem wants the *last* few hundred events around the failure, per
+thread, even when the main :class:`~repro.obs.events.EventLog` filled up
+hours ago — so the recorder taps every emitted event into a bounded
+``deque`` keyed by the emitting thread.  Appends are lock-free-ish: each
+thread owns its ring, ``deque.append`` is atomic under the GIL, and the
+only lock guards ring *creation* (first event from a new thread).
+
+:meth:`FlightRecorder.dump` freezes the rings into a bundle — merged,
+time-sorted, with the emitting thread attached to every record — plus the
+caller's context (supervisor stats, failed shards, chaos verdicts...).
+With a ``directory`` configured the bundle lands on disk immediately as
+``flight/NNN-<reason>/{events.jsonl,context.json}``; without one it is
+kept in memory (``bundles``) and flushed by
+:meth:`~repro.obs.telemetry.Telemetry.export_dir`.  Dump triggers are
+wired in :class:`~repro.serve.supervision.Supervisor` (shard crash),
+:func:`~repro.resilience.chaos.run_chaos` (chaos faults / end of run) and
+:meth:`~repro.serve.engine.ShardedServeEngine.close` (strict-close
+failure).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import re
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.obs.events import Event
+
+#: bundle filenames
+BUNDLE_EVENTS = "events.jsonl"
+BUNDLE_CONTEXT = "context.json"
+
+
+def _slug(reason: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_-]+", "-", reason).strip("-") or "dump"
+
+
+class FlightRecorder:
+    """Per-thread bounded rings of recent events, dumpable on demand."""
+
+    def __init__(
+        self,
+        capacity_per_thread: int = 512,
+        directory: Optional[str] = None,
+    ) -> None:
+        if capacity_per_thread <= 0:
+            raise ValueError("capacity_per_thread must be positive")
+        self.capacity = capacity_per_thread
+        #: where bundles are written; None keeps them in memory until
+        #: :meth:`flush` (the CLI sets this to ``<telemetry>/flight``)
+        self.directory = directory
+        self._rings: Dict[str, Deque[Event]] = {}
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        #: every bundle ever dumped (with ``path`` None until written)
+        self.bundles: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # hot path (EventLog tap)
+    # ------------------------------------------------------------------
+    def record(self, event: Event) -> None:
+        name = threading.current_thread().name
+        ring = self._rings.get(name)
+        if ring is None:
+            with self._lock:
+                ring = self._rings.setdefault(
+                    name, deque(maxlen=self.capacity)
+                )
+        ring.append(event)
+
+    # ------------------------------------------------------------------
+    # inspection / dumping
+    # ------------------------------------------------------------------
+    @property
+    def threads(self) -> List[str]:
+        with self._lock:
+            return sorted(self._rings)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """All rings merged into one time-sorted list of event dicts."""
+        with self._lock:
+            frozen: List[Tuple[str, List[Event]]] = [
+                (name, list(ring)) for name, ring in self._rings.items()
+            ]
+        rows: List[Dict[str, object]] = []
+        for name, events in frozen:
+            for event in events:
+                row = event.as_dict()
+                row.setdefault("thread", name)
+                rows.append(row)
+        rows.sort(key=lambda row: row["ts"])
+        return rows
+
+    def dump(
+        self, reason: str, context: Optional[Dict[str, object]] = None
+    ) -> Optional[str]:
+        """Freeze the rings into a post-mortem bundle.
+
+        Returns the bundle directory path when :attr:`directory` is set,
+        None otherwise (the bundle stays in :attr:`bundles` for a later
+        :meth:`flush`).
+        """
+        with self._lock:
+            seq = next(self._seq)
+        bundle: Dict[str, object] = {
+            "seq": seq,
+            "reason": reason,
+            "context": dict(context or {}),
+            "events": self.snapshot(),
+            "path": None,
+        }
+        self.bundles.append(bundle)
+        if self.directory is not None:
+            return self._write(bundle, self.directory)
+        return None
+
+    def flush(self, directory: str) -> List[str]:
+        """Write every not-yet-written bundle under ``directory``."""
+        written = []
+        for bundle in self.bundles:
+            if bundle["path"] is None:
+                written.append(self._write(bundle, directory))
+        return written
+
+    def _write(self, bundle: Dict[str, object], directory: str) -> str:
+        path = os.path.join(
+            directory, f"{bundle['seq']:03d}-{_slug(str(bundle['reason']))}"
+        )
+        os.makedirs(path, exist_ok=True)
+        with open(os.path.join(path, BUNDLE_EVENTS), "w") as handle:
+            for row in bundle["events"]:  # type: ignore[union-attr]
+                handle.write(json.dumps(row, sort_keys=True))
+                handle.write("\n")
+        with open(os.path.join(path, BUNDLE_CONTEXT), "w") as handle:
+            json.dump(
+                {
+                    "seq": bundle["seq"],
+                    "reason": bundle["reason"],
+                    "events": len(bundle["events"]),  # type: ignore[arg-type]
+                    "context": bundle["context"],
+                },
+                handle, indent=2, sort_keys=True, default=str,
+            )
+            handle.write("\n")
+        bundle["path"] = path
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder(threads={len(self._rings)}, "
+            f"capacity={self.capacity}, bundles={len(self.bundles)})"
+        )

@@ -2,11 +2,20 @@
 
 A :class:`Span` measures one region on the monotonic clock and carries a
 ``span_id``/``parent_id`` pair so nested regions reconstruct into a tree
-(``engine.batch`` > ``engine.classify`` > ...).  Spans are produced by a
-:class:`SpanTracer` — as a context manager or a decorator — and on close
-are emitted into an :class:`~repro.obs.events.EventLog` and observed into a
-``span_seconds`` histogram in the owning registry, which is how per-batch
-latency percentiles (p50/p95/p99) fall out of normal tracing.
+(``engine.batch`` > ``engine.classify`` > ...), plus a ``trace_id``
+naming the causal tree it belongs to (see :mod:`repro.obs.tracing`).
+Spans are produced by a :class:`SpanTracer` — as a context manager or a
+decorator — and on close are emitted into an
+:class:`~repro.obs.events.EventLog` and observed into a ``span_seconds``
+histogram in the owning registry, which is how per-batch latency
+percentiles (p50/p95/p99) fall out of normal tracing.
+
+Thread safety: the open-span stack is **thread-local** — N shard workers
+can nest spans concurrently without corrupting each other's parent links.
+A root span (nothing open on its thread, no activated context) mints a
+fresh ``trace_id``; :meth:`SpanTracer.activate` installs a
+:class:`~repro.obs.tracing.TraceContext` carried across a thread boundary
+so the receiving thread's spans parent onto the sending thread's span.
 
 Exception safety: a span closed by an exception records
 ``status="error"`` plus the exception type and re-raises; the tracer's
@@ -15,21 +24,24 @@ open-span stack is always unwound.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import itertools
+import threading
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.obs.events import EventLog
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.tracing import TraceContext
 
 
 class Span:
     """One timed region; use through :meth:`SpanTracer.span`."""
 
     __slots__ = (
-        "name", "span_id", "parent_id", "start", "end", "status",
-        "error", "attributes", "_tracer",
+        "name", "span_id", "parent_id", "trace_id", "start", "end",
+        "status", "error", "attributes", "_tracer",
     )
 
     def __init__(
@@ -38,12 +50,14 @@ class Span:
         name: str,
         span_id: int,
         parent_id: Optional[int],
+        trace_id: str,
         attributes: Dict[str, object],
     ) -> None:
         self._tracer = tracer
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.attributes = attributes
         self.start = 0.0
         self.end: Optional[float] = None
@@ -61,6 +75,10 @@ class Span:
         """Attach attributes to the span (merged into the emitted event)."""
         self.attributes.update(attributes)
         return self
+
+    def context(self) -> TraceContext:
+        """This span as a cross-thread hop: parent your spans onto me."""
+        return TraceContext(trace_id=self.trace_id, parent_span_id=self.span_id)
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "Span":
@@ -80,9 +98,10 @@ class Span:
 class SpanTracer:
     """Factory and sink for spans.
 
-    The tracer keeps a stack of open spans to assign ``parent_id``
-    automatically; ids are unique per tracer.  All closed spans are
-    emitted to ``events`` (kind ``span``) and, when a registry is
+    The tracer keeps a *thread-local* stack of open spans to assign
+    ``parent_id``/``trace_id`` automatically; ids are unique per tracer
+    across all threads.  All closed spans are emitted to ``events`` (kind
+    ``span``, with the emitting thread's name) and, when a registry is
     attached, observed into the ``span_seconds`` histogram labelled by
     span name.
     """
@@ -96,13 +115,76 @@ class SpanTracer:
         self.events = events
         self.registry = registry
         self.clock = clock
+        # next(count) is a single C call under the GIL — atomic across
+        # threads, so span ids never collide without a lock
         self._ids = itertools.count(1)
-        self._stack: list = []
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _contexts(self) -> list:
+        """This thread's stack of activated cross-thread contexts."""
+        contexts = getattr(self._local, "contexts", None)
+        if contexts is None:
+            contexts = self._local.contexts = []
+        return contexts
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes: object) -> Span:
-        parent = self._stack[-1].span_id if self._stack else None
-        return Span(self, name, next(self._ids), parent, dict(attributes))
+        stack = self._stack()
+        if stack:
+            top = stack[-1]
+            parent: Optional[int] = top.span_id
+            trace: Optional[str] = top.trace_id
+        else:
+            contexts = self._contexts()
+            if contexts:
+                parent = contexts[-1].parent_span_id
+                trace = contexts[-1].trace_id
+            else:
+                parent = None
+                trace = None
+        span_id = next(self._ids)
+        if trace is None:
+            trace = f"t{span_id:06d}"  # a root span names its own trace
+        return Span(self, name, span_id, parent, trace, dict(attributes))
+
+    @contextlib.contextmanager
+    def activate(self, context: Optional[TraceContext]) -> Iterator[None]:
+        """Adopt a cross-thread :class:`TraceContext` for the duration.
+
+        Spans opened inside (with nothing already open on this thread)
+        parent onto ``context.parent_span_id`` and join its trace instead
+        of minting a new one.  ``None`` is a no-op, so call sites can pass
+        a possibly-absent context straight through.
+        """
+        if context is None:
+            yield
+            return
+        contexts = self._contexts()
+        contexts.append(context)
+        try:
+            yield
+        finally:
+            contexts.pop()
+
+    def current_context(self) -> Optional[TraceContext]:
+        """The context a cross-thread hop should carry right now.
+
+        The innermost open span on this thread wins; otherwise the
+        innermost activated context; otherwise None (nothing to join).
+        """
+        stack = self._stack()
+        if stack:
+            return stack[-1].context()
+        contexts = self._contexts()
+        return contexts[-1] if contexts else None
 
     def traced(self, name: Optional[str] = None) -> Callable:
         """Decorator: run the function inside a span named after it."""
@@ -121,22 +203,25 @@ class SpanTracer:
 
     @property
     def depth(self) -> int:
-        """Number of currently open spans (0 outside any span)."""
-        return len(self._stack)
+        """Open spans on the *calling* thread (0 outside any span)."""
+        return len(self._stack())
 
     # ------------------------------------------------------------------
     def _opened(self, span: Span) -> None:
-        self._stack.append(span)
+        self._stack().append(span)
 
     def _closed(self, span: Span) -> None:
         # unwind to (and including) this span even if inner spans leaked —
         # an open child must not survive its parent's exit
-        while self._stack:
-            if self._stack.pop() is span:
+        stack = self._stack()
+        while stack:
+            if stack.pop() is span:
                 break
         fields: Dict[str, object] = {
             "span_id": span.span_id,
             "parent_id": span.parent_id,
+            "trace_id": span.trace_id,
+            "thread": threading.current_thread().name,
             "duration": span.duration,
             "status": span.status,
         }

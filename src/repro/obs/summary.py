@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.obs.events import Event, load_jsonl
 from repro.obs.telemetry import EVENTS_FILENAME, METRICS_FILENAME
+from repro.obs.tracing import format_trace_table, trace_rows
 
 
 def resolve_events_path(path: str) -> str:
@@ -111,14 +112,57 @@ def format_metrics_summary(document: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def slowest_spans(
+    events: Sequence[Event], top: int
+) -> List[Dict[str, object]]:
+    """The ``top`` individually slowest span instances (not per-name)."""
+    spans = [e for e in events if e.kind == "span"]
+    spans.sort(
+        key=lambda e: -float(e.fields.get("duration", 0.0))
+    )
+    rows = []
+    for event in spans[:top]:
+        rows.append({
+            "span": event.name,
+            "duration_s": float(event.fields.get("duration", 0.0)),
+            "trace": event.fields.get("trace_id", "-"),
+            "span_id": event.fields.get("span_id", "-"),
+            "thread": event.fields.get("thread", "-"),
+            "status": event.fields.get("status", "ok"),
+        })
+    return rows
+
+
+def format_slowest_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Fixed-width text rendering of :func:`slowest_spans`."""
+    if not rows:
+        return "(no span events)"
+    header = (
+        f"{'span':<28}{'duration':>12}{'trace':>10}{'span_id':>9}"
+        f"{'status':>8}  thread"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['span']:<28}{row['duration_s']:>12.6f}{str(row['trace']):>10}"
+            f"{str(row['span_id']):>9}{str(row['status']):>8}  {row['thread']}"
+        )
+    return "\n".join(lines)
+
+
 def load_metrics_document(path: str) -> Dict[str, object]:
     """Parse a metrics.json export."""
     with open(path) as handle:
         return json.load(handle)
 
 
-def summarize_path(path: str) -> str:
-    """Full text summary for ``repro telemetry summarize PATH``."""
+def summarize_path(path: str, top: int = 0) -> str:
+    """Full text summary for ``repro telemetry summarize PATH``.
+
+    With ``top > 0`` two extra sections are appended: the ``top``
+    individually slowest span instances, and a per-trace duration rollup
+    built from the causal trace ids stamped on every span.
+    """
     sections: List[str] = []
     metrics_path = resolve_metrics_path(path)
     if metrics_path and os.path.exists(metrics_path):
@@ -128,6 +172,11 @@ def summarize_path(path: str) -> str:
         events = load_jsonl(events_path)
         sections.append(f"spans ({events_path}):")
         sections.append(format_span_table(span_rows(events)))
+        if top > 0:
+            sections.append(f"slowest {top} spans:")
+            sections.append(format_slowest_table(slowest_spans(events, top)))
+            sections.append("traces:")
+            sections.append(format_trace_table(trace_rows(events)))
     if not sections:
         return f"no telemetry found at {path}"
     return "\n".join(sections)

@@ -26,27 +26,38 @@ from typing import Callable, Dict, Iterator, Optional
 
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import Span, SpanTracer
+from repro.obs.tracing import TraceContext
 
 #: filenames written by :meth:`Telemetry.export_dir`
 EVENTS_FILENAME = "events.jsonl"
 METRICS_FILENAME = "metrics.json"
 PROMETHEUS_FILENAME = "metrics.prom"
+#: subdirectory export_dir flushes pending flight-recorder bundles into
+FLIGHT_DIRNAME = "flight"
 
 #: schema tag stamped into every metrics.json export
 METRICS_SCHEMA_VERSION = 1
 
 
 class Telemetry:
-    """Registry + event log + tracer, with one export surface."""
+    """Registry + event log + tracer + flight recorder, one export surface."""
 
     def __init__(
         self,
         event_capacity: int = 65_536,
         clock: Callable[[], float] = time.perf_counter,
+        flight_capacity: int = 512,
     ) -> None:
         self.registry = MetricsRegistry()
         self.events = EventLog(capacity=event_capacity)
+        # drop volume is a metric, not just a one-time warning
+        self.events.drop_counter = self.registry.counter("obs.events.dropped")
+        # the flight recorder taps every event — even ones the bounded
+        # log drops — into per-thread rings for post-mortem bundles
+        self.flight = FlightRecorder(capacity_per_thread=flight_capacity)
+        self.events.tap = self.flight.record
         self.tracer = SpanTracer(self.events, registry=self.registry, clock=clock)
 
     # ------------------------------------------------------------------
@@ -54,6 +65,14 @@ class Telemetry:
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes: object) -> Span:
         return self.tracer.span(name, **attributes)
+
+    def activate(self, context: Optional[TraceContext]):
+        """Adopt a cross-thread trace context (see ``SpanTracer.activate``)."""
+        return self.tracer.activate(context)
+
+    def trace_context(self) -> Optional[TraceContext]:
+        """The context a cross-thread hop should carry right now."""
+        return self.tracer.current_context()
 
     def counter(self, name: str, labels=None):
         return self.registry.counter(name, labels)
@@ -65,7 +84,17 @@ class Telemetry:
         return self.registry.histogram(name, labels, buckets=buckets)
 
     def point(self, name: str, **fields: object) -> None:
-        """Record a point (non-span) event at the current clock reading."""
+        """Record a point (non-span) event at the current clock reading.
+
+        When a span is open on this thread (or a cross-thread context is
+        activated) the point is stamped with its ``trace_id``/``parent_id``
+        so it lands inside the right causal tree.
+        """
+        context = self.tracer.current_context()
+        if context is not None:
+            fields.setdefault("trace_id", context.trace_id)
+            if context.parent_span_id is not None:
+                fields.setdefault("parent_id", context.parent_span_id)
         self.events.emit("point", name, ts=self.tracer.clock(), **fields)
 
     # ------------------------------------------------------------------
@@ -99,6 +128,13 @@ class Telemetry:
             handle.write("\n")
         with open(paths["prometheus"], "w") as handle:
             handle.write(self.registry.to_prometheus())
+        # flight bundles dumped before a directory was known land here too
+        pending = [b for b in self.flight.bundles if b["path"] is None]
+        if pending:
+            flight_dir = os.path.join(directory, FLIGHT_DIRNAME)
+            written = self.flight.flush(flight_dir)
+            if written:
+                paths["flight"] = flight_dir
         return paths
 
 

@@ -1,0 +1,301 @@
+"""Causal trace propagation and offline trace analysis.
+
+A *trace* is the causal tree of everything one ingest batch caused: the
+WAL append, the canonical-graph commit, the fan-out to every shard inbox,
+each shard's contribution-aware processing, the epoch barrier, cache
+invalidation, supervision actions and the per-session answer deliveries.
+Spans on one thread nest through the tracer's thread-local stack; the
+cross-thread hops (engine -> shard inbox, harness -> supervisor) carry an
+explicit :class:`TraceContext` — ``(trace_id, parent_span_id)`` — minted
+at batch ingest and re-activated on the receiving thread with
+:meth:`~repro.obs.spans.SpanTracer.activate`, so the shard's spans parent
+onto the ingest thread's ``engine.batch`` span instead of starting a
+disconnected tree.
+
+The second half of the module works offline, on the JSONL written by
+:meth:`~repro.obs.telemetry.Telemetry.export_dir`: :func:`build_traces`
+reassembles span events into :class:`Trace` trees (point events with a
+``trace_id`` ride along as instant markers), :func:`critical_path` walks
+the latest-finishing child chain, and :func:`render_waterfall` draws the
+per-batch timeline the ``repro trace`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.events import Event
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable half of a trace: what crosses a thread boundary.
+
+    ``trace_id`` names the causal tree (minted by the root span);
+    ``parent_span_id`` is the span the next hop should parent onto.
+    Contexts are immutable — every hop builds a fresh one.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[int] = None
+
+    def as_fields(self) -> Dict[str, object]:
+        """The event-payload form (merged into point events)."""
+        fields: Dict[str, object] = {"trace_id": self.trace_id}
+        if self.parent_span_id is not None:
+            fields["parent_id"] = self.parent_span_id
+        return fields
+
+
+# ----------------------------------------------------------------------
+# offline reconstruction (from exported events.jsonl)
+# ----------------------------------------------------------------------
+
+#: span-event payload keys that are structure, not user attributes
+_STRUCTURAL = ("span_id", "parent_id", "trace_id", "duration", "status",
+               "error", "thread")
+
+
+@dataclass
+class SpanNode:
+    """One span, re-linked into its trace tree."""
+
+    span_id: int
+    parent_id: Optional[int]
+    trace_id: str
+    name: str
+    start: float
+    duration: float
+    status: str = "ok"
+    error: Optional[str] = None
+    thread: str = ""
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class Trace:
+    """One causal tree: the spans and point events sharing a trace_id."""
+
+    trace_id: str
+    roots: List[SpanNode] = field(default_factory=list)
+    nodes: Dict[int, SpanNode] = field(default_factory=dict)
+    #: point events (answers, supervision actions, ...) linked to the trace
+    points: List[Event] = field(default_factory=list)
+
+    @property
+    def root(self) -> SpanNode:
+        return self.roots[0]
+
+    @property
+    def start(self) -> float:
+        return min(node.start for node in self.roots)
+
+    @property
+    def end(self) -> float:
+        return max(node.end for node in self.nodes.values())
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def threads(self) -> List[str]:
+        return sorted({node.thread for node in self.nodes.values()})
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for node in self.nodes.values() if node.status == "error")
+
+    def find(self, name: str) -> List[SpanNode]:
+        """Every span named ``name`` in this trace, in start order."""
+        return sorted(
+            (n for n in self.nodes.values() if n.name == name),
+            key=lambda n: n.start,
+        )
+
+
+def _node_from_event(event: Event) -> SpanNode:
+    fields = event.fields
+    return SpanNode(
+        span_id=int(fields["span_id"]),
+        parent_id=(None if fields.get("parent_id") is None
+                   else int(fields["parent_id"])),
+        trace_id=str(fields["trace_id"]),
+        name=event.name,
+        start=event.ts,
+        duration=float(fields["duration"]),
+        status=str(fields.get("status", "ok")),
+        error=(str(fields["error"]) if fields.get("error") is not None
+               else None),
+        thread=str(fields.get("thread", "")),
+        attrs={k: v for k, v in fields.items() if k not in _STRUCTURAL},
+    )
+
+
+def build_traces(events: Sequence[Event]) -> List[Trace]:
+    """Reassemble exported events into :class:`Trace` trees.
+
+    Span events without a ``trace_id`` (pre-tracing exports) are skipped;
+    a span whose parent never closed (dropped past the log bound, or still
+    open at export) is promoted to a root of its trace rather than lost.
+    Traces come back ordered by their root's start time.
+    """
+    traces: Dict[str, Trace] = {}
+    for event in events:
+        if event.kind == "span" and "trace_id" in event.fields:
+            node = _node_from_event(event)
+            trace = traces.setdefault(node.trace_id, Trace(node.trace_id))
+            trace.nodes[node.span_id] = node
+        elif event.kind == "point" and "trace_id" in event.fields:
+            trace_id = str(event.fields["trace_id"])
+            traces.setdefault(trace_id, Trace(trace_id)).points.append(event)
+    for trace in traces.values():
+        for node in trace.nodes.values():
+            parent = (trace.nodes.get(node.parent_id)
+                      if node.parent_id is not None else None)
+            if parent is None:
+                trace.roots.append(node)
+            else:
+                parent.children.append(node)
+        for node in trace.nodes.values():
+            node.children.sort(key=lambda n: (n.start, n.span_id))
+        trace.roots.sort(key=lambda n: (n.start, n.span_id))
+        trace.points.sort(key=lambda e: e.ts)
+    return sorted(
+        (t for t in traces.values() if t.roots),
+        key=lambda t: t.start,
+    )
+
+
+def critical_path(trace: Trace) -> List[SpanNode]:
+    """Root-to-leaf chain through the latest-finishing child at each level.
+
+    In a fan-out/barrier shape this is the chain that bounded the batch's
+    wall clock: the barrier ends when the slowest shard does, so following
+    the child with the greatest end time attributes the critical time.
+    """
+    node = trace.root
+    path = [node]
+    while node.children:
+        node = max(node.children, key=lambda n: (n.end, n.span_id))
+        path.append(node)
+    return path
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def _bar(offset: float, duration: float, total: float, width: int) -> str:
+    if total <= 0:
+        return "#" * width
+    lead = int(round(offset / total * width))
+    lead = min(lead, width - 1)
+    length = max(1, int(round(duration / total * width)))
+    length = min(length, width - lead)
+    return " " * lead + "#" * length + " " * (width - lead - length)
+
+
+def render_waterfall(trace: Trace, width: int = 48,
+                     max_points: int = 24) -> str:
+    """Fixed-width waterfall of one trace, critical path starred.
+
+    One row per span (indented by tree depth, bar positioned on the
+    trace's own timeline), then the trace's point events as ``+offset``
+    markers, then one critical-path attribution line.
+    """
+    base = trace.start
+    total = trace.duration
+    critical = {node.span_id for node in critical_path(trace)}
+
+    header_attrs = " ".join(
+        f"{key}={value}" for key, value in sorted(trace.root.attrs.items())
+    )
+    lines = [
+        f"trace {trace.trace_id} · {trace.root.name}"
+        + (f" · {header_attrs}" if header_attrs else "")
+        + f" · {_format_ms(total)} · {len(trace.nodes)} spans"
+        + f" · threads: {', '.join(trace.threads)}"
+    ]
+
+    def walk(node: SpanNode, depth: int) -> None:
+        label = "  " * depth + node.name
+        if node.status == "error":
+            label += f" !{node.error or 'error'}"
+        bar = _bar(node.start - base, node.duration, total, width)
+        mark = " *" if node.span_id in critical else ""
+        extras = " ".join(
+            f"{key}={value}" for key, value in sorted(node.attrs.items())
+        )
+        lines.append(
+            f"  {label:<34} |{bar}| {_format_ms(node.duration):>10}"
+            f"  [{node.thread}]{mark}"
+            + (f"  {extras}" if extras else "")
+        )
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in trace.roots:
+        walk(root, 0)
+
+    shown = trace.points[:max_points]
+    for event in shown:
+        payload = " ".join(
+            f"{key}={value}" for key, value in sorted(event.fields.items())
+            if key not in ("trace_id", "parent_id")
+        )
+        lines.append(
+            f"  + {_format_ms(event.ts - base):>10}  {event.name}"
+            + (f"  {payload}" if payload else "")
+        )
+    if len(trace.points) > len(shown):
+        lines.append(f"  + ... {len(trace.points) - len(shown)} more point event(s)")
+
+    path = critical_path(trace)
+    path_time = path[-1].end - path[0].start
+    share = (path_time / total * 100.0) if total > 0 else 100.0
+    lines.append(
+        "  critical path: " + " > ".join(node.name for node in path)
+        + f"  ({_format_ms(path_time)}, {share:.0f}% of trace)"
+    )
+    return "\n".join(lines)
+
+
+def trace_rows(events: Sequence[Event]) -> List[Dict[str, object]]:
+    """Per-trace duration rollups (the ``telemetry summarize`` table)."""
+    rows: List[Dict[str, object]] = []
+    for trace in build_traces(events):
+        root = trace.root
+        rows.append({
+            "trace": trace.trace_id,
+            "root": root.name,
+            "sequence": root.attrs.get("sequence", ""),
+            "spans": len(trace.nodes),
+            "points": len(trace.points),
+            "errors": trace.errors,
+            "threads": len(trace.threads),
+            "duration_s": trace.duration,
+        })
+    return rows
+
+
+def format_trace_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Fixed-width text rendering of :func:`trace_rows`."""
+    if not rows:
+        return "(no traces)"
+    header = (f"{'trace':<12}{'root':<24}{'seq':>6}{'spans':>7}"
+              f"{'points':>8}{'err':>5}{'thr':>5}{'duration':>12}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['trace']:<12}{row['root']:<24}{str(row['sequence']):>6}"
+            f"{row['spans']:>7}{row['points']:>8}{row['errors']:>5}"
+            f"{row['threads']:>5}{row['duration_s']:>12.6f}"
+        )
+    return "\n".join(lines)

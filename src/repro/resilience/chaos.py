@@ -455,6 +455,7 @@ def run_chaos(
         harness.register(*pair)
     harness.wait_all_live()
 
+    telemetry = harness.telemetry
     resumes = 0
     shed = 0
     breaker_states_seen = set()
@@ -466,7 +467,14 @@ def run_chaos(
             tear = controller.tear_before(target)
             if tear is not None:
                 # simulated crash: stop threads, leave disk as-is, damage
-                # the WAL tail, then recover and re-register every client
+                # the WAL tail, then recover and re-register every client —
+                # dumping the flight rings first, exactly like a real
+                # post-mortem would capture the moment of the crash
+                if telemetry is not None:
+                    telemetry.flight.dump(
+                        "chaos-tear-wal",
+                        {"epoch": target, "torn_bytes": tear.payload},
+                    )
                 harness.pipeline.wal.close()
                 harness.engine.close(strict=False)
                 _, wal_dir = state_paths(directory)
@@ -483,6 +491,7 @@ def run_chaos(
                     checkpoint_every=2,
                 )
                 resumes += 1
+                telemetry = harness.telemetry
                 for pair in pairs:
                     harness.register(*pair)
                 harness.wait_all_live()
@@ -559,7 +568,7 @@ def run_chaos(
         controller.release_all()
         harness.close()
 
-    return ChaosReport(
+    report = ChaosReport(
         schedule=schedule.name,
         epochs=num_batches,
         faults_fired=[f"{e.kind}@{e.epoch}" for e in controller.fired],
@@ -571,12 +580,26 @@ def run_chaos(
         session_states=states,
         breaker_states_seen=sorted(breaker_states_seen),
     )
+    if telemetry is not None:
+        # end-of-run bundle: the run's verdict next to the final events
+        telemetry.flight.dump(
+            f"chaos-{schedule.name}",
+            {
+                "schedule": schedule.name,
+                "converged": report.converged,
+                "faults_fired": report.faults_fired,
+                "resumes": report.resumes,
+                "mismatches": report.mismatches,
+            },
+        )
+    return report
 
 
 class _EmptyResult:
     """A no-failure stand-in so idle supervisor reviews can run."""
 
     failed_shards: List[Tuple[int, str]] = []
+    epoch: int = 0
 
 
 _EMPTY_RESULT = _EmptyResult()

@@ -31,6 +31,7 @@ from repro.graph.streaming import StreamingGraph
 from repro.metrics import BatchResult, ResilienceCounters
 from repro.obs.bridge import record_deadletters, record_resilience_counters
 from repro.obs.telemetry import Telemetry, get_global_telemetry
+from repro.obs.tracing import TraceContext
 from repro.query import PairwiseQuery
 from repro.resilience.deadletter import DeadLetterQueue, IngestGuard, RawRecord
 from repro.resilience.guard import DifferentialGuard
@@ -90,6 +91,10 @@ class ResilientPipeline:
         )
         self.checkpoint_every = checkpoint_every
         self.results: List[BatchResult] = []
+        #: trace context of the most recent commit (the batch's causal
+        #: root); consumers — answer fan-out, cache invalidation,
+        #: supervision — re-activate it so their events join the tree
+        self.last_trace: Optional[TraceContext] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -219,6 +224,22 @@ class ResilientPipeline:
     def _commit(self, batch: UpdateBatch) -> BatchResult:
         sequence = self.snapshot_id + 1
         telemetry = self.telemetry
+        if telemetry is None:
+            self.last_trace = None
+            return self._commit_inner(batch, sequence, None)
+        # the trace root: everything this batch causes — WAL append,
+        # engine fan-out, shard work, barrier, checkpoint, guard, answer
+        # delivery — links back to this span's trace
+        with telemetry.span(
+            "pipeline.commit", sequence=sequence, updates=len(batch)
+        ) as root:
+            self.last_trace = root.context()
+            return self._commit_inner(batch, sequence, telemetry)
+
+    def _commit_inner(
+        self, batch: UpdateBatch, sequence: int,
+        telemetry: Optional[Telemetry],
+    ) -> BatchResult:
         if telemetry is None:
             self.wal.append(batch, sequence)  # durable before the engine sees it
         else:

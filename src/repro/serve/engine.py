@@ -41,6 +41,7 @@ from repro.graph.dynamic import DynamicGraph
 from repro.incremental import IncrementalState
 from repro.metrics import BatchResult, OpCounts
 from repro.obs.bridge import record_batch_result
+from repro.obs.provenance import GroupObservation, ProvenanceRecorder
 from repro.obs.telemetry import Telemetry, get_global_telemetry
 from repro.query import PairwiseQuery
 from repro.serve.shard import FaultHook, ShardWorker
@@ -86,6 +87,7 @@ class ShardedServeEngine:
         fault_hook: Optional[FaultHook] = None,
         epoch_deadline: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        provenance: Optional[ProvenanceRecorder] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -110,6 +112,9 @@ class ShardedServeEngine:
         #: the last committed net batch (consumed by the result cache)
         self.last_effective: Optional[UpdateBatch] = None
         self.telemetry: Optional[Telemetry] = get_global_telemetry()
+        #: contribution-provenance store shared by the anchor (recorded
+        #: under shard -1) and every worker; None disables recording
+        self.provenance = provenance
         self._anchor = SourceGroup(
             graph, algorithm, anchor.source, [anchor.destination], rule
         )
@@ -130,6 +135,8 @@ class ShardedServeEngine:
             queue_bound=self.queue_bound,
             fault_hook=self.fault_hook,
             clock=self.clock,
+            telemetry_source=lambda: self.telemetry,
+            provenance=self.provenance,
         )
 
     # ------------------------------------------------------------------
@@ -187,22 +194,53 @@ class ShardedServeEngine:
             updates=len(batch),
         ) as span:
             result = self._do_batch(batch)
+            span.set(epoch=result.epoch, answers=len(result.answers))
         record_batch_result(telemetry.registry, self.name, result, span.duration)
         return result
 
     def _do_batch(self, batch: UpdateBatch) -> ServeBatchResult:
+        telemetry = self.telemetry
+        provenance = self.provenance
         response = OpCounts()
         post = OpCounts()
         effective = net_effects(
             batch, lambda u, v: self.graph.out_adj(u).get(v)
         )
         self.epoch += 1
+        # the context every shard re-activates: on the ingest thread this
+        # is the open engine.batch span (itself nested under the
+        # pipeline.commit root when the batch came through the WAL)
+        context = (
+            telemetry.tracer.current_context() if telemetry is not None
+            else None
+        )
+        if provenance is not None:
+            provenance.begin_batch(
+                self.epoch,
+                trace_id=context.trace_id if context is not None else None,
+                updates=len(effective),
+            )
         # fan out first so shards overlap with the anchor's inline work
         for shard in self.shards:
-            shard.submit_batch(self.epoch, effective)
+            shard.submit_batch(self.epoch, effective, context)
         for upd in effective:
             self.graph.apply_update(upd, missing_ok=True)
-        anchor_stats = self._anchor.process_batch(effective, response, post)
+        observation = (
+            GroupObservation(self._anchor, effective, provenance.sample_limit)
+            if provenance is not None else None
+        )
+        if telemetry is None:
+            anchor_stats = self._anchor.process_batch(effective, response, post)
+        else:
+            with telemetry.span("engine.anchor", source=self.query.source,
+                                epoch=self.epoch):
+                anchor_stats = self._anchor.process_batch(
+                    effective, response, post
+                )
+        if observation is not None:
+            provenance.record_group(
+                observation.finish(self._anchor, anchor_stats, self.epoch, -1)
+            )
 
         answers: Dict[Tuple[int, int], float] = {}
         degraded: List[Tuple[int, str]] = []
@@ -210,9 +248,17 @@ class ShardedServeEngine:
         totals: Dict[str, int] = dict(anchor_stats)
         for shard in self.shards:
             try:
-                outcome = shard.wait_outcome(
-                    self.epoch, timeout=self.epoch_deadline
-                )
+                if telemetry is None:
+                    outcome = shard.wait_outcome(
+                        self.epoch, timeout=self.epoch_deadline
+                    )
+                else:
+                    with telemetry.span(
+                        "engine.barrier", shard=shard.index, epoch=self.epoch
+                    ):
+                        outcome = shard.wait_outcome(
+                            self.epoch, timeout=self.epoch_deadline
+                        )
             except ShardCrashedError as exc:
                 if not self.tolerate_shard_failures:
                     raise
@@ -300,6 +346,14 @@ class ShardedServeEngine:
             if not shard.stop(timeout=timeout):
                 stragglers.append(shard.index)
         if stragglers and strict:
+            if self.telemetry is not None:
+                # post-mortem bundle before raising: the straggler's last
+                # events say what it was doing when the join gave up
+                self.telemetry.flight.dump(
+                    "strict-close",
+                    {"stragglers": sorted(set(stragglers)),
+                     "epoch": self.epoch},
+                )
             raise ShardShutdownError(sorted(set(stragglers)))
 
     def __repr__(self) -> str:

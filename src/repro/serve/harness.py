@@ -20,6 +20,7 @@ per-session answer-latency histogram (``serve_answer_seconds``).
 
 from __future__ import annotations
 
+import contextlib
 import queue
 import time
 from dataclasses import dataclass
@@ -27,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.core.classification import KeyPathRule
-from repro.errors import QueryError, QueueSaturatedError
+from repro.errors import ProvenanceMissError, QueryError, QueueSaturatedError
 from repro.graph.batch import EdgeUpdate, UpdateBatch
 from repro.graph.dynamic import DynamicGraph
 from repro.metrics import OpCounts, ResilienceCounters
@@ -38,6 +39,7 @@ from repro.obs.bridge import (
     record_serve_state,
     record_supervision,
 )
+from repro.obs.provenance import ProvenanceRecorder
 from repro.obs.telemetry import Telemetry, get_global_telemetry
 from repro.query import PairwiseQuery
 from repro.resilience.pipeline import ResilientPipeline
@@ -98,6 +100,9 @@ class ServeHarness:
         #: recovery report when this harness was built by :meth:`resume`
         self.recovered = recovered
         self.telemetry: Optional[Telemetry] = pipeline.telemetry
+        #: contribution-provenance store (shared with the engine; None
+        #: only when explicitly disabled at construction)
+        self.provenance: Optional[ProvenanceRecorder] = engine.provenance
         self.batches_served = 0
         self.query_ops = OpCounts()
 
@@ -124,6 +129,7 @@ class ServeHarness:
         fault_hook=None,
         epoch_deadline: float = 30.0,
         supervision: Optional[SupervisorConfig] = None,
+        provenance: Optional[ProvenanceRecorder] = None,
         **pipeline_kwargs,
     ) -> "ServeHarness":
         """Start serving on a fresh state directory.
@@ -131,7 +137,9 @@ class ServeHarness:
         ``anchor`` is the query whose state anchors checkpoints and the
         differential guard; ``supervision`` tunes failure detection and
         resurrection pacing (defaults to :class:`SupervisorConfig`);
-        ``pipeline_kwargs`` pass through to
+        ``provenance`` overrides the default
+        :class:`~repro.obs.provenance.ProvenanceRecorder` backing
+        :meth:`explain`; ``pipeline_kwargs`` pass through to
         :class:`~repro.resilience.pipeline.ResilientPipeline` (e.g.
         ``checkpoint_every``, ``guard_every``, ``wal_sync``,
         ``write_hook``, ``telemetry``).
@@ -146,6 +154,8 @@ class ServeHarness:
             fault_hook=fault_hook,
             epoch_deadline=epoch_deadline,
             clock=clock,
+            provenance=provenance if provenance is not None
+            else ProvenanceRecorder(),
         )
         engine.initialize()
         pipeline = ResilientPipeline.wrap(directory, engine, **pipeline_kwargs)
@@ -174,6 +184,7 @@ class ServeHarness:
         fault_hook=None,
         epoch_deadline: float = 30.0,
         supervision: Optional[SupervisorConfig] = None,
+        provenance: Optional[ProvenanceRecorder] = None,
         **pipeline_kwargs,
     ) -> "ServeHarness":
         """Recover a crashed serving session from its state directory.
@@ -200,6 +211,8 @@ class ServeHarness:
             fault_hook=fault_hook,
             epoch_deadline=epoch_deadline,
             clock=clock,
+            provenance=provenance if provenance is not None
+            else ProvenanceRecorder(),
         )
         engine.adopt_state(base.state.states, base.state.parents)
         pipeline = ResilientPipeline.wrap(
@@ -333,14 +346,31 @@ class ServeHarness:
         result: ServeBatchResult = self.pipeline.run_batch(batch)
         latency = time.perf_counter() - started
         self.batches_served += 1
-        self._fan_out(result, latency)
-        if self.engine.last_effective is not None:
-            self.cache.on_batch(self.engine.last_effective)
-        # stamp this epoch's exact answers into the last-known store
-        # (after on_batch so the age of a current answer reads as 0)
-        for (source, destination), value in result.answers.items():
-            self.cache.remember(source, destination, value)
-        self.supervisor.review(result)
+        telemetry = self.telemetry
+        # re-enter the batch's causal tree: answer delivery, cache
+        # invalidation and supervision all descend from the commit root
+        scope = (
+            telemetry.activate(self.pipeline.last_trace)
+            if telemetry is not None else contextlib.nullcontext()
+        )
+        with scope:
+            self._fan_out(result, latency)
+            if self.engine.last_effective is not None:
+                if telemetry is None:
+                    self.cache.on_batch(self.engine.last_effective)
+                else:
+                    with telemetry.span(
+                        "serve.cache_invalidate", epoch=result.epoch
+                    ) as span:
+                        tallies = self.cache.on_batch(
+                            self.engine.last_effective
+                        )
+                        span.set(**tallies)
+            # stamp this epoch's exact answers into the last-known store
+            # (after on_batch so the age of a current answer reads as 0)
+            for (source, destination), value in result.answers.items():
+                self.cache.remember(source, destination, value)
+            self.supervisor.review(result)
         self._record_telemetry()
         return result
 
@@ -350,6 +380,8 @@ class ServeHarness:
         failed = {index for index, _ in result.failed_shards}
         reasons = dict(result.failed_shards)
         telemetry = self.telemetry
+        context = self.pipeline.last_trace
+        trace_id = context.trace_id if context is not None else None
         for session in self.sessions.active_sessions():
             source = session.query.source
             shard_index = source % self.engine.num_shards
@@ -365,9 +397,20 @@ class ServeHarness:
                 snapshot_id=self.pipeline.snapshot_id,
                 answer=result.answers[key],
                 latency_seconds=latency,
+                trace_id=trace_id,
+                epoch=result.epoch,
             ))
             if telemetry is not None:
                 record_answer_latency(telemetry.registry, session.id, latency)
+                telemetry.point(
+                    "serve.answer",
+                    session=session.id,
+                    source=source,
+                    destination=session.query.destination,
+                    value=result.answers[key],
+                    epoch=result.epoch,
+                    snapshot=self.pipeline.snapshot_id,
+                )
 
     # ------------------------------------------------------------------
     # ad-hoc reads
@@ -410,6 +453,25 @@ class ServeHarness:
             record_serve_cache(self.telemetry.registry,
                                self.cache.stats.as_dict())
         return ReadResult(value, degraded=degraded, stale_epochs=stale_epochs)
+
+    # ------------------------------------------------------------------
+    # provenance
+    # ------------------------------------------------------------------
+    def explain(
+        self, source: int, destination: int, epoch: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Explain ``Q(source -> destination)`` at ``epoch`` (default: the
+        latest epoch that answered the pair).
+
+        Returns the provenance record: classification counts, sampled
+        triangle-inequality verdicts, and the key-path evolution for the
+        destination.  Raises
+        :class:`~repro.errors.ProvenanceMissError` when recording is
+        disabled or the epoch has been evicted from the bounded store.
+        """
+        if self.provenance is None:
+            raise ProvenanceMissError("provenance recording is disabled")
+        return self.provenance.explain(source, destination, epoch=epoch)
 
     # ------------------------------------------------------------------
     # introspection / shutdown

@@ -13,6 +13,8 @@ line, ``#`` starts a comment)::
     query S D           one-shot cached read of Q(S -> D); reports the
                         ``degraded`` flag (and staleness) while the
                         source's circuit breaker is open
+    explain S D [EPOCH] contribution provenance of Q(S -> D) at EPOCH
+                        (default: latest epoch that answered the pair)
     stats               print the harness summary
     close               stop serving (implicit at end of script)
 
@@ -137,6 +139,11 @@ class ScriptRunner:
         if read.degraded:
             event["stale_epochs"] = read.stale_epochs
         return event
+
+    def _cmd_explain(self, args: List[str]) -> Dict[str, object]:
+        epoch = int(args[2]) if len(args) > 2 else None
+        record = self.harness.explain(int(args[0]), int(args[1]), epoch=epoch)
+        return {"explain": record}
 
     def _cmd_stats(self, args: List[str]) -> Dict[str, object]:
         return {"stats": self.harness.stats()}

@@ -71,11 +71,18 @@ _ALLOWED = {
 
 @dataclass(frozen=True)
 class AnswerEvent:
-    """One per-batch answer delivered to a session's subscription queue."""
+    """One per-batch answer delivered to a session's subscription queue.
+
+    ``trace_id`` links the answer back to the causal tree of the batch
+    commit that produced it (None when telemetry is disabled);
+    ``epoch`` is the engine epoch the answer reflects.
+    """
 
     snapshot_id: int
     answer: float
     latency_seconds: float
+    trace_id: Optional[str] = None
+    epoch: int = 0
 
 
 class QuerySession:

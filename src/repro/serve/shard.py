@@ -40,6 +40,9 @@ from repro.errors import SessionStateError, ShardCrashedError, ShardKilledError
 from repro.graph.batch import UpdateBatch
 from repro.graph.dynamic import DynamicGraph
 from repro.metrics import OpCounts
+from repro.obs.provenance import GroupObservation, ProvenanceRecorder
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracing import TraceContext
 from repro.serve.health import Heartbeat
 from repro.serve.session import QuerySession, SessionState
 
@@ -84,12 +87,18 @@ class ShardWorker:
         queue_bound: int = 64,
         fault_hook: Optional[FaultHook] = None,
         clock: Callable[[], float] = time.monotonic,
+        telemetry_source: Optional[Callable[[], Optional[Telemetry]]] = None,
+        provenance: Optional[ProvenanceRecorder] = None,
     ) -> None:
         self.index = index
         self.graph = graph
         self.algorithm = algorithm
         self.rule = rule
         self.fault_hook = fault_hook
+        #: deferred lookup, not a captured instance: the engine's telemetry
+        #: may be attached after workers are built (pipeline wrap order)
+        self.telemetry_source = telemetry_source
+        self.provenance = provenance
         self.inbox: "queue.Queue" = queue.Queue(maxsize=queue_bound)
         self.groups: Dict[int, SourceGroup] = {}
         self.heartbeat = Heartbeat(clock)
@@ -170,9 +179,20 @@ class ShardWorker:
     def submit_deregister(self, source: int, destination: int) -> None:
         self.inbox.put(("deregister", source, destination))
 
-    def submit_batch(self, epoch: int, effective: UpdateBatch) -> None:
-        """Enqueue a committed batch (blocking: durable batches never shed)."""
-        self.inbox.put(("batch", epoch, effective))
+    def submit_batch(
+        self,
+        epoch: int,
+        effective: UpdateBatch,
+        context: Optional[TraceContext] = None,
+    ) -> None:
+        """Enqueue a committed batch (blocking: durable batches never shed).
+
+        ``context`` is the ingest thread's trace context: the worker
+        re-activates it around the epoch's processing so the shard-side
+        spans parent onto the engine's batch span (one causal tree
+        instead of per-thread silos).
+        """
+        self.inbox.put(("batch", epoch, effective, context))
 
     def wait_outcome(self, epoch: int, timeout: float = 30.0) -> ShardBatchOutcome:
         """Block until this shard publishes its outcome for ``epoch``."""
@@ -218,7 +238,10 @@ class ShardWorker:
                 elif kind == "deregister":
                     self._handle_deregister(command[1], command[2])
                 elif kind == "batch":
-                    self._handle_batch(command[1], command[2])
+                    self._handle_batch(
+                        command[1], command[2],
+                        command[3] if len(command) > 3 else None,
+                    )
                 elif kind == "barrier":
                     # chaos/test primitive: park until released (bounded)
                     command[1].wait(timeout=30.0)
@@ -274,13 +297,50 @@ class ShardWorker:
         if group is not None and group.remove_destination(destination):
             del self.groups[source]
 
-    def _handle_batch(self, epoch: int, effective: UpdateBatch) -> None:
+    def _handle_batch(
+        self,
+        epoch: int,
+        effective: UpdateBatch,
+        context: Optional[TraceContext] = None,
+    ) -> None:
+        telemetry = (
+            self.telemetry_source() if self.telemetry_source is not None
+            else None
+        )
+        if telemetry is None:
+            self._process_epoch(epoch, effective, None)
+            return
+        # adopt the ingest thread's context so this thread's spans join
+        # the batch's causal tree instead of rooting a disconnected one
+        with telemetry.tracer.activate(context):
+            with telemetry.span(
+                "shard.batch", shard=self.index, epoch=epoch,
+                updates=len(effective),
+            ) as span:
+                outcome = self._process_epoch(epoch, effective, telemetry)
+                span.set(
+                    groups=len(self.groups),
+                    answers=len(outcome.answers),
+                    degraded=len(outcome.degraded),
+                )
+
+    def _process_epoch(
+        self,
+        epoch: int,
+        effective: UpdateBatch,
+        telemetry: Optional[Telemetry],
+    ) -> ShardBatchOutcome:
         outcome = ShardBatchOutcome(epoch=epoch, shard=self.index)
+        provenance = self.provenance
         for upd in effective:
             self.graph.apply_update(upd, missing_ok=True)
         totals: Dict[str, int] = {}
         for source in list(self.groups):
             group = self.groups[source]
+            observation = (
+                GroupObservation(group, effective, provenance.sample_limit)
+                if provenance is not None else None
+            )
             try:
                 if self.fault_hook is not None:
                     self.fault_hook("batch", source, epoch)
@@ -292,7 +352,16 @@ class ShardWorker:
             except Exception as exc:  # noqa: BLE001 - isolate the failure
                 del self.groups[source]
                 outcome.degraded.append((source, str(exc)))
+                if telemetry is not None:
+                    telemetry.point(
+                        "shard.degraded", shard=self.index, epoch=epoch,
+                        source=source, error=str(exc),
+                    )
                 continue
+            if observation is not None:
+                provenance.record_group(
+                    observation.finish(group, group_stats, epoch, self.index)
+                )
             for key, value in group_stats.items():
                 totals[key] = totals.get(key, 0) + value
             for destination in group.destinations:
@@ -301,3 +370,4 @@ class ShardWorker:
         with self._results_cv:
             self._results[epoch] = outcome
             self._results_cv.notify_all()
+        return outcome

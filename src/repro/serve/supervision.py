@@ -135,12 +135,31 @@ class Supervisor:
         self.reviews += 1
         tallies = {"restarted": 0, "resurrected": 0, "blocked": 0,
                    "confirmed": 0, "new_outages": 0}
+        telemetry = self.engine.telemetry
 
-        # 1. respawn shards that produced no outcome this epoch
-        for index, _reason in result.failed_shards:
+        # 1. respawn shards that produced no outcome this epoch — dumping
+        # a post-mortem bundle FIRST, while the dead worker's flight ring
+        # still holds its final events
+        if result.failed_shards and telemetry is not None:
+            telemetry.flight.dump(
+                "shard-crash",
+                {
+                    "epoch": result.epoch,
+                    "failed_shards": [
+                        {"shard": index, "reason": reason}
+                        for index, reason in result.failed_shards
+                    ],
+                },
+            )
+        for index, reason in result.failed_shards:
             self.engine.replace_shard(index)
             self.shard_restarts += 1
             tallies["restarted"] += 1
+            if telemetry is not None:
+                telemetry.point(
+                    "supervisor.respawn",
+                    shard=index, epoch=result.epoch, reason=reason,
+                )
 
         # 2. one registry scan: who is degraded, who came (back) live
         degraded: Dict[int, List[QuerySession]] = {}
@@ -161,11 +180,11 @@ class Supervisor:
             if source in degraded:
                 # the rescue itself failed: a half-open trial re-trips,
                 # a closed-state retry extends the failure streak
-                self.breaker(source).record_failure()
+                self._breaker_op(source, "record_failure", telemetry)
                 self._pending.discard(source)
                 self._awaiting[source] = reasons[source]
             elif source in live_sources:
-                self.breaker(source).record_success()
+                self._breaker_op(source, "record_success", telemetry)
                 self._pending.discard(source)
                 self._awaiting.pop(source, None)
                 tallies["confirmed"] += 1
@@ -174,7 +193,7 @@ class Supervisor:
         # 4. count each brand-new outage once on its source's breaker
         for source in degraded:
             if source not in self._awaiting and source not in self._pending:
-                self.breaker(source).record_failure()
+                self._breaker_op(source, "record_failure", telemetry)
                 self._awaiting[source] = reasons[source]
                 tallies["new_outages"] += 1
 
@@ -188,9 +207,16 @@ class Supervisor:
                 # every degraded session was closed meanwhile; outage over
                 self._awaiting.pop(source)
                 continue
-            if not self.breaker(source).allow():
+            if not self._breaker_op(source, "allow", telemetry):
                 self.blocked_rescues += 1
                 tallies["blocked"] += 1
+                if telemetry is not None:
+                    telemetry.point(
+                        "supervisor.blocked",
+                        source=source, epoch=result.epoch,
+                        reason=reasons.get(source)
+                        or self._awaiting.get(source, "unknown"),
+                    )
                 continue
             shard = self.engine.shard_of(source)
             for session in sessions:
@@ -198,8 +224,30 @@ class Supervisor:
                 shard.submit_register(session, block=True)
                 self.session_resurrections += 1
                 tallies["resurrected"] += 1
+                if telemetry is not None:
+                    telemetry.point(
+                        "supervisor.resurrect",
+                        session=session.id, source=source,
+                        shard=shard.index, epoch=result.epoch,
+                    )
             self._pending.add(source)
         return tallies
+
+    def _breaker_op(self, source: int, op: str, telemetry):
+        """Run one breaker operation, emitting a point on a state change."""
+        breaker = self.breaker(source)
+        before = breaker.state
+        outcome = getattr(breaker, op)()
+        after = breaker.state
+        if telemetry is not None and after is not before:
+            telemetry.point(
+                "supervisor.breaker",
+                source=source,
+                from_state=before.value,
+                to_state=after.value,
+                op=op,
+            )
+        return outcome
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[int, ShardHealth]:

@@ -51,6 +51,17 @@ class TestCommittedBaseline:
         assert document["workload"]["dataset"] == "OR"
         assert document["telemetry"]["metrics"]
 
+    def test_baseline_documents_the_tracing_overhead(self):
+        with open(BASELINE) as handle:
+            tracing = json.load(handle)["tracing"]
+        assert set(tracing) == {
+            "batches", "repeats",
+            "tracing_off_best_s", "tracing_on_best_s", "on_over_off_ratio",
+        }
+        assert tracing["tracing_off_best_s"] > 0
+        assert tracing["tracing_on_best_s"] > 0
+        assert tracing["on_over_off_ratio"] > 0
+
     def test_check_mode_passes_against_committed_baseline(self, capsys):
         """The <60s smoke check: a fresh run's schema matches the baseline."""
         assert bench_snapshot.main(["--check", "--output", BASELINE]) == 0

@@ -18,6 +18,7 @@ DOC_FILES = [
     "docs/paper_mapping.md",
     "docs/resilience.md",
     "docs/observability.md",
+    "docs/tracing.md",
     "docs/serving.md",
     "docs/self_healing.md",
 ]

@@ -1,0 +1,214 @@
+"""Flight-recorder tests: rings, bundles, crash dumps, and the chaos
+acceptance path (kill-shard with tracing on → post-mortem bundle whose
+post-fault answers causally resolve to their ingest batch and epoch).
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.algorithms import PPSP
+from repro.cli import main as cli_main
+from repro.obs import Telemetry, use_telemetry
+from repro.obs.events import Event, TelemetryDropWarning
+from repro.obs.recorder import (
+    BUNDLE_CONTEXT,
+    BUNDLE_EVENTS,
+    FlightRecorder,
+)
+from repro.obs.tracing import build_traces, render_waterfall
+from repro.resilience.chaos import builtin_schedule, run_chaos
+
+pytestmark = pytest.mark.telemetry
+
+
+def event(name, ts, **fields):
+    return Event(ts=ts, kind="point", name=name, fields=fields)
+
+
+class TestRings:
+    def test_ring_is_bounded_per_thread(self):
+        recorder = FlightRecorder(capacity_per_thread=4)
+        for index in range(10):
+            recorder.record(event("e", float(index), index=index))
+        rows = recorder.snapshot()
+        assert len(rows) == 4
+        assert [row["index"] for row in rows] == [6, 7, 8, 9]
+
+    def test_threads_keep_independent_rings(self):
+        recorder = FlightRecorder(capacity_per_thread=8)
+
+        def emit(offset):
+            for index in range(5):
+                recorder.record(event("e", offset + index, origin=offset))
+
+        workers = [
+            threading.Thread(target=emit, args=(base,), name=f"ring-{base}")
+            for base in (0.0, 100.0, 200.0)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert recorder.threads == ["ring-0.0", "ring-100.0", "ring-200.0"]
+        rows = recorder.snapshot()
+        assert len(rows) == 15
+        # merged snapshot is time-sorted and thread-attributed
+        assert [row["ts"] for row in rows] == sorted(row["ts"] for row in rows)
+        assert {row["thread"] for row in rows} == set(recorder.threads)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity_per_thread=0)
+
+
+class TestBundles:
+    def test_dump_without_directory_stays_pending(self):
+        recorder = FlightRecorder()
+        recorder.record(event("e", 1.0))
+        assert recorder.dump("no disk yet", {"epoch": 3}) is None
+        (bundle,) = recorder.bundles
+        assert bundle["seq"] == 1
+        assert bundle["path"] is None
+        assert bundle["context"] == {"epoch": 3}
+        assert len(bundle["events"]) == 1
+
+    def test_dump_with_directory_writes_immediately(self, tmp_path):
+        recorder = FlightRecorder(directory=str(tmp_path))
+        recorder.record(event("e", 1.0, detail="x"))
+        path = recorder.dump("shard crash!", {"shard": 1})
+        assert path == str(tmp_path / "001-shard-crash")
+        lines = [
+            json.loads(line)
+            for line in open(os.path.join(path, BUNDLE_EVENTS))
+        ]
+        assert lines[0]["name"] == "e" and lines[0]["detail"] == "x"
+        with open(os.path.join(path, BUNDLE_CONTEXT)) as handle:
+            context = json.load(handle)
+        assert context == {
+            "seq": 1, "reason": "shard crash!", "events": 1,
+            "context": {"shard": 1},
+        }
+
+    def test_flush_writes_every_pending_bundle_once(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record(event("e", 1.0))
+        recorder.dump("first")
+        recorder.dump("second")
+        written = recorder.flush(str(tmp_path))
+        assert written == [
+            str(tmp_path / "001-first"), str(tmp_path / "002-second"),
+        ]
+        assert recorder.flush(str(tmp_path)) == []  # nothing left pending
+
+
+class TestTelemetryIntegration:
+    def test_tap_sees_events_the_bounded_log_dropped(self):
+        telemetry = Telemetry(event_capacity=4)
+        with pytest.warns(TelemetryDropWarning):
+            for index in range(10):
+                telemetry.point("burst", index=index)
+        assert len(telemetry.events) == 4
+        assert telemetry.events.dropped == 6
+        # the flight rings kept all ten
+        rows = telemetry.flight.snapshot()
+        assert [row["index"] for row in rows] == list(range(10))
+
+    def test_export_dir_flushes_pending_bundles(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.point("before-the-crash")
+        telemetry.flight.dump("strict-close", {"why": "test"})
+        paths = telemetry.export_dir(str(tmp_path))
+        assert paths["flight"] == str(tmp_path / "flight")
+        bundle_dir = tmp_path / "flight" / "001-strict-close"
+        assert (bundle_dir / BUNDLE_EVENTS).exists()
+        assert (bundle_dir / BUNDLE_CONTEXT).exists()
+
+    def test_export_dir_without_bundles_writes_no_flight_dir(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.point("quiet")
+        paths = telemetry.export_dir(str(tmp_path))
+        assert "flight" not in paths
+        assert not (tmp_path / "flight").exists()
+
+
+@pytest.mark.chaos
+class TestChaosAcceptance:
+    """kill-shard with tracing on: the ISSUE's end-to-end acceptance."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            report = run_chaos(
+                builtin_schedule("kill-shard"),
+                str(tmp_path_factory.mktemp("chaos")),
+                PPSP(),
+            )
+        export = tmp_path_factory.mktemp("telemetry")
+        telemetry.export_dir(str(export))
+        return telemetry, report, export
+
+    def test_chaos_still_converges_under_tracing(self, traced_run):
+        _, report, _ = traced_run
+        assert report.converged
+        assert report.faults_fired == ["kill_shard@2"]
+
+    def test_crash_and_run_bundles_are_dumped(self, traced_run):
+        telemetry, _, export = traced_run
+        reasons = [bundle["reason"] for bundle in telemetry.flight.bundles]
+        assert "shard-crash" in reasons
+        assert "chaos-kill-shard" in reasons
+        crash = next(
+            b for b in telemetry.flight.bundles
+            if b["reason"] == "shard-crash"
+        )
+        assert crash["context"]["failed_shards"][0]["shard"] == 1
+        assert crash["context"]["epoch"] == 2
+        assert crash["events"], "crash bundle must carry ring events"
+        # export flushed both bundles to disk
+        flight = export / "flight"
+        assert sorted(os.listdir(flight))[0].endswith("shard-crash")
+
+    def test_post_fault_answers_resolve_to_batch_and_epoch(self, traced_run):
+        telemetry, _, _ = traced_run
+        traces = {t.trace_id: t for t in build_traces(list(telemetry.events))}
+        answers = [
+            e for e in telemetry.events
+            if e.kind == "point" and e.name == "serve.answer"
+            and e.fields.get("epoch", 0) > 2  # after the kill at epoch 2
+        ]
+        assert answers, "post-fault answers must have been delivered"
+        for answer in answers:
+            trace = traces[answer.fields["trace_id"]]
+            commit = trace.root
+            # ...to the ingest batch id...
+            assert commit.name == "pipeline.commit"
+            assert commit.attrs["sequence"] == answer.fields["snapshot"]
+            # ...and the shard epoch that computed it
+            epochs = {
+                span.attrs["epoch"] for span in trace.find("shard.batch")
+            }
+            assert answer.fields["epoch"] in epochs
+
+    def test_cli_renders_the_waterfall(self, traced_run, capsys):
+        _, _, export = traced_run
+        assert cli_main(["trace", str(export), "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.commit" in out
+        assert "shard.batch" in out
+        assert "critical path" in out
+        assert "serve.answer" in out
+
+    def test_render_waterfall_matches_live_traces(self, traced_run):
+        telemetry, _, _ = traced_run
+        traces = [
+            t for t in build_traces(list(telemetry.events))
+            if t.root.name == "pipeline.commit"
+        ]
+        text = render_waterfall(traces[-1])
+        assert "pipeline.commit" in text
+        assert "trace " + traces[-1].trace_id in text

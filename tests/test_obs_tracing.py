@@ -1,0 +1,380 @@
+"""Causal tracing tests (repro.obs.tracing + the traced span layer).
+
+Covers trace-id minting and cross-thread :class:`TraceContext`
+propagation, concurrent span emission from many shard-like threads (the
+thread-leak fixture in conftest keeps the process honest), offline trace
+reassembly / waterfall rendering, the ``obs.events.dropped`` counter, and
+the disabled-telemetry overhead guard.
+"""
+
+import random
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.obs.events import Event, EventLog, TelemetryDropWarning, load_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracing import (
+    TraceContext,
+    build_traces,
+    critical_path,
+    format_trace_table,
+    render_waterfall,
+    trace_rows,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+def make_tracer():
+    events = EventLog()
+    return SpanTracer(events, registry=MetricsRegistry()), events
+
+
+# ----------------------------------------------------------------------
+# trace minting and context propagation
+# ----------------------------------------------------------------------
+class TestTracePropagation:
+    def test_root_span_mints_trace_id_shared_by_descendants(self):
+        tracer, events = make_tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert root.trace_id == f"t{root.span_id:06d}"
+        assert child.trace_id == root.trace_id
+        for event in events.events(kind="span"):
+            assert event.fields["trace_id"] == root.trace_id
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer, _ = make_tracer()
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_span_context_carries_trace_and_own_id(self):
+        tracer, _ = make_tracer()
+        with tracer.span("hop") as span:
+            context = span.context()
+        assert context == TraceContext(span.trace_id, span.span_id)
+        assert context.as_fields() == {
+            "trace_id": span.trace_id, "parent_id": span.span_id,
+        }
+
+    def test_activate_adopts_context_instead_of_minting(self):
+        tracer, _ = make_tracer()
+        context = TraceContext("t000777", parent_span_id=42)
+        with tracer.activate(context):
+            with tracer.span("adopted") as span:
+                pass
+        assert span.trace_id == "t000777"
+        assert span.parent_id == 42
+
+    def test_activate_none_is_a_noop(self):
+        tracer, _ = make_tracer()
+        with tracer.activate(None):
+            with tracer.span("fresh") as span:
+                pass
+        assert span.parent_id is None
+        assert span.trace_id == f"t{span.span_id:06d}"
+
+    def test_open_span_wins_over_activated_context(self):
+        tracer, _ = make_tracer()
+        with tracer.activate(TraceContext("tOUTER", parent_span_id=1)):
+            with tracer.span("local") as local:
+                current = tracer.current_context()
+        assert current.trace_id == "tOUTER"  # joined the activated trace
+        assert current.parent_span_id == local.span_id  # but I am the parent
+
+    def test_current_context_outside_everything_is_none(self):
+        tracer, _ = make_tracer()
+        assert tracer.current_context() is None
+
+    def test_point_events_are_stamped_with_the_current_context(self):
+        telemetry = Telemetry()
+        with telemetry.span("root") as root:
+            telemetry.point("inside", value=1)
+        telemetry.point("outside", value=2)
+        inside = telemetry.events.events(kind="point", name="inside")[0]
+        outside = telemetry.events.events(kind="point", name="outside")[0]
+        assert inside.fields["trace_id"] == root.trace_id
+        assert inside.fields["parent_id"] == root.span_id
+        assert "trace_id" not in outside.fields
+
+    def test_error_span_records_status_and_joins_trace(self):
+        tracer, events = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("root"):
+                with tracer.span("boom"):
+                    raise ValueError("nope")
+        boom = events.events(kind="span", name="boom")[0]
+        assert boom.fields["status"] == "error"
+        assert boom.fields["error"] == "ValueError"
+
+
+# ----------------------------------------------------------------------
+# concurrent emission (N shard-like threads)
+# ----------------------------------------------------------------------
+class TestConcurrentEmission:
+    def test_concurrent_spans_keep_parent_links_and_unique_ids(self):
+        telemetry = Telemetry()
+        n_threads, per_thread = 8, 25
+        with telemetry.span("engine.batch") as root:
+            context = root.context()
+            barrier = threading.Barrier(n_threads)
+
+            def work(index: int) -> None:
+                barrier.wait()
+                with telemetry.activate(context):
+                    for j in range(per_thread):
+                        with telemetry.span("shard.work", idx=index, j=j):
+                            pass
+
+            threads = [
+                threading.Thread(target=work, args=(i,), name=f"tt-shard-{i}")
+                for i in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        workers = telemetry.events.events(kind="span", name="shard.work")
+        assert len(workers) == n_threads * per_thread
+        span_ids = [event.fields["span_id"] for event in workers]
+        assert len(set(span_ids)) == len(span_ids)  # no id collisions
+        assert all(
+            event.fields["trace_id"] == root.trace_id for event in workers
+        )
+        assert all(
+            event.fields["parent_id"] == root.span_id for event in workers
+        )
+        assert {event.fields["thread"] for event in workers} == {
+            f"tt-shard-{i}" for i in range(n_threads)
+        }
+
+    def test_per_thread_nesting_does_not_cross_threads(self):
+        tracer, events = make_tracer()
+        barrier = threading.Barrier(4)
+
+        def work(index: int) -> None:
+            barrier.wait()
+            with tracer.span("outer", idx=index) as outer:
+                with tracer.span("inner", idx=index) as inner:
+                    assert inner.parent_id == outer.span_id
+                    assert inner.trace_id == outer.trace_id
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        inners = events.events(kind="span", name="inner")
+        outers = {e.fields["idx"]: e for e in events.events(kind="span", name="outer")}
+        assert len(inners) == 4 and len(outers) == 4
+        for inner in inners:
+            outer = outers[inner.fields["idx"]]
+            assert inner.fields["parent_id"] == outer.fields["span_id"]
+            assert inner.fields["trace_id"] == outer.fields["trace_id"]
+
+    def test_event_log_concurrent_appends_account_every_drop(self):
+        log = EventLog(capacity=64)
+        registry = MetricsRegistry()
+        log.drop_counter = registry.counter("obs.events.dropped")
+        n_threads, per_thread = 8, 100
+
+        def emit(index: int) -> None:
+            for j in range(per_thread):
+                log.emit("point", f"e{index}", ts=float(j))
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", TelemetryDropWarning)
+            threads = [
+                threading.Thread(target=emit, args=(i,)) for i in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        total = n_threads * per_thread
+        assert len(log) == 64
+        assert log.dropped == total - 64
+        assert registry.counter("obs.events.dropped").value == log.dropped
+
+
+# ----------------------------------------------------------------------
+# the drop counter metric
+# ----------------------------------------------------------------------
+class TestDropCounterMetric:
+    def test_drops_surface_in_prometheus_export(self, tmp_path):
+        telemetry = Telemetry(event_capacity=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", TelemetryDropWarning)
+            for i in range(10):
+                telemetry.point("spam", i=i)
+        assert telemetry.events.dropped == 6
+        paths = telemetry.export_dir(str(tmp_path))
+        with open(paths["prometheus"]) as handle:
+            prom = handle.read()
+        assert "obs.events.dropped" in prom
+        assert telemetry.registry.counter("obs.events.dropped").value == 6
+
+    def test_no_drops_means_zero_counter_still_present(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.point("fine")
+        paths = telemetry.export_dir(str(tmp_path))
+        with open(paths["prometheus"]) as handle:
+            assert "obs.events.dropped" in handle.read()
+
+
+# ----------------------------------------------------------------------
+# offline reconstruction
+# ----------------------------------------------------------------------
+class TestOfflineTraces:
+    def build_sample(self):
+        telemetry = Telemetry()
+        with telemetry.span("pipeline.commit", sequence=3) as root:
+            with telemetry.span("pipeline.wal_append"):
+                pass
+            with telemetry.span("engine.batch"):
+                with telemetry.span("shard.batch", shard=0):
+                    time.sleep(0.002)
+            telemetry.point("serve.answer", value=7.0)
+        return telemetry, root
+
+    def test_build_traces_reassembles_the_tree(self):
+        telemetry, root = self.build_sample()
+        traces = build_traces(list(telemetry.events))
+        assert len(traces) == 1
+        trace = traces[0]
+        assert trace.trace_id == root.trace_id
+        assert trace.root.name == "pipeline.commit"
+        assert trace.root.attrs["sequence"] == 3
+        assert {n.name for n in trace.nodes.values()} == {
+            "pipeline.commit", "pipeline.wal_append",
+            "engine.batch", "shard.batch",
+        }
+        assert [p.name for p in trace.points] == ["serve.answer"]
+        shard = trace.find("shard.batch")[0]
+        assert shard.attrs == {"shard": 0}
+
+    def test_critical_path_follows_latest_finishing_child(self):
+        telemetry, _ = self.build_sample()
+        trace = build_traces(list(telemetry.events))[0]
+        names = [node.name for node in critical_path(trace)]
+        assert names[0] == "pipeline.commit"
+        assert names[-1] == "shard.batch"  # the sleep made it slowest
+
+    def test_render_waterfall_mentions_every_span_and_the_path(self):
+        telemetry, _ = self.build_sample()
+        trace = build_traces(list(telemetry.events))[0]
+        rendered = render_waterfall(trace)
+        for name in ("pipeline.commit", "pipeline.wal_append",
+                     "engine.batch", "shard.batch", "serve.answer"):
+            assert name in rendered
+        assert "critical path:" in rendered
+        assert "sequence=3" in rendered
+
+    def test_trace_rows_and_table(self):
+        telemetry, root = self.build_sample()
+        rows = trace_rows(list(telemetry.events))
+        assert rows[0]["trace"] == root.trace_id
+        assert rows[0]["sequence"] == 3
+        assert rows[0]["spans"] == 4
+        assert rows[0]["points"] == 1
+        table = format_trace_table(rows)
+        assert "pipeline.commit" in table and root.trace_id in table
+        assert format_trace_table([]) == "(no traces)"
+
+    def test_orphan_span_is_promoted_to_root(self):
+        events = [Event(ts=1.0, kind="span", name="child", fields={
+            "span_id": 2, "parent_id": 1, "trace_id": "tX",
+            "duration": 0.5, "status": "ok", "thread": "T",
+        })]
+        traces = build_traces(events)
+        assert len(traces) == 1
+        assert traces[0].root.name == "child"
+
+    def test_pretrace_span_events_are_skipped(self):
+        events = [Event(ts=1.0, kind="span", name="legacy", fields={
+            "span_id": 1, "parent_id": None, "duration": 0.1,
+        })]
+        assert build_traces(events) == []
+
+    def test_jsonl_round_trip_preserves_traces(self, tmp_path):
+        telemetry, root = self.build_sample()
+        paths = telemetry.export_dir(str(tmp_path))
+        reloaded = load_jsonl(paths["events"])
+        trace = build_traces(reloaded)[0]
+        assert trace.trace_id == root.trace_id
+        assert trace.root.name == "pipeline.commit"
+        assert len(trace.points) == 1
+
+
+# ----------------------------------------------------------------------
+# disabled-telemetry overhead guard
+# ----------------------------------------------------------------------
+class TestOverheadGuard:
+    def test_telemetry_off_hot_path_close_to_uninstrumented(self):
+        """on_batch with telemetry=None must cost ~one `is None` test over
+        calling the un-instrumented _do_batch directly (generous 3x bound,
+        best-of-repeats to shed scheduler noise)."""
+        from repro.algorithms import get_algorithm
+        from repro.core.engine import CISGraphEngine
+        from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind
+        from repro.graph.dynamic import DynamicGraph
+        from repro.query import PairwiseQuery
+
+        rng = random.Random(11)
+        edges = set()
+        while len(edges) < 240:
+            u, v = rng.randrange(50), rng.randrange(50)
+            if u != v:
+                edges.add((u, v))
+        graph = DynamicGraph.from_edges(
+            50, [(u, v, float(rng.randint(1, 12))) for u, v in edges]
+        )
+        batches = []
+        reference = graph.copy()
+        for _ in range(4):
+            batch = UpdateBatch()
+            taken = {(u, v) for u, v, _ in reference.edges()}
+            while sum(1 for x in batch if x.is_addition) < 8:
+                u, v = rng.randrange(50), rng.randrange(50)
+                if u == v or (u, v) in taken:
+                    continue
+                taken.add((u, v))
+                batch.append(EdgeUpdate(
+                    UpdateKind.ADD, u, v, float(rng.randint(1, 12))
+                ))
+            for u, v, w in rng.sample(list(reference.edges()), 4):
+                batch.append(EdgeUpdate(UpdateKind.DELETE, u, v, w))
+            reference.apply_batch(batch)
+            batches.append(batch)
+
+        algorithm = get_algorithm("ppsp")
+        query = PairwiseQuery(1, 40)
+
+        def run(instrumented: bool) -> float:
+            engine = CISGraphEngine(graph.copy(), algorithm, query)
+            engine.telemetry = None
+            engine.initialize()
+            started = time.perf_counter()
+            for batch in batches:
+                if instrumented:
+                    engine.on_batch(batch)
+                else:
+                    engine._do_batch(batch)
+            return time.perf_counter() - started
+
+        run(True)  # warm caches before timing
+        instrumented = min(run(True) for _ in range(5))
+        bare = min(run(False) for _ in range(5))
+        assert instrumented <= bare * 3.0, (
+            f"telemetry-off on_batch took {instrumented:.6f}s vs "
+            f"{bare:.6f}s un-instrumented (> 3x)"
+        )

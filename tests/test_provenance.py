@@ -1,0 +1,278 @@
+"""Contribution-provenance tests (repro.obs.provenance + serve explain).
+
+The acceptance bar: ``explain`` must reproduce classification counts
+bit-identical to the engine's own stats for the same batch, the sampled
+triangle-inequality verdicts must match what ``process_batch`` actually
+did, and key-path evolution must name the update that displaced (or
+broke) the witness chain.
+"""
+
+import pytest
+
+from repro.algorithms import PPSP
+from repro.core.classification import KeyPathRule
+from repro.core.multiquery import SourceGroup
+from repro.errors import ProvenanceMissError
+from repro.graph.batch import UpdateBatch, add, delete
+from repro.graph.dynamic import DynamicGraph
+from repro.metrics import OpCounts
+from repro.obs.provenance import (
+    GroupObservation,
+    GroupRecord,
+    ProvenanceRecorder,
+)
+from repro.query import PairwiseQuery
+from repro.serve import ServeHarness
+from repro.serve.protocol import ScriptRunner
+from tests.conftest import random_batch, random_graph
+
+pytestmark = pytest.mark.serve
+
+
+def diamond() -> DynamicGraph:
+    """0 -(1)-> 1 -(1)-> 3 beats 0 -(4)-> 2 -(4)-> 3; 4 spare."""
+    return DynamicGraph.from_edges(
+        5, [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 4.0), (2, 3, 4.0)]
+    )
+
+
+def make_group(graph, source=0, destinations=(3,), rule=KeyPathRule.PRECISE):
+    group = SourceGroup(graph, PPSP(), source, list(destinations), rule)
+    group.initialize(OpCounts())
+    return group
+
+
+# ----------------------------------------------------------------------
+# classify_sample vs process_batch
+# ----------------------------------------------------------------------
+class TestClassifySample:
+    def test_sample_verdicts_match_real_classification_counts(self):
+        graph = random_graph(40, 220, seed=5)
+        group = make_group(graph, source=1, destinations=[30, 35])
+        batch = random_batch(graph, 10, 6, seed=6)
+        graph.apply_batch(batch)
+        verdicts = group.classify_sample(batch, limit=len(batch))
+        counts = group.process_batch(batch, OpCounts(), OpCounts())
+        tallies = {"valuable": 0, "nondelayed": 0, "delayed": 0, "useless": 0}
+        for verdict in verdicts:
+            tallies[verdict["verdict"]] += 1
+        assert tallies["valuable"] == counts["valuable_additions"]
+        assert tallies["nondelayed"] == counts["nondelayed_deletions"]
+        assert tallies["delayed"] == counts["delayed_deletions"]
+        assert tallies["useless"] == counts["useless"]
+
+    def test_sample_limit_bounds_the_verdicts(self):
+        graph = random_graph(30, 150, seed=2)
+        group = make_group(graph, source=0, destinations=[20])
+        batch = random_batch(graph, 8, 4, seed=3)
+        assert len(group.classify_sample(batch, limit=3)) == 3
+        assert group.classify_sample(batch, limit=0) == []
+
+    def test_addition_verdict_carries_the_triangle_test(self):
+        group = make_group(diamond())
+        useful = add(0, 3, 1.0)   # improves 0->3 (2.0 -> 1.0)
+        useless = add(2, 1, 9.0)  # cannot improve state[1]=1.0
+        verdicts = group.classify_sample(UpdateBatch([useful, useless]), 8)
+        assert verdicts[0]["test"] == "improves"
+        assert verdicts[0]["verdict"] == "valuable"
+        assert verdicts[1]["verdict"] == "useless"
+        assert verdicts[0]["state_u"] == 0.0 and verdicts[0]["state_v"] == 2.0
+
+    def test_deletion_verdicts_split_on_key_path_membership(self):
+        group = make_group(diamond())
+        on_path = delete(1, 3, 1.0)   # witness edge of 0->3
+        off_path = delete(2, 3, 4.0)  # supplies state[3]? 4+4=8 != 2 -> useless
+        verdicts = group.classify_sample(UpdateBatch([on_path, off_path]), 8)
+        assert verdicts[0]["test"] == "supplies+keypath"
+        assert verdicts[0]["verdict"] == "nondelayed"
+        assert verdicts[1]["verdict"] == "useless"
+
+
+# ----------------------------------------------------------------------
+# GroupObservation / key-path evolution
+# ----------------------------------------------------------------------
+class TestGroupObservation:
+    def test_valuable_addition_recorded_as_displacing_the_witness(self):
+        graph = diamond()
+        group = make_group(graph)
+        batch = UpdateBatch([add(0, 3, 0.5)])
+        observation = GroupObservation(group, batch, sample_limit=8)
+        graph.apply_batch(batch)
+        counts = group.process_batch(batch, OpCounts(), OpCounts())
+        record = observation.finish(group, counts, epoch=1, shard=0)
+        assert record.answers[3] == 0.5
+        assert len(record.keypath_changes) == 1
+        change = record.keypath_changes[0]
+        assert change.destination == 3
+        assert change.before == [0, 1, 3]
+        assert change.after == [0, 3]
+        assert change.displaced_by == [
+            {"kind": "add", "u": 0, "v": 3, "weight": 0.5}
+        ]
+        assert change.broken_by == []
+
+    def test_deletion_recorded_as_breaking_the_old_chain(self):
+        graph = diamond()
+        group = make_group(graph)
+        batch = UpdateBatch([delete(1, 3, 1.0)])
+        observation = GroupObservation(group, batch, sample_limit=8)
+        graph.apply_batch(batch)
+        counts = group.process_batch(batch, OpCounts(), OpCounts())
+        record = observation.finish(group, counts, epoch=1, shard=0)
+        change = record.keypath_changes[0]
+        assert change.before == [0, 1, 3]
+        assert change.after == [0, 2, 3]
+        assert change.broken_by == [
+            {"kind": "delete", "u": 1, "v": 3, "weight": 1.0}
+        ]
+
+    def test_untouched_key_path_records_no_change(self):
+        graph = diamond()
+        group = make_group(graph)
+        batch = UpdateBatch([add(2, 1, 9.0)])  # useless
+        observation = GroupObservation(group, batch, sample_limit=8)
+        graph.apply_batch(batch)
+        counts = group.process_batch(batch, OpCounts(), OpCounts())
+        record = observation.finish(group, counts, epoch=1, shard=0)
+        assert record.keypath_changes == []
+        assert counts["useless"] == 1
+
+
+# ----------------------------------------------------------------------
+# the recorder
+# ----------------------------------------------------------------------
+class TestProvenanceRecorder:
+    def record(self, recorder, epoch, source, shard, counts, answers):
+        recorder.record_group(GroupRecord(
+            epoch=epoch, source=source, shard=shard,
+            counts=counts, answers=answers,
+        ))
+
+    def test_capacity_evicts_oldest_epochs(self):
+        recorder = ProvenanceRecorder(capacity=2)
+        for epoch in (1, 2, 3):
+            recorder.begin_batch(epoch, trace_id=None, updates=0)
+        assert recorder.epochs() == [2, 3]
+        with pytest.raises(ProvenanceMissError):
+            recorder.batch_counts(1)
+
+    def test_batch_counts_sums_anchor_and_shards(self):
+        recorder = ProvenanceRecorder()
+        recorder.begin_batch(4, trace_id="t000009", updates=12)
+        self.record(recorder, 4, 7, -1, {"useless": 3}, {23: 1.0})
+        self.record(recorder, 4, 2, 0, {"useless": 1, "valuable_additions": 2},
+                    {25: 2.0})
+        assert recorder.batch_counts(4) == {
+            "useless": 4, "valuable_additions": 2,
+        }
+
+    def test_explain_defaults_to_latest_epoch_answering_the_pair(self):
+        recorder = ProvenanceRecorder()
+        for epoch in (1, 2):
+            recorder.begin_batch(epoch, trace_id=f"t{epoch:06d}", updates=epoch)
+            self.record(recorder, epoch, 2, 0, {"useless": epoch},
+                        {25: float(epoch)})
+        explained = recorder.explain(2, 25)
+        assert explained["epoch"] == 2
+        assert explained["trace_id"] == "t000002"
+        assert explained["answer"] == 2.0
+        assert explained["batch_updates"] == 2
+        pinned = recorder.explain(2, 25, epoch=1)
+        assert pinned["answer"] == 1.0
+
+    def test_explain_misses_raise_typed_errors(self):
+        recorder = ProvenanceRecorder()
+        with pytest.raises(ProvenanceMissError):
+            recorder.explain(1, 2)
+        recorder.begin_batch(1, trace_id=None, updates=0)
+        with pytest.raises(ProvenanceMissError):
+            recorder.explain(1, 2, epoch=1)
+        with pytest.raises(ProvenanceMissError):
+            recorder.explain(1, 2, epoch=99)
+
+    def test_zombie_group_record_recreates_evicted_epoch(self):
+        recorder = ProvenanceRecorder(capacity=1)
+        recorder.begin_batch(1, trace_id=None, updates=0)
+        recorder.begin_batch(2, trace_id=None, updates=0)  # evicts 1
+        self.record(recorder, 1, 5, 0, {"useless": 1}, {9: 3.0})
+        assert recorder.batch_counts(1) == {"useless": 1}
+
+
+# ----------------------------------------------------------------------
+# end to end through the harness
+# ----------------------------------------------------------------------
+class TestHarnessExplain:
+    PAIRS = [(1, 20), (2, 30), (3, 15)]
+
+    def run_harness(self, tmp_path, batches=3):
+        graph = random_graph(40, 240, seed=9)
+        harness = ServeHarness.open(
+            str(tmp_path), graph, PPSP(), PairwiseQuery(7, 23), num_shards=2,
+        )
+        for pair in self.PAIRS:
+            harness.register(*pair)
+        harness.wait_all_live()
+        results = []
+        for index in range(batches):
+            batch = random_batch(harness.engine.graph, 8, 4, seed=20 + index)
+            results.append(harness.submit(batch))
+        return harness, results
+
+    def test_explain_counts_bit_identical_to_engine_stats(self, tmp_path):
+        harness, results = self.run_harness(tmp_path)
+        try:
+            for result in results:
+                counts = harness.provenance.batch_counts(result.epoch)
+                for key, value in counts.items():
+                    assert result.stats[key] == value, (
+                        f"epoch {result.epoch}: {key} provenance={value} "
+                        f"engine={result.stats[key]}"
+                    )
+                # and nothing in the engine stats is missing from provenance
+                for key in ("valuable_additions", "nondelayed_deletions",
+                            "delayed_deletions", "useless"):
+                    assert key in counts
+        finally:
+            harness.close()
+
+    def test_explain_answers_match_served_answers(self, tmp_path):
+        harness, results = self.run_harness(tmp_path)
+        try:
+            final = results[-1]
+            for pair in self.PAIRS:
+                explained = harness.explain(*pair)
+                assert explained["epoch"] == final.epoch
+                assert explained["answer"] == final.answers[pair]
+                assert explained["shard"] in (0, 1)
+                assert explained["verdicts"]  # sampled verdicts present
+        finally:
+            harness.close()
+
+    def test_explain_unknown_pair_raises(self, tmp_path):
+        harness, _ = self.run_harness(tmp_path, batches=1)
+        try:
+            with pytest.raises(ProvenanceMissError):
+                harness.explain(17, 18)
+        finally:
+            harness.close()
+
+    def test_protocol_explain_command(self, tmp_path):
+        graph = random_graph(30, 160, seed=4)
+        harness = ServeHarness.open(
+            str(tmp_path), graph, PPSP(), PairwiseQuery(5, 25), num_shards=2,
+        )
+        runner = ScriptRunner(harness)
+        events = runner.run([
+            "register 1 20",
+            "add 1 20 2.0",
+            "commit",
+            "explain 1 20",
+            "explain 8 9",
+        ])
+        explain_ok = [e for e in events if e["cmd"] == "explain"]
+        assert explain_ok[0]["ok"]
+        record = explain_ok[0]["explain"]
+        assert record["query"] == {"source": 1, "destination": 20}
+        assert record["epoch"] == 1
+        assert not explain_ok[1]["ok"]
+        assert explain_ok[1]["error"] == "ProvenanceMissError"

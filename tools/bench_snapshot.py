@@ -90,6 +90,55 @@ def run_fixed_workload() -> Dict[str, object]:
         "workload": dict(WORKLOAD, scale=os.environ.get("CISGRAPH_SCALE", "small")),
         "answers": answers,
         "telemetry": telemetry.metrics_document(),
+        "tracing": measure_tracing(),
+    }
+
+
+def measure_tracing(repeats: int = 3) -> Dict[str, object]:
+    """Tracing-on vs tracing-off wall time over the same batch stream.
+
+    Scalar keys only (the schema check compares key paths, and values are
+    free to move): best-of-``repeats`` per mode plus the on/off ratio —
+    the committed snapshot documents what enabling causal tracing costs
+    on the fixed workload.
+    """
+    import time
+
+    from repro.algorithms import get_algorithm
+    from repro.bench.datasets import (
+        dataset_by_abbreviation,
+        make_workload,
+        pick_query_pairs,
+    )
+    from repro.core.engine import CISGraphEngine
+    from repro.obs import Telemetry
+
+    spec = dataset_by_abbreviation(WORKLOAD["dataset"])
+    workload = make_workload(
+        spec, num_batches=WORKLOAD["batches"], seed=WORKLOAD["seed"]
+    )
+    query = pick_query_pairs(workload.initial, count=1, seed=WORKLOAD["seed"])[0]
+    algorithm = get_algorithm(WORKLOAD["algorithm"])
+
+    def run(telemetry) -> float:
+        engine = CISGraphEngine(
+            workload.replay.initial_graph, algorithm, query
+        )
+        engine.telemetry = telemetry
+        engine.initialize()
+        started = time.perf_counter()
+        for step in workload.replay.batches():
+            engine.on_batch(step.batch)
+        return time.perf_counter() - started
+
+    off = min(run(None) for _ in range(repeats))
+    on = min(run(Telemetry()) for _ in range(repeats))
+    return {
+        "batches": WORKLOAD["batches"],
+        "repeats": repeats,
+        "tracing_off_best_s": off,
+        "tracing_on_best_s": on,
+        "on_over_off_ratio": (on / off) if off > 0 else 0.0,
     }
 
 
