@@ -32,9 +32,17 @@ Commands
     initial graph; see ``docs/serving.md`` for the script grammar.
 ``chaos``
     Play deterministic seeded fault schedules (shard kills, hangs, inbox
-    saturation, WAL tears) against a live serving harness and verify that
-    self-healing converges to an uninterrupted offline replay; see
-    ``docs/self_healing.md``.
+    saturation, WAL tears, plus the overload schedules: flash crowds,
+    hot-key skew, slow shards) against a live serving harness and verify
+    that self-healing converges to an uninterrupted offline replay;
+    ``--adaptive`` attaches the runtime controller and also fails the run
+    on SLO regression; see ``docs/self_healing.md`` and
+    ``docs/adaptive_control.md``.
+``control-log``
+    Render the adaptive controller's decision audit (what knob moved,
+    when, why, under which diagnosed condition) from a
+    ``control_audit*.jsonl`` export or the ``controller.decision`` trace
+    points of an ``events.jsonl``.
 ``telemetry``
     Summarize, dump or export a telemetry directory written by a
     ``--telemetry PATH`` run (events.jsonl + metrics.json + metrics.prom);
@@ -452,10 +460,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             registration_burst=args.burst,
             dedupe=args.dedupe,
         )
+        if args.adaptive:
+            harness.attach_controller()
         print(
             f"serving {spec.name} / {args.algorithm}: {args.shards} shards, "
             f"queue bound {args.queue_bound}, policy {args.policy}, "
             f"anchor {anchor}, state in {directory}"
+            + (", adaptive control on" if args.adaptive else "")
         )
         runner = ScriptRunner(harness)
         try:
@@ -473,6 +484,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run seeded fault schedules against a live serving harness."""
+    import json
     import tempfile
 
     from repro.algorithms import get_algorithm
@@ -485,8 +497,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     if args.schedule == "all":
         names = list(BUILTIN_SCHEDULES)
-    else:
+    elif args.schedule == "random" or args.schedule in BUILTIN_SCHEDULES:
         names = [args.schedule]
+    else:
+        available = ", ".join(BUILTIN_SCHEDULES + ("random", "all"))
+        print(
+            f"unknown schedule {args.schedule!r}; available: {available}",
+            file=sys.stderr,
+        )
+        return 2
     algorithm = get_algorithm(args.algorithm)
     failures = 0
     with _telemetry_session(args.telemetry):
@@ -508,8 +527,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 num_batches=args.batches,
                 num_shards=args.shards,
+                adaptive=args.adaptive,
             )
             print(report.summary())
+            if args.adaptive and args.telemetry is not None:
+                os.makedirs(args.telemetry, exist_ok=True)
+                audit_path = os.path.join(
+                    args.telemetry, f"control_audit-{schedule.name}.jsonl"
+                )
+                with open(audit_path, "w") as handle:
+                    for decision in report.decisions:
+                        handle.write(json.dumps(decision, sort_keys=True))
+                        handle.write("\n")
+                print(
+                    f"  control audit: {len(report.decisions)} decision(s) "
+                    f"-> {audit_path}"
+                )
             if args.verbose:
                 print(f"  breaker states seen: {report.breaker_states_seen}")
                 print(f"  session states:      {report.session_states}")
@@ -517,12 +550,79 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     report.supervisor["breakers"].items()
                 ):
                     print(f"  breaker[{source}]: {breaker}")
+                for decision in report.decisions:
+                    print(
+                        f"  decision: epoch {decision['epoch']} "
+                        f"[{decision['condition']}] {decision['knob']} "
+                        f"{decision['old']:g} -> {decision['new']:g}"
+                    )
             for mismatch in report.mismatches:
                 print(f"  DIVERGED: {mismatch}", file=sys.stderr)
-            failures += 0 if report.converged else 1
-    verdict = "OK" if failures == 0 else f"{failures} schedule(s) diverged"
+            if not report.converged:
+                failures += 1
+            elif args.adaptive and report.slo is not None and not report.slo["met"]:
+                # an adaptive run is graded: converging is not enough,
+                # the controller must also have met the schedule's SLOs
+                failures += 1
+                for violation in report.slo["violations"]:
+                    print(
+                        f"  SLO REGRESSION: {violation}", file=sys.stderr
+                    )
+    verdict = "OK" if failures == 0 else f"{failures} schedule(s) failed"
     print(f"chaos: {len(names)} schedule(s), {verdict}")
     return 0 if failures == 0 else 1
+
+
+def cmd_control_log(args: argparse.Namespace) -> int:
+    """Render adaptive-controller decisions from audit or event logs."""
+    import glob as globmod
+    import json
+
+    paths: list = []
+    if os.path.isdir(args.path):
+        paths = sorted(
+            globmod.glob(os.path.join(args.path, "control_audit*.jsonl"))
+        )
+        events = os.path.join(args.path, "events.jsonl")
+        if not paths and os.path.exists(events):
+            # no audit export: fall back to the decision trace points
+            paths = [events]
+    elif os.path.exists(args.path):
+        paths = [args.path]
+    if not paths:
+        print(
+            f"error: {args.path!r} has no control audit or event log",
+            file=sys.stderr,
+        )
+        return 1
+    decisions = []
+    for path in paths:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                # either a raw audit record (has "knob") or a telemetry
+                # event whose name is the controller's decision point
+                if record.get("name") == "controller.decision":
+                    decisions.append(record)
+                elif "knob" in record and "condition" in record:
+                    decisions.append(record)
+    if args.knob:
+        decisions = [d for d in decisions if d.get("knob") == args.knob]
+    for record in decisions:
+        trace = record.get("trace_id") or "-"
+        clamped = " (clamped)" if record.get("clamped") else ""
+        print(
+            f"epoch {record.get('epoch', '?'):>3} "
+            f"[{record.get('condition', '?'):<22}] "
+            f"{record.get('knob'):<16} "
+            f"{record.get('old'):g} -> {record.get('new'):g}{clamped}  "
+            f"trace={trace}  {record.get('reason', '')}"
+        )
+    print(f"control-log: {len(decisions)} decision(s)")
+    return 0
 
 
 def cmd_telemetry(args: argparse.Namespace) -> int:
@@ -731,6 +831,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--dedupe", action="store_true",
         help="make duplicate registrations idempotent instead of errors",
     )
+    serve.add_argument(
+        "--adaptive", action="store_true",
+        help="attach the SLO-guarded runtime controller "
+             "(see docs/adaptive_control.md)",
+    )
     serve.add_argument("--anchor-source", type=int, default=None)
     serve.add_argument("--anchor-destination", type=int, default=None)
     serve.add_argument(
@@ -752,8 +857,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--schedule",
         default="all",
-        choices=["all", "kill-shard", "hang-epoch", "saturate-tear", "random"],
-        help="builtin schedule name, 'all' builtins, or a seeded random one",
+        help="builtin schedule name, 'all' builtins, or 'random' for a "
+             "seeded random one (unknown names list what is available)",
+    )
+    chaos.add_argument(
+        "--adaptive", action="store_true",
+        help="attach the runtime controller and fail on SLO regression",
     )
     chaos.add_argument("--seed", type=int, default=7, help="workload/fault seed")
     chaos.add_argument("--batches", type=int, default=8, help="stream length")
@@ -775,6 +884,21 @@ def build_parser() -> argparse.ArgumentParser:
              "flight-recorder bundles into PATH",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    control_log = sub.add_parser(
+        "control-log",
+        help="render adaptive-controller decisions from an audit or event log",
+    )
+    control_log.add_argument(
+        "path",
+        help="a control_audit*.jsonl file, an events.jsonl file, or a "
+             "telemetry directory containing either",
+    )
+    control_log.add_argument(
+        "--knob", default=None,
+        help="only show decisions moving this knob (e.g. shards)",
+    )
+    control_log.set_defaults(func=cmd_control_log)
 
     telemetry = sub.add_parser(
         "telemetry", help="inspect a telemetry directory from a --telemetry run"

@@ -141,8 +141,26 @@ class SessionNotFoundError(ServeError):
         self.session_id = session_id
 
 
+class SessionClosedError(ServeError):
+    """A read or explain addressed a session that is closed (or unknown).
+
+    ``ServeHarness.read()``/``explain()`` raise this instead of leaking a
+    bare ``KeyError`` when a ``session_id`` names a deregistered (or
+    never-registered) session, so callers can distinguish "you closed it"
+    from a genuine server bug.
+    """
+
+    def __init__(self, session_id: str, detail: str = "is closed") -> None:
+        super().__init__(f"session {session_id!r} {detail}")
+        self.session_id = session_id
+
+
 class SessionStateError(ServeError):
     """A session was driven through an invalid lifecycle transition."""
+
+
+class ControlError(ServeError):
+    """Invalid adaptive-controller configuration or knob value."""
 
 
 class ShardCrashedError(ServeError):

@@ -162,6 +162,43 @@ def record_supervision(registry: MetricsRegistry, stats: Mapping) -> None:
         registry.gauge("serve_breaker_opens", labels).set(breaker["opens"])
 
 
+def record_control_surface(
+    registry: MetricsRegistry,
+    surface: Mapping[str, float],
+    groups: Mapping[int, int],
+) -> None:
+    """Adaptive-control inputs -> ``serve_control_*`` / per-shard gauges.
+
+    ``surface`` holds the current knob values plus the derived SLO
+    measurements (answer p99, served staleness high-water); ``groups``
+    maps shard index -> source groups owned.  Recorded by the controller
+    immediately before each snapshot so
+    :meth:`repro.serve.control.ControlSignals.from_snapshot` sees a
+    consistent picture.
+    """
+    for name, value in surface.items():
+        registry.gauge(f"serve_control_{name}").set(value)
+    for index, count in groups.items():
+        registry.gauge("serve_shard_groups", {"shard": str(index)}).set(count)
+
+
+def record_controller(registry: MetricsRegistry, stats: Mapping) -> None:
+    """``RuntimeController.stats()`` -> controller health gauges.
+
+    Decision/condition counts are cumulative on the controller, so they
+    map onto gauges set to the current level (the same convention as
+    :func:`record_supervision`).
+    """
+    registry.gauge("serve_controller_frozen").set(1 if stats["frozen"] else 0)
+    registry.gauge("serve_controller_decisions").set(stats["decisions_total"])
+    for condition, count in stats["conditions"].items():
+        registry.gauge(
+            "serve_controller_conditions", {"condition": condition}
+        ).set(count)
+    for knob, value in stats["knobs"].items():
+        registry.gauge("serve_controller_knob", {"knob": knob}).set(value)
+
+
 def record_answer_latency(
     registry: MetricsRegistry, session_id: str, latency: float
 ) -> None:

@@ -33,24 +33,27 @@ from __future__ import annotations
 import queue
 import random
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.core.engine import CISGraphEngine
-from repro.errors import QueueSaturatedError, ShardKilledError
+from repro.errors import AdmissionError, QueueSaturatedError, ShardKilledError
 from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind
 from repro.graph.dynamic import DynamicGraph
 from repro.query import PairwiseQuery
 from repro.resilience.deadletter import retry_with_backoff
 from repro.resilience.faults import truncate_segment
 from repro.resilience.recovery import state_paths
+from repro.serve.control import ControllerConfig, ControlLimits, SLOPolicy, SLOVerdict
 from repro.serve.harness import ServeHarness
 from repro.serve.session import SessionState
 from repro.serve.supervision import SupervisorConfig
 
 __all__ = [
     "BUILTIN_SCHEDULES",
+    "OVERLOAD_SCHEDULES",
     "ChaosController",
     "ChaosReport",
     "ChaosSchedule",
@@ -61,8 +64,18 @@ __all__ = [
     "run_chaos",
 ]
 
-#: fault kinds a schedule may contain
-KINDS = ("kill_shard", "hang_source", "saturate_inbox", "tear_wal")
+#: fault kinds a schedule may contain; the last three are *overload*
+#: faults (no component dies — the system is pushed past its static
+#: configuration, which is what the adaptive controller is graded on)
+KINDS = (
+    "kill_shard",
+    "hang_source",
+    "saturate_inbox",
+    "tear_wal",
+    "flash_crowd",
+    "hot_keys",
+    "slow_shard",
+)
 
 
 class ManualClock:
@@ -92,6 +105,13 @@ class FaultEvent:
     batch and truncates ``payload`` bytes off the WAL tail.  ``target``
     is a shard index (kill/saturate) or a source vertex (hang);
     ``duration`` is the hang length in epochs.
+
+    The overload kinds reuse the same fields: ``flash_crowd`` registers
+    ``payload`` new standing sessions before each of ``duration``
+    consecutive epochs starting at ``epoch``; ``hot_keys`` registers
+    ``payload`` sessions whose sources all route to shard ``target``
+    (hot-source skew); ``slow_shard`` drags every batch command on shard
+    ``target`` by ``payload`` milliseconds for ``duration`` epochs.
     """
 
     epoch: int
@@ -109,6 +129,16 @@ class FaultEvent:
             raise ValueError("hang duration must be at least one epoch")
         if self.kind == "tear_wal" and self.payload < 1:
             raise ValueError("tear_wal needs payload (bytes to truncate)")
+        if self.kind in ("flash_crowd", "hot_keys") and self.payload < 1:
+            raise ValueError(
+                f"{self.kind} needs payload (sessions per wave)"
+            )
+        if self.kind == "slow_shard" and self.payload < 1:
+            raise ValueError("slow_shard needs payload (milliseconds)")
+        if self.kind in ("flash_crowd", "slow_shard") and self.duration < 1:
+            raise ValueError(
+                f"{self.kind} duration must be at least one epoch"
+            )
 
 
 @dataclass
@@ -121,6 +151,13 @@ class ChaosSchedule:
     failure_threshold: int = 1
     breaker_cooldown: float = 2.0
     max_staleness: int = 8
+    #: admission configuration handed to the harness; overload schedules
+    #: tighten these so a static run actually sheds (refill is per
+    #: manual-clock unit, i.e. per epoch)
+    registration_rate: float = 64.0
+    registration_burst: float = 32.0
+    #: objectives the run is graded against (``None`` leaves it ungraded)
+    slo: Optional[SLOPolicy] = None
 
     def validate(self, num_batches: int, num_shards: int) -> None:
         for event in self.events:
@@ -130,9 +167,9 @@ class ChaosSchedule:
                     f"{self.name}: fault at epoch {event.epoch} beyond the "
                     f"{num_batches}-batch stream"
                 )
-            if event.kind in ("kill_shard", "saturate_inbox") and not (
-                0 <= event.target < num_shards
-            ):
+            if event.kind in (
+                "kill_shard", "saturate_inbox", "hot_keys", "slow_shard"
+            ) and not (0 <= event.target < num_shards):
                 raise ValueError(
                     f"{self.name}: shard {event.target} out of range"
                 )
@@ -146,17 +183,31 @@ class ChaosSchedule:
 
 
 def builtin_schedule(name: str) -> ChaosSchedule:
-    """One of the three canonical schedules (fresh instance)."""
+    """One of the canonical schedules (fresh instance).
+
+    The first three are the *failure* schedules (something dies); the
+    :data:`OVERLOAD_SCHEDULES` push the system past its static
+    configuration instead, and carry an :class:`SLOPolicy` so
+    :func:`run_chaos` grades the run — the adaptive controller is
+    accepted when it meets objectives a static run violates.
+    """
     if name == "kill-shard":
         # kill the shard owning the odd sources; with threshold 1 the
         # first failure trips every affected breaker OPEN, rescues stay
         # blocked through the cooldown, and resurrection happens via the
         # HALF_OPEN trial two epochs later
+        # the graded variant of this schedule: a static run serves
+        # degraded reads up to the full max_staleness=8 while the
+        # breaker cools down (ages 2-3 observed), violating the 1-epoch
+        # staleness objective; the adaptive controller narrows
+        # max_staleness to the SLO bound the moment breakers open, so
+        # over-bound lookups fall through to exact recompute instead
         return ChaosSchedule(
             "kill-shard",
             [FaultEvent(epoch=2, kind="kill_shard", target=1)],
             failure_threshold=1,
             breaker_cooldown=2.0,
+            slo=SLOPolicy(answer_p99=5.0, staleness_bound=1, shed_rate=0.25),
         )
     if name == "hang-epoch":
         # wedge source 3's group mid-epoch: the barrier deadline expires,
@@ -182,11 +233,61 @@ def builtin_schedule(name: str) -> ChaosSchedule:
             failure_threshold=2,
             breaker_cooldown=2.0,
         )
+    if name == "flash-crowd":
+        # three waves of 12 registrations against a 2/s-refill, 6-burst
+        # bucket: a static run sheds 28 of 48 admission attempts
+        # (shed rate ~0.58); the adaptive controller sees the first
+        # wave's rejections and opens the bucket, keeping the shed rate
+        # under the 0.25 objective
+        return ChaosSchedule(
+            "flash-crowd",
+            [FaultEvent(epoch=2, kind="flash_crowd", payload=12, duration=3)],
+            failure_threshold=2,
+            breaker_cooldown=2.0,
+            registration_rate=2.0,
+            registration_burst=6.0,
+            slo=SLOPolicy(answer_p99=5.0, staleness_bound=4, shed_rate=0.25),
+        )
+    if name == "hot-skew":
+        # eight sessions whose sources all route to shard 1: the hottest
+        # shard owns 10 of 12 source groups until the controller adds a
+        # shard and migration rebalances the groups under the skew factor
+        return ChaosSchedule(
+            "hot-skew",
+            [FaultEvent(epoch=2, kind="hot_keys", target=1, payload=8)],
+            failure_threshold=2,
+            breaker_cooldown=2.0,
+            slo=SLOPolicy(answer_p99=5.0, staleness_bound=4, shed_rate=0.25),
+        )
+    if name == "slow-shard":
+        # shard 0 drags every batch command by 20ms for two epochs —
+        # well inside the epoch deadline, so nothing dies; the drag shows
+        # up only as answer latency, which the p99 objective watches
+        return ChaosSchedule(
+            "slow-shard",
+            [FaultEvent(
+                epoch=2, kind="slow_shard", target=0, duration=2, payload=20
+            )],
+            failure_threshold=2,
+            breaker_cooldown=2.0,
+            slo=SLOPolicy(answer_p99=5.0, staleness_bound=4, shed_rate=0.25),
+        )
     raise ValueError(f"unknown builtin schedule {name!r}")
 
 
 #: names accepted by :func:`builtin_schedule` / the ``chaos`` CLI
-BUILTIN_SCHEDULES = ("kill-shard", "hang-epoch", "saturate-tear")
+BUILTIN_SCHEDULES = (
+    "kill-shard",
+    "hang-epoch",
+    "saturate-tear",
+    "flash-crowd",
+    "hot-skew",
+    "slow-shard",
+)
+
+#: the subset of :data:`BUILTIN_SCHEDULES` that overloads rather than
+#: breaks — the schedules the adaptive controller is graded on
+OVERLOAD_SCHEDULES = ("flash-crowd", "hot-skew", "slow-shard")
 
 
 def random_schedule(
@@ -240,6 +341,12 @@ class ChaosController:
         self._saturations: Dict[int, FaultEvent] = {}
         self._tears: Dict[int, FaultEvent] = {}
         self._barriers: List[threading.Event] = []
+        self._crowds: Dict[int, List[FaultEvent]] = {}   # wave epoch -> events
+        self._hot: Dict[int, List[FaultEvent]] = {}
+        self._slow: List[FaultEvent] = []
+        self._overloads_started: set = set()
+        self._used_sources: set = set()
+        self._cursor = 0
         for event in schedule.events:
             if event.kind == "kill_shard":
                 self._kills[event.epoch] = event
@@ -255,6 +362,13 @@ class ChaosController:
                 self._saturations[event.epoch] = event
             elif event.kind == "tear_wal":
                 self._tears[event.epoch] = event
+            elif event.kind == "flash_crowd":
+                for wave in range(event.epoch, event.epoch + event.duration):
+                    self._crowds.setdefault(wave, []).append(event)
+            elif event.kind == "hot_keys":
+                self._hot.setdefault(event.epoch, []).append(event)
+            elif event.kind == "slow_shard":
+                self._slow.append(event)
 
     # ------------------------------------------------------------------
     # worker-thread side (the fault hook)
@@ -275,6 +389,18 @@ class ChaosController:
             # park until the driver releases us `duration` epochs later;
             # by then this worker is retired and exits via its stop flag
             self._hang_gates[(epoch, source)].wait(timeout=60.0)
+            return
+        for slow in self._slow:
+            if (
+                slow.epoch <= epoch < slow.epoch + slow.duration
+                and source % self.num_shards == slow.target
+            ):
+                if slow not in self._overloads_started:
+                    self._overloads_started.add(slow)
+                    self.fired.append(slow)
+                # a drag, not a death: the worker stays inside the epoch
+                # deadline but every source on the shard pays the tax
+                time.sleep(slow.payload / 1000.0)
 
     # ------------------------------------------------------------------
     # driver side
@@ -304,6 +430,56 @@ class ChaosController:
         """Unpark saturated workers; the noop backlog drains in FIFO."""
         while self._barriers:
             self._barriers.pop().set()
+
+    def wave_before(
+        self, epoch: int, num_vertices: int, reserved: set
+    ) -> List[Tuple[int, int]]:
+        """Standing-query pairs the overload events register before ``epoch``.
+
+        ``flash_crowd`` waves draw sources round-robin across the shards;
+        ``hot_keys`` draws only sources routed to its target shard.
+        Sources are never reused (each pair is a distinct session) and
+        never collide with ``reserved`` (the oracle pairs + the anchor),
+        so the convergence check is untouched by the crowd.  The driver
+        attempts each pair through normal admission and counts the sheds.
+        """
+        self._used_sources.update(reserved)
+        pairs: List[Tuple[int, int]] = []
+        for event in self._crowds.get(epoch, ()):
+            if event not in self._overloads_started:
+                self._overloads_started.add(event)
+                self.fired.append(event)
+            pairs.extend(self._draw(event.payload, num_vertices, None))
+        for event in self._hot.get(epoch, ()):
+            if event not in self._overloads_started:
+                self._overloads_started.add(event)
+                self.fired.append(event)
+            pairs.extend(self._draw(event.payload, num_vertices, event.target))
+        return pairs
+
+    def _draw(
+        self, count: int, num_vertices: int, shard_target: Optional[int]
+    ) -> List[Tuple[int, int]]:
+        """Deterministically pick ``count`` fresh (source, dest) pairs."""
+        pairs: List[Tuple[int, int]] = []
+        scanned = 0
+        while len(pairs) < count and scanned < 4 * num_vertices:
+            source = self._cursor % num_vertices
+            self._cursor += 1
+            scanned += 1
+            if source in self._used_sources:
+                continue
+            if (
+                shard_target is not None
+                and source % self.num_shards != shard_target
+            ):
+                continue
+            destination = (source + 23) % num_vertices
+            if destination == source:
+                continue
+            self._used_sources.add(source)
+            pairs.append((source, destination))
+        return pairs
 
     def after_epoch(self, epoch: int) -> None:
         """Advance chaos time one epoch; release hangs that served it."""
@@ -335,11 +511,22 @@ class ChaosReport:
     session_states: Dict[str, int]
     #: breaker states seen at least once during the run (half-open proof)
     breaker_states_seen: List[str] = field(default_factory=list)
+    #: whether the adaptive controller was attached for this run
+    adaptive: bool = False
+    #: :meth:`SLOVerdict.as_dict` when the schedule carried a policy
+    slo: Optional[Dict[str, object]] = None
+    #: crowd-registration admission outcomes (overload schedules)
+    crowd_admitted: int = 0
+    crowd_rejected: int = 0
+    #: every applied :class:`~repro.serve.control.ControlDecision` as a dict
+    decisions: List[Dict[str, object]] = field(default_factory=list)
+    #: :meth:`RuntimeController.stats` at the end of an adaptive run
+    controller: Optional[Dict[str, object]] = None
 
     def summary(self) -> str:
         verdict = "CONVERGED" if self.converged else "DIVERGED"
         fired = ", ".join(self.faults_fired) or "none"
-        return (
+        line = (
             f"chaos[{self.schedule}]: {verdict} after {self.epochs} epochs; "
             f"faults: {fired}; restarts={self.supervisor['shard_restarts']} "
             f"resurrections={self.supervisor['session_resurrections']} "
@@ -347,6 +534,16 @@ class ChaosReport:
             f"degraded_reads={self.supervisor['degraded_reads']} "
             f"resumes={self.resumes} shed={self.shed_submits}"
         )
+        if self.adaptive:
+            line += f" decisions={len(self.decisions)}"
+        if self.slo is not None:
+            state = "MET" if self.slo["met"] else "VIOLATED"
+            line += (
+                f"; slo {state} (p99={self.slo['answer_p99']:.4f}s "
+                f"staleness={self.slo['staleness_max']} "
+                f"shed_rate={self.slo['shed_rate']:.3f})"
+            )
+        return line
 
 
 # ----------------------------------------------------------------------
@@ -421,6 +618,9 @@ def run_chaos(
     pairs: Optional[List[Tuple[int, int]]] = None,
     anchor: Optional[PairwiseQuery] = None,
     epoch_deadline: float = 0.5,
+    adaptive: bool = False,
+    slo: Optional[SLOPolicy] = None,
+    control: Optional[ControllerConfig] = None,
 ) -> ChaosReport:
     """Play ``schedule`` against a live harness; verify convergence.
 
@@ -430,10 +630,18 @@ def run_chaos(
     any session left degraded (breaker still open) counts as a mismatch
     only if the schedule gave the supervisor room to heal it (quiet tail
     epochs) — which the builtin schedules all do.
+
+    With ``adaptive=True`` the :class:`RuntimeController` is attached
+    (config from ``control``, SLO from ``slo`` or the schedule) and every
+    decision it applies lands in the report; either way the run is graded
+    against the policy (``slo`` overrides ``schedule.slo``) when one is
+    present — same schedule, same seed, same oracle, so a static run and
+    an adaptive run differ *only* in the controller.
     """
     pairs = pairs or [(1, 20), (2, 30), (3, 40), (4, 50)]
     anchor = anchor or PairwiseQuery(7, 23)
     schedule.validate(num_batches, num_shards)
+    policy = slo or schedule.slo
     graph, batches = _workload(seed, num_vertices, num_edges, num_batches)
     offline = _offline_replay(graph, algorithm, pairs, batches)
 
@@ -445,19 +653,38 @@ def run_chaos(
         algorithm,
         anchor,
         num_shards=num_shards,
+        registration_rate=schedule.registration_rate,
+        registration_burst=schedule.registration_burst,
         fault_hook=controller,
         epoch_deadline=epoch_deadline,
         clock=clock,
         supervision=schedule.supervision(),
         checkpoint_every=2,
     )
+    control_config = None
+    if adaptive:
+        control_config = control or ControllerConfig(
+            policy=policy or SLOPolicy(),
+            limits=ControlLimits(max_shards=max(4, num_shards * 2)),
+        )
+        harness.attach_controller(control_config)
     for pair in pairs:
         harness.register(*pair)
     harness.wait_all_live()
 
+    # sources the crowd generator must never reuse: the oracle pairs'
+    # (a duplicate registration would raise) and the anchor's
+    reserved = {source for source, _ in pairs} | {anchor.source}
     telemetry = harness.telemetry
     resumes = 0
     shed = 0
+    crowd_admitted = 0
+    crowd_rejected = 0
+    #: admission totals of harnesses already torn down (tear_wal resume)
+    prior_rejected = 0
+    prior_admitted = 0
+    latencies: List[float] = []
+    staleness_max = 0
     breaker_states_seen = set()
     read_mismatches: List[str] = []
     epoch = 0
@@ -475,6 +702,9 @@ def run_chaos(
                         "chaos-tear-wal",
                         {"epoch": target, "torn_bytes": tear.payload},
                     )
+                rejected, admitted = _admission_totals(harness)
+                prior_rejected += rejected
+                prior_admitted += admitted
                 harness.pipeline.wal.close()
                 harness.engine.close(strict=False)
                 _, wal_dir = state_paths(directory)
@@ -484,6 +714,8 @@ def run_chaos(
                     directory,
                     algorithm=algorithm,
                     num_shards=num_shards,
+                    registration_rate=schedule.registration_rate,
+                    registration_burst=schedule.registration_burst,
                     fault_hook=controller,
                     epoch_deadline=epoch_deadline,
                     clock=clock,
@@ -492,6 +724,8 @@ def run_chaos(
                 )
                 resumes += 1
                 telemetry = harness.telemetry
+                if adaptive:
+                    harness.attach_controller(control_config)
                 for pair in pairs:
                     harness.register(*pair)
                 harness.wait_all_live()
@@ -500,8 +734,20 @@ def run_chaos(
                 epoch = harness.snapshot_id
                 continue
             controller.saturate_before(target, harness)
+            # overload waves register through normal admission; a shed
+            # attempt is the signal the adaptive controller feeds on
+            for source, destination in controller.wave_before(
+                target, num_vertices, reserved
+            ):
+                try:
+                    harness.register(source, destination)
+                    crowd_admitted += 1
+                except AdmissionError:
+                    crowd_rejected += 1
+            started = time.perf_counter()
             try:
                 harness.submit(batches[epoch])
+                latencies.append(time.perf_counter() - started)
             except QueueSaturatedError:
                 shed += 1
                 # the shed batch left no durable trace; release the
@@ -509,6 +755,7 @@ def run_chaos(
                 # backoff while the noop backlog drains
                 controller.release_saturation()
                 batch = batches[epoch]
+                started = time.perf_counter()
                 retry_with_backoff(
                     lambda: harness.submit(batch),
                     retries=20,
@@ -517,6 +764,7 @@ def run_chaos(
                     retry_on=(QueueSaturatedError,),
                     deadline=10.0,
                 )
+                latencies.append(time.perf_counter() - started)
             epoch += 1
             controller.after_epoch(epoch)
             for breaker in harness.supervisor.breakers.values():
@@ -531,6 +779,7 @@ def run_chaos(
             # never a wrong value
             for pair in pairs:
                 outcome = harness.read(*pair)
+                staleness_max = max(staleness_max, outcome.stale_epochs)
                 expected = offline[epoch - 1 - outcome.stale_epochs][pair]
                 if outcome.value != expected:
                     read_mismatches.append(
@@ -564,10 +813,23 @@ def run_chaos(
             mismatches.append("no session survived to compare")
         supervisor_stats = harness.supervisor.stats()
         states = harness.sessions.by_state()
+        rejected, admitted = _admission_totals(harness)
+        total_rejected = prior_rejected + rejected
+        total_admitted = prior_admitted + admitted
+        decisions: List[Dict[str, object]] = []
+        controller_stats: Optional[Dict[str, object]] = None
+        if harness.controller is not None:
+            decisions = [d.as_dict() for d in harness.controller.audit]
+            controller_stats = harness.controller.stats()
     finally:
         controller.release_all()
         harness.close()
 
+    verdict = None
+    if policy is not None:
+        attempts = total_rejected + total_admitted
+        shed_rate = total_rejected / attempts if attempts else 0.0
+        verdict = SLOVerdict.grade(policy, latencies, staleness_max, shed_rate)
     report = ChaosReport(
         schedule=schedule.name,
         epochs=num_batches,
@@ -579,6 +841,12 @@ def run_chaos(
         supervisor=supervisor_stats,
         session_states=states,
         breaker_states_seen=sorted(breaker_states_seen),
+        adaptive=adaptive,
+        slo=verdict.as_dict() if verdict is not None else None,
+        crowd_admitted=crowd_admitted,
+        crowd_rejected=crowd_rejected,
+        decisions=decisions,
+        controller=controller_stats,
     )
     if telemetry is not None:
         # end-of-run bundle: the run's verdict next to the final events
@@ -590,9 +858,22 @@ def run_chaos(
                 "faults_fired": report.faults_fired,
                 "resumes": report.resumes,
                 "mismatches": report.mismatches,
+                "adaptive": report.adaptive,
+                "slo": report.slo,
+                "decisions": len(report.decisions),
             },
         )
     return report
+
+
+def _admission_totals(harness: ServeHarness) -> Tuple[int, int]:
+    """(rejected, admitted) admission attempts tallied on ``harness``."""
+    stats = harness.admission.stats()
+    rejected = int(sum(stats["rejections"].values()))
+    admitted = int(
+        stats["admitted_registrations"] + stats["admitted_batches"]
+    )
+    return rejected, admitted
 
 
 class _EmptyResult:

@@ -23,17 +23,32 @@ keeps streaming.  This package is that serving layer:
   breakers;
 * :mod:`repro.serve.harness` — :class:`ServeHarness`, the façade wiring
   all of the above plus telemetry;
+* :mod:`repro.serve.control` — the adaptive :class:`RuntimeController`
+  that self-tunes shards, admission, cache and staleness against an
+  :class:`SLOPolicy` after every committed epoch;
 * :mod:`repro.serve.protocol` — the line-oriented script protocol behind
   ``repro serve``.
 
 See ``docs/serving.md`` for the architecture and the backpressure and
-cache-invalidation policies, and ``docs/self_healing.md`` for the
+cache-invalidation policies, ``docs/self_healing.md`` for the
 supervision tree, breaker semantics and the degraded-read staleness
-contract.
+contract, and ``docs/adaptive_control.md`` for the feedback controller's
+decision table, audit log and kill switch.
 """
 
 from repro.serve.admission import AdmissionController, ShedPolicy, TokenBucket
 from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.control import (
+    Condition,
+    ControlDecision,
+    ControlLimits,
+    ControlSignals,
+    ControllerConfig,
+    DecisionEngine,
+    RuntimeController,
+    SLOPolicy,
+    SLOVerdict,
+)
 from repro.serve.engine import ServeBatchResult, ShardedServeEngine
 from repro.serve.harness import ReadResult, ServeHarness
 from repro.serve.health import (
@@ -59,9 +74,18 @@ __all__ = [
     "BreakerState",
     "CacheStats",
     "CircuitBreaker",
+    "Condition",
+    "ControlDecision",
+    "ControlLimits",
+    "ControlSignals",
+    "ControllerConfig",
+    "DecisionEngine",
     "HealthMonitor",
     "Heartbeat",
     "QuerySession",
+    "RuntimeController",
+    "SLOPolicy",
+    "SLOVerdict",
     "ReadResult",
     "ResultCache",
     "ScriptRunner",

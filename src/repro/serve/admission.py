@@ -27,7 +27,7 @@ import threading
 import time
 from typing import Callable, Dict, Optional
 
-from repro.errors import QueueSaturatedError, RateLimitedError
+from repro.errors import ControlError, QueueSaturatedError, RateLimitedError
 
 
 class ShedPolicy(enum.Enum):
@@ -87,6 +87,35 @@ class TokenBucket:
         with self._lock:
             self._refill()
             return self._tokens
+
+    def set_rate(self, rate: float) -> None:
+        """Retune the refill rate live (thread-safe).
+
+        Accrued tokens up to the change are settled at the *old* rate
+        first, so a retune never retroactively rewrites history.  Unlike
+        the constructor (where ``rate=0`` builds a deliberately
+        non-refilling bucket) a live retune must keep the bucket alive:
+        non-positive rates are rejected.
+        """
+        if rate <= 0:
+            raise ControlError("rate must be positive")
+        with self._lock:
+            self._refill()
+            self.rate = float(rate)
+
+    def set_capacity(self, capacity: float) -> None:
+        """Retune the burst capacity live (thread-safe).
+
+        Non-positive capacities are rejected; on shrink, in-flight tokens
+        are clamped down to the new capacity so a burst can never exceed
+        the ceiling that was just imposed.
+        """
+        if capacity <= 0:
+            raise ControlError("capacity must be positive")
+        with self._lock:
+            self._refill()
+            self.capacity = float(capacity)
+            self._tokens = min(self._tokens, self.capacity)
 
 
 class AdmissionController:
@@ -192,12 +221,42 @@ class AdmissionController:
             f"ingest queue still saturated after {self.delay_timeout:g}s delay"
         )
 
+    def retune(
+        self,
+        registration_rate: Optional[float] = None,
+        registration_burst: Optional[float] = None,
+        queue_bound: Optional[int] = None,
+    ) -> None:
+        """Apply new admission knob values live (the controller surface).
+
+        Each knob is validated before anything changes, so a bad retune
+        leaves the controller exactly as it was.  ``queue_bound`` only
+        moves the *admission* threshold — the physical shard inbox bound
+        is fixed at construction, so callers must keep the admission
+        bound at or below it.
+        """
+        if registration_rate is not None and registration_rate <= 0:
+            raise ControlError("registration_rate must be positive")
+        if registration_burst is not None and registration_burst <= 0:
+            raise ControlError("registration_burst must be positive")
+        if queue_bound is not None and queue_bound <= 0:
+            raise ControlError("queue_bound must be positive")
+        if registration_rate is not None:
+            self.bucket.set_rate(registration_rate)
+        if registration_burst is not None:
+            self.bucket.set_capacity(registration_burst)
+        if queue_bound is not None:
+            with self._lock:
+                self.queue_bound = queue_bound
+
     def stats(self) -> Dict[str, object]:
         """Point-in-time summary for ``ServeHarness.stats()`` and the CLI."""
         with self._lock:
             return {
                 "policy": self.policy.value,
                 "queue_bound": self.queue_bound,
+                "registration_rate": self.bucket.rate,
+                "registration_burst": self.bucket.capacity,
                 "admitted_registrations": self.admitted_registrations,
                 "admitted_batches": self.admitted_batches,
                 "delays": self.delays,

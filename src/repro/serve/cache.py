@@ -39,6 +39,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.algorithms.solvers import dijkstra
 from repro.core.keypath import KeyPathTracker
+from repro.errors import ControlError
 from repro.graph.batch import UpdateBatch
 from repro.graph.dynamic import DynamicGraph
 from repro.metrics import OpCounts
@@ -289,6 +290,21 @@ class ResultCache:
         return bool(family.answers)
 
     # ------------------------------------------------------------------
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the family bound live (the controller's cache knob).
+
+        Non-positive capacities are rejected.  On shrink, least-recently
+        used families are evicted immediately so the bound holds before
+        the next lookup.  The last-known store keeps its original bound —
+        degraded reads must not lose history because the hot cache shrank.
+        """
+        if capacity <= 0:
+            raise ControlError("capacity must be positive")
+        self.capacity = int(capacity)
+        while len(self._families) > self.capacity:
+            self._families.popitem(last=False)
+            self.stats.evicted_families += 1
+
     def clear(self) -> None:
         """Drop every family (stats are kept cumulative)."""
         self._families.clear()

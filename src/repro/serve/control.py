@@ -1,0 +1,921 @@
+"""Adaptive runtime control: SLO-guarded self-tuning of the serve layer.
+
+Every serve-layer knob was static until this module: shard count,
+admission token bucket, result-cache capacity, and the supervisor's
+``max_staleness`` bound were all fixed at :meth:`ServeHarness.open` no
+matter what the workload did.  :class:`RuntimeController` closes the
+observe → diagnose → remediate loop (RisGraph meets its per-update SLO by
+exactly this kind of runtime trading of admission against load; see
+PAPERS.md): it runs after every committed epoch, consumes a
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot diff (queue depths,
+admission rejections, cache effectiveness, breaker states, answer p99,
+served staleness), diagnoses one :class:`Condition`, and applies bounded
+remediations live.
+
+Safety properties, in order of importance:
+
+* **SLO-gated** — remediations exist to meet an explicit
+  :class:`SLOPolicy` (answer p99, staleness bound, shed rate), not to
+  chase throughput;
+* **clamped** — every knob move is clamped to :class:`ControlLimits`
+  floors/ceilings, so a bad diagnosis degrades gracefully instead of
+  cascading;
+* **hysteresis + cooldown** — scale-ups need the queue above the high
+  watermark (or actual shedding), scale-downs need ``idle_epochs``
+  consecutive quiet epochs, and each knob obeys a per-knob cooldown, so
+  the controller cannot flap (load oscillating inside the band produces
+  zero decisions — a regression test);
+* **auditable** — every decision is appended to a bounded audit log and
+  emitted as a ``controller.decision`` trace point inside the epoch's
+  causal tree, so ``trace``/``control-log`` answer *why capacity
+  changed*;
+* **killable** — :meth:`RuntimeController.freeze` reverts every knob to
+  the static configuration captured at attach time and stops all further
+  decisions until :meth:`RuntimeController.thaw`.
+
+The decision core (:class:`DecisionEngine`) is a pure function of the
+signal stream plus its own counters — no wall clock, no randomness — so
+identical seeded metric streams produce identical decision sequences
+(property-tested in ``tests/test_serve_control.py``).
+
+See docs/adaptive_control.md for the decision table and audit format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ControlError
+from repro.obs.bridge import record_control_surface, record_controller
+
+
+class Condition(enum.Enum):
+    """Diagnosed state of the serving system for one epoch."""
+
+    HEALTHY = "healthy"
+    OVERLOAD = "overload"
+    HOT_SKEW = "hot-skew"
+    UNDER_PROVISIONED = "under-provisioned"
+    IDLE = "idle"
+    DEGRADED_READS = "degraded-read-pressure"
+    FROZEN = "frozen"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """The service-level objectives the controller is allowed to chase.
+
+    ``answer_p99`` bounds standing-answer latency in seconds;
+    ``staleness_bound`` bounds the age (in committed epochs) of any
+    degraded read the layer serves; ``shed_rate`` bounds the fraction of
+    admission attempts that may be rejected.
+    """
+
+    answer_p99: float = 1.0
+    staleness_bound: int = 2
+    shed_rate: float = 0.1
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ControlError` on a bad policy."""
+        if self.answer_p99 <= 0:
+            raise ControlError("answer_p99 must be positive")
+        if self.staleness_bound < 0:
+            raise ControlError("staleness_bound must be non-negative")
+        if not 0.0 <= self.shed_rate <= 1.0:
+            raise ControlError("shed_rate must be within [0, 1]")
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-JSON form for reports and audit records."""
+        return {
+            "answer_p99": self.answer_p99,
+            "staleness_bound": self.staleness_bound,
+            "shed_rate": self.shed_rate,
+        }
+
+
+@dataclass(frozen=True)
+class SLOVerdict:
+    """Measured SLO outcomes of one run, graded against a policy."""
+
+    policy: SLOPolicy
+    answer_p99: float
+    staleness_max: int
+    shed_rate: float
+    violations: Tuple[str, ...]
+
+    @property
+    def met(self) -> bool:
+        """True when every objective held."""
+        return not self.violations
+
+    @classmethod
+    def grade(
+        cls,
+        policy: SLOPolicy,
+        latencies: Sequence[float],
+        staleness_max: int,
+        shed_rate: float,
+    ) -> "SLOVerdict":
+        """Grade measured outcomes against ``policy``."""
+        p99 = _p99(latencies)
+        violations = []
+        if p99 > policy.answer_p99:
+            violations.append(
+                f"answer p99 {p99:.4f}s > bound {policy.answer_p99:g}s"
+            )
+        if staleness_max > policy.staleness_bound:
+            violations.append(
+                f"served staleness {staleness_max} epochs "
+                f"> bound {policy.staleness_bound}"
+            )
+        if shed_rate > policy.shed_rate:
+            violations.append(
+                f"shed rate {shed_rate:.3f} > bound {policy.shed_rate:g}"
+            )
+        return cls(
+            policy=policy,
+            answer_p99=p99,
+            staleness_max=staleness_max,
+            shed_rate=shed_rate,
+            violations=tuple(violations),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON form for chaos reports and CI artifacts."""
+        return {
+            "policy": self.policy.as_dict(),
+            "answer_p99": self.answer_p99,
+            "staleness_max": self.staleness_max,
+            "shed_rate": self.shed_rate,
+            "violations": list(self.violations),
+            "met": self.met,
+        }
+
+
+def _p99(latencies: Sequence[float]) -> float:
+    """Nearest-rank p99 of a latency sample (0.0 when empty)."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.99 * (len(ordered) - 1)))]
+
+
+@dataclass(frozen=True)
+class ControlLimits:
+    """Hard floors and ceilings no remediation may cross."""
+
+    min_shards: int = 1
+    max_shards: int = 8
+    min_rate: float = 0.5
+    max_rate: float = 1024.0
+    min_burst: float = 1.0
+    max_burst: float = 4096.0
+    min_cache: int = 8
+    max_cache: int = 4096
+    min_staleness: int = 0
+    max_staleness: int = 64
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ControlError` on inverted bounds."""
+        pairs = (
+            ("shards", self.min_shards, self.max_shards),
+            ("rate", self.min_rate, self.max_rate),
+            ("burst", self.min_burst, self.max_burst),
+            ("cache", self.min_cache, self.max_cache),
+            ("staleness", self.min_staleness, self.max_staleness),
+        )
+        for name, lo, hi in pairs:
+            if lo > hi:
+                raise ControlError(f"min_{name} {lo} exceeds max_{name} {hi}")
+        if self.min_shards < 1:
+            raise ControlError("min_shards must be at least 1")
+        if self.min_rate <= 0 or self.min_burst <= 0 or self.min_cache <= 0:
+            raise ControlError("rate/burst/cache floors must be positive")
+        if self.min_staleness < 0:
+            raise ControlError("min_staleness must be non-negative")
+
+    #: knob name -> (floor attribute, ceiling attribute)
+    _BOUNDS = {
+        "shards": ("min_shards", "max_shards"),
+        "admission_rate": ("min_rate", "max_rate"),
+        "admission_burst": ("min_burst", "max_burst"),
+        "cache_capacity": ("min_cache", "max_cache"),
+        "max_staleness": ("min_staleness", "max_staleness"),
+    }
+
+    def clamp(self, knob: str, value: float) -> Tuple[float, bool]:
+        """``(clamped value, True when the raw value crossed a bound)``."""
+        lo_attr, hi_attr = self._BOUNDS[knob]
+        lo, hi = getattr(self, lo_attr), getattr(self, hi_attr)
+        clamped = min(max(value, lo), hi)
+        return clamped, clamped != value
+
+
+@dataclass(frozen=True)
+class ControlSignals:
+    """One epoch's observation of the serving system (the engine's input).
+
+    Deltas (``*_delta``) cover the interval since the previous controller
+    review; everything else is the current level.  Signals are built
+    either from a :class:`~repro.obs.metrics.MetricsRegistry` snapshot
+    pair (:meth:`from_snapshot`, the telemetry path) or directly from
+    component stats — both yield identical values for identical harness
+    state, which is unit-tested.
+    """
+
+    epoch: int
+    num_shards: int
+    queue_bound: int
+    depth_max: int
+    groups_max: int
+    groups_total: int
+    rejections_delta: int
+    saturated_delta: int
+    admitted_delta: int
+    cache_hit_rate: float
+    cache_lookups_delta: int
+    cache_evictions_delta: int
+    breakers_open: int
+    degraded_sessions: int
+    answer_p99: float
+    staleness_served: int
+    admission_rate: float
+    admission_burst: float
+    cache_capacity: int
+    max_staleness: int
+
+    @property
+    def depth_ratio(self) -> float:
+        """Deepest shard inbox as a fraction of the admission bound."""
+        return self.depth_max / self.queue_bound if self.queue_bound else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (audit records, tests)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        current,
+        previous=None,
+        epoch: int = 0,
+    ) -> "ControlSignals":
+        """Build signals from a registry snapshot pair (telemetry path).
+
+        ``current`` and ``previous`` are
+        :class:`~repro.obs.metrics.MetricsSnapshot` instances taken at
+        consecutive controller reviews; cumulative gauges are differenced
+        by level.  Requires the ``serve_control_*`` surface gauges
+        recorded by :func:`repro.obs.bridge.record_control_surface`.
+        """
+
+        def level(name: str, default: float = 0.0, **labels) -> float:
+            value = current.value(name, **labels)
+            return default if value is None else float(value)
+
+        def prior(name: str, default: float = 0.0, **labels) -> float:
+            if previous is None:
+                return default
+            value = previous.value(name, **labels)
+            return default if value is None else float(value)
+
+        def labelled(snapshot, name: str, label: str) -> Dict[int, float]:
+            metric = snapshot.as_dict().get(name)
+            if metric is None:
+                return {}
+            out: Dict[int, float] = {}
+            for series in metric["series"]:
+                labels = dict(tuple(pair) for pair in series["labels"])
+                if label in labels:
+                    out[int(labels[label])] = float(series["value"])
+            return out
+
+        num_shards = max(1, int(level("serve_control_shards", 1.0)))
+        # gauges for retired shards linger in the registry after a
+        # rescale; only indices of the live pool are real occupancy
+        depths = [
+            depth for index, depth
+            in labelled(current, "serve_queue_depth", "shard").items()
+            if index < num_shards
+        ]
+        groups = [
+            count for index, count
+            in labelled(current, "serve_shard_groups", "shard").items()
+            if index < num_shards
+        ]
+        breaker_codes = labelled(current, "serve_breaker_state", "source")
+        rejections_now = current.total("serve_admission_rejections")
+        rejections_before = (
+            previous.total("serve_admission_rejections")
+            if previous is not None else 0.0
+        )
+        admitted_now = (
+            level("serve_admitted_registrations")
+            + level("serve_admitted_batches")
+        )
+        admitted_before = (
+            prior("serve_admitted_registrations")
+            + prior("serve_admitted_batches")
+        )
+        return cls(
+            epoch=epoch,
+            num_shards=num_shards,
+            queue_bound=int(level("serve_queue_bound", 1.0)),
+            depth_max=int(max(depths, default=0)),
+            groups_max=int(max(groups, default=0)),
+            groups_total=int(sum(groups)),
+            rejections_delta=int(rejections_now - rejections_before),
+            saturated_delta=int(
+                level("serve_admission_rejections", reason="queue-saturated")
+                - prior("serve_admission_rejections", reason="queue-saturated")
+            ),
+            admitted_delta=int(admitted_now - admitted_before),
+            cache_hit_rate=level("serve_cache_hit_rate"),
+            cache_lookups_delta=int(
+                level("serve_cache_lookups") - prior("serve_cache_lookups")
+            ),
+            cache_evictions_delta=int(
+                level("serve_cache_evicted_families")
+                - prior("serve_cache_evicted_families")
+            ),
+            breakers_open=sum(1 for code in breaker_codes.values() if code),
+            degraded_sessions=int(level("serve_sessions", state="degraded")),
+            answer_p99=level("serve_control_answer_p99"),
+            staleness_served=int(level("serve_control_staleness_served")),
+            admission_rate=level("serve_control_admission_rate"),
+            admission_burst=level("serve_control_admission_burst"),
+            cache_capacity=int(level("serve_control_cache_capacity", 1.0)),
+            max_staleness=int(level("serve_control_max_staleness")),
+        )
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Everything the controller needs besides the harness itself."""
+
+    policy: SLOPolicy = field(default_factory=SLOPolicy)
+    limits: ControlLimits = field(default_factory=ControlLimits)
+    #: minimum epochs between consecutive changes of the same knob
+    cooldown_epochs: int = 1
+    #: consecutive quiet epochs required before reclaiming capacity
+    idle_epochs: int = 3
+    #: queue-depth ratio above which the pool is under-provisioned
+    high_water: float = 0.75
+    #: queue-depth ratio below which an epoch counts as quiet
+    low_water: float = 0.25
+    #: groups_max / mean-groups ratio that counts as hot-source skew
+    skew_factor: float = 1.5
+    #: minimum groups on the hottest shard before skew is believed
+    skew_min_groups: int = 4
+    #: multiplier applied to the token bucket when raising admission
+    admission_growth: float = 8.0
+    #: multiplier applied to the cache capacity under miss pressure
+    cache_growth: float = 2.0
+    #: hit rate below which cache evictions trigger a capacity raise
+    cache_hit_target: float = 0.5
+    #: bounded length of the in-memory decision audit log
+    audit_capacity: int = 1024
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ControlError` on a bad config."""
+        self.policy.validate()
+        self.limits.validate()
+        if self.cooldown_epochs < 1:
+            raise ControlError("cooldown_epochs must be at least 1")
+        if self.idle_epochs < 1:
+            raise ControlError("idle_epochs must be at least 1")
+        if not 0.0 <= self.low_water < self.high_water <= 1.0:
+            raise ControlError(
+                "watermarks must satisfy 0 <= low_water < high_water <= 1"
+            )
+        if self.skew_factor <= 1.0:
+            raise ControlError("skew_factor must exceed 1")
+        if self.admission_growth <= 1.0 or self.cache_growth <= 1.0:
+            raise ControlError("growth factors must exceed 1")
+        if not 0.0 <= self.cache_hit_target <= 1.0:
+            raise ControlError("cache_hit_target must be within [0, 1]")
+        if self.audit_capacity <= 0:
+            raise ControlError("audit_capacity must be positive")
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """One applied knob change, as recorded in the audit log."""
+
+    epoch: int
+    condition: str
+    knob: str
+    old: float
+    new: float
+    reason: str
+    clamped: bool = False
+    #: causal trace of the epoch whose review produced this decision
+    trace_id: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (one audit-log line)."""
+        return dataclasses.asdict(self)
+
+
+#: the knobs the controller may move, in apply order
+KNOBS = (
+    "shards",
+    "admission_rate",
+    "admission_burst",
+    "cache_capacity",
+    "max_staleness",
+)
+
+
+class DecisionEngine:
+    """The pure decision core: signals in, gated knob targets out.
+
+    Holds only deterministic state (per-knob last-change epochs, the
+    quiet-epoch streak) so that identical signal streams always produce
+    identical decision sequences; the side-effecting apply path lives in
+    :class:`RuntimeController`.
+    """
+
+    def __init__(
+        self, config: ControllerConfig, baseline: Dict[str, float]
+    ) -> None:
+        config.validate()
+        missing = [knob for knob in KNOBS if knob not in baseline]
+        if missing:
+            raise ControlError(f"baseline missing knobs: {missing}")
+        self.config = config
+        self.baseline = {knob: float(baseline[knob]) for knob in KNOBS}
+        self._last_change: Dict[str, int] = {}
+        self._quiet_streak = 0
+
+    # ------------------------------------------------------------------
+    def step(
+        self, signals: ControlSignals
+    ) -> Tuple[Condition, List[ControlDecision]]:
+        """Diagnose one epoch and emit the gated decisions for it."""
+        condition = self.diagnose(signals)
+        decisions: List[ControlDecision] = []
+        for knob, target, reason in self._plan(condition, signals):
+            decision = self._gate(knob, target, reason, condition, signals)
+            if decision is not None:
+                decisions.append(decision)
+                self._last_change[knob] = signals.epoch
+        return condition, decisions
+
+    # ------------------------------------------------------------------
+    def diagnose(self, s: ControlSignals) -> Condition:
+        """Classify the epoch (the first matching condition wins)."""
+        c = self.config
+        if (
+            s.breakers_open > 0
+            or s.staleness_served > c.policy.staleness_bound
+        ):
+            self._quiet_streak = 0
+            return Condition.DEGRADED_READS
+        if s.rejections_delta > 0:
+            self._quiet_streak = 0
+            return Condition.OVERLOAD
+        if s.depth_ratio >= c.high_water:
+            self._quiet_streak = 0
+            return Condition.UNDER_PROVISIONED
+        if self._skewed(s):
+            self._quiet_streak = 0
+            return Condition.HOT_SKEW
+        if s.depth_ratio <= c.low_water and s.degraded_sessions == 0:
+            self._quiet_streak += 1
+            if (
+                self._quiet_streak >= c.idle_epochs
+                and self._above_baseline(s)
+            ):
+                return Condition.IDLE
+            return Condition.HEALTHY
+        # inside the hysteresis band: neither growth nor reclaim evidence
+        self._quiet_streak = 0
+        return Condition.HEALTHY
+
+    def _skewed(self, s: ControlSignals) -> bool:
+        if s.groups_total == 0 or s.num_shards >= self.config.limits.max_shards:
+            return False
+        if s.groups_max < self.config.skew_min_groups:
+            return False
+        mean = s.groups_total / s.num_shards
+        return s.groups_max >= self.config.skew_factor * mean
+
+    def _above_baseline(self, s: ControlSignals) -> bool:
+        return (
+            s.num_shards > self.baseline["shards"]
+            or s.admission_rate > self.baseline["admission_rate"]
+            or s.admission_burst > self.baseline["admission_burst"]
+            or s.cache_capacity > self.baseline["cache_capacity"]
+            or s.max_staleness != self.baseline["max_staleness"]
+        )
+
+    # ------------------------------------------------------------------
+    def _plan(
+        self, condition: Condition, s: ControlSignals
+    ) -> List[Tuple[str, float, str]]:
+        """Raw (knob, target, reason) proposals before gating."""
+        c = self.config
+        proposals: List[Tuple[str, float, str]] = []
+        if condition is Condition.DEGRADED_READS:
+            if s.max_staleness > c.policy.staleness_bound:
+                proposals.append((
+                    "max_staleness",
+                    float(c.policy.staleness_bound),
+                    "narrow degraded reads to the staleness SLO while "
+                    f"{s.breakers_open} breaker(s) are open",
+                ))
+        elif condition is Condition.OVERLOAD:
+            if s.saturated_delta == 0 and s.depth_ratio < c.high_water:
+                # rate-limited shedding with queue headroom: open the door
+                proposals.append((
+                    "admission_rate",
+                    max(s.admission_rate, 1.0) * c.admission_growth,
+                    f"{s.rejections_delta} rejection(s) this epoch with "
+                    "queue headroom: raise the token refill rate",
+                ))
+                proposals.append((
+                    "admission_burst",
+                    max(s.admission_burst, 1.0) * c.admission_growth,
+                    "raise the burst capacity alongside the refill rate",
+                ))
+            else:
+                # queues are genuinely full: more capacity, not more load
+                proposals.append((
+                    "shards",
+                    float(s.num_shards + 1),
+                    "queue-saturated shedding: add a shard",
+                ))
+        elif condition in (Condition.UNDER_PROVISIONED, Condition.HOT_SKEW):
+            why = (
+                f"inbox depth at {s.depth_ratio:.2f} of bound"
+                if condition is Condition.UNDER_PROVISIONED
+                else f"hottest shard owns {s.groups_max} of "
+                f"{s.groups_total} groups"
+            )
+            proposals.append((
+                "shards", float(s.num_shards + 1), f"{why}: add a shard"
+            ))
+        elif condition is Condition.IDLE:
+            proposals.extend(self._relax(s))
+        if (
+            condition not in (Condition.IDLE, Condition.FROZEN)
+            and s.cache_evictions_delta > 0
+            and s.cache_lookups_delta > 0
+            and s.cache_hit_rate < c.cache_hit_target
+        ):
+            proposals.append((
+                "cache_capacity",
+                float(int(s.cache_capacity * c.cache_growth)),
+                f"hit rate {s.cache_hit_rate:.2f} below target with "
+                "evictions this epoch: grow the cache",
+            ))
+        return proposals
+
+    def _relax(self, s: ControlSignals) -> List[Tuple[str, float, str]]:
+        """Step every grown knob back toward the static baseline."""
+        c = self.config
+        reason = f"{self._quiet_streak} quiet epoch(s): reclaim capacity"
+        out: List[Tuple[str, float, str]] = []
+        if s.num_shards > self.baseline["shards"]:
+            out.append(("shards", float(s.num_shards - 1), reason))
+        if s.admission_rate > self.baseline["admission_rate"]:
+            out.append((
+                "admission_rate",
+                max(self.baseline["admission_rate"],
+                    s.admission_rate / c.admission_growth),
+                reason,
+            ))
+        if s.admission_burst > self.baseline["admission_burst"]:
+            out.append((
+                "admission_burst",
+                max(self.baseline["admission_burst"],
+                    s.admission_burst / c.admission_growth),
+                reason,
+            ))
+        if s.cache_capacity > self.baseline["cache_capacity"]:
+            out.append((
+                "cache_capacity",
+                max(self.baseline["cache_capacity"],
+                    float(int(s.cache_capacity / c.cache_growth))),
+                reason,
+            ))
+        if (
+            s.max_staleness != self.baseline["max_staleness"]
+            and s.breakers_open == 0
+        ):
+            out.append((
+                "max_staleness",
+                self.baseline["max_staleness"],
+                "no breakers open: restore the configured staleness bound",
+            ))
+        return out
+
+    # ------------------------------------------------------------------
+    def _gate(
+        self,
+        knob: str,
+        target: float,
+        reason: str,
+        condition: Condition,
+        s: ControlSignals,
+    ) -> Optional[ControlDecision]:
+        """Cooldown + clamp + no-op filter for one proposal."""
+        last = self._last_change.get(knob)
+        if last is not None and s.epoch - last < self.config.cooldown_epochs:
+            return None
+        value, clamped = self.config.limits.clamp(knob, target)
+        current = self._current(knob, s)
+        if value == current:
+            return None
+        return ControlDecision(
+            epoch=s.epoch,
+            condition=condition.value,
+            knob=knob,
+            old=current,
+            new=value,
+            reason=reason,
+            clamped=clamped,
+        )
+
+    @staticmethod
+    def _current(knob: str, s: ControlSignals) -> float:
+        return {
+            "shards": float(s.num_shards),
+            "admission_rate": s.admission_rate,
+            "admission_burst": s.admission_burst,
+            "cache_capacity": float(s.cache_capacity),
+            "max_staleness": float(s.max_staleness),
+        }[knob]
+
+
+class RuntimeController:
+    """The side-effecting half: collect signals, apply gated decisions.
+
+    Attach one to a harness with
+    :meth:`~repro.serve.harness.ServeHarness.attach_controller`; the
+    harness then calls :meth:`review` inside every ``submit`` (within the
+    epoch's activated trace scope, so decision points join the causal
+    tree).  All knob moves happen between batches on the caller thread —
+    the engine's quiet point — so no locking is needed beyond what the
+    knobs themselves provide.
+    """
+
+    def __init__(self, harness, config: Optional[ControllerConfig] = None):
+        self.harness = harness
+        self.config = config or ControllerConfig()
+        self.config.validate()
+        self.baseline = self._capture_baseline()
+        self.engine = DecisionEngine(self.config, self.baseline)
+        self.audit: Deque[ControlDecision] = deque(
+            maxlen=self.config.audit_capacity
+        )
+        self.frozen = False
+        self.freeze_reason: Optional[str] = None
+        self.decisions_total = 0
+        self.condition_counts: Dict[str, int] = {}
+        self.last_condition = Condition.HEALTHY.value
+        self._prev_levels: Dict[str, float] = {}
+        self._prev_snapshot = None
+
+    def _capture_baseline(self) -> Dict[str, float]:
+        h = self.harness
+        return {
+            "shards": float(h.engine.num_shards),
+            "admission_rate": h.admission.bucket.rate,
+            "admission_burst": h.admission.bucket.capacity,
+            "cache_capacity": float(h.cache.capacity),
+            "max_staleness": float(h.supervisor.config.max_staleness),
+        }
+
+    # ------------------------------------------------------------------
+    # the per-epoch loop
+    # ------------------------------------------------------------------
+    def review(self, result) -> List[ControlDecision]:
+        """Run one observe → diagnose → remediate pass for ``result``.
+
+        Returns the decisions applied this epoch (empty while frozen).
+        """
+        if self.frozen:
+            return []
+        signals = self.collect(result.epoch)
+        condition, decisions = self.engine.step(signals)
+        self.last_condition = condition.value
+        self.condition_counts[condition.value] = (
+            self.condition_counts.get(condition.value, 0) + 1
+        )
+        return [self._apply(decision) for decision in decisions]
+
+    def collect(self, epoch: int) -> ControlSignals:
+        """Build this epoch's :class:`ControlSignals`.
+
+        With telemetry attached the signals come from a registry snapshot
+        diff (after refreshing the ``serve_control_*`` surface gauges);
+        without telemetry the same numbers are read straight off the
+        components with controller-held previous levels.
+        """
+        h = self.harness
+        surface = self._surface()
+        groups = {
+            index: len(sources)
+            for index, sources in h.engine.sources_owned().items()
+        }
+        if h.telemetry is not None:
+            h._record_telemetry()
+            record_control_surface(h.telemetry.registry, surface, groups)
+            snapshot = h.telemetry.registry.snapshot()
+            signals = ControlSignals.from_snapshot(
+                snapshot, self._prev_snapshot, epoch=epoch
+            )
+            self._prev_snapshot = snapshot
+            h.reset_staleness_high_water()
+            return signals
+        admission = h.admission.stats()
+        cache = h.cache.stats
+        levels = {
+            "rejections": float(sum(admission["rejections"].values())),
+            "saturated": float(
+                admission["rejections"].get("queue-saturated", 0)
+            ),
+            "admitted": float(
+                admission["admitted_registrations"]
+                + admission["admitted_batches"]
+            ),
+            "lookups": float(cache.lookups),
+            "evictions": float(cache.evicted_families),
+        }
+        previous = self._prev_levels
+        supervisor = h.supervisor.stats()
+        sessions = h.sessions.by_state()
+        signals = ControlSignals(
+            epoch=epoch,
+            num_shards=h.engine.num_shards,
+            queue_bound=admission["queue_bound"],
+            depth_max=max(
+                (shard.depth for shard in h.engine.shards), default=0
+            ),
+            groups_max=max(groups.values(), default=0),
+            groups_total=sum(groups.values()),
+            rejections_delta=int(
+                levels["rejections"] - previous.get("rejections", 0.0)
+            ),
+            saturated_delta=int(
+                levels["saturated"] - previous.get("saturated", 0.0)
+            ),
+            admitted_delta=int(
+                levels["admitted"] - previous.get("admitted", 0.0)
+            ),
+            cache_hit_rate=cache.hit_rate,
+            cache_lookups_delta=int(
+                levels["lookups"] - previous.get("lookups", 0.0)
+            ),
+            cache_evictions_delta=int(
+                levels["evictions"] - previous.get("evictions", 0.0)
+            ),
+            breakers_open=sum(
+                1 for breaker in supervisor["breakers"].values()
+                if breaker["state"] != "closed"
+            ),
+            degraded_sessions=sessions.get("degraded", 0),
+            answer_p99=surface["answer_p99"],
+            staleness_served=int(surface["staleness_served"]),
+            admission_rate=surface["admission_rate"],
+            admission_burst=surface["admission_burst"],
+            cache_capacity=int(surface["cache_capacity"]),
+            max_staleness=int(surface["max_staleness"]),
+        )
+        self._prev_levels = levels
+        h.reset_staleness_high_water()
+        return signals
+
+    def _surface(self) -> Dict[str, float]:
+        """Current knob values + derived SLO measurements."""
+        h = self.harness
+        return {
+            "shards": float(h.engine.num_shards),
+            "admission_rate": h.admission.bucket.rate,
+            "admission_burst": h.admission.bucket.capacity,
+            "cache_capacity": float(h.cache.capacity),
+            "max_staleness": float(h.supervisor.config.max_staleness),
+            "answer_p99": h.answer_p99(),
+            "staleness_served": float(h.staleness_high_water()),
+        }
+
+    # ------------------------------------------------------------------
+    # applying decisions
+    # ------------------------------------------------------------------
+    def _apply(self, decision: ControlDecision) -> ControlDecision:
+        """Push one decision onto the live system, audit it, trace it."""
+        h = self.harness
+        if decision.knob == "shards":
+            h.rescale_shards(int(decision.new))
+        elif decision.knob == "admission_rate":
+            h.admission.retune(registration_rate=decision.new)
+        elif decision.knob == "admission_burst":
+            h.admission.retune(registration_burst=decision.new)
+        elif decision.knob == "cache_capacity":
+            h.cache.set_capacity(int(decision.new))
+        elif decision.knob == "max_staleness":
+            h.supervisor.config.max_staleness = int(decision.new)
+        else:  # pragma: no cover - guarded by KNOBS everywhere
+            raise ControlError(f"unknown knob {decision.knob!r}")
+        trace_id = None
+        if h.telemetry is not None:
+            context = h.telemetry.tracer.current_context()
+            trace_id = context.trace_id if context is not None else None
+            h.telemetry.point(
+                "controller.decision",
+                epoch=decision.epoch,
+                condition=decision.condition,
+                knob=decision.knob,
+                old=decision.old,
+                new=decision.new,
+                reason=decision.reason,
+                clamped=decision.clamped,
+            )
+        decision = dataclasses.replace(decision, trace_id=trace_id)
+        self.audit.append(decision)
+        self.decisions_total += 1
+        return decision
+
+    # ------------------------------------------------------------------
+    # kill switch
+    # ------------------------------------------------------------------
+    def freeze(self, reason: str = "operator") -> List[ControlDecision]:
+        """Revert every knob to the static baseline and stop deciding.
+
+        Returns the revert decisions (tagged ``frozen`` in the audit log).
+        Idempotent; :meth:`thaw` re-enables the loop without touching
+        knobs.
+        """
+        if self.frozen:
+            return []
+        epoch = self.harness.engine.epoch
+        reverts: List[ControlDecision] = []
+        current = self._surface()
+        for knob in KNOBS:
+            target = self.baseline[knob]
+            if target == current[knob]:
+                continue
+            if knob in ("admission_rate", "admission_burst") and target <= 0:
+                # a non-refilling baseline bucket cannot be restored via
+                # the validated retune surface; leave the knob as-is
+                continue
+            reverts.append(self._apply(ControlDecision(
+                epoch=epoch,
+                condition=Condition.FROZEN.value,
+                knob=knob,
+                old=current[knob],
+                new=target,
+                reason=f"kill switch ({reason}): revert to static config",
+            )))
+        self.frozen = True
+        self.freeze_reason = reason
+        return reverts
+
+    def thaw(self) -> None:
+        """Re-enable the decision loop after a freeze."""
+        self.frozen = False
+        self.freeze_reason = None
+
+    # ------------------------------------------------------------------
+    # introspection / export
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Point-in-time summary for ``ServeHarness.stats()`` and the CLI."""
+        return {
+            "frozen": self.frozen,
+            "freeze_reason": self.freeze_reason,
+            "decisions_total": self.decisions_total,
+            "last_condition": self.last_condition,
+            "conditions": dict(self.condition_counts),
+            "knobs": {
+                knob: value for knob, value in self._surface().items()
+                if knob in KNOBS
+            },
+            "baseline": dict(self.baseline),
+            "audit_size": len(self.audit),
+        }
+
+    def export_audit(self, path: str) -> int:
+        """Write the audit log as JSONL; returns the record count."""
+        decisions = list(self.audit)
+        with open(path, "w") as handle:
+            for decision in decisions:
+                handle.write(json.dumps(decision.as_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(decisions)
+
+    def __repr__(self) -> str:
+        return (
+            f"RuntimeController(decisions={self.decisions_total}, "
+            f"frozen={self.frozen}, last={self.last_condition})"
+        )

@@ -331,6 +331,29 @@ class ShardedServeEngine:
         self.shards[index] = replacement
         return replacement
 
+    def rescale(self, num_shards: int) -> None:
+        """Repartition to ``num_shards`` fresh workers (the scaling knob).
+
+        Every current worker is retired (same drain-and-join contract as
+        :meth:`replace_shard`) and a new pool is built from copies of the
+        canonical graph, so the replacement workers carry the exact
+        topology of the current epoch.  Routing is ``source % num_shards``
+        against the *new* pool — the caller (the harness) must re-register
+        every active session on its new owning shard, which re-enters the
+        normal warm-up path and answers again from the next batch.  Must
+        be called between batches (the ingest thread's quiet point).
+        """
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if num_shards == len(self.shards):
+            return
+        for old in self.shards:
+            old.request_stop()
+            self.retired.append(old)
+        self.shards = [self._make_worker(index) for index in range(num_shards)]
+        if self._initialized:
+            self._start_shards()
+
     def close(self, timeout: float = 5.0, strict: bool = True) -> None:
         """Stop and join every worker, including retired ones (idempotent).
 

@@ -23,17 +23,25 @@ from __future__ import annotations
 import contextlib
 import queue
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Deque, Dict, List, Optional, Union
 
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.core.classification import KeyPathRule
-from repro.errors import ProvenanceMissError, QueryError, QueueSaturatedError
+from repro.errors import (
+    ProvenanceMissError,
+    QueryError,
+    QueueSaturatedError,
+    SessionClosedError,
+    SessionNotFoundError,
+)
 from repro.graph.batch import EdgeUpdate, UpdateBatch
 from repro.graph.dynamic import DynamicGraph
 from repro.metrics import OpCounts, ResilienceCounters
 from repro.obs.bridge import (
     record_answer_latency,
+    record_controller,
     record_serve_admission,
     record_serve_cache,
     record_serve_state,
@@ -105,6 +113,14 @@ class ServeHarness:
         self.provenance: Optional[ProvenanceRecorder] = engine.provenance
         self.batches_served = 0
         self.query_ops = OpCounts()
+        #: adaptive controller, attached via :meth:`attach_controller`
+        self.controller = None
+        #: recent per-batch submit latencies (the answer-p99 window)
+        self._latencies: Deque[float] = deque(maxlen=256)
+        #: stale reads served over the lifetime of this harness
+        self.stale_reads_served = 0
+        #: max staleness age served since the last controller review
+        self._staleness_high = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -346,6 +362,7 @@ class ServeHarness:
         result: ServeBatchResult = self.pipeline.run_batch(batch)
         latency = time.perf_counter() - started
         self.batches_served += 1
+        self._latencies.append(latency)
         telemetry = self.telemetry
         # re-enter the batch's causal tree: answer delivery, cache
         # invalidation and supervision all descend from the commit root
@@ -371,6 +388,10 @@ class ServeHarness:
             for (source, destination), value in result.answers.items():
                 self.cache.remember(source, destination, value)
             self.supervisor.review(result)
+            if self.controller is not None:
+                # still inside the batch's trace scope, so every decision
+                # point joins the epoch's causal tree
+                self.controller.review(result)
         self._record_telemetry()
         return result
 
@@ -422,8 +443,18 @@ class ServeHarness:
         """
         return self.read(source, destination).value
 
-    def read(self, source: int, destination: int) -> ReadResult:
+    def read(
+        self,
+        source: Optional[int] = None,
+        destination: Optional[int] = None,
+        session_id: Optional[str] = None,
+    ) -> ReadResult:
         """One-shot pairwise read with an explicit freshness contract.
+
+        Address the pair directly (``source``/``destination``) or through
+        a standing session (``session_id``) — the latter raises
+        :class:`~repro.errors.SessionClosedError` when the session is
+        unknown or already closed, instead of leaking a ``KeyError``.
 
         On a closed circuit this is the cached exact read.  While
         ``source``'s breaker is open (or trialling half-open), the answer
@@ -433,6 +464,9 @@ class ServeHarness:
         still carries the flag (the value is exact; the serving path for
         this source is not healthy).
         """
+        source, destination = self._resolve_pair(
+            source, destination, session_id
+        )
         request = PairwiseQuery(source, destination)
         request.validate(self.engine.graph.num_vertices)
         degraded = self.supervisor.breaker_open(source)
@@ -445,6 +479,8 @@ class ServeHarness:
                 and stamped[1] <= self.supervisor.config.max_staleness
             ):
                 value, stale_epochs = stamped
+                self.stale_reads_served += 1
+                self._staleness_high = max(self._staleness_high, stale_epochs)
                 self._record_telemetry()
                 return ReadResult(value, degraded=True,
                                   stale_epochs=stale_epochs)
@@ -454,31 +490,121 @@ class ServeHarness:
                                self.cache.stats.as_dict())
         return ReadResult(value, degraded=degraded, stale_epochs=stale_epochs)
 
+    def _resolve_pair(
+        self,
+        source: Optional[int],
+        destination: Optional[int],
+        session_id: Optional[str],
+    ) -> "tuple[int, int]":
+        """Resolve a read/explain target to its ``(source, destination)``."""
+        if session_id is None:
+            if source is None or destination is None:
+                raise QueryError(
+                    "read/explain needs source and destination "
+                    "(or a session_id)"
+                )
+            return source, destination
+        try:
+            session = self.sessions.get(session_id)
+        except SessionNotFoundError:
+            raise SessionClosedError(session_id, "is unknown") from None
+        if session.state is SessionState.CLOSED:
+            raise SessionClosedError(session_id, "is closed")
+        return session.query.source, session.query.destination
+
     # ------------------------------------------------------------------
     # provenance
     # ------------------------------------------------------------------
     def explain(
-        self, source: int, destination: int, epoch: Optional[int] = None
+        self,
+        source: Optional[int] = None,
+        destination: Optional[int] = None,
+        epoch: Optional[int] = None,
+        session_id: Optional[str] = None,
     ) -> Dict[str, object]:
         """Explain ``Q(source -> destination)`` at ``epoch`` (default: the
         latest epoch that answered the pair).
 
-        Returns the provenance record: classification counts, sampled
-        triangle-inequality verdicts, and the key-path evolution for the
-        destination.  Raises
+        The pair can also be addressed through a standing session
+        (``session_id``), which raises
+        :class:`~repro.errors.SessionClosedError` when the session is
+        unknown or closed.  Returns the provenance record: classification
+        counts, sampled triangle-inequality verdicts, and the key-path
+        evolution for the destination.  Raises
         :class:`~repro.errors.ProvenanceMissError` when recording is
         disabled or the epoch has been evicted from the bounded store.
         """
+        source, destination = self._resolve_pair(
+            source, destination, session_id
+        )
         if self.provenance is None:
             raise ProvenanceMissError("provenance recording is disabled")
         return self.provenance.explain(source, destination, epoch=epoch)
+
+    # ------------------------------------------------------------------
+    # adaptive control
+    # ------------------------------------------------------------------
+    def attach_controller(self, config=None):
+        """Attach (or return) the adaptive :class:`RuntimeController`.
+
+        ``config`` is a :class:`~repro.serve.control.ControllerConfig`
+        (default-constructed when omitted).  Idempotent: a second call
+        returns the existing controller unchanged.  From then on every
+        :meth:`submit` ends with a controller review — see
+        docs/adaptive_control.md.
+        """
+        from repro.serve.control import ControllerConfig, RuntimeController
+
+        if self.controller is None:
+            self.controller = RuntimeController(
+                self, config or ControllerConfig()
+            )
+        return self.controller
+
+    def rescale_shards(self, num_shards: int) -> None:
+        """Repartition the worker pool live, migrating every session.
+
+        Rescales the engine to ``num_shards`` fresh workers built from
+        the canonical graph, then requeues every active session on its
+        new owning shard (``source % num_shards``): the session drops to
+        PENDING and re-enters the normal warm-up, answering again from
+        the next committed batch.  Degraded sessions stay with the
+        supervisor's rescue path, which routes through the new pool.
+        Must be called between batches (the harness's quiet point) —
+        the controller does so from its post-commit review.
+        """
+        if num_shards == self.engine.num_shards:
+            return
+        self.engine.rescale(num_shards)
+        for session in self.sessions.active_sessions():
+            if session.state is not SessionState.PENDING:
+                session.transition(SessionState.PENDING)
+            shard = self.engine.shard_of(session.query.source)
+            shard.submit_register(session, block=True)
+        self._record_telemetry()
+
+    def answer_p99(self) -> float:
+        """Nearest-rank p99 over the recent per-batch answer latencies."""
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        return ordered[min(len(ordered) - 1,
+                           int(0.99 * (len(ordered) - 1)))]
+
+    def staleness_high_water(self) -> int:
+        """Max staleness age served since the last controller review."""
+        return self._staleness_high
+
+    def reset_staleness_high_water(self) -> None:
+        """Start a fresh staleness observation window (controller use)."""
+        self._staleness_high = 0
 
     # ------------------------------------------------------------------
     # introspection / shutdown
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         """Point-in-time summary across every serving subsystem."""
-        return {
+        data: Dict[str, object] = {
             "snapshot_id": self.pipeline.snapshot_id,
             "epoch": self.engine.epoch,
             "batches_served": self.batches_served,
@@ -495,6 +621,9 @@ class ServeHarness:
                 for shard in self.engine.shards
             },
         }
+        if self.controller is not None:
+            data["controller"] = self.controller.stats()
+        return data
 
     def _record_telemetry(self) -> None:
         telemetry = self.telemetry
@@ -508,6 +637,8 @@ class ServeHarness:
         record_serve_admission(telemetry.registry, self.admission.stats())
         record_serve_cache(telemetry.registry, self.cache.stats.as_dict())
         record_supervision(telemetry.registry, self.supervisor.stats())
+        if self.controller is not None:
+            record_controller(telemetry.registry, self.controller.stats())
 
     def close(self, final_checkpoint: bool = True) -> None:
         """Close every session, checkpoint, release the WAL, stop shards.

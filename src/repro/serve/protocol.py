@@ -13,8 +13,15 @@ line, ``#`` starts a comment)::
     query S D           one-shot cached read of Q(S -> D); reports the
                         ``degraded`` flag (and staleness) while the
                         source's circuit breaker is open
+    query SID           the same read addressed through a standing
+                        session id (a closed or unknown id is a typed
+                        ``SessionClosedError``, not a crash)
     explain S D [EPOCH] contribution provenance of Q(S -> D) at EPOCH
                         (default: latest epoch that answered the pair)
+    explain SID [EPOCH] provenance addressed through a session id
+    control [ACTION]    adaptive-controller surface (``serve --adaptive``):
+                        ``status`` (default), ``freeze``, ``thaw``, or
+                        ``log [N]`` for the last N audit decisions
     stats               print the harness summary
     close               stop serving (implicit at end of script)
 
@@ -29,9 +36,14 @@ from __future__ import annotations
 import shlex
 from typing import Dict, Iterable, List
 
-from repro.errors import ReproError
+from repro.errors import ControlError, ReproError
 from repro.graph.batch import EdgeUpdate, add, delete
 from repro.serve.harness import ServeHarness
+
+
+def _is_session_id(token: str) -> bool:
+    """True when a query/explain operand addresses a session, not a vertex."""
+    return not token.lstrip("-").isdigit()
 
 
 class ScriptError(ReproError):
@@ -130,7 +142,10 @@ class ScriptRunner:
         }
 
     def _cmd_query(self, args: List[str]) -> Dict[str, object]:
-        read = self.harness.read(int(args[0]), int(args[1]))
+        if _is_session_id(args[0]):
+            read = self.harness.read(session_id=args[0])
+        else:
+            read = self.harness.read(int(args[0]), int(args[1]))
         event: Dict[str, object] = {
             "answer": read.value,
             "hit_rate": self.harness.cache.stats.hit_rate,
@@ -141,9 +156,38 @@ class ScriptRunner:
         return event
 
     def _cmd_explain(self, args: List[str]) -> Dict[str, object]:
-        epoch = int(args[2]) if len(args) > 2 else None
-        record = self.harness.explain(int(args[0]), int(args[1]), epoch=epoch)
+        if _is_session_id(args[0]):
+            epoch = int(args[1]) if len(args) > 1 else None
+            record = self.harness.explain(session_id=args[0], epoch=epoch)
+        else:
+            epoch = int(args[2]) if len(args) > 2 else None
+            record = self.harness.explain(
+                int(args[0]), int(args[1]), epoch=epoch
+            )
         return {"explain": record}
+
+    def _cmd_control(self, args: List[str]) -> Dict[str, object]:
+        action = args[0] if args else "status"
+        if action not in ("status", "freeze", "thaw", "log"):
+            raise ValueError(f"unknown control action {action!r}")
+        controller = self.harness.controller
+        if controller is None:
+            raise ControlError(
+                "no runtime controller attached (run serve with --adaptive)"
+            )
+        if action == "freeze":
+            reverts = controller.freeze(reason="script")
+            return {"frozen": True, "reverts": len(reverts)}
+        if action == "thaw":
+            controller.thaw()
+            return {"frozen": False}
+        if action == "log":
+            limit = int(args[1]) if len(args) > 1 else 0
+            decisions = [decision.as_dict() for decision in controller.audit]
+            if limit > 0:
+                decisions = decisions[-limit:]
+            return {"decisions": decisions}
+        return {"control": controller.stats()}
 
     def _cmd_stats(self, args: List[str]) -> Dict[str, object]:
         return {"stats": self.harness.stats()}

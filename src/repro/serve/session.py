@@ -57,13 +57,17 @@ class SessionState(enum.Enum):
 #: transitions a session may take (anything else raises SessionStateError)
 #: DEGRADED -> PENDING is the supervisor's resurrection requeue: a rescued
 #: session re-enters the normal pending -> warming -> live warm-up on the
-#: (possibly respawned) owning shard — see docs/self_healing.md
+#: (possibly respawned) owning shard — see docs/self_healing.md.
+#: LIVE/WARMING -> PENDING is the adaptive controller's migration requeue:
+#: a shard rescale re-homes every standing query onto its new owning shard
+#: through the same warm-up path — see docs/adaptive_control.md
 _ALLOWED = {
     SessionState.PENDING: {SessionState.WARMING, SessionState.LIVE,
                            SessionState.DEGRADED, SessionState.CLOSED},
-    SessionState.WARMING: {SessionState.LIVE, SessionState.DEGRADED,
-                           SessionState.CLOSED},
-    SessionState.LIVE: {SessionState.DEGRADED, SessionState.CLOSED},
+    SessionState.WARMING: {SessionState.PENDING, SessionState.LIVE,
+                           SessionState.DEGRADED, SessionState.CLOSED},
+    SessionState.LIVE: {SessionState.PENDING, SessionState.DEGRADED,
+                        SessionState.CLOSED},
     SessionState.DEGRADED: {SessionState.PENDING, SessionState.CLOSED},
     SessionState.CLOSED: set(),
 }
@@ -116,7 +120,8 @@ class QuerySession:
         self.registered_snapshot: Optional[int] = None
         #: error text of the failure that degraded this session (if any)
         self.degraded_reason: Optional[str] = None
-        #: times the supervisor requeued this session after a failure
+        #: times this session was requeued back to PENDING — supervisor
+        #: resurrection after a failure, or controller migration on rescale
         self.resurrections = 0
 
     # ------------------------------------------------------------------

@@ -51,6 +51,23 @@ class TestCommittedBaseline:
         ):
             assert name in metrics, f"serve metric {name} missing from baseline"
 
+    def test_baseline_carries_the_controller_comparison(self):
+        """The controller on/off section: static flash-crowd violates the
+        shed SLO, adaptive meets it, both converge — fixed-key scalars
+        only, so the schema checker guards the section without pinning
+        controller behavior."""
+        with open(BASELINE) as handle:
+            control = json.load(handle)["adaptive_control"]
+        assert control["schedule"] == bench_serving.CONTROL_SCHEDULE
+        assert control["converged_both"] is True
+        assert control["static_slo_met"] is False
+        assert control["adaptive_slo_met"] is True
+        assert control["adaptive_shed_rate"] < control["static_shed_rate"]
+        assert control["adaptive_decisions"] > 0
+        assert not any(
+            isinstance(value, list) for value in control.values()
+        ), "variable-length values would read as schema drift"
+
     def test_check_mode_passes_against_committed_baseline(self, capsys):
         """The smoke check: a fresh serving run's schema matches the baseline."""
         assert bench_serving.main(["--check", "--output", BASELINE]) == 0

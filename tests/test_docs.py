@@ -21,6 +21,7 @@ DOC_FILES = [
     "docs/tracing.md",
     "docs/serving.md",
     "docs/self_healing.md",
+    "docs/adaptive_control.md",
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")

@@ -6,6 +6,10 @@ across several source groups, streamed update batches through the
 WAL-backed serve harness, ad-hoc cached reads, and a couple of
 deliberately rate-limited registrations — with telemetry enabled, and
 writes the resulting document to ``BENCH_serving.json`` at the repo root.
+The document also carries a controller on/off section: the flash-crowd
+chaos schedule replayed static and adaptive, recording both shed rates
+and SLO verdicts plus the adaptive decision count
+(``docs/adaptive_control.md``).
 
 Same contract as ``tools/bench_snapshot.py`` (whose schema-drift checker
 this tool reuses):
@@ -41,7 +45,10 @@ from bench_snapshot import key_paths, schema_drift  # noqa: E402
 DEFAULT_OUTPUT = os.path.join(ROOT, "BENCH_serving.json")
 
 #: bump when the snapshot layout itself (not the metric surface) changes
-SNAPSHOT_SCHEMA_VERSION = 1
+SNAPSHOT_SCHEMA_VERSION = 2
+
+#: chaos schedule the controller on/off comparison replays
+CONTROL_SCHEDULE = "flash-crowd"
 
 WORKLOAD = {
     "dataset": "OR",
@@ -124,7 +131,43 @@ def run_serving_workload() -> Dict[str, object]:
             "rejections": summary["admission"]["rejections"],
         },
         "cache_hit_rate_positive": summary["cache"]["hit_rate"] > 0,
+        "adaptive_control": run_control_comparison(),
         "telemetry": telemetry.metrics_document(),
+    }
+
+
+def run_control_comparison() -> Dict[str, object]:
+    """Replay the flash-crowd chaos schedule static and adaptive.
+
+    Fixed-key scalars only (no variable-length lists): the schema
+    checker indexes list items by position, so anything whose length
+    tracks controller behavior would read as drift on a value change.
+    """
+    from repro.algorithms import get_algorithm
+    from repro.resilience.chaos import builtin_schedule, run_chaos
+
+    algorithm = WORKLOAD["algorithm"]
+    static = run_chaos(
+        builtin_schedule(CONTROL_SCHEDULE),
+        tempfile.mkdtemp(prefix="bench-control-static-"),
+        get_algorithm(algorithm),
+    )
+    adaptive = run_chaos(
+        builtin_schedule(CONTROL_SCHEDULE),
+        tempfile.mkdtemp(prefix="bench-control-adaptive-"),
+        get_algorithm(algorithm),
+        adaptive=True,
+    )
+    return {
+        "schedule": CONTROL_SCHEDULE,
+        "converged_both": static.converged and adaptive.converged,
+        "static_slo_met": static.slo["met"],
+        "static_shed_rate": static.slo["shed_rate"],
+        "static_crowd_rejected": static.crowd_rejected,
+        "adaptive_slo_met": adaptive.slo["met"],
+        "adaptive_shed_rate": adaptive.slo["shed_rate"],
+        "adaptive_crowd_rejected": adaptive.crowd_rejected,
+        "adaptive_decisions": len(adaptive.decisions),
     }
 
 
