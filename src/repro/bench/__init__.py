@@ -1,4 +1,11 @@
-"""Experiment harness regenerating the paper's tables and figures."""
+"""Experiment harness: the paper's tables/figures plus traffic simulation.
+
+Besides the artifact regeneration helpers, this package hosts the
+production-traffic benchmark subsystem (:mod:`repro.bench.traffic` for
+seeded open-loop load generation, :mod:`repro.bench.runner` for isolated
+SLO-graded run bundles) and the shared ``BENCH_*.json`` schema-drift
+checker (:mod:`repro.bench.schema`).
+"""
 
 from repro.bench.datasets import (
     DatasetSpec,
@@ -30,6 +37,27 @@ from repro.bench.experiments import (
 from repro.bench.analysis import StreamDiagnostics, diagnose_stream, histogram, summarize
 from repro.bench.charts import grouped_bars, horizontal_bars
 from repro.bench.reporting import render_report
+from repro.bench.runner import (
+    RunConfig,
+    TrafficRunReport,
+    reproduce_run,
+    run_traffic,
+)
+from repro.bench.schema import (
+    check_baseline,
+    key_paths,
+    schema_drift,
+    write_baseline,
+)
+from repro.bench.traffic import (
+    TRAFFIC_PROFILES,
+    TrafficEvent,
+    TrafficProfile,
+    TrafficWorkload,
+    builtin_profile,
+    generate_arrivals,
+    make_traffic_workload,
+)
 from repro.bench.tables import (
     format_dict_table,
     format_fraction,
@@ -72,4 +100,19 @@ __all__ = [
     "grouped_bars",
     "horizontal_bars",
     "render_report",
+    "RunConfig",
+    "TrafficRunReport",
+    "reproduce_run",
+    "run_traffic",
+    "check_baseline",
+    "key_paths",
+    "schema_drift",
+    "write_baseline",
+    "TRAFFIC_PROFILES",
+    "TrafficEvent",
+    "TrafficProfile",
+    "TrafficWorkload",
+    "builtin_profile",
+    "generate_arrivals",
+    "make_traffic_workload",
 ]

@@ -1,0 +1,97 @@
+"""Schema-drift checking for committed ``BENCH_*.json`` baselines.
+
+Every perf-snapshot tool (``tools/bench_snapshot.py``,
+``tools/bench_serving.py``, ``tools/bench_traffic.py``) commits a JSON
+document at the repo root and re-checks it in CI with the same contract:
+
+* the *schema* — the set of dict key paths, with list items indexed by
+  position — must match the committed baseline exactly (renamed metrics,
+  dropped series and changed labels all fail);
+* the *values* are free to move (wall-clock noise, algorithmic
+  improvements that regenerate the baseline).
+
+The first two tools originally carried copy-pasted implementations of
+this check; this module is the single shared one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+__all__ = [
+    "check_baseline",
+    "key_paths",
+    "schema_drift",
+    "write_baseline",
+]
+
+
+def key_paths(node: object, prefix: str = "") -> List[str]:
+    """Every dict key path in a JSON document (list items by index)."""
+    paths: List[str] = []
+    if isinstance(node, dict):
+        for key in sorted(node):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            paths.append(path)
+            paths.extend(key_paths(node[key], path))
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            paths.extend(key_paths(item, f"{prefix}[{index}]"))
+    return paths
+
+
+def schema_drift(
+    baseline: Dict[str, object], fresh: Dict[str, object]
+) -> List[str]:
+    """Human-readable drift lines (empty when schemas match)."""
+    base_paths = set(key_paths(baseline))
+    fresh_paths = set(key_paths(fresh))
+    drift = []
+    for path in sorted(base_paths - fresh_paths):
+        drift.append(f"missing from fresh run: {path}")
+    for path in sorted(fresh_paths - base_paths):
+        drift.append(f"new (not in baseline):  {path}")
+    return drift
+
+
+def check_baseline(
+    document: Dict[str, object],
+    path: str,
+    name: str,
+    regenerate_cmd: str,
+    err=None,
+) -> int:
+    """Compare ``document``'s schema against the baseline at ``path``.
+
+    Returns a process exit code (0 = match) and prints the verdict —
+    drift lines to ``err`` (default ``sys.stderr``), the OK line to
+    stdout — so every bench tool's ``--check`` branch is one call.
+    """
+    import sys
+
+    err = err if err is not None else sys.stderr
+    if not os.path.exists(path):
+        print(f"error: no baseline at {path} (run without --check)", file=err)
+        return 1
+    with open(path) as handle:
+        baseline = json.load(handle)
+    drift = schema_drift(baseline, document)
+    if drift:
+        print(f"{name} schema drift ({len(drift)} paths):", file=err)
+        for line in drift:
+            print(f"  {line}", file=err)
+        print(f"regenerate with: {regenerate_cmd}", file=err)
+        return 1
+    print(f"OK: {path} schema matches "
+          f"({len(set(key_paths(document)))} paths)")
+    return 0
+
+
+def write_baseline(document: Dict[str, object], path: str) -> None:
+    """Write ``document`` as the committed baseline (sorted, newline-terminated)."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")

@@ -52,6 +52,14 @@ Commands
     Render per-batch causal waterfalls (ingest -> WAL -> shard fan-out ->
     barrier -> commit -> answers) with critical-path attribution from an
     exported events.jsonl; see ``docs/tracing.md``.
+``bench``
+    Production traffic simulation: ``bench traffic`` plays a seeded
+    open-loop profile (``steady``, ``diurnal``, ``flash-crowd``) against
+    a live serving harness on a virtual clock and writes an isolated,
+    SLO-graded bundle under ``results/<run_id>/``; ``bench reproduce``
+    replays a bundle's manifest and checks the summary still holds;
+    ``bench profiles`` lists the builtin profiles.  See
+    ``docs/traffic.md``.
 
 ``query`` and ``experiment`` accept ``--telemetry PATH``: the run executes
 with the unified observability layer (:mod:`repro.obs`) enabled and exports
@@ -705,6 +713,86 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Traffic simulation: run, reproduce or list profiles."""
+    import json
+
+    from repro.bench.runner import RunConfig, reproduce_run, run_traffic
+    from repro.bench.traffic import TRAFFIC_PROFILES, builtin_profile
+
+    if args.action == "profiles":
+        for name in TRAFFIC_PROFILES:
+            profile = builtin_profile(name)
+            print(
+                f"{name:<12} arrival={profile.arrival:<12} "
+                f"sessions={profile.sessions} rate={profile.session_rate:g}/s "
+                f"pairs={profile.distinct_pairs} zipf={profile.zipf_exponent:g}"
+            )
+        return 0
+
+    if args.action == "reproduce":
+        if not args.run_dir:
+            print("error: bench reproduce needs a RUN_DIR", file=sys.stderr)
+            return 2
+        report = reproduce_run(args.run_dir)
+        for failure in report["failures"]:
+            print(f"  MISMATCH: {failure}", file=sys.stderr)
+        verdict = "OK" if report["ok"] else "FAILED"
+        print(
+            f"reproduce {report['run_id']}: {verdict} "
+            f"({report['checked']} keys checked, "
+            f"{len(report['failures'])} failures)"
+        )
+        return 0 if report["ok"] else 1
+
+    if args.action == "traffic":
+        try:
+            profile = builtin_profile(args.profile)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        profile = profile.scaled(sessions=args.sessions, seed=args.seed)
+        config = RunConfig(
+            profile=profile,
+            algorithm=args.algorithm,
+            adaptive=args.adaptive,
+            num_shards=args.shards,
+            registration_rate=args.rate,
+            registration_burst=args.burst,
+        )
+        report = run_traffic(
+            config, results_root=args.results, run_id=args.run_id
+        )
+        summary = report.summary
+        slo = summary["slo"]
+        print(
+            f"traffic {report.run_id}: {profile.name} "
+            f"x{profile.sessions} sessions"
+            + (" (adaptive)" if args.adaptive else "")
+        )
+        print(
+            f"  admission: {summary['admission']['admitted']} admitted, "
+            f"{summary['admission']['rejected']} rejected "
+            f"(shed rate {slo['shed_rate']:.3f})"
+        )
+        print(
+            f"  throughput: "
+            f"{summary['throughput']['updates_per_sec']:.0f} updates/s, "
+            f"{summary['throughput']['events_per_sec']:.0f} events/s; "
+            f"answer p99 {slo['answer_p99']:.4f}s"
+        )
+        verdict = "met" if slo["met"] else "VIOLATED"
+        print(f"  slo: {verdict}"
+              + "".join(f"\n    {v}" for v in slo["violations"]))
+        print(f"  bundle: {report.run_dir}")
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if (slo["met"] or args.no_grade) else 1
+
+    print(f"unknown bench action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -939,6 +1027,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="render at most the last N traces (0 = all)",
     )
     trace.set_defaults(func=cmd_trace)
+
+    bench = sub.add_parser(
+        "bench",
+        help="production traffic simulation: SLO-graded experiment runs",
+    )
+    bench.add_argument(
+        "action", choices=["traffic", "reproduce", "profiles"],
+        help="run a profile, replay a bundle's manifest, or list profiles",
+    )
+    bench.add_argument(
+        "run_dir", nargs="?", default=None,
+        help="reproduce: the results/<run_id> bundle to replay",
+    )
+    bench.add_argument(
+        "--profile", default="steady",
+        help="traffic: builtin profile (steady, diurnal, flash-crowd)",
+    )
+    bench.add_argument(
+        "--sessions", type=int, default=None,
+        help="traffic: override the profile's session-arrival count",
+    )
+    bench.add_argument("--seed", type=int, default=None,
+                       help="traffic: override the profile's seed")
+    bench.add_argument("--algorithm", default="ppsp",
+                       choices=list_algorithms())
+    bench.add_argument(
+        "--adaptive", action="store_true",
+        help="traffic: attach the SLO-guarded runtime controller",
+    )
+    bench.add_argument("--shards", type=int, default=2, help="worker threads")
+    bench.add_argument(
+        "--rate", type=float, default=24.0,
+        help="traffic: registration token-bucket refill rate (virtual-clock)",
+    )
+    bench.add_argument(
+        "--burst", type=float, default=32.0,
+        help="traffic: registration token-bucket capacity",
+    )
+    bench.add_argument(
+        "--results", default="results",
+        help="traffic: parent directory for run bundles",
+    )
+    bench.add_argument(
+        "--run-id", default=None,
+        help="traffic: pin the bundle name (default: profile+seed+nonce)",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="traffic: also print the full summary document",
+    )
+    bench.add_argument(
+        "--no-grade", action="store_true",
+        help="traffic: exit 0 even when the run violates its SLO",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -3,6 +3,7 @@
 from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind, add, delete
 from repro.graph.csr import CSRGraph
 from repro.graph.dynamic import DynamicGraph
+from repro.graph.popularity import ZipfSampler
 from repro.graph.streaming import StreamingGraph, StreamReplay, StreamStep
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "StreamingGraph",
     "StreamReplay",
     "StreamStep",
+    "ZipfSampler",
 ]

@@ -19,6 +19,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.graph.popularity import ZipfSampler
+
 Edge = Tuple[int, int, float]
 
 #: Default inclusive weight range; matches common streaming-graph setups
@@ -146,9 +148,7 @@ def web_graph(
         raise ValueError("locality must be in [0, 1]")
     rng = np.random.default_rng(seed)
     # Zipf-like popularity over a random permutation of vertex ids.
-    ranks = rng.permutation(num_vertices)
-    popularity = 1.0 / (np.arange(1, num_vertices + 1) ** 0.8)
-    popularity /= popularity.sum()
+    popularity = ZipfSampler(num_vertices, exponent=0.8, rng=rng, permute=True)
 
     chosen: set = set()
     edges: List[Tuple[int, int]] = []
@@ -159,7 +159,7 @@ def web_graph(
         local = rng.random(need) < locality
         offsets = rng.integers(-window, window + 1, size=need)
         near = (src + offsets) % num_vertices
-        popular = ranks[rng.choice(num_vertices, size=need, p=popularity)]
+        popular = popularity.sample(need)
         dst = np.where(local, near, popular)
         for u, v in zip(src.tolist(), dst.tolist()):
             if u == v or (u, v) in chosen:

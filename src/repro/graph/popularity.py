@@ -1,0 +1,77 @@
+"""Seeded Zipf-ranked popularity sampling, shared across generators.
+
+Both synthetic graph generation (:func:`repro.graph.generators.web_graph`,
+which draws hyperlink destinations by preferential attachment) and the
+traffic simulator (:mod:`repro.bench.traffic`, which skews session and
+read popularity so caches and breakers see realistic hot keys) need the
+same primitive: draw items from a Zipf-ranked popularity table,
+deterministically under a seeded :class:`numpy.random.Generator`.  This
+module is the single implementation both draw from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Draw items with Zipf-ranked popularity ``P(rank r) ∝ 1 / r**s``.
+
+    ``num_items`` is the universe size; ``exponent`` is the skew ``s``
+    (0 = uniform; web-graph degree skew uses 0.8; session popularity in
+    production traces typically lands between 0.8 and 1.2).  With
+    ``permute=True`` the rank-to-item mapping is a random permutation
+    drawn from ``rng`` at construction (popular items scattered across
+    the id space, as in a web crawl); otherwise item ``i`` simply has
+    rank ``i + 1``, so item 0 is the hottest — convenient when the caller
+    owns the item table.
+
+    All draws consume ``rng`` (a :class:`numpy.random.Generator` or a
+    seed for one), so a fixed seed yields an identical draw sequence.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        exponent: float = 0.8,
+        rng: Union[np.random.Generator, int, None] = None,
+        permute: bool = False,
+    ) -> None:
+        if num_items <= 0:
+            raise ValueError("num_items must be positive")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self.num_items = num_items
+        self.exponent = exponent
+        self._rng = rng
+        self.items = (
+            rng.permutation(num_items) if permute
+            else np.arange(num_items)
+        )
+        weights = 1.0 / (np.arange(1, num_items + 1) ** exponent)
+        self.probabilities = weights / weights.sum()
+
+    def sample(self, size: Optional[int] = None) -> Union[int, np.ndarray]:
+        """Draw one item id (``size=None``) or an array of ``size`` ids."""
+        picked = self._rng.choice(
+            self.num_items, size=size, p=self.probabilities
+        )
+        if size is None:
+            return int(self.items[picked])
+        return self.items[picked]
+
+    def rank_probability(self, rank: int) -> float:
+        """The probability mass of the item at 1-based ``rank``."""
+        if not 1 <= rank <= self.num_items:
+            raise ValueError(f"rank must be within [1, {self.num_items}]")
+        return float(self.probabilities[rank - 1])
+
+    def __repr__(self) -> str:
+        return (
+            f"ZipfSampler(num_items={self.num_items}, "
+            f"exponent={self.exponent})"
+        )

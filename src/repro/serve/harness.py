@@ -98,6 +98,7 @@ class ServeHarness:
         cache: ResultCache,
         supervisor: Supervisor,
         recovered: Optional[RecoveryResult] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.pipeline = pipeline
         self.engine = engine
@@ -105,6 +106,10 @@ class ServeHarness:
         self.sessions = registry
         self.cache = cache
         self.supervisor = supervisor
+        #: the serving clock (shared with admission/supervision/engine);
+        #: injectable so drivers like repro.bench.traffic can run the whole
+        #: deployment on a virtual timeline
+        self.clock = clock
         #: recovery report when this harness was built by :meth:`resume`
         self.recovered = recovered
         self.telemetry: Optional[Telemetry] = pipeline.telemetry
@@ -268,7 +273,7 @@ class ServeHarness:
         supervisor = Supervisor(engine, registry, config=supervision,
                                 clock=clock)
         return cls(pipeline, engine, admission, registry, cache, supervisor,
-                   recovered=recovered)
+                   recovered=recovered, clock=clock)
 
     # ------------------------------------------------------------------
     # standing queries

@@ -22,6 +22,7 @@ DOC_FILES = [
     "docs/serving.md",
     "docs/self_healing.md",
     "docs/adaptive_control.md",
+    "docs/traffic.md",
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")

@@ -11,8 +11,8 @@ chaos schedule replayed static and adaptive, recording both shed rates
 and SLO verdicts plus the adaptive decision count
 (``docs/adaptive_control.md``).
 
-Same contract as ``tools/bench_snapshot.py`` (whose schema-drift checker
-this tool reuses):
+Same contract as ``tools/bench_snapshot.py`` (both tools share the
+schema-drift checker in :mod:`repro.bench.schema`):
 
 * ``--check`` re-runs the workload and fails (exit 1) if the *schema* of
   the fresh document drifts from the committed one — renamed metrics,
@@ -30,7 +30,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import tempfile
@@ -40,7 +39,7 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(ROOT, "src"))
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_snapshot import key_paths, schema_drift  # noqa: E402
+from repro.bench.schema import check_baseline, write_baseline  # noqa: E402
 
 DEFAULT_OUTPUT = os.path.join(ROOT, "BENCH_serving.json")
 
@@ -185,29 +184,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     document = run_serving_workload()
 
     if args.check:
-        if not os.path.exists(args.output):
-            print(f"error: no baseline at {args.output} (run without --check)",
-                  file=sys.stderr)
-            return 1
-        with open(args.output) as handle:
-            baseline = json.load(handle)
-        drift = schema_drift(baseline, document)
-        if drift:
-            print(f"BENCH_serving schema drift ({len(drift)} paths):",
-                  file=sys.stderr)
-            for line in drift:
-                print(f"  {line}", file=sys.stderr)
-            print("regenerate with: PYTHONPATH=src python tools/bench_serving.py",
-                  file=sys.stderr)
-            return 1
-        print(f"OK: {args.output} schema matches "
-              f"({len(set(key_paths(document)))} paths)")
-        return 0
-
-    with open(args.output, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"wrote {args.output}")
+        return check_baseline(
+            document,
+            args.output,
+            "BENCH_serving",
+            "PYTHONPATH=src python tools/bench_serving.py",
+        )
+    write_baseline(document, args.output)
     return 0
 
 

@@ -24,13 +24,22 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(ROOT, "src"))
+
+# re-exported here because this tool historically owned the checker;
+# the implementation now lives in repro.bench.schema (shared with
+# bench_serving.py and bench_traffic.py)
+from repro.bench.schema import (  # noqa: E402
+    check_baseline,
+    key_paths,
+    schema_drift,
+    write_baseline,
+)
 
 DEFAULT_OUTPUT = os.path.join(ROOT, "BENCH_observability.json")
 
@@ -142,35 +151,6 @@ def measure_tracing(repeats: int = 3) -> Dict[str, object]:
     }
 
 
-# ----------------------------------------------------------------------
-# schema comparison
-# ----------------------------------------------------------------------
-def key_paths(node: object, prefix: str = "") -> List[str]:
-    """Every dict key path in a JSON document (list items by index)."""
-    paths: List[str] = []
-    if isinstance(node, dict):
-        for key in sorted(node):
-            path = f"{prefix}.{key}" if prefix else str(key)
-            paths.append(path)
-            paths.extend(key_paths(node[key], path))
-    elif isinstance(node, list):
-        for index, item in enumerate(node):
-            paths.extend(key_paths(item, f"{prefix}[{index}]"))
-    return paths
-
-
-def schema_drift(baseline: Dict[str, object], fresh: Dict[str, object]) -> List[str]:
-    """Human-readable drift lines (empty when schemas match)."""
-    base_paths = set(key_paths(baseline))
-    fresh_paths = set(key_paths(fresh))
-    drift = []
-    for path in sorted(base_paths - fresh_paths):
-        drift.append(f"missing from fresh run: {path}")
-    for path in sorted(fresh_paths - base_paths):
-        drift.append(f"new (not in baseline):  {path}")
-    return drift
-
-
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
@@ -184,28 +164,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     document = run_fixed_workload()
 
     if args.check:
-        if not os.path.exists(args.output):
-            print(f"error: no baseline at {args.output} (run without --check)",
-                  file=sys.stderr)
-            return 1
-        with open(args.output) as handle:
-            baseline = json.load(handle)
-        drift = schema_drift(baseline, document)
-        if drift:
-            print(f"BENCH_observability schema drift ({len(drift)} paths):",
-                  file=sys.stderr)
-            for line in drift:
-                print(f"  {line}", file=sys.stderr)
-            print("regenerate with: PYTHONPATH=src python tools/bench_snapshot.py",
-                  file=sys.stderr)
-            return 1
-        print(f"OK: {args.output} schema matches ({len(set(key_paths(document)))} paths)")
-        return 0
-
-    with open(args.output, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"wrote {args.output}")
+        return check_baseline(
+            document,
+            args.output,
+            "BENCH_observability",
+            "PYTHONPATH=src python tools/bench_snapshot.py",
+        )
+    write_baseline(document, args.output)
     return 0
 
 

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Fixed-profile traffic snapshot: the static-vs-adaptive SLO baseline.
+
+Plays the builtin ``flash-crowd`` traffic profile (1000 seeded open-loop
+session arrivals, Zipf-skewed over the standing-query pool, a 6x burst
+mid-run) against the serve harness twice — once with static admission
+limits, once with the adaptive runtime controller attached — and writes
+the comparison to ``BENCH_traffic.json`` at the repo root.  The
+committed document is the proof-of-value artifact for the controller:
+the static run violates the shed-rate SLO during the burst, the adaptive
+run raises admission mid-burst and meets it.
+
+Same contract as the other bench tools (all three share the
+schema-drift checker in :mod:`repro.bench.schema`):
+
+* ``--check`` re-runs the comparison and fails (exit 1) if the *schema*
+  of the fresh document drifts from the committed one — renamed metrics,
+  dropped keys.  Values are allowed to move.
+* without ``--check`` the file is (re)written, which is how a PR that
+  intentionally changes the traffic metric surface refreshes the
+  baseline.
+
+Fixed-key scalars only: the SLO verdicts are flattened to ``*_slo_met``
+booleans plus the individual measured scalars, never the verdict's
+variable-length ``violations`` list (the schema checker indexes list
+items by position, so a list whose length tracks run behavior would
+read as drift on a mere value change).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_traffic.py            # regenerate
+    PYTHONPATH=src python tools/bench_traffic.py --check    # smoke check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from typing import Dict, Optional, Sequence
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.bench.schema import check_baseline, write_baseline  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(ROOT, "BENCH_traffic.json")
+
+#: bump when the snapshot layout itself (not the metric surface) changes
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: the committed comparison's profile and seed
+PROFILE = "flash-crowd"
+SEED = 0
+
+
+def _mode_scalars(summary: Dict[str, object]) -> Dict[str, object]:
+    """One run's fixed-key scalar slice of the summary document."""
+    slo = summary["slo"]
+    return {
+        "slo_met": slo["met"],
+        "shed_rate": slo["shed_rate"],
+        "answer_p99_s": slo["answer_p99"],
+        "staleness_max": slo["staleness_max"],
+        "admitted": summary["admission"]["admitted"],
+        "rejected": summary["admission"]["rejected"],
+        "sessions_distinct": summary["sessions"]["distinct"],
+        "updates_per_sec": summary["throughput"]["updates_per_sec"],
+        "events_per_sec": summary["throughput"]["events_per_sec"],
+        "answers_digest": summary["answers"]["digest"],
+    }
+
+
+def run_traffic_comparison() -> Dict[str, object]:
+    """Run the fixed profile static and adaptive; return the document."""
+    from repro.bench.runner import RunConfig, run_traffic
+    from repro.bench.traffic import builtin_profile
+
+    profile = builtin_profile(PROFILE).scaled(seed=SEED)
+    results_root = tempfile.mkdtemp(prefix="bench-traffic-")
+    static = run_traffic(
+        RunConfig(profile=profile),
+        results_root=results_root,
+        run_id="static",
+    )
+    adaptive = run_traffic(
+        RunConfig(profile=profile, adaptive=True),
+        results_root=results_root,
+        run_id="adaptive",
+    )
+    return {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "workload": {
+            "profile": PROFILE,
+            "seed": SEED,
+            "sessions": profile.sessions,
+            "scale": os.environ.get("CISGRAPH_SCALE", "small"),
+            "slo": static.config.slo().as_dict(),
+            "event_digest": static.summary["events"]["digest"],
+        },
+        "static": _mode_scalars(static.summary),
+        "adaptive": dict(
+            _mode_scalars(adaptive.summary),
+            decisions=adaptive.summary["adaptive"]["decisions"],
+        ),
+        # the headline: identical traffic, identical SLO policy — only
+        # the controller differs
+        "controller_value": {
+            "static_slo_met": static.summary["slo"]["met"],
+            "adaptive_slo_met": adaptive.summary["slo"]["met"],
+            "shed_rate_reduction": (
+                static.summary["slo"]["shed_rate"]
+                - adaptive.summary["slo"]["shed_rate"]
+            ),
+            "answers_agree": (
+                static.summary["answers"]["digest"]
+                == adaptive.summary["answers"]["digest"]
+            ),
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: regenerate or schema-check the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_traffic_comparison()
+
+    if args.check:
+        return check_baseline(
+            document,
+            args.output,
+            "BENCH_traffic",
+            "PYTHONPATH=src python tools/bench_traffic.py",
+        )
+    write_baseline(document, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
