@@ -106,6 +106,9 @@ class RunConfig:
     profile: TrafficProfile
     algorithm: str = "ppsp"
     adaptive: bool = False
+    #: shard executor ("thread" / "process") — recorded in the manifest
+    #: so a result bundle says which backend produced it
+    backend: str = "thread"
     num_shards: int = 2
     queue_bound: int = 64
     registration_rate: float = 24.0
@@ -212,6 +215,7 @@ def _drive(
         cache_capacity=config.cache_capacity,
         clock=clock,
         checkpoint_every=8,
+        backend=config.backend,
     )
     if config.adaptive:
         harness.attach_controller(ControllerConfig(
@@ -398,6 +402,7 @@ def run_traffic(
         "run_id": run_id,
         "profile": config.profile.name,
         "adaptive": config.adaptive,
+        "backend": config.backend,
         **summary,
     }
     with open(os.path.join(run_dir, SUMMARY_NAME), "w") as handle:

@@ -498,13 +498,25 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.algorithms import get_algorithm
     from repro.resilience.chaos import (
         BUILTIN_SCHEDULES,
+        HOOK_KINDS,
+        THREAD_ONLY_KINDS,
         builtin_schedule,
         random_schedule,
         run_chaos,
     )
 
+    backend = getattr(args, "backend", "thread")
     if args.schedule == "all":
         names = list(BUILTIN_SCHEDULES)
+        if backend != "thread":
+            # drop schedules whose faults fire inside worker threads —
+            # on the process backend only outside-in faults apply
+            incompatible = set(HOOK_KINDS + THREAD_ONLY_KINDS)
+            names = [
+                name for name in names
+                if not incompatible
+                & {e.kind for e in builtin_schedule(name).events}
+            ]
     elif args.schedule == "random" or args.schedule in BUILTIN_SCHEDULES:
         names = [args.schedule]
     else:
@@ -536,6 +548,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 num_batches=args.batches,
                 num_shards=args.shards,
                 adaptive=args.adaptive,
+                backend=backend,
             )
             print(report.summary())
             if args.adaptive and args.telemetry is not None:
@@ -759,6 +772,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             num_shards=args.shards,
             registration_rate=args.rate,
             registration_burst=args.burst,
+            backend=args.backend,
         )
         report = run_traffic(
             config, results_root=args.results, run_id=args.run_id
@@ -955,6 +969,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=7, help="workload/fault seed")
     chaos.add_argument("--batches", type=int, default=8, help="stream length")
     chaos.add_argument("--shards", type=int, default=2, help="worker threads")
+    chaos.add_argument(
+        "--backend", default="thread", choices=["thread", "process"],
+        help="shard executor backend; 'all' skips schedules whose faults "
+             "only exist on the thread backend",
+    )
     chaos.add_argument("--algorithm", default="ppsp", choices=list_algorithms())
     chaos.add_argument(
         "--state-dir", default=None,
@@ -1057,6 +1076,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="traffic: attach the SLO-guarded runtime controller",
     )
     bench.add_argument("--shards", type=int, default=2, help="worker threads")
+    bench.add_argument(
+        "--backend", default="thread", choices=["thread", "process"],
+        help="traffic: shard executor backend (recorded in the manifest)",
+    )
     bench.add_argument(
         "--rate", type=float, default=24.0,
         help="traffic: registration token-bucket refill rate (virtual-clock)",

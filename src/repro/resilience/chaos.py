@@ -64,9 +64,16 @@ __all__ = [
     "run_chaos",
 ]
 
-#: fault kinds a schedule may contain; the last three are *overload*
-#: faults (no component dies — the system is pushed past its static
-#: configuration, which is what the adaptive controller is graded on)
+#: fault kinds a schedule may contain.  ``flash_crowd``/``hot_keys``/
+#: ``slow_shard`` are *overload* faults (no component dies — the system
+#: is pushed past its static configuration, which is what the adaptive
+#: controller is graded on).  The last three are *real* faults: they act
+#: on the worker from outside rather than raising an exception inside it
+#: — ``sigkill_shard`` delivers an actual SIGKILL on the process backend
+#: (an injected kill on threads), ``wedge_shard`` busy-loops the worker
+#: without heartbeats, ``teardown_shm`` unlinks every live shared-memory
+#: topology segment mid-run — so they run identically on both executor
+#: backends (see ``docs/process_shards.md``).
 KINDS = (
     "kill_shard",
     "hang_source",
@@ -75,7 +82,18 @@ KINDS = (
     "flash_crowd",
     "hot_keys",
     "slow_shard",
+    "sigkill_shard",
+    "wedge_shard",
+    "teardown_shm",
 )
+
+#: kinds delivered through the worker-side ``fault_hook`` — they cannot
+#: fire inside a process worker (the hook holds thread gates and driver
+#: state that must not cross the process boundary)
+HOOK_KINDS = ("kill_shard", "hang_source", "slow_shard")
+
+#: kinds that poke thread-only internals from the driver side
+THREAD_ONLY_KINDS = ("saturate_inbox",)
 
 
 class ManualClock:
@@ -112,6 +130,15 @@ class FaultEvent:
     ``payload`` sessions whose sources all route to shard ``target``
     (hot-source skew); ``slow_shard`` drags every batch command on shard
     ``target`` by ``payload`` milliseconds for ``duration`` epochs.
+
+    The *real* kinds fire from the driver immediately before ``epoch``'s
+    submit and act on the worker from outside: ``sigkill_shard``
+    SIGKILLs shard ``target`` (``os.kill`` on the process backend, the
+    injected-kill analogue on threads), ``wedge_shard`` spins shard
+    ``target`` in a heartbeat-free busy loop for ``payload``
+    milliseconds (size it past the epoch deadline so the barrier fails
+    the shard), and ``teardown_shm`` unlinks every live shared-memory
+    topology segment (``target``/``payload`` unused).
     """
 
     epoch: int
@@ -139,6 +166,8 @@ class FaultEvent:
             raise ValueError(
                 f"{self.kind} duration must be at least one epoch"
             )
+        if self.kind == "wedge_shard" and self.payload < 1:
+            raise ValueError("wedge_shard needs payload (milliseconds)")
 
 
 @dataclass
@@ -168,7 +197,8 @@ class ChaosSchedule:
                     f"{num_batches}-batch stream"
                 )
             if event.kind in (
-                "kill_shard", "saturate_inbox", "hot_keys", "slow_shard"
+                "kill_shard", "saturate_inbox", "hot_keys", "slow_shard",
+                "sigkill_shard", "wedge_shard",
             ) and not (0 <= event.target < num_shards):
                 raise ValueError(
                     f"{self.name}: shard {event.target} out of range"
@@ -272,6 +302,39 @@ def builtin_schedule(name: str) -> ChaosSchedule:
             breaker_cooldown=2.0,
             slo=SLOPolicy(answer_p99=5.0, staleness_bound=4, shed_rate=0.25),
         )
+    if name == "sigkill-shard":
+        # the real-death acceptance schedule: shard 1 takes an actual
+        # SIGKILL (process backend) or its thread analogue before epoch
+        # 2's submit; the barrier converts the silent worker into a
+        # failed shard, the supervisor freezes a post-mortem bundle and
+        # respawns from the canonical graph, and with threshold 1 the
+        # affected breakers trip OPEN and heal via the HALF_OPEN trial —
+        # runs identically on both backends
+        return ChaosSchedule(
+            "sigkill-shard",
+            [FaultEvent(epoch=2, kind="sigkill_shard", target=1)],
+            failure_threshold=1,
+            breaker_cooldown=2.0,
+        )
+    if name == "wedge-shard":
+        # shard 0 busy-loops for 1500ms with no heartbeat — 3x the
+        # default 0.5s epoch deadline, so the barrier times the worker
+        # out and fails the shard while it is still technically alive;
+        # threshold 2 keeps the breaker closed so the rescue lands on
+        # the respawned worker immediately, and a mid-run shared-memory
+        # teardown proves respawns republish rather than depend on the
+        # original segment
+        return ChaosSchedule(
+            "wedge-shard",
+            [
+                FaultEvent(
+                    epoch=3, kind="wedge_shard", target=0, payload=1500
+                ),
+                FaultEvent(epoch=3, kind="teardown_shm"),
+            ],
+            failure_threshold=2,
+            breaker_cooldown=2.0,
+        )
     raise ValueError(f"unknown builtin schedule {name!r}")
 
 
@@ -283,6 +346,8 @@ BUILTIN_SCHEDULES = (
     "flash-crowd",
     "hot-skew",
     "slow-shard",
+    "sigkill-shard",
+    "wedge-shard",
 )
 
 #: the subset of :data:`BUILTIN_SCHEDULES` that overloads rather than
@@ -340,6 +405,9 @@ class ChaosController:
         self._releases: Dict[int, List[threading.Event]] = {}
         self._saturations: Dict[int, FaultEvent] = {}
         self._tears: Dict[int, FaultEvent] = {}
+        self._sigkills: Dict[int, FaultEvent] = {}
+        self._wedges: Dict[int, FaultEvent] = {}
+        self._teardowns: Dict[int, FaultEvent] = {}
         self._barriers: List[threading.Event] = []
         self._crowds: Dict[int, List[FaultEvent]] = {}   # wave epoch -> events
         self._hot: Dict[int, List[FaultEvent]] = {}
@@ -362,6 +430,12 @@ class ChaosController:
                 self._saturations[event.epoch] = event
             elif event.kind == "tear_wal":
                 self._tears[event.epoch] = event
+            elif event.kind == "sigkill_shard":
+                self._sigkills[event.epoch] = event
+            elif event.kind == "wedge_shard":
+                self._wedges[event.epoch] = event
+            elif event.kind == "teardown_shm":
+                self._teardowns[event.epoch] = event
             elif event.kind == "flash_crowd":
                 for wave in range(event.epoch, event.epoch + event.duration):
                     self._crowds.setdefault(wave, []).append(event)
@@ -430,6 +504,29 @@ class ChaosController:
         """Unpark saturated workers; the noop backlog drains in FIFO."""
         while self._barriers:
             self._barriers.pop().set()
+
+    def real_before(self, epoch: int, harness: ServeHarness) -> None:
+        """Fire the *real* faults scheduled immediately before ``epoch``.
+
+        These act on the worker from outside instead of raising inside
+        it, so they are delivered from the driver thread and work on
+        both executor backends: ``sigkill_shard`` via ``worker.kill()``
+        (a genuine ``os.kill`` on processes), ``wedge_shard`` via a
+        wedge command the worker spins on without heartbeating, and
+        ``teardown_shm`` via the engine's shared-segment teardown.
+        """
+        event = self._sigkills.pop(epoch, None)
+        if event is not None:
+            harness.engine.shards[event.target].kill()
+            self.fired.append(event)
+        event = self._wedges.pop(epoch, None)
+        if event is not None:
+            harness.engine.shards[event.target].submit_wedge(event.payload)
+            self.fired.append(event)
+        event = self._teardowns.pop(epoch, None)
+        if event is not None:
+            harness.engine.teardown_shared()
+            self.fired.append(event)
 
     def wave_before(
         self, epoch: int, num_vertices: int, reserved: set
@@ -509,6 +606,8 @@ class ChaosReport:
     shed_submits: int
     supervisor: Dict[str, object]
     session_states: Dict[str, int]
+    #: which executor ran the shards ("thread" / "process")
+    backend: str = "thread"
     #: breaker states seen at least once during the run (half-open proof)
     breaker_states_seen: List[str] = field(default_factory=list)
     #: whether the adaptive controller was attached for this run
@@ -527,7 +626,8 @@ class ChaosReport:
         verdict = "CONVERGED" if self.converged else "DIVERGED"
         fired = ", ".join(self.faults_fired) or "none"
         line = (
-            f"chaos[{self.schedule}]: {verdict} after {self.epochs} epochs; "
+            f"chaos[{self.schedule}/{self.backend}]: "
+            f"{verdict} after {self.epochs} epochs; "
             f"faults: {fired}; restarts={self.supervisor['shard_restarts']} "
             f"resurrections={self.supervisor['session_resurrections']} "
             f"blocked={self.supervisor['blocked_rescues']} "
@@ -621,6 +721,7 @@ def run_chaos(
     adaptive: bool = False,
     slo: Optional[SLOPolicy] = None,
     control: Optional[ControllerConfig] = None,
+    backend: str = "thread",
 ) -> ChaosReport:
     """Play ``schedule`` against a live harness; verify convergence.
 
@@ -641,6 +742,21 @@ def run_chaos(
     pairs = pairs or [(1, 20), (2, 30), (3, 40), (4, 50)]
     anchor = anchor or PairwiseQuery(7, 23)
     schedule.validate(num_batches, num_shards)
+    if backend != "thread":
+        # hook-delivered faults execute *inside* the worker and carry
+        # driver-side thread state; only the real (outside-in) faults
+        # and the infrastructure faults are meaningful across a process
+        # boundary
+        unsupported = sorted(
+            {event.kind for event in schedule.events}
+            & set(HOOK_KINDS + THREAD_ONLY_KINDS)
+        )
+        if unsupported:
+            raise ValueError(
+                f"schedule {schedule.name!r} uses in-worker fault kinds "
+                f"{unsupported} that cannot fire on the {backend!r} "
+                f"backend; use sigkill_shard/wedge_shard/teardown_shm"
+            )
     policy = slo or schedule.slo
     graph, batches = _workload(seed, num_vertices, num_edges, num_batches)
     offline = _offline_replay(graph, algorithm, pairs, batches)
@@ -655,11 +771,12 @@ def run_chaos(
         num_shards=num_shards,
         registration_rate=schedule.registration_rate,
         registration_burst=schedule.registration_burst,
-        fault_hook=controller,
+        fault_hook=controller if backend == "thread" else None,
         epoch_deadline=epoch_deadline,
         clock=clock,
         supervision=schedule.supervision(),
         checkpoint_every=2,
+        backend=backend,
     )
     control_config = None
     if adaptive:
@@ -716,11 +833,12 @@ def run_chaos(
                     num_shards=num_shards,
                     registration_rate=schedule.registration_rate,
                     registration_burst=schedule.registration_burst,
-                    fault_hook=controller,
+                    fault_hook=controller if backend == "thread" else None,
                     epoch_deadline=epoch_deadline,
                     clock=clock,
                     supervision=schedule.supervision(),
                     checkpoint_every=2,
+                    backend=backend,
                 )
                 resumes += 1
                 telemetry = harness.telemetry
@@ -734,6 +852,7 @@ def run_chaos(
                 epoch = harness.snapshot_id
                 continue
             controller.saturate_before(target, harness)
+            controller.real_before(target, harness)
             # overload waves register through normal admission; a shed
             # attempt is the signal the adaptive controller feeds on
             for source, destination in controller.wave_before(
@@ -840,6 +959,7 @@ def run_chaos(
         shed_submits=shed,
         supervisor=supervisor_stats,
         session_states=states,
+        backend=backend,
         breaker_states_seen=sorted(breaker_states_seen),
         adaptive=adaptive,
         slo=verdict.as_dict() if verdict is not None else None,
@@ -854,6 +974,7 @@ def run_chaos(
             f"chaos-{schedule.name}",
             {
                 "schedule": schedule.name,
+                "backend": report.backend,
                 "converged": report.converged,
                 "faults_fired": report.faults_fired,
                 "resumes": report.resumes,

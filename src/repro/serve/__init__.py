@@ -9,6 +9,12 @@ keeps streaming.  This package is that serving layer:
   one session per query;
 * :mod:`repro.serve.shard` — worker threads partitioning sessions by
   source group, each owning a private topology copy and bounded inbox;
+* :mod:`repro.serve.executor` — the pluggable backend layer:
+  :class:`ProcessShardWorker` runs the same worker surface as a real OS
+  process over a shared-memory CSR snapshot, with exit-code failure
+  taxonomy (crashed/hung/killed);
+* :mod:`repro.serve.ipc` — the primitive-only command/outcome codec the
+  process backend speaks;
 * :mod:`repro.serve.engine` — the sharded engine speaking the common
   engine protocol so the resilience stack (WAL, checkpoints, guard,
   recovery) wraps it unchanged;
@@ -50,6 +56,7 @@ from repro.serve.control import (
     SLOVerdict,
 )
 from repro.serve.engine import ServeBatchResult, ShardedServeEngine
+from repro.serve.executor import BACKENDS, ProcessShardWorker, resolve_backend
 from repro.serve.harness import ReadResult, ServeHarness
 from repro.serve.health import (
     BreakerState,
@@ -70,6 +77,9 @@ from repro.serve.supervision import Supervisor, SupervisorConfig
 
 __all__ = [
     "AdmissionController",
+    "BACKENDS",
+    "ProcessShardWorker",
+    "resolve_backend",
     "AnswerEvent",
     "BreakerState",
     "CacheStats",

@@ -27,6 +27,7 @@ the pre-*k* topology and answers from *k* on — no locks, no torn reads.
 
 from __future__ import annotations
 
+import queue
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -37,6 +38,7 @@ from repro.core.keypath import KeyPathTracker
 from repro.core.multiquery import SourceGroup
 from repro.errors import ShardCrashedError, ShardShutdownError
 from repro.graph.batch import UpdateBatch, net_effects
+from repro.graph.csr import CSRGraph, SharedCSR
 from repro.graph.dynamic import DynamicGraph
 from repro.incremental import IncrementalState
 from repro.metrics import BatchResult, OpCounts
@@ -44,6 +46,7 @@ from repro.obs.bridge import record_batch_result
 from repro.obs.provenance import GroupObservation, ProvenanceRecorder
 from repro.obs.telemetry import Telemetry, get_global_telemetry
 from repro.query import PairwiseQuery
+from repro.serve.executor import ProcessShardWorker, resolve_backend
 from repro.serve.shard import FaultHook, ShardWorker
 
 
@@ -88,6 +91,7 @@ class ShardedServeEngine:
         epoch_deadline: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
         provenance: Optional[ProvenanceRecorder] = None,
+        backend: str = "thread",
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -118,6 +122,17 @@ class ShardedServeEngine:
         self._anchor = SourceGroup(
             graph, algorithm, anchor.source, [anchor.destination], rule
         )
+        #: which executor runs the workers ("thread" default, "process"
+        #: for real OS processes over a shared-memory topology snapshot)
+        self.backend = resolve_backend(backend)
+        #: every shared-memory snapshot published so far; all unlinked at
+        #: close() (children copy the topology at bootstrap and drop their
+        #: mappings, so holding these is cheap — one segment per pool
+        #: generation, not per worker)
+        self._publications: List[SharedCSR] = []
+        self._generation_pub: Optional[SharedCSR] = None
+        if self.backend == "process":
+            self._generation_pub = self._publish_snapshot()
         self.shards = [
             self._make_worker(index) for index in range(num_shards)
         ]
@@ -126,7 +141,28 @@ class ShardedServeEngine:
         self._initialized = False
         self._batches_seen = 0
 
-    def _make_worker(self, index: int) -> ShardWorker:
+    def _publish_snapshot(self) -> SharedCSR:
+        """Publish the canonical topology as one shared-memory segment.
+
+        Called once per pool generation: at construction, and again on
+        every :meth:`replace_shard` / :meth:`rescale` so replacements
+        bootstrap from the *current* canonical graph — exactly what the
+        anchor checkpoint plus the WAL tail reconstruct.
+        """
+        publication = SharedCSR.publish(CSRGraph.from_dynamic(self.graph))
+        self._publications.append(publication)
+        return publication
+
+    def _make_worker(self, index: int):
+        if self.backend == "process":
+            return ProcessShardWorker(
+                index,
+                self._generation_pub,
+                self.algorithm,
+                rule=self.rule,
+                queue_bound=self.queue_bound,
+                clock=self.clock,
+            )
         return ShardWorker(
             index,
             self.graph.copy(),
@@ -220,9 +256,24 @@ class ShardedServeEngine:
                 trace_id=context.trace_id if context is not None else None,
                 updates=len(effective),
             )
-        # fan out first so shards overlap with the anchor's inline work
+        # fan out first so shards overlap with the anchor's inline work;
+        # the put is bounded by the epoch deadline — a wedged worker whose
+        # inbox stays full becomes a failed shard, not a hung ingest thread
+        failed_shards: List[Tuple[int, str]] = []
         for shard in self.shards:
-            shard.submit_batch(self.epoch, effective, context)
+            try:
+                shard.submit_batch(
+                    self.epoch, effective, context,
+                    timeout=self.epoch_deadline,
+                )
+            except queue.Full:
+                reason = (
+                    f"shard {shard.index} inbox stayed full past the "
+                    f"{self.epoch_deadline:g}s epoch deadline"
+                )
+                if not self.tolerate_shard_failures:
+                    raise ShardCrashedError(reason) from None
+                failed_shards.append((shard.index, reason))
         for upd in effective:
             self.graph.apply_update(upd, missing_ok=True)
         observation = (
@@ -244,9 +295,11 @@ class ShardedServeEngine:
 
         answers: Dict[Tuple[int, int], float] = {}
         degraded: List[Tuple[int, str]] = []
-        failed_shards: List[Tuple[int, str]] = []
         totals: Dict[str, int] = dict(anchor_stats)
+        skip = {index for index, _ in failed_shards}
         for shard in self.shards:
+            if shard.index in skip:
+                continue  # never received the batch; already failed above
             try:
                 if telemetry is None:
                     outcome = shard.wait_outcome(
@@ -326,6 +379,11 @@ class ShardedServeEngine:
         old = self.shards[index]
         old.request_stop()
         self.retired.append(old)
+        if self.backend == "process":
+            # fresh snapshot of the current canonical topology — the dead
+            # child's segment may predate many epochs of deltas (or have
+            # been torn down by chaos mid-run)
+            self._generation_pub = self._publish_snapshot()
         replacement = self._make_worker(index)
         replacement.start()
         self.shards[index] = replacement
@@ -350,9 +408,28 @@ class ShardedServeEngine:
         for old in self.shards:
             old.request_stop()
             self.retired.append(old)
+        if self.backend == "process":
+            self._generation_pub = self._publish_snapshot()
         self.shards = [self._make_worker(index) for index in range(num_shards)]
         if self._initialized:
             self._start_shards()
+
+    def teardown_shared(self) -> int:
+        """Unlink every live shared-memory publication (chaos fault).
+
+        Simulates an operator (or a cleanup daemon) tearing ``/dev/shm``
+        out from under a running pool.  Running children are unaffected —
+        they copied the topology at bootstrap and closed their mappings —
+        but the next :meth:`replace_shard` must republish, which is
+        exactly the robustness property the fault exercises.  Returns the
+        number of segments torn down.
+        """
+        torn = len(self._publications)
+        for publication in self._publications:
+            publication.close()
+        self._publications.clear()
+        self._generation_pub = None
+        return torn
 
     def close(self, timeout: float = 5.0, strict: bool = True) -> None:
         """Stop and join every worker, including retired ones (idempotent).
@@ -368,6 +445,10 @@ class ShardedServeEngine:
         for shard in self.shards + self.retired:
             if not shard.stop(timeout=timeout):
                 stragglers.append(shard.index)
+        for publication in self._publications:
+            publication.close()
+        self._publications.clear()
+        self._generation_pub = None
         if stragglers and strict:
             if self.telemetry is not None:
                 # post-mortem bundle before raising: the straggler's last

@@ -1,0 +1,611 @@
+"""Pluggable shard executors: real processes behind the worker surface.
+
+The serve layer was built on thread workers
+(:class:`~repro.serve.shard.ShardWorker`): cheap to spawn, easy to test,
+but GIL-shared and only killable by politely raising
+:class:`~repro.errors.ShardKilledError` inside them.  This module adds
+the **process backend**: :class:`ProcessShardWorker` runs the same
+command loop in a child process, consuming commands over a
+``multiprocessing`` queue and reporting heartbeats, session lifecycle
+events and epoch outcomes back over another (wire format:
+:mod:`repro.serve.ipc`).  The topology crosses once, as a shared-memory
+CSR snapshot (:class:`~repro.graph.csr.SharedCSR`) that every child
+attaches, and per-epoch deltas ride the command queue as net-effect
+batches.
+
+Both backends implement one worker surface, which is what
+:class:`~repro.serve.engine.ShardedServeEngine`,
+:class:`~repro.serve.health.HealthMonitor` and
+:class:`~repro.serve.supervision.Supervisor` program against:
+
+``start() / request_stop() / stop(timeout)``,
+``submit_register / submit_deregister / submit_batch / submit_wedge``,
+``wait_outcome(epoch, timeout)``,
+``alive / started / stop_requested / depth / heartbeat / groups``,
+``kill()`` (real SIGKILL here, an injected kill command on threads),
+``failure_mode()`` (``crashed`` / ``hung`` / ``killed`` / ``stopped``)
+and ``post_mortem()`` (the flight-recorder context fragment).
+
+What a process buys: real multi-core execution, and *real* failure
+modes — a SIGKILLed child is detected by its exit sentinel (negative
+``exitcode``), a wedged child by heartbeat silence plus the epoch
+barrier deadline, and either can be forcibly reclaimed with
+``terminate``/``kill`` where a wedged thread could only ever be
+abandoned as a zombie.  See ``docs/process_shards.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import signal
+import threading
+import time
+import traceback
+from typing import Callable, Dict, Optional, Set
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.classification import KeyPathRule
+from repro.core.multiquery import SourceGroup
+from repro.errors import SessionStateError, ShardCrashedError
+from repro.graph.batch import UpdateBatch
+from repro.graph.csr import SharedCSR, SharedCSRMeta
+from repro.metrics import OpCounts
+from repro.serve.health import Heartbeat
+from repro.serve.ipc import (
+    CMD_BATCH,
+    CMD_DEREGISTER,
+    CMD_DIE,
+    CMD_REGISTER,
+    CMD_STOP,
+    CMD_WEDGE,
+    OUT_ACK,
+    OUT_FATAL,
+    OUT_HEARTBEAT,
+    OUT_OUTCOME,
+    OUT_SESSION,
+    decode_batch,
+    decode_outcome,
+    encode_batch,
+    encode_outcome,
+)
+from repro.serve.session import QuerySession, SessionState
+
+__all__ = ["BACKENDS", "ProcessShardWorker", "resolve_backend"]
+
+#: executor backends the engine accepts
+BACKENDS = ("thread", "process")
+
+
+def resolve_backend(name: str) -> str:
+    """Validate a backend name (typed error instead of a silent default)."""
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown shard backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+def _context():
+    """The multiprocessing context for shard children.
+
+    ``fork`` when the platform offers it (fast spawn, no re-import; the
+    child immediately enters :func:`_shard_child_main` and touches only
+    its own queues and the shared segment), ``spawn`` otherwise.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+# ----------------------------------------------------------------------
+# child side
+# ----------------------------------------------------------------------
+def _shard_child_main(
+    index: int,
+    meta_tuple,
+    algorithm_name: str,
+    rule_value: str,
+    commands,
+    outcomes,
+) -> None:
+    """Command loop of one shard child process.
+
+    Mirrors :meth:`ShardWorker._serve_loop` semantics exactly — FIFO
+    commands, per-source failure isolation inside a batch, heartbeat
+    stamps around every command — but everything arrives and leaves
+    through the IPC codec.  Top-level (not a closure) so the ``spawn``
+    start method can import it.
+    """
+    try:
+        shared = SharedCSR.attach(SharedCSRMeta.from_tuple(meta_tuple))
+        graph = shared.graph.to_dynamic()
+        shared.close()  # topology copied; drop the mapping immediately
+        algorithm = get_algorithm(algorithm_name)
+        rule = KeyPathRule(rule_value)
+        groups: Dict[int, SourceGroup] = {}
+        while True:
+            command = commands.get()
+            kind = command[0]
+            outcomes.put((OUT_HEARTBEAT, "begin", kind))
+            try:
+                if kind == CMD_STOP:
+                    return
+                if kind == CMD_REGISTER:
+                    _child_register(
+                        graph, algorithm, rule, groups, command, outcomes
+                    )
+                elif kind == CMD_DEREGISTER:
+                    group = groups.get(command[1])
+                    if group is not None and group.remove_destination(
+                        command[2]
+                    ):
+                        del groups[command[1]]
+                elif kind == CMD_BATCH:
+                    _child_batch(graph, groups, index, command, outcomes)
+                elif kind == CMD_WEDGE:
+                    # the wedge fault: spin right here, no heartbeat end,
+                    # no outcome for anything queued behind us — exactly
+                    # what a busy-looped worker looks like from outside
+                    deadline = time.monotonic() + command[1] / 1000.0
+                    while time.monotonic() < deadline:
+                        time.sleep(0.001)
+                elif kind == CMD_DIE:
+                    # abrupt nonzero exit (no unwinding, no final beats):
+                    # the parent's sentinel sees exitcode > 0 -> crashed
+                    os._exit(int(command[1]))
+            finally:
+                outcomes.put((OUT_HEARTBEAT, "end", None))
+                outcomes.put((OUT_ACK,))
+    except Exception:  # noqa: BLE001 - last gasp before the child dies
+        try:
+            outcomes.put((OUT_FATAL, traceback.format_exc()))
+        except Exception:  # pragma: no cover - channel already gone
+            pass
+        os._exit(1)
+
+
+def _child_register(graph, algorithm, rule, groups, command, outcomes) -> None:
+    """Bootstrap one standing query on the child's topology."""
+    _, session_id, source, destination = command
+    try:
+        group = groups.get(source)
+        if group is None:
+            group = SourceGroup(graph, algorithm, source, [destination], rule)
+            group.initialize(OpCounts())
+            groups[source] = group
+        else:
+            group.add_destination(destination)
+    except Exception as exc:  # noqa: BLE001 - degrade, never kill the shard
+        outcomes.put((OUT_SESSION, session_id, "degraded", str(exc)))
+        return
+    outcomes.put((OUT_SESSION, session_id, "live", None))
+
+
+def _child_batch(graph, groups, index, command, outcomes) -> None:
+    """Apply one epoch's delta and drive every owned group through it."""
+    from repro.serve.shard import ShardBatchOutcome
+
+    _, epoch, rows = command
+    effective = decode_batch(rows)
+    outcome = ShardBatchOutcome(epoch=epoch, shard=index)
+    for upd in effective:
+        graph.apply_update(upd, missing_ok=True)
+    totals: Dict[str, int] = {}
+    for source in list(groups):
+        group = groups[source]
+        try:
+            group_stats = group.process_batch(
+                effective, outcome.response_ops, outcome.post_ops
+            )
+        except Exception as exc:  # noqa: BLE001 - isolate the failure
+            del groups[source]
+            outcome.degraded.append((source, str(exc)))
+            continue
+        for key, value in group_stats.items():
+            totals[key] = totals.get(key, 0) + value
+        for destination in group.destinations:
+            outcome.answers[(source, destination)] = group.answer(destination)
+    outcome.stats = totals
+    outcomes.put((OUT_OUTCOME, encode_outcome(outcome)))
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class ProcessShardWorker:
+    """One shard running as a real OS process.
+
+    The parent keeps a mirror of everything the serve layer reads
+    synchronously — heartbeat, inbox depth, owned sources, session
+    handles — updated by a small reader thread that drains the child's
+    outcome queue.  The ``queue_bound`` inbox contract is enforced
+    parent-side: commands in flight (submitted, not yet acked) count
+    against the bound, so admission control and the epoch barrier see
+    the same backpressure a thread worker's bounded inbox provides.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self,
+        index: int,
+        publication: SharedCSR,
+        algorithm,
+        rule: KeyPathRule = KeyPathRule.PRECISE,
+        queue_bound: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.index = index
+        self.publication = publication
+        self.algorithm = algorithm
+        self.rule = rule
+        self.queue_bound = queue_bound
+        self.heartbeat = Heartbeat(clock)
+        #: parent mirror: source -> destinations live on this shard
+        self.groups: Dict[int, Set[int]] = {}
+        #: last ``fatal`` record the child managed to send, if any
+        self.last_error: Optional[str] = None
+        ctx = _context()
+        self.commands = ctx.Queue()
+        self.outcomes = ctx.Queue()
+        self.process = ctx.Process(
+            target=_shard_child_main,
+            args=(
+                index,
+                publication.meta.as_tuple(),
+                algorithm.name,
+                rule.value,
+                self.commands,
+                self.outcomes,
+            ),
+            name=f"serve-shard-{index}-proc",
+            daemon=True,
+        )
+        self._sessions: Dict[str, QuerySession] = {}
+        self._results: Dict[int, object] = {}
+        self._state_cv = threading.Condition()
+        self._pending = 0
+        self._started = False
+        self._stop_requested = False
+        self._dead = False
+        self._killed = False
+        self._reader_stop = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"serve-shard-{index}-reader",
+            daemon=True,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the child and its reader thread (idempotent)."""
+        if not self._started:
+            self._started = True
+            self.process.start()
+            self._reader.start()
+
+    def request_stop(self) -> None:
+        """Queue a stop; the child exits at its next command boundary."""
+        self._stop_requested = True
+        self.commands.put((CMD_STOP,))
+
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Stop the child and reclaim everything; True iff it exited.
+
+        Escalation ladder a thread backend cannot offer: polite stop
+        command → ``terminate()`` (SIGTERM) → ``kill()`` (SIGKILL).  A
+        wedged process is *reclaimed*, not abandoned as a zombie.
+        """
+        if not self._started:
+            self._close_queues()
+            return True
+        if self.process.is_alive():
+            self.request_stop()
+            self.process.join(timeout)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(2.0)
+            if self.process.is_alive():  # pragma: no cover - last resort
+                self.process.kill()
+                self.process.join(2.0)
+        self._reader_stop.set()
+        self._reader.join(timeout)
+        self._close_queues()
+        return not self.process.is_alive()
+
+    def _close_queues(self) -> None:
+        for q in (self.commands, self.outcomes):
+            try:
+                q.close()
+                q.join_thread()
+            except Exception:  # pragma: no cover - already closed
+                pass
+
+    @property
+    def alive(self) -> bool:
+        return self._started and self.process.is_alive() and not self._dead
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_requested
+
+    @property
+    def depth(self) -> int:
+        """Commands in flight (submitted, not yet acked by the child)."""
+        with self._state_cv:
+            return self._pending
+
+    # ------------------------------------------------------------------
+    # commands (called from the harness / engine thread)
+    # ------------------------------------------------------------------
+    def submit_register(
+        self,
+        session: QuerySession,
+        block: bool,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Enqueue a registration; ``block=False`` raises ``queue.Full``.
+
+        Only the session *id* crosses the channel — the parent keeps the
+        session object and applies the lifecycle transitions the child
+        reports back.
+        """
+        self._sessions[session.id] = session
+        self._enqueue(
+            (CMD_REGISTER, session.id, session.query.source,
+             session.query.destination),
+            block=block,
+            timeout=timeout,
+        )
+
+    def submit_deregister(self, source: int, destination: int) -> None:
+        destinations = self.groups.get(source)
+        if destinations is not None:
+            destinations.discard(destination)
+            if not destinations:
+                del self.groups[source]
+        self._enqueue((CMD_DEREGISTER, source, destination), block=True)
+
+    def submit_batch(
+        self,
+        epoch: int,
+        effective: UpdateBatch,
+        context=None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Ship one epoch's net-effect delta to the child.
+
+        ``context`` (the ingest trace context) is accepted for surface
+        parity but does not cross the process boundary — child-side
+        spans would land in a telemetry instance the parent cannot see.
+        ``timeout`` bounds the wait for inbox headroom; ``queue.Full``
+        on expiry is the engine's cue to fail the shard for the epoch.
+        """
+        del context
+        self._enqueue(
+            (CMD_BATCH, epoch, encode_batch(effective)),
+            block=True,
+            timeout=timeout,
+        )
+
+    def submit_wedge(self, millis: int) -> None:
+        """Wedge the child in a heartbeat-free busy loop (chaos fault)."""
+        self._enqueue((CMD_WEDGE, int(millis)), block=True)
+
+    def submit_die(self, code: int = 3) -> None:
+        """Make the child exit abruptly with ``code`` (chaos crash fault)."""
+        self._enqueue((CMD_DIE, int(code)), block=True)
+
+    def kill(self) -> None:
+        """SIGKILL the child — the real thing, not a simulated exception."""
+        if self.process.pid is not None and self.process.is_alive():
+            self._killed = True
+            os.kill(self.process.pid, signal.SIGKILL)
+
+    def _enqueue(self, command, block: bool, timeout: Optional[float] = None):
+        with self._state_cv:
+            if not block:
+                if self._pending >= self.queue_bound:
+                    raise queue.Full()
+            else:
+                deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                while self._pending >= self.queue_bound and not self._dead:
+                    remaining = (
+                        None if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        raise queue.Full()
+                    self._state_cv.wait(
+                        0.1 if remaining is None else min(remaining, 0.1)
+                    )
+            self._pending += 1
+        self.commands.put(command)
+
+    def wait_outcome(self, epoch: int, timeout: float = 30.0):
+        """Block until the child publishes ``epoch``'s outcome.
+
+        One overall deadline — unrelated wake-ups (other epochs, acks)
+        never restart the clock, so a silent child costs exactly
+        ``timeout`` before the barrier converts it into a failed shard.
+        """
+        deadline = time.monotonic() + timeout
+        with self._state_cv:
+            while epoch not in self._results:
+                if self._dead:
+                    raise ShardCrashedError(
+                        f"shard {self.index} {self.exit_description()} "
+                        f"before epoch {epoch}"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ShardCrashedError(
+                        f"shard {self.index} produced no outcome for epoch "
+                        f"{epoch} within {timeout:g}s"
+                    )
+                self._state_cv.wait(remaining)
+            return self._results.pop(epoch)
+
+    # ------------------------------------------------------------------
+    # failure taxonomy / post-mortem
+    # ------------------------------------------------------------------
+    def exit_description(self) -> str:
+        """Human-readable account of how the child ended."""
+        code = self.process.exitcode
+        if code is None:
+            return "is still running"
+        if code < 0:
+            try:
+                name = signal.Signals(-code).name
+            except ValueError:  # pragma: no cover - exotic signal
+                name = str(-code)
+            return f"was killed by {name}"
+        if code == 0:
+            return "exited cleanly"
+        return f"crashed with exit code {code}"
+
+    def failure_mode(self) -> Optional[str]:
+        """``killed`` / ``crashed`` / ``stopped`` — or None while running.
+
+        The taxonomy the supervision stack consumes: a negative exit
+        code is a signal death (``killed``), a positive one an abnormal
+        exit (``crashed``), zero a clean stop.  A hung-but-running child
+        stays ``None`` here; *hung* is the health monitor's verdict
+        (heartbeat silence), not an exit state.
+        """
+        if not self._started:
+            return "stopped"
+        code = self.process.exitcode
+        if code is None:
+            return None
+        if code < 0:
+            return "killed"
+        if code == 0:
+            return "stopped"
+        return "crashed"
+
+    def post_mortem(self) -> Dict[str, object]:
+        """Flight-recorder context for this worker's death.
+
+        The child's per-thread event rings died with its address space;
+        this is everything the parent still knows — exit code and
+        signal, the last heartbeat it saw, and the inbox depth that was
+        pending when the worker stopped answering.
+        """
+        return {
+            "backend": self.backend,
+            "shard": self.index,
+            "pid": self.process.pid,
+            "alive": self.alive,
+            "exitcode": self.process.exitcode,
+            "exit": self.exit_description(),
+            "failure_mode": self.failure_mode(),
+            "stop_requested": self._stop_requested,
+            "inbox_depth": self.depth,
+            "heartbeat": {
+                "beats": self.heartbeat.beats,
+                "last_beat": self.heartbeat.last_beat,
+                "busy_kind": self.heartbeat.busy_kind,
+                "busy_seconds": self.heartbeat.busy_seconds,
+            },
+            "sources": sorted(self.groups),
+            "last_error": self.last_error,
+        }
+
+    # ------------------------------------------------------------------
+    # reader thread
+    # ------------------------------------------------------------------
+    def _read_loop(self) -> None:
+        proc = self.process
+        while True:
+            try:
+                message = self.outcomes.get(timeout=0.1)
+            except queue.Empty:
+                if not proc.is_alive():
+                    self._drain_and_die()
+                    return
+                if self._reader_stop.is_set():
+                    return
+                continue
+            except (EOFError, OSError):  # pragma: no cover - channel torn
+                self._drain_and_die()
+                return
+            self._dispatch(message)
+
+    def _drain_and_die(self) -> None:
+        """Flush what the dead child managed to send, then flip the flag."""
+        while True:
+            try:
+                message = self.outcomes.get_nowait()
+            except (queue.Empty, EOFError, OSError):
+                break
+            try:
+                self._dispatch(message)
+            except Exception:  # pragma: no cover - truncated final message
+                break
+        with self._state_cv:
+            self._dead = True
+            self._state_cv.notify_all()
+
+    def _dispatch(self, message) -> None:
+        tag = message[0]
+        if tag == OUT_HEARTBEAT:
+            if message[1] == "begin":
+                self.heartbeat.begin(message[2])
+            else:
+                self.heartbeat.end()
+        elif tag == OUT_ACK:
+            with self._state_cv:
+                self._pending = max(0, self._pending - 1)
+                self._state_cv.notify_all()
+        elif tag == OUT_SESSION:
+            self._apply_session_event(message[1], message[2], message[3])
+        elif tag == OUT_OUTCOME:
+            outcome = decode_outcome(message[1])
+            for source, _ in outcome.degraded:
+                self.groups.pop(source, None)
+            with self._state_cv:
+                self._results[outcome.epoch] = outcome
+                self._state_cv.notify_all()
+        elif tag == OUT_FATAL:
+            self.last_error = message[1]
+
+    def _apply_session_event(
+        self, session_id: str, state: str, reason: Optional[str]
+    ) -> None:
+        if self._stop_requested:
+            return  # retired worker; the replacement owns this session now
+        session = self._sessions.get(session_id)
+        if session is None:
+            return
+        if state == "live":
+            try:
+                session.transition(SessionState.WARMING)
+                session.transition(SessionState.LIVE)
+            except SessionStateError:
+                pass  # closed while still queued (or closing concurrently)
+            self.groups.setdefault(session.query.source, set()).add(
+                session.query.destination
+            )
+        else:
+            try:
+                session.transition(SessionState.DEGRADED, reason=reason)
+            except SessionStateError:
+                pass  # already closed by the client; nothing to report
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessShardWorker(shard={self.index}, "
+            f"pid={self.process.pid}, alive={self.alive})"
+        )

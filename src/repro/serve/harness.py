@@ -151,6 +151,7 @@ class ServeHarness:
         epoch_deadline: float = 30.0,
         supervision: Optional[SupervisorConfig] = None,
         provenance: Optional[ProvenanceRecorder] = None,
+        backend: str = "thread",
         **pipeline_kwargs,
     ) -> "ServeHarness":
         """Start serving on a fresh state directory.
@@ -160,7 +161,10 @@ class ServeHarness:
         resurrection pacing (defaults to :class:`SupervisorConfig`);
         ``provenance`` overrides the default
         :class:`~repro.obs.provenance.ProvenanceRecorder` backing
-        :meth:`explain`; ``pipeline_kwargs`` pass through to
+        :meth:`explain`; ``backend`` picks the shard executor
+        (``"thread"`` default, ``"process"`` for real OS processes over
+        a shared-memory topology snapshot — see
+        ``docs/process_shards.md``); ``pipeline_kwargs`` pass through to
         :class:`~repro.resilience.pipeline.ResilientPipeline` (e.g.
         ``checkpoint_every``, ``guard_every``, ``wal_sync``,
         ``write_hook``, ``telemetry``).
@@ -177,6 +181,7 @@ class ServeHarness:
             clock=clock,
             provenance=provenance if provenance is not None
             else ProvenanceRecorder(),
+            backend=backend,
         )
         engine.initialize()
         pipeline = ResilientPipeline.wrap(directory, engine, **pipeline_kwargs)
@@ -206,6 +211,7 @@ class ServeHarness:
         epoch_deadline: float = 30.0,
         supervision: Optional[SupervisorConfig] = None,
         provenance: Optional[ProvenanceRecorder] = None,
+        backend: str = "thread",
         **pipeline_kwargs,
     ) -> "ServeHarness":
         """Recover a crashed serving session from its state directory.
@@ -234,6 +240,7 @@ class ServeHarness:
             clock=clock,
             provenance=provenance if provenance is not None
             else ProvenanceRecorder(),
+            backend=backend,
         )
         engine.adopt_state(base.state.states, base.state.parents)
         pipeline = ResilientPipeline.wrap(
@@ -611,6 +618,7 @@ class ServeHarness:
         """Point-in-time summary across every serving subsystem."""
         data: Dict[str, object] = {
             "snapshot_id": self.pipeline.snapshot_id,
+            "backend": self.engine.backend,
             "epoch": self.engine.epoch,
             "batches_served": self.batches_served,
             "sessions": self.sessions.by_state(),

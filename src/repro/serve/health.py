@@ -33,10 +33,13 @@ class ShardHealth(enum.Enum):
     """Probe verdict for one shard worker."""
 
     HEALTHY = "healthy"
-    #: thread alive but stuck inside one command past the hang timeout
+    #: worker alive but stuck inside one command past the hang timeout
     HUNG = "hung"
-    #: thread died (exception or injected kill) without being stopped
+    #: worker died on its own (exception, abrupt nonzero exit)
     CRASHED = "crashed"
+    #: worker killed from outside (SIGKILL on the process backend, an
+    #: injected kill on threads) without being asked to stop
+    KILLED = "killed"
     #: never started, or deliberately stopped/retired
     STOPPED = "stopped"
 
@@ -114,14 +117,24 @@ class HealthMonitor:
         self.clock = clock
 
     def probe(self, worker) -> ShardHealth:
-        """Health verdict for one :class:`~repro.serve.shard.ShardWorker`."""
+        """Health verdict for one shard worker (either backend).
+
+        Dead workers are refined through the worker's own
+        ``failure_mode()`` sentinel when it offers one — the process
+        backend reads the child's exit code there, distinguishing a
+        SIGKILLed worker (``KILLED``) from one that crashed on its own.
+        ``getattr`` keeps the probe working against minimal worker
+        doubles that only expose the liveness surface.
+        """
         if not worker.started:
             return ShardHealth.STOPPED
         if not worker.alive:
-            return (
-                ShardHealth.STOPPED if worker.stop_requested
-                else ShardHealth.CRASHED
-            )
+            if worker.stop_requested:
+                return ShardHealth.STOPPED
+            mode = getattr(worker, "failure_mode", None)
+            if callable(mode) and mode() == "killed":
+                return ShardHealth.KILLED
+            return ShardHealth.CRASHED
         if worker.heartbeat.busy_seconds > self.hang_timeout:
             return ShardHealth.HUNG
         return ShardHealth.HEALTHY

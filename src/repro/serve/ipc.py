@@ -1,0 +1,125 @@
+"""Command/outcome codec for process-backed shard workers.
+
+The process backend (:mod:`repro.serve.executor`) moves every byte
+between the engine and a shard child over two ``multiprocessing`` queues.
+Queues pickle whatever they are given, so nothing *forces* a wire format
+— but an implicit format is exactly how rich parent-side objects
+(sessions with locks, fault hooks with thread gates, telemetry handles)
+leak into the channel and die at pickling time, or worse, drag
+un-forkable state into the child.  This module makes the wire format
+explicit and primitive:
+
+* **commands** (parent → child) are tuples of str/int/float only —
+  ``register`` carries the session *id*, never the session object;
+  ``batch`` carries the effective updates as ``(kind, u, v, w)`` rows;
+* **outcomes** (child → parent) are tuples/dicts of the same primitives
+  — heartbeats, session lifecycle events, encoded epoch outcomes, acks,
+  and a ``fatal`` last-gasp record.
+
+Every encode has a matching decode, and both ends round-trip through
+this codec, so a schema change breaks loudly in one file (and in
+``tests/test_serve_process.py``'s codec suite) instead of silently
+desynchronising parent and child.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind
+from repro.metrics import OpCounts
+
+__all__ = [
+    "CMD_BATCH",
+    "CMD_DIE",
+    "CMD_DEREGISTER",
+    "CMD_REGISTER",
+    "CMD_STOP",
+    "CMD_WEDGE",
+    "OUT_ACK",
+    "OUT_FATAL",
+    "OUT_HEARTBEAT",
+    "OUT_OUTCOME",
+    "OUT_SESSION",
+    "decode_batch",
+    "decode_outcome",
+    "encode_batch",
+    "encode_outcome",
+]
+
+# command tags (parent -> child)
+CMD_REGISTER = "register"
+CMD_DEREGISTER = "deregister"
+CMD_BATCH = "batch"
+CMD_WEDGE = "wedge"  # spin without heartbeating (chaos wedge fault)
+CMD_DIE = "die"      # exit with a nonzero code (chaos crash fault)
+CMD_STOP = "stop"
+
+# outcome tags (child -> parent)
+OUT_HEARTBEAT = "hb"
+OUT_SESSION = "session"
+OUT_OUTCOME = "outcome"
+OUT_ACK = "ack"
+OUT_FATAL = "fatal"
+
+
+# ----------------------------------------------------------------------
+# batches
+# ----------------------------------------------------------------------
+def encode_batch(batch: UpdateBatch) -> List[Tuple[str, int, int, float]]:
+    """Flatten a batch to ``(kind, u, v, w)`` rows (the per-epoch delta)."""
+    return [
+        (update.kind.value, update.u, update.v, float(update.weight))
+        for update in batch
+    ]
+
+
+def decode_batch(rows: List[Tuple[str, int, int, float]]) -> UpdateBatch:
+    """Rebuild the effective batch on the child side."""
+    return UpdateBatch([
+        EdgeUpdate(UpdateKind(kind), u, v, w) for kind, u, v, w in rows
+    ])
+
+
+# ----------------------------------------------------------------------
+# epoch outcomes
+# ----------------------------------------------------------------------
+def encode_outcome(outcome) -> Dict[str, object]:
+    """Flatten a :class:`~repro.serve.shard.ShardBatchOutcome` to a dict.
+
+    Answer keys become ``[source, destination, value]`` rows because
+    tuple dict keys do not survive a JSON detour (flight bundles embed
+    these dicts verbatim).
+    """
+    return {
+        "epoch": outcome.epoch,
+        "shard": outcome.shard,
+        "answers": [
+            [source, destination, value]
+            for (source, destination), value in outcome.answers.items()
+        ],
+        "response_ops": dataclasses.asdict(outcome.response_ops),
+        "post_ops": dataclasses.asdict(outcome.post_ops),
+        "stats": dict(outcome.stats),
+        "degraded": [[source, reason] for source, reason in outcome.degraded],
+    }
+
+
+def decode_outcome(data: Dict[str, object]):
+    """Rebuild the outcome on the parent side."""
+    from repro.serve.shard import ShardBatchOutcome
+
+    return ShardBatchOutcome(
+        epoch=int(data["epoch"]),
+        shard=int(data["shard"]),
+        answers={
+            (int(source), int(destination)): float(value)
+            for source, destination, value in data["answers"]
+        },
+        response_ops=OpCounts(**data["response_ops"]),
+        post_ops=OpCounts(**data["post_ops"]),
+        stats={str(k): int(v) for k, v in data["stats"].items()},
+        degraded=[(int(source), str(reason))
+                  for source, reason in data["degraded"]],
+    )

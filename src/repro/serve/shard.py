@@ -75,8 +75,13 @@ class ShardWorker:
 
     ``queue_bound`` caps the inbox; the harness checks headroom *before*
     enqueueing (admission control), while committed batches use a blocking
-    put — a WAL-durable batch must never be shed.
+    put — a WAL-durable batch must never be shed.  The put may still be
+    *bounded in time* (``submit_batch(timeout=...)``): when a wedged
+    worker's inbox stays full past the epoch deadline, the engine fails
+    the shard for the epoch instead of blocking ingest forever.
     """
+
+    backend = "thread"
 
     def __init__(
         self,
@@ -112,6 +117,11 @@ class ShardWorker:
         #: set by the worker itself on the way out (is_alive() lags: the
         #: thread is still "alive" while running its own cleanup)
         self._dead = False
+        #: :meth:`kill` was requested — the thread analogue of a pending
+        #: SIGKILL, honoured at the next command boundary
+        self._die_requested = False
+        #: the worker actually died from a kill (vs crash/stop)
+        self._killed = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -184,6 +194,7 @@ class ShardWorker:
         epoch: int,
         effective: UpdateBatch,
         context: Optional[TraceContext] = None,
+        timeout: Optional[float] = None,
     ) -> None:
         """Enqueue a committed batch (blocking: durable batches never shed).
 
@@ -191,23 +202,97 @@ class ShardWorker:
         re-activates it around the epoch's processing so the shard-side
         spans parent onto the engine's batch span (one causal tree
         instead of per-thread silos).
+
+        ``timeout`` bounds the wait for inbox headroom.  A worker wedged
+        mid-command never drains its inbox, so an unbounded put here
+        would block the ingest thread forever — exactly the hang the
+        epoch barrier exists to prevent.  On expiry ``queue.Full``
+        propagates and the engine converts it into a ``failed_shards``
+        entry for the epoch.
         """
-        self.inbox.put(("batch", epoch, effective, context))
+        self.inbox.put(("batch", epoch, effective, context), timeout=timeout)
+
+    def submit_wedge(self, millis: int) -> None:
+        """Wedge the worker in a busy loop for ``millis`` (chaos fault).
+
+        Unlike the ``fault_hook``-based hang (which parks on an event the
+        driver controls), the wedge burns real wall-clock inside one
+        command: heartbeats stop, ``busy_seconds`` grows, the inbox backs
+        up — the observable signature of a worker stuck in a hot loop.
+        """
+        self.inbox.put(("wedge", int(millis)))
+
+    def kill(self) -> None:
+        """Best-effort immediate kill — the thread analogue of SIGKILL.
+
+        Threads cannot be killed from outside, so this is honoured at the
+        next command boundary: the worker raises
+        :class:`~repro.errors.ShardKilledError` and dies without draining
+        its inbox or publishing pending outcomes.  The process backend
+        overrides this with a real ``os.kill``.
+        """
+        self._die_requested = True
+        try:
+            self.inbox.put_nowait(("die",))
+        except queue.Full:
+            pass  # flag is set; the worker checks it between commands
 
     def wait_outcome(self, epoch: int, timeout: float = 30.0) -> ShardBatchOutcome:
-        """Block until this shard publishes its outcome for ``epoch``."""
+        """Block until this shard publishes its outcome for ``epoch``.
+
+        The deadline is *overall*, stamped once — unrelated wake-ups
+        (other epochs' outcomes being published) never restart the
+        clock, so a silent worker costs exactly ``timeout`` before the
+        barrier converts it into a failed shard.
+        """
+        deadline = time.monotonic() + timeout
         with self._results_cv:
             while epoch not in self._results:
                 if self._dead or not self._thread.is_alive():
                     raise ShardCrashedError(
                         f"shard {self.index} died before epoch {epoch}"
                     )
-                if not self._results_cv.wait(timeout):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     raise ShardCrashedError(
                         f"shard {self.index} produced no outcome for epoch "
                         f"{epoch} within {timeout:g}s"
                     )
+                self._results_cv.wait(remaining)
             return self._results.pop(epoch)
+
+    # ------------------------------------------------------------------
+    # failure taxonomy / post-mortem
+    # ------------------------------------------------------------------
+    def failure_mode(self) -> Optional[str]:
+        """``killed`` / ``crashed`` / ``stopped`` — or None while alive."""
+        if not self._started:
+            return "stopped"
+        if self._thread.is_alive() and not self._dead:
+            return None
+        if self._killed:
+            return "killed"
+        if self._stop_requested:
+            return "stopped"
+        return "crashed"
+
+    def post_mortem(self) -> Dict[str, object]:
+        """Flight-recorder context fragment for this worker's death."""
+        return {
+            "backend": self.backend,
+            "shard": self.index,
+            "alive": self.alive,
+            "failure_mode": self.failure_mode(),
+            "stop_requested": self._stop_requested,
+            "inbox_depth": self.depth,
+            "heartbeat": {
+                "beats": self.heartbeat.beats,
+                "last_beat": self.heartbeat.last_beat,
+                "busy_kind": self.heartbeat.busy_kind,
+                "busy_seconds": self.heartbeat.busy_seconds,
+            },
+            "sources": sorted(self.groups),
+        }
 
     # ------------------------------------------------------------------
     # worker thread body
@@ -216,7 +301,7 @@ class ShardWorker:
         try:
             self._serve_loop()
         except ShardKilledError:
-            pass  # injected thread death: exit without stderr noise
+            self._killed = True  # injected thread death; no stderr noise
         finally:
             self.heartbeat.end()
             with self._results_cv:
@@ -231,6 +316,10 @@ class ShardWorker:
             kind = command[0]
             self.heartbeat.begin(kind)
             try:
+                if kind == "die" or self._die_requested:
+                    raise ShardKilledError(
+                        f"shard {self.index} killed by injected SIGKILL"
+                    )
                 if kind == "stop" or self._stop_requested:
                     return
                 if kind == "register":
@@ -245,6 +334,17 @@ class ShardWorker:
                 elif kind == "barrier":
                     # chaos/test primitive: park until released (bounded)
                     command[1].wait(timeout=30.0)
+                elif kind == "wedge":
+                    # chaos wedge fault: a genuine busy loop — no event to
+                    # release, no heartbeat end until the spin expires; a
+                    # pending kill is the only thing that breaks it early
+                    deadline = time.monotonic() + command[1] / 1000.0
+                    while time.monotonic() < deadline:
+                        if self._die_requested:
+                            raise ShardKilledError(
+                                f"shard {self.index} killed mid-wedge"
+                            )
+                        time.sleep(0.001)
             finally:
                 self.heartbeat.end()
                 self.inbox.task_done()

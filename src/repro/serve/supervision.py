@@ -139,7 +139,11 @@ class Supervisor:
 
         # 1. respawn shards that produced no outcome this epoch — dumping
         # a post-mortem bundle FIRST, while the dead worker's flight ring
-        # still holds its final events
+        # still holds its final events and, crucially, while the dead
+        # worker itself is still in the pool: a process worker's event
+        # rings died with its address space, so post_mortem() — exit
+        # code, last heartbeat, pending inbox depth — is the only record
+        # of how it went down
         if result.failed_shards and telemetry is not None:
             telemetry.flight.dump(
                 "shard-crash",
@@ -148,6 +152,11 @@ class Supervisor:
                     "failed_shards": [
                         {"shard": index, "reason": reason}
                         for index, reason in result.failed_shards
+                    ],
+                    "post_mortem": [
+                        self.engine.shards[index].post_mortem()
+                        for index, _ in result.failed_shards
+                        if 0 <= index < len(self.engine.shards)
                     ],
                 },
             )

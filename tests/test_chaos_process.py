@@ -1,0 +1,146 @@
+"""Real-fault chaos schedules on both shard backends.
+
+The original chaos suite injects *simulated* failures through the
+thread backend's fault hook.  These schedules injure the deployment for
+real — ``sigkill_shard`` delivers an actual SIGKILL to a worker process,
+``wedge_shard`` spins a worker past the epoch deadline without
+heartbeats, ``teardown_shm`` rips the shared topology segments out from
+under the pool — and the acceptance bar is unchanged: bit-identical
+convergence with the offline replay, on the process backend *and* on the
+thread backend playing the same schedule through its in-thread
+analogues.
+"""
+
+import pytest
+
+from repro.algorithms import PPSP
+from repro.obs import Telemetry, use_telemetry
+from repro.resilience.chaos import (
+    BUILTIN_SCHEDULES,
+    builtin_schedule,
+    run_chaos,
+)
+
+pytestmark = [
+    pytest.mark.procserve,
+    pytest.mark.chaos,
+    pytest.mark.serve,
+    pytest.mark.faults,
+]
+
+
+class TestScheduleCompatibility:
+    def test_real_fault_schedules_are_builtin(self):
+        assert "sigkill-shard" in BUILTIN_SCHEDULES
+        assert "wedge-shard" in BUILTIN_SCHEDULES
+
+    def test_hook_fault_schedules_are_rejected_on_process(self, tmp_path):
+        with pytest.raises(ValueError, match="in-worker fault kinds"):
+            run_chaos(
+                builtin_schedule("kill-shard"), str(tmp_path), PPSP(),
+                backend="process",
+            )
+
+    def test_unknown_backend_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            run_chaos(
+                builtin_schedule("sigkill-shard"), str(tmp_path), PPSP(),
+                backend="fiber",
+            )
+
+
+class TestSigkillConvergence:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_sigkill_heals_to_bit_identical_answers(self, tmp_path, backend):
+        report = run_chaos(
+            builtin_schedule("sigkill-shard"),
+            str(tmp_path / backend),
+            PPSP(),
+            backend=backend,
+        )
+        assert report.converged, report.mismatches
+        assert report.backend == backend
+        assert report.faults_fired == ["sigkill_shard@2"]
+        assert report.supervisor["shard_restarts"] == 1
+        assert report.supervisor["session_resurrections"] >= 1
+        assert report.session_states.get("live") == 4
+        assert f"/{backend}]" in report.summary()
+
+    def test_both_backends_agree_on_the_schedule(self, tmp_path):
+        reports = {
+            backend: run_chaos(
+                builtin_schedule("sigkill-shard"),
+                str(tmp_path / backend),
+                PPSP(),
+                backend=backend,
+            )
+            for backend in ("thread", "process")
+        }
+        assert all(r.converged for r in reports.values())
+        # identical healing arithmetic, not just identical verdicts
+        for key in ("shard_restarts", "session_resurrections"):
+            assert (
+                reports["thread"].supervisor[key]
+                == reports["process"].supervisor[key]
+            )
+
+
+class TestWedgeConvergence:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_wedge_plus_shm_teardown_converges(self, tmp_path, backend):
+        report = run_chaos(
+            builtin_schedule("wedge-shard"),
+            str(tmp_path / backend),
+            PPSP(),
+            backend=backend,
+        )
+        assert report.converged, report.mismatches
+        assert report.faults_fired == ["wedge_shard@3", "teardown_shm@3"]
+        # the barrier deadline retired the wedged worker instead of
+        # hanging ingest, and the supervisor respawned it
+        assert report.supervisor["shard_restarts"] == 1
+
+
+class TestProcessPostMortem:
+    """ISSUE acceptance: a real SIGKILL leaves a frozen flight bundle."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            report = run_chaos(
+                builtin_schedule("sigkill-shard"),
+                str(tmp_path_factory.mktemp("chaos-proc")),
+                PPSP(),
+                backend="process",
+            )
+        return telemetry, report
+
+    def test_run_converged(self, traced_run):
+        _, report = traced_run
+        assert report.converged, report.mismatches
+
+    def test_shard_crash_bundle_records_the_kill(self, traced_run):
+        telemetry, _ = traced_run
+        crash = next(
+            b for b in telemetry.flight.bundles
+            if b["reason"] == "shard-crash"
+        )
+        assert crash["context"]["epoch"] == 2
+        assert crash["context"]["failed_shards"][0]["shard"] == 1
+        (post,) = [
+            p for p in crash["context"]["post_mortem"] if p["shard"] == 1
+        ]
+        assert post["backend"] == "process"
+        assert post["failure_mode"] == "killed"
+        assert post["exitcode"] is not None and post["exitcode"] < 0
+        assert "SIGKILL" in post["exit"]
+
+    def test_end_of_run_bundle_names_the_backend(self, traced_run):
+        telemetry, _ = traced_run
+        final = next(
+            b for b in telemetry.flight.bundles
+            if b["reason"] == "chaos-sigkill-shard"
+        )
+        assert final["context"]["backend"] == "process"
+        assert final["context"]["converged"] is True

@@ -1,0 +1,173 @@
+"""Shared-memory CSR snapshots (repro.graph.csr.SharedCSR).
+
+The process shard backend publishes one CSR snapshot per pool generation
+and every child attaches, copies, and closes it at bootstrap.  These
+tests pin the contract that makes that safe: a publish/attach round-trip
+is byte-identical (including from a *real* child process), the publisher
+owns the segment name (attacher close never unlinks), and closing the
+publisher removes both the in-process registration and the kernel
+object — the autouse ``no_shared_memory_leaks`` fixture then keeps every
+other test in the suite honest.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import (
+    SHM_PREFIX,
+    CSRGraph,
+    SharedCSR,
+    SharedCSRMeta,
+    live_shared_segments,
+)
+from tests.conftest import random_graph
+
+pytestmark = pytest.mark.procserve
+
+
+def _shm_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+def _fork_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _child_read_slices(meta_tuple, vertices, out_queue):
+    """Attach by meta, ship back selected neighbor slices, detach."""
+    meta = SharedCSRMeta.from_tuple(meta_tuple)
+    shared = SharedCSR.attach(meta)
+    try:
+        graph = shared.graph
+        payload = {
+            u: (
+                graph.neighbor_slice(u)[0].tolist(),
+                graph.neighbor_slice(u)[1].tolist(),
+            )
+            for u in vertices
+        }
+        out_queue.put(payload)
+    finally:
+        del graph  # views pin the mapping; close() refuses while alive
+        shared.close()
+
+
+class TestMeta:
+    def test_tuple_round_trip(self):
+        meta = SharedCSRMeta("repro-csr-x", 10, 40)
+        assert SharedCSRMeta.from_tuple(meta.as_tuple()) == meta
+
+
+class TestInProcessRoundTrip:
+    def test_publish_then_attach_is_byte_identical(self):
+        csr = CSRGraph.from_dynamic(random_graph(40, 200, seed=5))
+        with SharedCSR.publish(csr) as published:
+            assert published.owner
+            assert published.meta.name.startswith(SHM_PREFIX)
+            assert published.meta.name in live_shared_segments()
+            attached = SharedCSR.attach(published.meta)
+            try:
+                assert not attached.owner
+                view = attached.graph
+                np.testing.assert_array_equal(view.indptr, csr.indptr)
+                np.testing.assert_array_equal(view.indices, csr.indices)
+                np.testing.assert_array_equal(view.weights, csr.weights)
+            finally:
+                # zero-copy views pin the mapping (close() would raise
+                # BufferError while they are alive) — drop them first
+                del view
+                attached.close()
+        assert live_shared_segments() == []
+
+    def test_to_dynamic_copy_outlives_the_mapping(self):
+        source = random_graph(30, 120, seed=6)
+        csr = CSRGraph.from_dynamic(source)
+        with SharedCSR.publish(csr) as published:
+            attached = SharedCSR.attach(published.meta)
+            dynamic = attached.graph.to_dynamic()
+            attached.close()
+        # both mappings are gone; the copy must still answer
+        assert sorted(dynamic.edges()) == sorted(source.edges())
+
+    def test_empty_graph_round_trips(self):
+        csr = CSRGraph.from_dynamic(random_graph(4, 0, seed=0))
+        with SharedCSR.publish(csr) as published:
+            attached = SharedCSR.attach(published.meta)
+            try:
+                assert attached.graph.num_edges == 0
+                assert attached.graph.num_vertices == 4
+            finally:
+                attached.close()
+
+    def test_graph_view_refused_after_close(self):
+        csr = CSRGraph.from_dynamic(random_graph(8, 20, seed=1))
+        published = SharedCSR.publish(csr)
+        published.close()
+        with pytest.raises(ValueError, match="closed"):
+            published.graph
+        # idempotent: a second close must not raise
+        published.close()
+
+
+class TestOwnership:
+    def test_owner_close_unlinks_the_kernel_object(self):
+        csr = CSRGraph.from_dynamic(random_graph(16, 60, seed=2))
+        published = SharedCSR.publish(csr)
+        name = published.meta.name
+        assert _shm_exists(name)
+        published.close()
+        assert not _shm_exists(name)
+        assert name not in live_shared_segments()
+
+    def test_attacher_close_keeps_the_segment(self):
+        csr = CSRGraph.from_dynamic(random_graph(16, 60, seed=3))
+        with SharedCSR.publish(csr) as published:
+            name = published.meta.name
+            attached = SharedCSR.attach(published.meta)
+            attached.close()
+            # the attacher dropped only its mapping; the publisher's
+            # segment (and registration) survive until *its* close
+            assert _shm_exists(name)
+            assert name in live_shared_segments()
+        assert not _shm_exists(name)
+
+    def test_unlink_is_idempotent(self):
+        csr = CSRGraph.from_dynamic(random_graph(8, 20, seed=4))
+        published = SharedCSR.publish(csr)
+        published.unlink()
+        published.unlink()
+        assert live_shared_segments() == []
+        published.close()
+
+
+class TestChildProcessAttach:
+    def test_child_sees_byte_identical_neighbor_slices(self):
+        graph = random_graph(50, 300, seed=7)
+        csr = CSRGraph.from_dynamic(graph)
+        probes = [0, 7, 23, 49]
+        ctx = _fork_context()
+        out_queue = ctx.Queue()
+        with SharedCSR.publish(csr) as published:
+            child = ctx.Process(
+                target=_child_read_slices,
+                args=(published.meta.as_tuple(), probes, out_queue),
+            )
+            child.start()
+            payload = out_queue.get(timeout=30.0)
+            child.join(timeout=30.0)
+            assert child.exitcode == 0
+        for u in probes:
+            indices, weights = csr.neighbor_slice(u)
+            got_indices, got_weights = payload[u]
+            assert got_indices == indices.tolist()
+            assert got_weights == weights.tolist()
+        # the child's attach must not have stripped the parent's
+        # resource-tracker registration: the parent exits this test with
+        # the segment cleanly unlinked (leak fixture re-checks /dev/shm)
+        assert live_shared_segments() == []

@@ -23,6 +23,7 @@ DOC_FILES = [
     "docs/self_healing.md",
     "docs/adaptive_control.md",
     "docs/traffic.md",
+    "docs/process_shards.md",
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")

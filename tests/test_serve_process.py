@@ -1,0 +1,283 @@
+"""The process shard backend (repro.serve.executor + repro.serve.ipc).
+
+Three layers, one file: the primitive-only IPC codec round-trips; a
+process-backed :class:`ServeHarness` serves the same workload as the
+thread backend bit-identically; and real failure injection — SIGKILL,
+nonzero-exit ``die``, wedged spins — is detected with the right taxonomy
+(killed / crashed / hung), survives through the supervisor, and leaves a
+useful post-mortem behind.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms import PPSP
+from repro.graph.batch import UpdateBatch, add
+from repro.metrics import OpCounts
+from repro.query import PairwiseQuery
+from repro.serve import BACKENDS, ServeHarness, SessionState, resolve_backend
+from repro.serve.health import HealthMonitor, ShardHealth
+from repro.serve.ipc import decode_batch, decode_outcome, encode_batch, encode_outcome
+from repro.serve.shard import ShardBatchOutcome
+from tests.conftest import random_batch, random_graph
+
+pytestmark = [pytest.mark.procserve, pytest.mark.serve]
+
+PAIRS = [(1, 20), (2, 30), (3, 40), (4, 50)]
+ANCHOR = PairwiseQuery(7, 23)
+
+
+def _stream(graph, num_batches, seed):
+    reference = graph.copy()
+    batches = []
+    for index in range(num_batches):
+        batch = random_batch(reference, 10, 10, seed=seed * 77 + index)
+        reference.apply_batch(batch)
+        batches.append(batch)
+    return batches
+
+
+def _open(tmp_path, backend, graph, **kwargs):
+    return ServeHarness.open(
+        str(tmp_path / backend), graph.copy(), PPSP(), ANCHOR,
+        num_shards=2, backend=backend, **kwargs,
+    )
+
+
+def _wait_dead(worker, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while worker.alive and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert not worker.alive, "worker should have died"
+
+
+class TestBackendSelection:
+    def test_registry(self):
+        assert BACKENDS == ("thread", "process")
+        assert resolve_backend("thread") == "thread"
+        assert resolve_backend("process") == "process"
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            resolve_backend("greenlet")
+
+    def test_harness_reports_its_backend(self, tmp_path):
+        graph = random_graph(60, 300, seed=0)
+        with _open(tmp_path, "process", graph) as harness:
+            assert harness.engine.backend == "process"
+            assert harness.stats()["backend"] == "process"
+            for shard in harness.engine.shards:
+                assert shard.backend == "process"
+
+
+class TestCodec:
+    def test_batch_round_trip(self):
+        batch = random_batch(random_graph(20, 60, seed=1), 6, 4, seed=2)
+        decoded = decode_batch(encode_batch(batch))
+        assert [
+            (u.kind, u.u, u.v, u.weight) for u in decoded
+        ] == [
+            (u.kind, u.u, u.v, u.weight) for u in batch
+        ]
+
+    def test_rows_are_primitives(self):
+        batch = UpdateBatch([add(0, 1, 2.5)])
+        (row,) = encode_batch(batch)
+        assert row == ("add", 0, 1, 2.5)
+        assert all(isinstance(x, (str, int, float)) for x in row)
+
+    def test_outcome_round_trip(self):
+        outcome = ShardBatchOutcome(
+            epoch=3,
+            shard=1,
+            answers={(1, 20): 4.0, (2, 30): float("inf")},
+            response_ops=OpCounts(relaxations=7, edges_scanned=3),
+            post_ops=OpCounts(state_writes=2),
+            stats={"groups": 2},
+            degraded=[(2, "breaker open")],
+        )
+        decoded = decode_outcome(encode_outcome(outcome))
+        assert decoded == outcome
+
+    def test_encoded_outcome_survives_a_json_detour(self):
+        import json
+
+        outcome = ShardBatchOutcome(
+            epoch=1, shard=0, answers={(1, 2): 3.0},
+            response_ops=OpCounts(), post_ops=OpCounts(),
+            stats={}, degraded=[],
+        )
+        wire = json.loads(json.dumps(encode_outcome(outcome)))
+        assert decode_outcome(wire) == outcome
+
+
+class TestBitIdenticalBackends:
+    def test_process_answers_match_thread_answers(self, tmp_path):
+        graph = random_graph(60, 300, seed=11)
+        batches = _stream(graph, num_batches=4, seed=11)
+        timelines = {}
+        for backend in BACKENDS:
+            with _open(tmp_path, backend, graph) as harness:
+                for pair in PAIRS:
+                    harness.register(*pair)
+                assert harness.wait_all_live(timeout=30.0)
+                timeline = []
+                for batch in batches:
+                    result = harness.submit(batch)
+                    assert result.failed_shards == []
+                    timeline.append(dict(result.answers))
+                timelines[backend] = timeline
+        assert timelines["process"] == timelines["thread"]
+
+
+class TestFailureTaxonomy:
+    def test_sigkill_is_classified_killed_and_survived(self, tmp_path):
+        graph = random_graph(60, 300, seed=12)
+        batches = _stream(graph, num_batches=3, seed=12)
+        with _open(tmp_path, "process", graph) as harness:
+            sessions = {pair: harness.register(*pair) for pair in PAIRS}
+            assert harness.wait_all_live(timeout=30.0)
+            victim = harness.engine.shards[1]
+            victim.kill()
+            _wait_dead(victim)
+            assert victim.failure_mode() == "killed"
+            assert "SIGKILL" in victim.exit_description()
+            assert HealthMonitor().probe(victim) is ShardHealth.KILLED
+
+            result = harness.submit(batches[0])
+            assert [index for index, _ in result.failed_shards] == [1]
+            # the supervisor respawned a fresh process in the slot
+            assert harness.supervisor.shard_restarts == 1
+            replacement = harness.engine.shards[1]
+            assert replacement is not victim
+            assert replacement.alive
+
+            # subsequent epochs answer for every session again
+            for batch in batches[1:]:
+                result = harness.submit(batch)
+                assert result.failed_shards == []
+            assert all(
+                s.state is SessionState.LIVE for s in sessions.values()
+            )
+
+    def test_nonzero_exit_is_classified_crashed(self, tmp_path):
+        graph = random_graph(60, 300, seed=13)
+        with _open(tmp_path, "process", graph) as harness:
+            harness.register(*PAIRS[0])
+            assert harness.wait_all_live(timeout=30.0)
+            worker = harness.engine.shards[0]
+            worker.submit_die(code=3)
+            _wait_dead(worker)
+            assert worker.failure_mode() == "crashed"
+            assert "exit code 3" in worker.exit_description()
+            assert HealthMonitor().probe(worker) is ShardHealth.CRASHED
+
+    def test_clean_stop_is_classified_stopped(self, tmp_path):
+        graph = random_graph(60, 300, seed=14)
+        harness = _open(tmp_path, "process", graph)
+        workers = list(harness.engine.shards)
+        harness.close()
+        for worker in workers:
+            assert worker.failure_mode() == "stopped"
+            assert HealthMonitor().probe(worker) is ShardHealth.STOPPED
+
+    def test_post_mortem_carries_the_forensics(self, tmp_path):
+        graph = random_graph(60, 300, seed=15)
+        with _open(tmp_path, "process", graph) as harness:
+            harness.register(*PAIRS[0])
+            assert harness.wait_all_live(timeout=30.0)
+            worker = harness.engine.shards[1]
+            worker.kill()
+            _wait_dead(worker)
+            bundle = worker.post_mortem()
+            assert bundle["backend"] == "process"
+            assert bundle["failure_mode"] == "killed"
+            assert bundle["alive"] is False
+            assert bundle["exitcode"] is not None and bundle["exitcode"] < 0
+            assert bundle["heartbeat"]["beats"] >= 1
+            assert "inbox_depth" in bundle
+            assert "pid" in bundle
+            # replace before close so shutdown stays clean
+            harness.engine.replace_shard(1)
+
+
+class TestEpochBarrier:
+    def test_wedged_process_becomes_a_failed_shard(self, tmp_path):
+        graph = random_graph(60, 300, seed=16)
+        batches = _stream(graph, num_batches=2, seed=16)
+        with _open(
+            tmp_path, "process", graph, epoch_deadline=0.5
+        ) as harness:
+            for pair in PAIRS:
+                harness.register(*pair)
+            assert harness.wait_all_live(timeout=30.0)
+            harness.engine.shards[0].submit_wedge(1200)
+            result = harness.submit(batches[0])
+            assert [index for index, _ in result.failed_shards] == [0]
+            assert harness.supervisor.shard_restarts == 1
+            # the replacement answers the next epoch inside the deadline
+            result = harness.submit(batches[1])
+            assert result.failed_shards == []
+
+    def test_wedged_thread_becomes_a_failed_shard(self, tmp_path):
+        """Satellite: the thread backend's barrier must also give up at
+        the epoch deadline instead of blocking ingest forever."""
+        graph = random_graph(60, 300, seed=17)
+        batches = _stream(graph, num_batches=2, seed=17)
+        with _open(
+            tmp_path, "thread", graph, epoch_deadline=0.5
+        ) as harness:
+            for pair in PAIRS:
+                harness.register(*pair)
+            assert harness.wait_all_live(timeout=30.0)
+            harness.engine.shards[0].submit_wedge(1200)
+            started = time.monotonic()
+            result = harness.submit(batches[0])
+            assert time.monotonic() - started < 10.0
+            assert [index for index, _ in result.failed_shards] == [0]
+            assert harness.supervisor.shard_restarts == 1
+            result = harness.submit(batches[1])
+            assert result.failed_shards == []
+
+
+class TestSharedSnapshotLifecycle:
+    def test_children_survive_a_mid_run_shm_teardown(self, tmp_path):
+        """Workers copy the snapshot at bootstrap, so tearing down the
+        parent's segments mid-run must not disturb a running epoch."""
+        graph = random_graph(60, 300, seed=18)
+        batches = _stream(graph, num_batches=2, seed=18)
+        with _open(tmp_path, "process", graph) as harness:
+            for pair in PAIRS:
+                harness.register(*pair)
+            assert harness.wait_all_live(timeout=30.0)
+            result = harness.submit(batches[0])
+            assert result.failed_shards == []
+            assert harness.engine.teardown_shared() >= 1
+            result = harness.submit(batches[1])
+            assert result.failed_shards == []
+
+    def test_teardown_is_a_noop_on_the_thread_backend(self, tmp_path):
+        graph = random_graph(60, 300, seed=19)
+        with _open(tmp_path, "thread", graph) as harness:
+            assert harness.engine.teardown_shared() == 0
+
+    def test_respawn_republishes_for_the_new_child(self, tmp_path):
+        """replace_shard after a teardown must give the fresh process a
+        snapshot of the *current* canonical graph to bootstrap from."""
+        graph = random_graph(60, 300, seed=20)
+        batches = _stream(graph, num_batches=3, seed=20)
+        with _open(tmp_path, "process", graph) as harness:
+            for pair in PAIRS:
+                harness.register(*pair)
+            assert harness.wait_all_live(timeout=30.0)
+            assert harness.submit(batches[0]).failed_shards == []
+            harness.engine.teardown_shared()
+            harness.engine.shards[1].kill()
+            _wait_dead(harness.engine.shards[1])
+            result = harness.submit(batches[1])
+            assert [index for index, _ in result.failed_shards] == [1]
+            # the respawned child bootstrapped from a republished segment
+            # carrying batch 1's edits and answers epoch 3 correctly
+            result = harness.submit(batches[2])
+            assert result.failed_shards == []
