@@ -657,7 +657,8 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     from repro.obs.telemetry import PROMETHEUS_FILENAME
 
     if args.action == "summarize":
-        print(summarize_path(args.path, top=args.top))
+        print(summarize_path(args.path, top=args.top,
+                             by_worker=args.by_worker))
         return 0
     if args.action == "dump":
         events_path = resolve_events_path(args.path)
@@ -1023,6 +1024,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=0,
         help="summarize: also show the N slowest span instances and "
              "per-trace duration rollups",
+    )
+    telemetry.add_argument(
+        "--by-worker", action="store_true",
+        help="summarize: add a per-worker/per-pid span rollup (spans "
+             "merged from process shard children carry worker labels)",
     )
     telemetry.set_defaults(func=cmd_telemetry)
 

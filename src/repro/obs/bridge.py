@@ -102,10 +102,20 @@ def record_serve_state(
     registry: MetricsRegistry,
     shard_depths: Mapping[int, int],
     session_counts: Mapping[str, int],
+    workers: Optional[Mapping[int, str]] = None,
 ) -> None:
-    """Serve-layer occupancy -> per-shard depth and per-state session gauges."""
+    """Serve-layer occupancy -> per-shard depth and per-state session gauges.
+
+    ``workers`` (shard index -> worker identity, e.g. ``shard-0``) adds a
+    ``worker`` label to each depth series so the cross-process rollups
+    (``telemetry summarize --by-worker``) can join queue depth against
+    the ``worker``-stamped span events from the same shard.
+    """
     for index, depth in shard_depths.items():
-        registry.gauge("serve_queue_depth", {"shard": str(index)}).set(depth)
+        labels = {"shard": str(index)}
+        if workers is not None and index in workers:
+            labels["worker"] = workers[index]
+        registry.gauge("serve_queue_depth", labels).set(depth)
     for state, count in session_counts.items():
         registry.gauge("serve_sessions", {"state": state}).set(count)
 
@@ -200,12 +210,21 @@ def record_controller(registry: MetricsRegistry, stats: Mapping) -> None:
 
 
 def record_answer_latency(
-    registry: MetricsRegistry, session_id: str, latency: float
+    registry: MetricsRegistry,
+    session_id: str,
+    latency: float,
+    worker: Optional[str] = None,
 ) -> None:
-    """One standing-query answer -> ``serve_answer_seconds{session}``."""
-    registry.histogram(
-        "serve_answer_seconds", {"session": session_id}
-    ).observe(latency)
+    """One standing-query answer -> ``serve_answer_seconds{session}``.
+
+    ``worker`` names the shard worker that produced the answer (stable
+    ``shard-N`` identity on both backends), splitting answer latency per
+    worker without changing the metric name.
+    """
+    labels = {"session": session_id}
+    if worker is not None:
+        labels["worker"] = worker
+    registry.histogram("serve_answer_seconds", labels).observe(latency)
 
 
 def record_hw_stats(registry: MetricsRegistry, stats) -> None:

@@ -150,18 +150,78 @@ def format_slowest_table(rows: Sequence[Dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
+def worker_rows(events: Sequence[Event]) -> List[Dict[str, object]]:
+    """Per-worker span rollup (the ``--by-worker`` table).
+
+    Spans merged from a process shard child carry ``worker``/``pid``
+    fields; everything emitted in the parent process (ingest thread,
+    thread-backend shard workers, supervisor) is grouped under
+    ``parent``.  Each row reports span volume, errors, total busy time
+    and the single slowest span with its trace id — the per-process
+    picture a flat span table aggregates away.
+    """
+    groups: Dict[str, Dict[str, object]] = {}
+    for event in events:
+        if event.kind != "span":
+            continue
+        worker = str(event.fields.get("worker", "parent"))
+        row = groups.get(worker)
+        if row is None:
+            row = groups[worker] = {
+                "worker": worker,
+                "pid": event.fields.get("pid", "-"),
+                "spans": 0,
+                "errors": 0,
+                "total_s": 0.0,
+                "slowest_s": 0.0,
+                "slowest_span": "-",
+                "slowest_trace": "-",
+            }
+        duration = float(event.fields.get("duration", 0.0))
+        row["spans"] = int(row["spans"]) + 1
+        row["total_s"] = float(row["total_s"]) + duration
+        if event.fields.get("status") == "error":
+            row["errors"] = int(row["errors"]) + 1
+        if duration >= float(row["slowest_s"]):
+            row["slowest_s"] = duration
+            row["slowest_span"] = event.name
+            row["slowest_trace"] = event.fields.get("trace_id", "-")
+    return sorted(groups.values(), key=lambda r: str(r["worker"]))
+
+
+def format_worker_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Fixed-width text rendering of :func:`worker_rows`."""
+    if not rows:
+        return "(no span events)"
+    header = (
+        f"{'worker':<12}{'pid':>8}{'spans':>7}{'err':>5}{'total':>10}"
+        f"{'slowest':>12}  slowest span (trace)"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['worker']:<12}{str(row['pid']):>8}{row['spans']:>7}"
+            f"{row['errors']:>5}{row['total_s']:>10.4f}"
+            f"{row['slowest_s']:>12.6f}  {row['slowest_span']}"
+            f" ({row['slowest_trace']})"
+        )
+    return "\n".join(lines)
+
+
 def load_metrics_document(path: str) -> Dict[str, object]:
     """Parse a metrics.json export."""
     with open(path) as handle:
         return json.load(handle)
 
 
-def summarize_path(path: str, top: int = 0) -> str:
+def summarize_path(path: str, top: int = 0, by_worker: bool = False) -> str:
     """Full text summary for ``repro telemetry summarize PATH``.
 
     With ``top > 0`` two extra sections are appended: the ``top``
     individually slowest span instances, and a per-trace duration rollup
-    built from the causal trace ids stamped on every span.
+    built from the causal trace ids stamped on every span.  With
+    ``by_worker`` a per-worker/per-pid rollup is added — the
+    cross-process view over spans merged from shard children.
     """
     sections: List[str] = []
     metrics_path = resolve_metrics_path(path)
@@ -172,6 +232,9 @@ def summarize_path(path: str, top: int = 0) -> str:
         events = load_jsonl(events_path)
         sections.append(f"spans ({events_path}):")
         sections.append(format_span_table(span_rows(events)))
+        if by_worker:
+            sections.append("workers:")
+            sections.append(format_worker_table(worker_rows(events)))
         if top > 0:
             sections.append(f"slowest {top} spans:")
             sections.append(format_slowest_table(slowest_spans(events, top)))

@@ -52,8 +52,12 @@ class Telemetry:
     ) -> None:
         self.registry = MetricsRegistry()
         self.events = EventLog(capacity=event_capacity)
-        # drop volume is a metric, not just a one-time warning
-        self.events.drop_counter = self.registry.counter("obs.events.dropped")
+        # drop volume is a metric, not just a one-time warning; labelled
+        # per ring so child-side IPC drops (ring="ipc", merged back with
+        # a worker label) stay attributable instead of aggregated away
+        self.events.drop_counter = self.registry.counter(
+            "obs.events.dropped", {"ring": "events"}
+        )
         # the flight recorder taps every event — even ones the bounded
         # log drops — into per-thread rings for post-mortem bundles
         self.flight = FlightRecorder(capacity_per_thread=flight_capacity)

@@ -72,6 +72,10 @@ class SpanNode:
     thread: str = ""
     attrs: Dict[str, object] = field(default_factory=dict)
     children: List["SpanNode"] = field(default_factory=list)
+    #: the span referenced a parent that never made it into the export
+    #: (telemetry frame dropped mid-trace, or the parent span is still
+    #: open) — promoted to a root with the gap annotated, not lost
+    orphan: bool = False
 
     @property
     def end(self) -> float:
@@ -112,6 +116,11 @@ class Trace:
     def errors(self) -> int:
         return sum(1 for node in self.nodes.values() if node.status == "error")
 
+    @property
+    def orphans(self) -> int:
+        """Spans whose parent never surfaced (dropped/partial telemetry)."""
+        return sum(1 for node in self.nodes.values() if node.orphan)
+
     def find(self, name: str) -> List[SpanNode]:
         """Every span named ``name`` in this trace, in start order."""
         return sorted(
@@ -142,8 +151,10 @@ def build_traces(events: Sequence[Event]) -> List[Trace]:
     """Reassemble exported events into :class:`Trace` trees.
 
     Span events without a ``trace_id`` (pre-tracing exports) are skipped;
-    a span whose parent never closed (dropped past the log bound, or still
-    open at export) is promoted to a root of its trace rather than lost.
+    a span whose parent never closed (dropped past the log bound, a
+    telemetry frame lost at the process boundary, or still open at
+    export) is promoted to a root of its trace with :attr:`SpanNode.orphan`
+    set — the waterfall annotates the gap rather than losing the subtree.
     Traces come back ordered by their root's start time.
     """
     traces: Dict[str, Trace] = {}
@@ -160,6 +171,7 @@ def build_traces(events: Sequence[Event]) -> List[Trace]:
             parent = (trace.nodes.get(node.parent_id)
                       if node.parent_id is not None else None)
             if parent is None:
+                node.orphan = node.parent_id is not None
                 trace.roots.append(node)
             else:
                 parent.children.append(node)
@@ -221,11 +233,14 @@ def render_waterfall(trace: Trace, width: int = 48,
         f"trace {trace.trace_id} · {trace.root.name}"
         + (f" · {header_attrs}" if header_attrs else "")
         + f" · {_format_ms(total)} · {len(trace.nodes)} spans"
+        + (f" · {trace.orphans} orphaned" if trace.orphans else "")
         + f" · threads: {', '.join(trace.threads)}"
     ]
 
     def walk(node: SpanNode, depth: int) -> None:
         label = "  " * depth + node.name
+        if node.orphan:
+            label += f" ?gap(parent {node.parent_id} missing)"
         if node.status == "error":
             label += f" !{node.error or 'error'}"
         bar = _bar(node.start - base, node.duration, total, width)

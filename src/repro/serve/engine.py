@@ -27,7 +27,10 @@ the pre-*k* topology and answers from *k* on — no locks, no torn reads.
 
 from __future__ import annotations
 
+import os
 import queue
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -131,6 +134,10 @@ class ShardedServeEngine:
         #: generation, not per worker)
         self._publications: List[SharedCSR] = []
         self._generation_pub: Optional[SharedCSR] = None
+        #: per-worker flight-ring spill files land here (process backend
+        #: with telemetry); an engine-created tempdir is removed at close
+        self._spill_root: Optional[str] = None
+        self._spill_root_owned = False
         if self.backend == "process":
             self._generation_pub = self._publish_snapshot()
         self.shards = [
@@ -153,6 +160,25 @@ class ShardedServeEngine:
         self._publications.append(publication)
         return publication
 
+    def _spill_dir(self) -> Optional[str]:
+        """Where process children spill their flight rings (lazy).
+
+        Prefers the telemetry flight directory (so CI jobs find the
+        spill files next to the bundles they feed); otherwise an
+        engine-owned tempdir removed at :meth:`close`.  None without
+        telemetry — a child with no agent writes nothing.
+        """
+        if self.telemetry is None:
+            return None
+        if self._spill_root is None:
+            flight_dir = self.telemetry.flight.directory
+            if flight_dir is not None:
+                self._spill_root = os.path.join(flight_dir, "workers")
+            else:
+                self._spill_root = tempfile.mkdtemp(prefix="repro-spill-")
+                self._spill_root_owned = True
+        return self._spill_root
+
     def _make_worker(self, index: int):
         if self.backend == "process":
             return ProcessShardWorker(
@@ -162,6 +188,8 @@ class ShardedServeEngine:
                 rule=self.rule,
                 queue_bound=self.queue_bound,
                 clock=self.clock,
+                telemetry_source=lambda: self.telemetry,
+                spill_dir=self._spill_dir(),
             )
         return ShardWorker(
             index,
@@ -449,6 +477,10 @@ class ShardedServeEngine:
             publication.close()
         self._publications.clear()
         self._generation_pub = None
+        if self._spill_root_owned and self._spill_root is not None:
+            shutil.rmtree(self._spill_root, ignore_errors=True)
+            self._spill_root = None
+            self._spill_root_owned = False
         if stragglers and strict:
             if self.telemetry is not None:
                 # post-mortem bundle before raising: the straggler's last

@@ -36,6 +36,7 @@ abandoned as a zombie.  See ``docs/process_shards.md``.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import queue
@@ -52,6 +53,8 @@ from repro.errors import SessionStateError, ShardCrashedError
 from repro.graph.batch import UpdateBatch
 from repro.graph.csr import SharedCSR, SharedCSRMeta
 from repro.metrics import OpCounts
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
+from repro.obs.telemetry import Telemetry
 from repro.serve.health import Heartbeat
 from repro.serve.ipc import (
     CMD_BATCH,
@@ -65,12 +68,17 @@ from repro.serve.ipc import (
     OUT_HEARTBEAT,
     OUT_OUTCOME,
     OUT_SESSION,
+    OUT_TELEMETRY,
     decode_batch,
+    decode_context,
     decode_outcome,
+    decode_telemetry_frame,
     encode_batch,
+    encode_context,
     encode_outcome,
 )
 from repro.serve.session import QuerySession, SessionState
+from repro.serve.telemetry_agent import ChildTelemetryAgent, read_spill
 
 __all__ = ["BACKENDS", "ProcessShardWorker", "resolve_backend"]
 
@@ -110,14 +118,19 @@ def _shard_child_main(
     rule_value: str,
     commands,
     outcomes,
+    telemetry_on: bool = False,
+    spill_path: Optional[str] = None,
 ) -> None:
     """Command loop of one shard child process.
 
     Mirrors :meth:`ShardWorker._serve_loop` semantics exactly — FIFO
     commands, per-source failure isolation inside a batch, heartbeat
     stamps around every command — but everything arrives and leaves
-    through the IPC codec.  Top-level (not a closure) so the ``spawn``
-    start method can import it.
+    through the IPC codec.  With ``telemetry_on`` the child installs a
+    :class:`~repro.serve.telemetry_agent.ChildTelemetryAgent`: spans join
+    the ingest trace the batch command carried, and each command boundary
+    flushes an ``OUT_TELEMETRY`` frame plus the crash spill file.
+    Top-level (not a closure) so the ``spawn`` start method can import it.
     """
     try:
         shared = SharedCSR.attach(SharedCSRMeta.from_tuple(meta_tuple))
@@ -125,6 +138,10 @@ def _shard_child_main(
         shared.close()  # topology copied; drop the mapping immediately
         algorithm = get_algorithm(algorithm_name)
         rule = KeyPathRule(rule_value)
+        agent = (
+            ChildTelemetryAgent(index, outcomes, spill_path=spill_path)
+            if telemetry_on else None
+        )
         groups: Dict[int, SourceGroup] = {}
         while True:
             command = commands.get()
@@ -144,7 +161,9 @@ def _shard_child_main(
                     ):
                         del groups[command[1]]
                 elif kind == CMD_BATCH:
-                    _child_batch(graph, groups, index, command, outcomes)
+                    _child_batch(
+                        graph, groups, index, command, outcomes, agent
+                    )
                 elif kind == CMD_WEDGE:
                     # the wedge fault: spin right here, no heartbeat end,
                     # no outcome for anything queued behind us — exactly
@@ -157,6 +176,10 @@ def _shard_child_main(
                     # the parent's sentinel sees exitcode > 0 -> crashed
                     os._exit(int(command[1]))
             finally:
+                if agent is not None:
+                    # frame before the ack, so by the time the parent
+                    # sees the command retired its telemetry is merged
+                    agent.flush()
                 outcomes.put((OUT_HEARTBEAT, "end", None))
                 outcomes.put((OUT_ACK,))
     except Exception:  # noqa: BLE001 - last gasp before the child dies
@@ -184,12 +207,42 @@ def _child_register(graph, algorithm, rule, groups, command, outcomes) -> None:
     outcomes.put((OUT_SESSION, session_id, "live", None))
 
 
-def _child_batch(graph, groups, index, command, outcomes) -> None:
-    """Apply one epoch's delta and drive every owned group through it."""
+def _child_batch(graph, groups, index, command, outcomes, agent=None) -> None:
+    """Apply one epoch's delta and drive every owned group through it.
+
+    With a telemetry agent the ingest :class:`TraceContext` the command
+    carried is re-activated around a ``shard.batch`` span — the same
+    idiom as :meth:`ShardWorker._handle_batch` — so the child's spans
+    join the batch's causal tree once the parent merges its frames.
+    """
+    _, epoch, rows, ctx = command
+    effective = decode_batch(rows)
+    if agent is None:
+        outcome = _child_process_epoch(
+            graph, groups, index, epoch, effective, None
+        )
+    else:
+        telemetry = agent.telemetry
+        with telemetry.tracer.activate(decode_context(ctx)):
+            with telemetry.span(
+                "shard.batch", shard=index, epoch=epoch,
+                updates=len(effective),
+            ) as span:
+                outcome = _child_process_epoch(
+                    graph, groups, index, epoch, effective, telemetry
+                )
+                span.set(
+                    groups=len(groups),
+                    answers=len(outcome.answers),
+                    degraded=len(outcome.degraded),
+                )
+    outcomes.put((OUT_OUTCOME, encode_outcome(outcome)))
+
+
+def _child_process_epoch(graph, groups, index, epoch, effective, telemetry):
+    """The epoch body shared by the traced and untraced child paths."""
     from repro.serve.shard import ShardBatchOutcome
 
-    _, epoch, rows = command
-    effective = decode_batch(rows)
     outcome = ShardBatchOutcome(epoch=epoch, shard=index)
     for upd in effective:
         graph.apply_update(upd, missing_ok=True)
@@ -203,13 +256,18 @@ def _child_batch(graph, groups, index, command, outcomes) -> None:
         except Exception as exc:  # noqa: BLE001 - isolate the failure
             del groups[source]
             outcome.degraded.append((source, str(exc)))
+            if telemetry is not None:
+                telemetry.point(
+                    "shard.degraded", shard=index, epoch=epoch,
+                    source=source, error=str(exc),
+                )
             continue
         for key, value in group_stats.items():
             totals[key] = totals.get(key, 0) + value
         for destination in group.destinations:
             outcome.answers[(source, destination)] = group.answer(destination)
     outcome.stats = totals
-    outcomes.put((OUT_OUTCOME, encode_outcome(outcome)))
+    return outcome
 
 
 # ----------------------------------------------------------------------
@@ -229,6 +287,9 @@ class ProcessShardWorker:
 
     backend = "process"
 
+    #: distinguishes spill files across worker generations in one run
+    _spill_seq = itertools.count(1)
+
     def __init__(
         self,
         index: int,
@@ -237,6 +298,10 @@ class ProcessShardWorker:
         rule: KeyPathRule = KeyPathRule.PRECISE,
         queue_bound: int = 64,
         clock: Callable[[], float] = time.monotonic,
+        telemetry_source: Optional[
+            Callable[[], Optional[Telemetry]]
+        ] = None,
+        spill_dir: Optional[str] = None,
     ) -> None:
         self.index = index
         self.publication = publication
@@ -248,6 +313,21 @@ class ProcessShardWorker:
         self.groups: Dict[int, Set[int]] = {}
         #: last ``fatal`` record the child managed to send, if any
         self.last_error: Optional[str] = None
+        #: deferred lookup, same contract as the thread worker — but the
+        #: child's agent is armed at *spawn*: telemetry attached after the
+        #: process started cannot retrofit an already-forked child
+        self.telemetry_source = telemetry_source
+        telemetry_on = (
+            telemetry_source is not None and telemetry_source() is not None
+        )
+        #: where the child spills its flight ring for post-kill harvest
+        self.spill_path: Optional[str] = None
+        if telemetry_on and spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+            self.spill_path = os.path.join(
+                spill_dir,
+                f"shard-{index}-gen{next(self._spill_seq)}.jsonl",
+            )
         ctx = _context()
         self.commands = ctx.Queue()
         self.outcomes = ctx.Queue()
@@ -260,6 +340,8 @@ class ProcessShardWorker:
                 rule.value,
                 self.commands,
                 self.outcomes,
+                telemetry_on,
+                self.spill_path,
             ),
             name=f"serve-shard-{index}-proc",
             daemon=True,
@@ -384,15 +466,17 @@ class ProcessShardWorker:
     ) -> None:
         """Ship one epoch's net-effect delta to the child.
 
-        ``context`` (the ingest trace context) is accepted for surface
-        parity but does not cross the process boundary — child-side
-        spans would land in a telemetry instance the parent cannot see.
-        ``timeout`` bounds the wait for inbox headroom; ``queue.Full``
-        on expiry is the engine's cue to fail the shard for the epoch.
+        ``context`` (the ingest trace context) crosses the process
+        boundary as a primitive ``(trace_id, parent_span_id)`` pair; the
+        child re-activates it so its ``shard.batch`` span joins the
+        ingest batch's causal tree (the frames come back over the
+        outcome queue and are merged by the reader thread).  ``timeout``
+        bounds the wait for inbox headroom; ``queue.Full`` on expiry is
+        the engine's cue to fail the shard for the epoch.
         """
-        del context
         self._enqueue(
-            (CMD_BATCH, epoch, encode_batch(effective)),
+            (CMD_BATCH, epoch, encode_batch(effective),
+             encode_context(context)),
             block=True,
             timeout=timeout,
         )
@@ -498,12 +582,15 @@ class ProcessShardWorker:
     def post_mortem(self) -> Dict[str, object]:
         """Flight-recorder context for this worker's death.
 
-        The child's per-thread event rings died with its address space;
-        this is everything the parent still knows — exit code and
+        Besides everything the parent still knows — exit code and
         signal, the last heartbeat it saw, and the inbox depth that was
-        pending when the worker stopped answering.
+        pending when the worker stopped answering — this harvests the
+        child's flight-ring *spill file* (written after every command by
+        its telemetry agent), so a SIGKILLed child's last events survive
+        the loss of its address space and land in the shard-crash
+        bundle.
         """
-        return {
+        data: Dict[str, object] = {
             "backend": self.backend,
             "shard": self.index,
             "pid": self.process.pid,
@@ -522,6 +609,17 @@ class ProcessShardWorker:
             "sources": sorted(self.groups),
             "last_error": self.last_error,
         }
+        harvested = (
+            read_spill(self.spill_path)
+            if self.spill_path is not None else None
+        )
+        if harvested is not None:
+            data["child_flight"] = {
+                "spill_path": self.spill_path,
+                "pid": harvested["pid"],
+                "events": harvested["events"],
+            }
+        return data
 
     # ------------------------------------------------------------------
     # reader thread
@@ -578,8 +676,59 @@ class ProcessShardWorker:
             with self._state_cv:
                 self._results[outcome.epoch] = outcome
                 self._state_cv.notify_all()
+        elif tag == OUT_TELEMETRY:
+            try:
+                self._merge_telemetry(decode_telemetry_frame(message[1]))
+            except Exception:  # noqa: BLE001 - telemetry never kills reads
+                pass
         elif tag == OUT_FATAL:
             self.last_error = message[1]
+
+    def _merge_telemetry(self, frame: Dict[str, object]) -> None:
+        """Fold one child frame into the parent's telemetry.
+
+        Events are re-emitted into the parent :class:`EventLog` (and thus
+        re-tapped into the parent flight recorder under this reader
+        thread's ring) with ``worker``/``pid`` labels and their
+        timestamps shifted into the parent's clock domain via the skew
+        handshake.  Counter deltas and gauge levels land in the parent
+        registry with a ``worker`` label; ``span_seconds`` is re-derived
+        here from the merged span durations (child histograms never
+        cross the wire).
+        """
+        source = self.telemetry_source
+        telemetry = source() if source is not None else None
+        if telemetry is None:
+            return  # parent stopped observing; drop the frame
+        worker = f"shard-{self.index}"
+        # child ts -> wall clock (child skew) -> parent perf_counter
+        shift = float(frame["skew"]) - (time.time() - time.perf_counter())
+        for row in frame["events"]:
+            payload = dict(row)
+            ts = float(payload.pop("ts")) + shift
+            kind = str(payload.pop("kind"))
+            name = str(payload.pop("name"))
+            payload.setdefault("worker", worker)
+            payload.setdefault("pid", frame["pid"])
+            if "thread" in payload:
+                # qualify the child's thread name with its worker so the
+                # waterfall's thread column distinguishes processes
+                payload["thread"] = f"{worker}/{payload['thread']}"
+            telemetry.events.emit(kind, name, ts=ts, **payload)
+            if kind == "span" and "duration" in payload:
+                telemetry.registry.histogram(
+                    "span_seconds",
+                    labels={"span": name, "worker": worker},
+                    buckets=DEFAULT_LATENCY_BUCKETS,
+                ).observe(float(payload["duration"]))
+        for name, labels, delta in frame["counters"]:
+            telemetry.registry.counter(
+                name, {**dict(labels), "worker": worker}
+            ).inc(delta)
+        for name, labels, value in frame["gauges"]:
+            telemetry.registry.gauge(
+                name, {**dict(labels), "worker": worker}
+            ).set(value)
 
     def _apply_session_event(
         self, session_id: str, state: str, reason: Optional[str]

@@ -434,7 +434,10 @@ class ServeHarness:
                 epoch=result.epoch,
             ))
             if telemetry is not None:
-                record_answer_latency(telemetry.registry, session.id, latency)
+                record_answer_latency(
+                    telemetry.registry, session.id, latency,
+                    worker=f"shard-{shard_index}",
+                )
                 telemetry.point(
                     "serve.answer",
                     session=session.id,
@@ -646,6 +649,10 @@ class ServeHarness:
             telemetry.registry,
             {shard.index: shard.depth for shard in self.engine.shards},
             self.sessions.by_state(),
+            workers={
+                shard.index: f"shard-{shard.index}"
+                for shard in self.engine.shards
+            },
         )
         record_serve_admission(telemetry.registry, self.admission.stats())
         record_serve_cache(telemetry.registry, self.cache.stats.as_dict())

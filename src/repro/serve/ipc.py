@@ -14,7 +14,16 @@ explicit and primitive:
   ``batch`` carries the effective updates as ``(kind, u, v, w)`` rows;
 * **outcomes** (child → parent) are tuples/dicts of the same primitives
   — heartbeats, session lifecycle events, encoded epoch outcomes, acks,
-  and a ``fatal`` last-gasp record.
+  telemetry frames and a ``fatal`` last-gasp record.
+
+Two observability payloads cross the channel in primitive form as well:
+the ingest :class:`~repro.obs.tracing.TraceContext` rides every batch
+command as a ``(trace_id, parent_span_id)`` pair
+(:func:`encode_context`/:func:`decode_context`), and the child's
+telemetry agent ships batched span events plus metric deltas back as
+``OUT_TELEMETRY`` frames (:func:`encode_telemetry_frame`/
+:func:`decode_telemetry_frame`) — see ``docs/tracing.md`` for how the
+parent merges them.
 
 Every encode has a matching decode, and both ends round-trip through
 this codec, so a schema change breaks loudly in one file (and in
@@ -25,10 +34,11 @@ desynchronising parent and child.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.batch import EdgeUpdate, UpdateBatch, UpdateKind
 from repro.metrics import OpCounts
+from repro.obs.tracing import TraceContext
 
 __all__ = [
     "CMD_BATCH",
@@ -42,10 +52,15 @@ __all__ = [
     "OUT_HEARTBEAT",
     "OUT_OUTCOME",
     "OUT_SESSION",
+    "OUT_TELEMETRY",
     "decode_batch",
+    "decode_context",
     "decode_outcome",
+    "decode_telemetry_frame",
     "encode_batch",
+    "encode_context",
     "encode_outcome",
+    "encode_telemetry_frame",
 ]
 
 # command tags (parent -> child)
@@ -62,6 +77,90 @@ OUT_SESSION = "session"
 OUT_OUTCOME = "outcome"
 OUT_ACK = "ack"
 OUT_FATAL = "fatal"
+OUT_TELEMETRY = "telemetry"
+
+
+# ----------------------------------------------------------------------
+# trace contexts
+# ----------------------------------------------------------------------
+def encode_context(
+    context: Optional[TraceContext],
+) -> Optional[Tuple[str, Optional[int]]]:
+    """The ingest trace context as a wire pair (None stays None)."""
+    if context is None:
+        return None
+    return (context.trace_id, context.parent_span_id)
+
+
+def decode_context(
+    wire: Optional[Tuple[str, Optional[int]]],
+) -> Optional[TraceContext]:
+    """Rebuild the :class:`TraceContext` a batch command carried."""
+    if wire is None:
+        return None
+    trace_id, parent_span_id = wire
+    return TraceContext(
+        trace_id=str(trace_id),
+        parent_span_id=None if parent_span_id is None else int(parent_span_id),
+    )
+
+
+# ----------------------------------------------------------------------
+# telemetry frames
+# ----------------------------------------------------------------------
+def encode_telemetry_frame(
+    worker: int,
+    pid: int,
+    skew: float,
+    events: Sequence[Dict[str, object]],
+    counters: Sequence[Tuple[str, Sequence[Tuple[str, str]], float]],
+    gauges: Sequence[Tuple[str, Sequence[Tuple[str, str]], float]],
+    dropped: int,
+) -> Dict[str, object]:
+    """One child-telemetry frame as a primitive dict.
+
+    ``events`` are :meth:`~repro.obs.events.Event.as_dict` payloads;
+    ``counters`` carry *deltas* since the previous frame and ``gauges``
+    carry current levels, each as ``(name, label_pairs, value)`` rows.
+    ``skew`` is the child's ``time.time() - time.perf_counter()`` so the
+    parent can shift event timestamps into its own clock domain;
+    ``dropped`` is the cumulative count of events the bounded frame
+    buffer shed (telemetry backpressure must never stall batch work).
+    """
+    return {
+        "worker": int(worker),
+        "pid": int(pid),
+        "skew": float(skew),
+        "events": [dict(event) for event in events],
+        "counters": [
+            [str(name), [[str(k), str(v)] for k, v in labels], float(value)]
+            for name, labels, value in counters
+        ],
+        "gauges": [
+            [str(name), [[str(k), str(v)] for k, v in labels], float(value)]
+            for name, labels, value in gauges
+        ],
+        "dropped": int(dropped),
+    }
+
+
+def decode_telemetry_frame(data: Dict[str, object]) -> Dict[str, object]:
+    """Normalise a telemetry frame on the parent side (types re-asserted)."""
+    return {
+        "worker": int(data["worker"]),
+        "pid": int(data["pid"]),
+        "skew": float(data["skew"]),
+        "events": [dict(event) for event in data["events"]],
+        "counters": [
+            (str(name), [(str(k), str(v)) for k, v in labels], float(value))
+            for name, labels, value in data["counters"]
+        ],
+        "gauges": [
+            (str(name), [(str(k), str(v)) for k, v in labels], float(value))
+            for name, labels, value in data["gauges"]
+        ],
+        "dropped": int(data["dropped"]),
+    }
 
 
 # ----------------------------------------------------------------------

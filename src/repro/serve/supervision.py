@@ -140,10 +140,10 @@ class Supervisor:
         # 1. respawn shards that produced no outcome this epoch — dumping
         # a post-mortem bundle FIRST, while the dead worker's flight ring
         # still holds its final events and, crucially, while the dead
-        # worker itself is still in the pool: a process worker's event
-        # rings died with its address space, so post_mortem() — exit
-        # code, last heartbeat, pending inbox depth — is the only record
-        # of how it went down
+        # worker itself is still in the pool: a process worker's
+        # post_mortem() harvests its on-disk flight-ring spill (the
+        # child's last events survive the loss of its address space)
+        # alongside exit code, last heartbeat, and pending inbox depth
         if result.failed_shards and telemetry is not None:
             telemetry.flight.dump(
                 "shard-crash",

@@ -1,0 +1,206 @@
+"""Child-side telemetry agent for process shard workers.
+
+A forked shard child cannot share the parent's :class:`Telemetry` — its
+event log, registry and flight rings live in a copied address space the
+parent never sees again.  :class:`ChildTelemetryAgent` gives the child a
+real telemetry instance of its own and bridges it back over the outcome
+queue in primitive form:
+
+* **span-id namespace** — the child tracer's id counter starts at
+  ``pid << 24``, so child span ids can never collide with the parent's
+  (which count up from 1) or with another child's; the ids stay below
+  2**53 and therefore exact through any JSON detour.
+* **frames** — every emitted event is buffered (bounded, drop-counted)
+  and shipped with counter deltas and gauge levels as one
+  ``OUT_TELEMETRY`` frame per command (:func:`repro.serve.ipc.
+  encode_telemetry_frame`).  Histograms are *not* shipped: the parent
+  re-derives ``span_seconds`` from the merged span events, which keeps
+  the wire format flat.
+* **backpressure** — the buffer bound means a parent that stops reading
+  costs dropped telemetry (counted in ``obs.events.dropped{ring="ipc"}``
+  and in the frame's ``dropped`` field), never a stalled batch.
+* **crash durability** — after each flush the agent spills its flight
+  ring to a per-worker JSONL file via atomic replace;
+  :meth:`~repro.serve.executor.ProcessShardWorker.post_mortem` harvests
+  the spill after a SIGKILL, so shard-crash bundles carry the child's
+  last events even though its address space is gone.
+
+The agent is built inside the child process (never pickled); everything
+it needs crosses the spawn boundary as primitives.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import Event
+from repro.obs.telemetry import Telemetry
+from repro.serve.ipc import OUT_TELEMETRY, encode_telemetry_frame
+
+#: spill-file meta line key (distinguishes it from event rows)
+SPILL_META_KIND = "spill-meta"
+
+
+class ChildTelemetryAgent:
+    """One shard child's telemetry: local instance + frame shipping."""
+
+    def __init__(
+        self,
+        index: int,
+        outcomes,
+        spill_path: Optional[str] = None,
+        event_capacity: int = 8_192,
+        buffer_bound: int = 2_048,
+        flight_capacity: int = 512,
+    ) -> None:
+        self.index = index
+        self.outcomes = outcomes
+        self.spill_path = spill_path
+        self.pid = os.getpid()
+        #: child clock domain: shift to wall clock, for the parent to undo
+        self.skew = time.time() - time.perf_counter()
+        self.telemetry = Telemetry(
+            event_capacity=event_capacity, flight_capacity=flight_capacity
+        )
+        # disjoint span-id namespace: pids are <= 2**22 on Linux, so
+        # pid << 24 keeps ids unique across processes and < 2**53 (exact
+        # in JSON floats) with 16M spans of headroom per child
+        self.telemetry.tracer._ids = itertools.count(self.pid << 24)
+        self._buffer_bound = buffer_bound
+        self._pending: deque = deque()
+        self.dropped = 0
+        self._ipc_drop_counter = self.telemetry.registry.counter(
+            "obs.events.dropped", {"ring": "ipc"}
+        )
+        # chain the single EventLog tap: flight ring first (post-mortem
+        # completeness), then the bounded frame buffer
+        flight_record = self.telemetry.flight.record
+
+        def tap(event: Event) -> None:
+            flight_record(event)
+            if len(self._pending) >= self._buffer_bound:
+                self.dropped += 1
+                self._ipc_drop_counter.inc()
+            else:
+                self._pending.append(event.as_dict())
+
+        self.telemetry.events.tap = tap
+        #: cumulative counter values already shipped (frames carry deltas)
+        self._shipped: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+
+    # ------------------------------------------------------------------
+    def _metric_rows(self):
+        """Counter deltas and gauge levels since the previous frame."""
+        counters: List[Tuple[str, Tuple[Tuple[str, str], ...], float]] = []
+        gauges: List[Tuple[str, Tuple[Tuple[str, str], ...], float]] = []
+        document = self.telemetry.registry.snapshot().as_dict()
+        for name, metric in document.items():
+            if metric["type"] == "histogram":
+                continue  # parent re-derives span_seconds from events
+            for series in metric["series"]:
+                labels = tuple(
+                    (str(k), str(v)) for k, v in series["labels"]
+                )
+                value = float(series["value"])
+                if metric["type"] == "counter":
+                    key = (name, labels)
+                    delta = value - self._shipped.get(key, 0.0)
+                    if delta:
+                        counters.append((name, labels, delta))
+                        self._shipped[key] = value
+                else:
+                    gauges.append((name, labels, value))
+        return counters, gauges
+
+    def flush(self) -> bool:
+        """Ship buffered events + metric deltas; spill the flight ring.
+
+        Returns True when a frame was actually sent.  Never raises into
+        the command loop: losing telemetry must not fail an epoch.
+        """
+        try:
+            events = []
+            while self._pending:
+                events.append(self._pending.popleft())
+            counters, gauges = self._metric_rows()
+            sent = False
+            if events or counters or gauges:
+                self.outcomes.put((
+                    OUT_TELEMETRY,
+                    encode_telemetry_frame(
+                        worker=self.index,
+                        pid=self.pid,
+                        skew=self.skew,
+                        events=events,
+                        counters=counters,
+                        gauges=gauges,
+                        dropped=self.dropped,
+                    ),
+                ))
+                sent = True
+            self._spill()
+            return sent
+        except Exception:  # noqa: BLE001 - observing must never break work
+            return False
+
+    # ------------------------------------------------------------------
+    def _spill(self) -> None:
+        """Atomically rewrite the per-worker flight-ring spill file."""
+        if self.spill_path is None:
+            return
+        rows = self.telemetry.flight.snapshot()
+        if not rows:
+            return
+        tmp = f"{self.spill_path}.tmp"
+        with open(tmp, "w") as handle:
+            handle.write(json.dumps({
+                "kind": SPILL_META_KIND,
+                "worker": self.index,
+                "pid": self.pid,
+                "skew": self.skew,
+            }, sort_keys=True))
+            handle.write("\n")
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True, default=str))
+                handle.write("\n")
+        os.replace(tmp, self.spill_path)
+
+
+def read_spill(path: str) -> Optional[Dict[str, object]]:
+    """Harvest a spill file written by :meth:`ChildTelemetryAgent._spill`.
+
+    Returns ``{"worker", "pid", "skew", "events"}`` or None when the file
+    is absent/empty/torn — a crash can interrupt anything, so a partial
+    harvest degrades to what parses, never raises.
+    """
+    try:
+        with open(path) as handle:
+            lines = [line.strip() for line in handle if line.strip()]
+    except OSError:
+        return None
+    if not lines:
+        return None
+    meta: Dict[str, object] = {}
+    events: List[Dict[str, object]] = []
+    for line in lines:
+        try:
+            row = json.loads(line)
+        except ValueError:
+            continue  # torn tail of an interrupted rewrite
+        if row.get("kind") == SPILL_META_KIND:
+            meta = row
+        else:
+            events.append(row)
+    if not meta and not events:
+        return None
+    return {
+        "worker": meta.get("worker"),
+        "pid": meta.get("pid"),
+        "skew": meta.get("skew"),
+        "events": events,
+    }

@@ -144,3 +144,51 @@ class TestProcessPostMortem:
         )
         assert final["context"]["backend"] == "process"
         assert final["context"]["converged"] is True
+
+    def test_bundle_carries_the_harvested_child_flight_ring(self, traced_run):
+        # ISSUE acceptance: the killed child's own flight ring survives
+        # its address space via the on-disk spill and lands in the bundle
+        telemetry, _ = traced_run
+        crash = next(
+            b for b in telemetry.flight.bundles
+            if b["reason"] == "shard-crash"
+        )
+        (post,) = [
+            p for p in crash["context"]["post_mortem"] if p["shard"] == 1
+        ]
+        flight = post["child_flight"]
+        assert flight["pid"] == post["pid"]
+        assert flight["events"], "spill harvested no events"
+        named = {event.get("name") for event in flight["events"]}
+        assert "shard.batch" in named
+
+    def test_post_kill_answers_resolve_through_merged_traces(self, traced_run):
+        # ISSUE acceptance: after the kill heals, answer trace ids resolve
+        # to waterfalls containing child-process spans joined to the
+        # ingest batch trace
+        from repro.obs.tracing import build_traces, render_waterfall
+
+        telemetry, _ = traced_run
+        traces = {t.trace_id: t for t in build_traces(list(telemetry.events))}
+        answers = [
+            event for event in telemetry.events
+            if event.kind == "point" and event.name == "serve.answer"
+            and int(event.fields.get("epoch", 0)) > 2  # after the kill
+        ]
+        assert answers
+        resolved = 0
+        for answer in answers:
+            trace = traces[str(answer.fields["trace_id"])]
+            child_spans = [
+                span for span in trace.find("shard.batch")
+                if "worker" in span.attrs
+            ]
+            if not child_spans:
+                continue  # an epoch served while the shard was down
+            resolved += 1
+            for span in child_spans:
+                assert not span.orphan
+                assert trace.nodes[span.parent_id].name == "engine.batch"
+                rendered = render_waterfall(trace)
+                assert f"worker={span.attrs['worker']}" in rendered
+        assert resolved, "no post-kill answer joined a child-process span"

@@ -221,7 +221,12 @@ class TestDropCounterMetric:
         with open(paths["prometheus"]) as handle:
             prom = handle.read()
         assert "obs.events.dropped" in prom
-        assert telemetry.registry.counter("obs.events.dropped").value == 6
+        assert 'ring="events"' in prom
+        # the counter is labelled per ring, so child-side IPC drops
+        # (ring="ipc") stay attributable instead of aggregated away
+        assert telemetry.registry.counter(
+            "obs.events.dropped", {"ring": "events"}
+        ).value == 6
 
     def test_no_drops_means_zero_counter_still_present(self, tmp_path):
         telemetry = Telemetry()
@@ -313,6 +318,85 @@ class TestOfflineTraces:
         assert trace.trace_id == root.trace_id
         assert trace.root.name == "pipeline.commit"
         assert len(trace.points) == 1
+
+
+class TestOrphanedChildSpans:
+    """Partial cross-process telemetry degrades to annotated gaps.
+
+    A child span can arrive without its parent — the frame carrying the
+    parent was dropped under backpressure, or the parent span was still
+    open when the child died.  Reassembly must keep the subtree (flagged
+    as an orphan, gap annotated in the waterfall), never crash or drop
+    it.
+    """
+
+    def span_event(self, ts, name, span_id, parent_id, trace="tP",
+                   duration=0.01, **attrs):
+        fields = {
+            "span_id": span_id, "parent_id": parent_id, "trace_id": trace,
+            "duration": duration, "status": "ok", "thread": "shard-1/Main",
+        }
+        fields.update(attrs)
+        return Event(ts=ts, kind="span", name=name, fields=fields)
+
+    def partial_trace(self):
+        # root exists; one child subtree references parent 99 which never
+        # surfaced (its telemetry frame was lost at the process boundary)
+        events = [
+            self.span_event(1.0, "pipeline.commit", 1, None, duration=0.2),
+            self.span_event(1.01, "engine.batch", 2, 1, duration=0.15),
+            self.span_event(
+                1.05, "shard.batch", 300, 99,
+                duration=0.02, worker="shard-1", pid=4242,
+            ),
+            self.span_event(1.06, "shard.degraded_probe", 301, 300,
+                            duration=0.005),
+        ]
+        (trace,) = build_traces(events)
+        return trace
+
+    def test_orphan_is_flagged_and_its_subtree_survives(self):
+        trace = self.partial_trace()
+        assert trace.orphans == 1
+        orphan = trace.find("shard.batch")[0]
+        assert orphan.orphan and orphan.parent_id == 99
+        assert orphan in trace.roots  # promoted, not lost
+        # the orphan's own child still hangs off it normally
+        (child,) = orphan.children
+        assert child.name == "shard.degraded_probe" and not child.orphan
+        # attached spans are untouched
+        assert not trace.find("engine.batch")[0].orphan
+
+    def test_waterfall_annotates_the_gap(self):
+        rendered = render_waterfall(self.partial_trace())
+        assert "1 orphaned" in rendered
+        assert "?gap(parent 99 missing)" in rendered
+        assert "shard.degraded_probe" in rendered  # subtree rendered too
+
+    def test_complete_trace_renders_without_gap_markers(self):
+        telemetry = Telemetry()
+        with telemetry.span("pipeline.commit"):
+            with telemetry.span("shard.batch", shard=0):
+                pass
+        (trace,) = build_traces(list(telemetry.events))
+        assert trace.orphans == 0
+        rendered = render_waterfall(trace)
+        assert "orphaned" not in rendered and "?gap" not in rendered
+
+    def test_critical_path_survives_a_partial_trace(self):
+        trace = self.partial_trace()
+        names = [node.name for node in critical_path(trace)]
+        assert names[0] == "pipeline.commit"  # path from the true root
+
+    def test_fully_orphaned_trace_still_builds_and_renders(self):
+        # the entire parent side is missing: only child frames survived
+        events = [
+            self.span_event(1.0, "shard.batch", 300, 7, duration=0.02),
+        ]
+        (trace,) = build_traces(events)
+        assert trace.root.name == "shard.batch"
+        assert trace.orphans == 1
+        assert "?gap(parent 7 missing)" in render_waterfall(trace)
 
 
 # ----------------------------------------------------------------------

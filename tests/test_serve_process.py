@@ -18,7 +18,17 @@ from repro.metrics import OpCounts
 from repro.query import PairwiseQuery
 from repro.serve import BACKENDS, ServeHarness, SessionState, resolve_backend
 from repro.serve.health import HealthMonitor, ShardHealth
-from repro.serve.ipc import decode_batch, decode_outcome, encode_batch, encode_outcome
+from repro.obs.tracing import TraceContext
+from repro.serve.ipc import (
+    decode_batch,
+    decode_context,
+    decode_outcome,
+    decode_telemetry_frame,
+    encode_batch,
+    encode_context,
+    encode_outcome,
+    encode_telemetry_frame,
+)
 from repro.serve.shard import ShardBatchOutcome
 from tests.conftest import random_batch, random_graph
 
@@ -110,6 +120,60 @@ class TestCodec:
         )
         wire = json.loads(json.dumps(encode_outcome(outcome)))
         assert decode_outcome(wire) == outcome
+
+    def test_trace_context_round_trip(self):
+        context = TraceContext(trace_id="t000042", parent_span_id=17)
+        wire = encode_context(context)
+        assert wire == ("t000042", 17)
+        decoded = decode_context(wire)
+        assert decoded.trace_id == "t000042"
+        assert decoded.parent_span_id == 17
+
+    def test_absent_trace_context_stays_none(self):
+        assert encode_context(None) is None
+        assert decode_context(None) is None
+
+    def test_rootless_context_keeps_none_parent(self):
+        decoded = decode_context(encode_context(
+            TraceContext(trace_id="t7", parent_span_id=None)
+        ))
+        assert decoded.parent_span_id is None
+
+    def test_telemetry_frame_round_trip_survives_a_json_detour(self):
+        import json
+
+        frame = encode_telemetry_frame(
+            worker=1,
+            pid=4242,
+            skew=1722.5,
+            events=[{
+                "ts": 3.25, "kind": "span", "name": "shard.batch",
+                "span_id": 4242 << 24, "parent_id": 9, "trace_id": "t9",
+                "duration": 0.001, "status": "ok", "thread": "MainThread",
+                "shard": 1, "epoch": 2,
+            }],
+            counters=[("obs.events.dropped", [("ring", "ipc")], 3.0)],
+            gauges=[("child.inbox_depth", [], 2.0)],
+            dropped=3,
+        )
+        decoded = decode_telemetry_frame(json.loads(json.dumps(frame)))
+        assert decoded["worker"] == 1 and decoded["pid"] == 4242
+        assert decoded["skew"] == 1722.5 and decoded["dropped"] == 3
+        (event,) = decoded["events"]
+        assert event["name"] == "shard.batch"
+        assert event["span_id"] == 4242 << 24  # pid-salted ids stay exact
+        assert decoded["counters"] == [
+            ("obs.events.dropped", [("ring", "ipc")], 3.0)
+        ]
+        assert decoded["gauges"] == [("child.inbox_depth", [], 2.0)]
+
+    def test_empty_telemetry_frame_is_well_formed(self):
+        decoded = decode_telemetry_frame(encode_telemetry_frame(
+            worker=0, pid=1, skew=0.0,
+            events=[], counters=[], gauges=[], dropped=0,
+        ))
+        assert decoded["events"] == []
+        assert decoded["counters"] == [] and decoded["gauges"] == []
 
 
 class TestBitIdenticalBackends:

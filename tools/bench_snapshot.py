@@ -100,6 +100,7 @@ def run_fixed_workload() -> Dict[str, object]:
         "answers": answers,
         "telemetry": telemetry.metrics_document(),
         "tracing": measure_tracing(),
+        "process_telemetry": measure_process_overhead(),
     }
 
 
@@ -147,6 +148,76 @@ def measure_tracing(repeats: int = 3) -> Dict[str, object]:
         "repeats": repeats,
         "tracing_off_best_s": off,
         "tracing_on_best_s": on,
+        "on_over_off_ratio": (on / off) if off > 0 else 0.0,
+    }
+
+
+def measure_process_overhead(repeats: int = 3) -> Dict[str, object]:
+    """Process-backend batch time with and without distributed telemetry.
+
+    Same scalar-keys-only discipline as :func:`measure_tracing`.  With
+    telemetry off the process backend spawns children with *no* agent
+    (the zero-overhead contract: the child never builds a telemetry
+    instance, never ships a frame, never spills a ring); with it on,
+    every batch pays for the child-side span, one ``OUT_TELEMETRY``
+    frame per command and the flight-ring spill file.  The committed
+    ratio documents what cross-process observability costs on the fixed
+    workload.
+    """
+    import time
+
+    from repro.algorithms import get_algorithm
+    from repro.bench.datasets import (
+        dataset_by_abbreviation,
+        make_workload,
+        pick_query_pairs,
+    )
+    from repro.obs import Telemetry, use_telemetry
+    from repro.serve import ServeHarness
+
+    spec = dataset_by_abbreviation(WORKLOAD["dataset"])
+    workload = make_workload(
+        spec, num_batches=WORKLOAD["batches"], seed=WORKLOAD["seed"]
+    )
+    query = pick_query_pairs(workload.initial, count=1, seed=WORKLOAD["seed"])[0]
+    algorithm = get_algorithm(WORKLOAD["algorithm"])
+
+    def run(telemetry, directory) -> float:
+        import contextlib
+
+        scope = (
+            use_telemetry(telemetry) if telemetry is not None
+            else contextlib.nullcontext()
+        )
+        with scope:
+            harness = ServeHarness.open(
+                directory, workload.replay.initial_graph, algorithm, query,
+                num_shards=2, backend="process",
+            )
+            try:
+                started = time.perf_counter()
+                for step in workload.replay.batches():
+                    harness.submit(step.batch)
+                return time.perf_counter() - started
+            finally:
+                harness.close()
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-proc-") as root:
+        off = min(
+            run(None, os.path.join(root, f"off{i}")) for i in range(repeats)
+        )
+        on = min(
+            run(Telemetry(), os.path.join(root, f"on{i}"))
+            for i in range(repeats)
+        )
+    return {
+        "backend": "process",
+        "batches": WORKLOAD["batches"],
+        "repeats": repeats,
+        "telemetry_off_best_s": off,
+        "telemetry_on_best_s": on,
         "on_over_off_ratio": (on / off) if off > 0 else 0.0,
     }
 
